@@ -1,0 +1,344 @@
+(* failatom — command-line front end for the detection/masking pipeline.
+
+   Programs are given either as a path to a MiniLang source file or as
+   [app:NAME] to use one of the bundled workload applications (the
+   paper's Table 1 programs); [failatom apps] lists them. *)
+
+open Cmdliner
+open Failatom_core
+open Failatom_apps
+module ML = Failatom_minilang
+
+(* ---------------- program loading ---------------- *)
+
+let load_source spec =
+  if String.length spec > 4 && String.sub spec 0 4 = "app:" then
+    let name = String.sub spec 4 (String.length spec - 4) in
+    match Registry.find name with
+    | Some app -> Ok app.Registry.source
+    | None ->
+      (match name with
+       | "LinkedListFixed" -> Ok Registry.linked_list_fixed.Registry.source
+       | "Synthetic" -> Ok Synthetic.app.Registry.source
+       | _ -> Error (Printf.sprintf "unknown bundled application %S" name))
+  else if Sys.file_exists spec then (
+    let ic = open_in_bin spec in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s)
+  else Error (Printf.sprintf "no such file: %s" spec)
+
+let parse_program source =
+  match ML.Minilang.parse source with
+  | program -> Ok program
+  | exception ML.Lexer.Lex_error (msg, pos) ->
+    Error (Fmt.str "lexical error at %a: %s" ML.Ast.pp_pos pos msg)
+  | exception ML.Parser.Parse_error (msg, pos) ->
+    Error (Fmt.str "syntax error at %a: %s" ML.Ast.pp_pos pos msg)
+  | exception ML.Static_check.Check_error errors ->
+    Error
+      (Fmt.str "static errors:@.%a"
+         Fmt.(list ~sep:cut ML.Static_check.pp_error)
+         errors)
+
+let with_program spec f =
+  match Result.bind (load_source spec) parse_program with
+  | Ok program -> f program
+  | Error msg ->
+    Fmt.epr "failatom: %s@." msg;
+    exit 1
+
+(* ---------------- common options ---------------- *)
+
+let program_arg =
+  let doc = "MiniLang source file, or app:NAME for a bundled application." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let flavor_arg =
+  let doc =
+    "Instrumentation flavor: $(b,source) rewrites the program text (the \
+     paper's AspectC++/C++ path), $(b,binary) attaches load-time filters to \
+     the compiled program (the paper's JWG/Java path)."
+  in
+  let flavor_conv =
+    Arg.enum [ ("source", Detect.Source_weaving); ("binary", Detect.Load_time_filters) ]
+  in
+  Arg.(value & opt flavor_conv Detect.Source_weaving & info [ "flavor" ] ~docv:"FLAVOR" ~doc)
+
+let details_arg =
+  let doc = "Print the per-method verdicts, call counts and diff paths." in
+  Arg.(value & flag & info [ "details" ] ~doc)
+
+let method_list_conv =
+  let parse s =
+    match String.index_opt s '.' with
+    | Some i ->
+      Ok
+        (Method_id.make (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> Error (`Msg (Printf.sprintf "%S is not of the form Class.method" s))
+  in
+  Arg.conv (parse, fun ppf id -> Fmt.string ppf (Method_id.to_string id))
+
+let exception_free_arg =
+  let doc =
+    "Declare a method (Class.method) exception-free: injections whose site it \
+     was are discarded before classification (repeatable)."
+  in
+  Arg.(value & opt_all method_list_conv [] & info [ "exception-free" ] ~docv:"M" ~doc)
+
+let do_not_wrap_arg =
+  let doc = "Exclude a method (Class.method) from masking (repeatable)." in
+  Arg.(value & opt_all method_list_conv [] & info [ "do-not-wrap" ] ~docv:"M" ~doc)
+
+let infer_arg =
+  let doc =
+    "Statically infer exception-free methods (the paper's future-work \
+     analysis) and skip their injection points."
+  in
+  Arg.(value & flag & info [ "infer" ] ~doc)
+
+let log_arg =
+  let doc = "Write the detection run log (wrapper marks + call profile) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
+let wrap_all_arg =
+  let doc =
+    "Wrap every failure non-atomic method instead of only the pure ones."
+  in
+  Arg.(value & flag & info [ "wrap-all" ] ~doc)
+
+let config_of ~exception_free ~do_not_wrap ~wrap_all =
+  { Config.default with
+    Config.exception_free;
+    do_not_wrap;
+    wrap_policy = (if wrap_all then Config.Wrap_all_non_atomic else Config.Wrap_pure) }
+
+(* ---------------- commands ---------------- *)
+
+let run_cmd =
+  let action spec =
+    with_program spec (fun program ->
+        let vm = ML.Minilang.load program in
+        (match ML.Minilang.run vm with
+         | _ -> ()
+         | exception Failatom_runtime.Vm.Mini_raise e ->
+           Fmt.epr "uncaught %s: %s@." e.Failatom_runtime.Vm.exn_class
+             e.Failatom_runtime.Vm.message);
+        print_string (ML.Minilang.output vm))
+  in
+  let doc = "Run a MiniLang program and print its output." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const action $ program_arg)
+
+let csv_arg =
+  let doc = "Write the per-method classification as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let coverage_arg =
+  let doc = "Print per-method injection coverage and never-called methods." in
+  Arg.(value & flag & info [ "coverage" ] ~doc)
+
+let detect_cmd =
+  let action spec flavor details exception_free infer log coverage csv =
+    with_program spec (fun program ->
+        let config = { Config.default with Config.infer_exception_free = infer } in
+        let detection = Detect.run ~config ~flavor program in
+        (match log with
+         | Some path ->
+           Run_log.save_file detection path;
+           Fmt.epr "run log written to %s@." path
+         | None -> ());
+        let classification = Classify.classify ~exception_free detection in
+        let counts = Classify.method_counts classification in
+        Fmt.pr "flavor:           %s@." (Detect.flavor_name flavor);
+        Fmt.pr "injections:       %d@." detection.Detect.injections;
+        Fmt.pr "transparent:      %b@." detection.Detect.transparent;
+        Fmt.pr "discarded runs:   %d@." classification.Classify.discarded_runs;
+        Fmt.pr "methods used:     %d (atomic %d, conditional %d, pure %d)@."
+          (Classify.total counts) counts.Classify.atomic counts.Classify.conditional
+          counts.Classify.pure;
+        if details then Report.pp_details Fmt.stdout classification
+        else begin
+          let non_atomic = Classify.non_atomic_methods classification in
+          List.iter
+            (fun id ->
+              let verdict = Option.get (Classify.verdict classification id) in
+              Fmt.pr "  %-36s %s@." (Method_id.to_string id)
+                (Classify.verdict_name verdict))
+            non_atomic
+        end;
+        if coverage then Coverage.pp Fmt.stdout (Coverage.of_detection detection);
+        match csv with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Report.classification_to_csv classification);
+          close_out oc;
+          Fmt.epr "classification CSV written to %s@." path
+        | None -> ())
+  in
+  let doc =
+    "Detection phase: inject exceptions at every injection point and classify \
+     each method as atomic, conditional non-atomic or pure non-atomic."
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc)
+    Term.(
+      const action $ program_arg $ flavor_arg $ details_arg $ exception_free_arg
+      $ infer_arg $ log_arg $ coverage_arg $ csv_arg)
+
+let weave_cmd =
+  let action spec =
+    with_program spec (fun program ->
+        print_string
+          (ML.Pretty.program_to_string (Source_weaver.weave_injection program)))
+  in
+  let doc = "Print the exception injector program P_I (woven source)." in
+  Cmd.v (Cmd.info "weave" ~doc) Term.(const action $ program_arg)
+
+let mask_cmd =
+  let action spec flavor exception_free do_not_wrap wrap_all show_source verify =
+    with_program spec (fun program ->
+        let config = config_of ~exception_free ~do_not_wrap ~wrap_all in
+        let outcome = Mask.correct ~config ~flavor program in
+        Fmt.epr "wrapped %d method(s):@." (Method_id.Set.cardinal outcome.Mask.wrapped);
+        Method_id.Set.iter
+          (fun id -> Fmt.epr "  %s@." (Method_id.to_string id))
+          outcome.Mask.wrapped;
+        if show_source then
+          print_string (ML.Pretty.program_to_string outcome.Mask.corrected);
+        if verify then begin
+          (* re-run detection on P_C: no original-name method may remain
+             failure non-atomic *)
+          let d2 =
+            Detect.run ~config ~flavor
+              ~prepare:(Mask.register_hooks config)
+              outcome.Mask.corrected
+          in
+          let residual =
+            List.filter
+              (fun (id : Method_id.t) ->
+                Source_weaver.demangle id.Method_id.name = None)
+              (Classify.non_atomic_methods (Classify.classify d2))
+          in
+          match residual with
+          | [] ->
+            Fmt.epr "verification: %d re-injections, no residual non-atomic method@."
+              d2.Detect.injections
+          | methods ->
+            Fmt.epr "verification FAILED, residual non-atomic methods:@.";
+            List.iter (fun id -> Fmt.epr "  %s@." (Method_id.to_string id)) methods;
+            exit 2
+        end)
+  in
+  let show_source_arg =
+    let doc = "Print the corrected program P_C to stdout." in
+    Arg.(value & flag & info [ "print-corrected" ] ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "Re-run the detection phase on the corrected program and fail unless \
+       every residual method is failure atomic."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let doc =
+    "Full pipeline (Figure 1): detect failure non-atomic methods, then wrap \
+     them in atomicity wrappers, producing the corrected program P_C."
+  in
+  Cmd.v (Cmd.info "mask" ~doc)
+    Term.(
+      const action $ program_arg $ flavor_arg $ exception_free_arg $ do_not_wrap_arg
+      $ wrap_all_arg $ show_source_arg $ verify_arg)
+
+let classify_cmd =
+  let log_file_arg =
+    let doc = "A run log previously written by detect --log." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG" ~doc)
+  in
+  let action path details exception_free =
+    match Run_log.load_file path with
+    | exception Run_log.Bad_log (msg, line) ->
+      Fmt.epr "failatom: %s: line %d: %s@." path line msg;
+      exit 1
+    | log ->
+      let classification = Run_log.classify ~exception_free log in
+      let counts = Classify.method_counts classification in
+      Fmt.pr "flavor:           %s@." log.Run_log.flavor;
+      Fmt.pr "runs:             %d@." (List.length log.Run_log.runs);
+      Fmt.pr "discarded runs:   %d@." classification.Classify.discarded_runs;
+      Fmt.pr "methods used:     %d (atomic %d, conditional %d, pure %d)@."
+        (Classify.total counts) counts.Classify.atomic counts.Classify.conditional
+        counts.Classify.pure;
+      if details then Report.pp_details Fmt.stdout classification
+      else
+        List.iter
+          (fun id ->
+            Fmt.pr "  %-36s %s@." (Method_id.to_string id)
+              (Classify.verdict_name (Option.get (Classify.verdict classification id))))
+          (Classify.non_atomic_methods classification)
+  in
+  let doc =
+    "Offline classification from a run log (the paper's Step 3: wrapper log \
+     files processed offline), without re-running any injections."
+  in
+  Cmd.v (Cmd.info "classify" ~doc)
+    Term.(const action $ log_file_arg $ details_arg $ exception_free_arg)
+
+let trace_cmd =
+  let action spec =
+    with_program spec (fun program ->
+        let trace, output, escaped = Trace.run_traced program in
+        Trace.pp Fmt.stdout trace;
+        Fmt.pr "--- output ---@.%s" output;
+        match escaped with
+        | Some exn_class -> Fmt.pr "--- escaped: %s ---@." exn_class
+        | None -> ())
+  in
+  let doc = "Run a program under call tracing and print the dynamic call tree." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const action $ program_arg)
+
+let apps_cmd =
+  let action () =
+    Fmt.pr "%-14s %-5s %s@." "NAME" "SUITE" "DESCRIPTION";
+    List.iter
+      (fun (a : Registry.t) ->
+        Fmt.pr "%-14s %-5s %s@." a.Registry.name
+          (Registry.suite_name a.Registry.suite)
+          a.Registry.description)
+      (Registry.all @ [ Registry.linked_list_fixed; Synthetic.app ])
+  in
+  let doc = "List the bundled workload applications (usable as app:NAME)." in
+  Cmd.v (Cmd.info "apps" ~doc) Term.(const action $ const ())
+
+let experiments_cmd =
+  let action () =
+    let outcomes = List.map Harness.detect_app Registry.all in
+    let reports = List.map (fun o -> o.Harness.report) outcomes in
+    Report.pp_table1 Fmt.stdout reports;
+    let of_suite s =
+      List.filter (fun (r : Report.app_result) -> String.equal r.Report.language s) reports
+    in
+    Report.pp_figure_methods Fmt.stdout ~title:"C++ apps: % of methods" (of_suite "C++");
+    Report.pp_figure_calls Fmt.stdout ~title:"C++ apps: % of calls" (of_suite "C++");
+    Report.pp_figure_methods Fmt.stdout ~title:"Java apps: % of methods" (of_suite "Java");
+    Report.pp_figure_calls Fmt.stdout ~title:"Java apps: % of calls" (of_suite "Java");
+    Report.pp_figure_classes Fmt.stdout ~title:"C++ apps: % of classes" (of_suite "C++");
+    Report.pp_figure_classes Fmt.stdout ~title:"Java apps: % of classes" (of_suite "Java")
+  in
+  let doc =
+    "Run the detection sweep over all bundled applications and print Table 1 \
+     and Figures 2-4 (use the bench executable for Figure 5)."
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const action $ const ())
+
+let main_cmd =
+  let doc =
+    "Automatic detection and masking of non-atomic exception handling \
+     (reproduction of Fetzer, Högstedt & Felber, DSN 2003)"
+  in
+  Cmd.group
+    (Cmd.info "failatom" ~version:"1.0.0" ~doc)
+    [ run_cmd; detect_cmd; classify_cmd; weave_cmd; mask_cmd; trace_cmd; apps_cmd;
+      experiments_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/audit_workflow.ml: Classify Config Coverage Detect Failatom_apps Failatom_core Failatom_minilang Filename Fmt List Mask Method_id Option Registry Report Run_log Source_weaver Sys

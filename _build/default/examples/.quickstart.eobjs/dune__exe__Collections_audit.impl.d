@@ -1,0 +1,1 @@
+examples/collections_audit.ml: Classify Detect Failatom_apps Failatom_core Failatom_minilang Fmt Harness List Mask Method_id Option Registry String

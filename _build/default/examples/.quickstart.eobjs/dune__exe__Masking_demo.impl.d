@@ -1,0 +1,1 @@
+examples/masking_demo.ml: Config Failatom_core Failatom_minilang Failatom_runtime Fmt Mask Method_id Vm

@@ -1,0 +1,1 @@
+examples/masking_demo.mli:

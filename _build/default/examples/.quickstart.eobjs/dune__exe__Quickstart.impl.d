@@ -1,0 +1,1 @@
+examples/quickstart.ml: Classify Config Detect Failatom_core Failatom_minilang Fmt Mask Method_id Report

@@ -1,0 +1,1 @@
+examples/weaving_demo.ml: Config Failatom_core Failatom_minilang Fmt Mask Source_weaver String

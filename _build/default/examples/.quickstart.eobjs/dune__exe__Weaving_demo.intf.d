@@ -1,0 +1,1 @@
+examples/weaving_demo.mli:

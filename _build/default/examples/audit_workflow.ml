@@ -1,0 +1,73 @@
+(* The full audit workflow, as a release-engineering pipeline would run
+   it (paper §5.1 step 3: wrappers write log files; logs are processed
+   offline).
+
+   Run with:  dune exec examples/audit_workflow.exe
+
+   1. detection runs once, against the RBMap workload, and writes a
+      run log (the artifact a CI job would archive);
+   2. injection coverage is audited — including methods the workload
+      never called, whose error handling remains untested;
+   3. classification happens OFFLINE from the log file, including an
+      exception-free re-classification, without re-running anything;
+   4. the verdicts drive the masking phase and a verification
+      re-detection proves the corrected program failure atomic. *)
+
+open Failatom_core
+open Failatom_apps
+
+let () =
+  let app = Option.get (Registry.find "RBMap") in
+  let program = Failatom_minilang.Minilang.parse app.Registry.source in
+
+  (* 1. online detection + archived log *)
+  let detection = Detect.run ~flavor:Detect.Load_time_filters program in
+  let log_path = Filename.temp_file "rbmap" ".faillog" in
+  Run_log.save_file detection log_path;
+  Fmt.pr "detection: %d injection runs; log archived at %s@."
+    detection.Detect.injections log_path;
+
+  (* 2. coverage audit *)
+  let coverage = Coverage.of_detection detection in
+  Fmt.pr "@.--- injection coverage --------------------------------------@.";
+  Fmt.pr "%d/%d used methods had every injectable exception exercised@."
+    coverage.Coverage.fully_covered
+    (List.length coverage.Coverage.methods);
+  (match coverage.Coverage.unused with
+   | [] -> Fmt.pr "every defined method was driven by the workload@."
+   | unused ->
+     Fmt.pr "WARNING: %d method(s) never called (their handling is untested):@."
+       (List.length unused);
+     List.iter (fun id -> Fmt.pr "  %s@." (Method_id.to_string id)) unused);
+
+  (* 3. offline classification from the archived log *)
+  let log = Run_log.load_file log_path in
+  let offline = Run_log.classify log in
+  Fmt.pr "@.--- offline classification (from the log file) ---------------@.";
+  Report.pp_details Fmt.stdout offline;
+  let annotated =
+    Run_log.classify
+      ~exception_free:[ Method_id.make "RBNode" "init" ]
+      log
+  in
+  Fmt.pr "(with RBNode.init annotated exception-free: %d pure non-atomic)@."
+    (List.length (Classify.pure_methods annotated));
+
+  (* 4. mask and verify *)
+  let outcome = Mask.correct ~flavor:Detect.Load_time_filters program in
+  let d2 =
+    Detect.run ~flavor:Detect.Load_time_filters
+      ~prepare:(Mask.register_hooks Config.default)
+      outcome.Mask.corrected
+  in
+  let residual =
+    List.filter
+      (fun (id : Method_id.t) -> Source_weaver.demangle id.Method_id.name = None)
+      (Classify.non_atomic_methods (Classify.classify d2))
+  in
+  Fmt.pr "@.--- masking + verification ----------------------------------@.";
+  Fmt.pr "wrapped %d method(s); verification re-ran %d injections; residual: %d@."
+    (Method_id.Set.cardinal outcome.Mask.wrapped)
+    d2.Detect.injections (List.length residual);
+  Sys.remove log_path;
+  if residual <> [] then exit 2

@@ -1,0 +1,1 @@
+lib/apps/adaptor_chain.mli:

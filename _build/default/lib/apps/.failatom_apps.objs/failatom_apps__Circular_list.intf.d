@@ -1,0 +1,1 @@
+lib/apps/circular_list.mli:

@@ -1,0 +1,1 @@
+lib/apps/dynarray.ml: Fragments

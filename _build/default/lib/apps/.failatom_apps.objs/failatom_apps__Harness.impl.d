@@ -1,0 +1,1 @@
+lib/apps/harness.ml: Classify Config Detect Failatom_core Failatom_minilang Registry Report

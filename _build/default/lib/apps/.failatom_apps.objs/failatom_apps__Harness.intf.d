@@ -1,0 +1,1 @@
+lib/apps/harness.mli: Classify Config Detect Failatom_core Registry Report

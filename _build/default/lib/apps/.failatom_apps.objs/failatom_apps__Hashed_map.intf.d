@@ -1,0 +1,1 @@
+lib/apps/hashed_map.mli:

@@ -1,0 +1,1 @@
+lib/apps/linked_list.mli:

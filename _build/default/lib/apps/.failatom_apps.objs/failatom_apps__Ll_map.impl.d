@@ -1,0 +1,1 @@
+lib/apps/ll_map.ml: Fragments

@@ -1,0 +1,1 @@
+lib/apps/rb_tree.ml: Fragments

@@ -1,0 +1,1 @@
+lib/apps/reg_exp.ml:

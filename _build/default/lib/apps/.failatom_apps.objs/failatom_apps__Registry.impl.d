@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Adaptor_chain Circular_list Dynarray Hashed_map Hashed_set Linked_buffer Linked_list List Ll_map Rb_map Rb_tree Reg_exp Std_q String Xml2ctcp Xml2cviasc Xml2xml

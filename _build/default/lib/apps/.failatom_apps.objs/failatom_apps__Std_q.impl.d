@@ -1,0 +1,1 @@
+lib/apps/std_q.ml: Fragments

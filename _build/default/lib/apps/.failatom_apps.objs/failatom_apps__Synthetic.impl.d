@@ -1,0 +1,1 @@
+lib/apps/synthetic.ml: Classify Failatom_core Method_id Registry

@@ -1,0 +1,1 @@
+lib/apps/xml2cviasc.mli:

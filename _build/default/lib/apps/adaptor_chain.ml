@@ -1,0 +1,250 @@
+(* adaptorChain workload (C++ suite): a Self*-style data-flow chain of
+   adaptor components pushing events toward a sink, modelled on the
+   paper's Self* framework applications.  Because the downstream chain
+   is reachable from every component's object graph, a half-forwarded
+   batch shows up as receiver inconsistency in the upstream component —
+   exactly the failure mode the paper's injector probes for. *)
+
+let name = "adaptorChain"
+
+let source =
+  Fragments.sc_lib
+  ^ {|
+class Event {
+  field key;
+  field payload;
+  method init(key, payload) {
+    this.key = key;
+    this.payload = payload;
+    return this;
+  }
+}
+
+// Keeps only events with even keys; the statistics counter moves
+// before the event is forwarded, so [consume] is pure non-atomic.
+class FilterAdaptor extends ScComponent {
+  field dropped;
+  field passed;
+  method init(name) {
+    super.init(name);
+    this.dropped = 0;
+    this.passed = 0;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    if (item.key % 2 != 0) {
+      this.dropped = this.dropped + 1;
+      return null;
+    }
+    this.passed = this.passed + 1;
+    return this.emit(item);
+  }
+}
+
+// Rewrites the payload into a fresh event: allocation happens before
+// any state change, so this adaptor stays failure atomic.
+class MapAdaptor extends ScComponent {
+  field prefix;
+  method init(name, prefix) {
+    super.init(name);
+    this.prefix = prefix;
+    return this;
+  }
+  method consume(item) throws IllegalStateException, OutOfMemoryError {
+    var mapped = new Event(item.key, this.prefix + item.payload);
+    return this.emit(mapped);
+  }
+}
+
+// Accumulates events and flushes them in groups; the flush loop
+// forwards one event at a time and is pure non-atomic.
+class BatchAdaptor extends ScComponent {
+  field pending;
+  field pendingCount;
+  field batchSize;
+  method init(name, batchSize) {
+    super.init(name);
+    this.pending = newArray(16);
+    this.pendingCount = 0;
+    this.batchSize = batchSize;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    this.pending[this.pendingCount] = item;
+    this.pendingCount = this.pendingCount + 1;
+    if (this.pendingCount >= this.batchSize) { return this.flush(); }
+    return null;
+  }
+  method flush() throws IllegalStateException {
+    var n = this.pendingCount;
+    for (var i = 0; i < n; i = i + 1) {
+      var item = this.pending[i];
+      this.pending[i] = null;
+      this.pendingCount = this.pendingCount - 1;
+      this.emit(item);
+    }
+    return null;
+  }
+}
+
+// Duplicates each event to two downstreams, alternating which one
+// receives the copy first; the alternation index moves before the
+// emits, so [consume] is pure non-atomic.
+class RoundRobinAdaptor extends ScComponent {
+  field second;
+  field turn;
+  method init(name) {
+    super.init(name);
+    this.second = null;
+    this.turn = 0;
+    return this;
+  }
+  method connectSecond(next) {
+    this.second = next;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    this.turn = this.turn + 1;
+    if (this.turn % 2 == 0) {
+      if (this.second == null) { throw new IllegalStateException("no second"); }
+      return this.second.consume(item);
+    }
+    return this.emit(item);
+  }
+}
+
+// Counts events through itself: pure delegation plus a counter that is
+// only bumped after the forward completes, hence failure atomic.
+class CountingAdaptor extends ScComponent {
+  field forwarded;
+  method init(name) {
+    super.init(name);
+    this.forwarded = 0;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    this.emit(item);
+    this.forwarded = this.forwarded + 1;
+    return null;
+  }
+}
+
+// Passes a bounded number of events, then drops the rest; the quota
+// counter moves before the forward, so [consume] is pure non-atomic.
+class ThrottleAdaptor extends ScComponent {
+  field quota;
+  field used;
+  method init(name, quota) {
+    super.init(name);
+    this.quota = quota;
+    this.used = 0;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    if (this.used >= this.quota) { return null; }
+    this.used = this.used + 1;
+    return this.emit(item);
+  }
+}
+
+// Stamps each event with a sequence number into a fresh payload; the
+// sequence moves before the forward: pure non-atomic.
+class StampAdaptor extends ScComponent {
+  field seq;
+  method init(name) {
+    super.init(name);
+    this.seq = 0;
+    return this;
+  }
+  method consume(item) throws IllegalStateException, OutOfMemoryError {
+    this.seq = this.seq + 1;
+    var stamped = new Event(item.key, item.payload + "#" + this.seq);
+    return this.emit(stamped);
+  }
+}
+
+// Routes by key threshold to one of two downstreams; stateless, so its
+// non-atomicity is only what its downstreams leak: conditional.
+class KeyRouterAdaptor extends ScComponent {
+  field second;
+  field threshold;
+  method init(name, threshold) {
+    super.init(name);
+    this.second = null;
+    this.threshold = threshold;
+    return this;
+  }
+  method connectSecond(next) {
+    this.second = next;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    if (item.key < this.threshold) { return this.emit(item); }
+    if (this.second == null) { throw new IllegalStateException("no high route"); }
+    return this.second.consume(item);
+  }
+}
+
+function main() {
+  var sinkA = new ScSink("sinkA");
+  var sinkB = new ScSink("sinkB");
+  var rr = new RoundRobinAdaptor("rr");
+  rr.connect(sinkA);
+  rr.connectSecond(sinkB);
+  var batch = new BatchAdaptor("batch", 3);
+  batch.connect(rr);
+  var mapper = new MapAdaptor("map", "ev:");
+  mapper.connect(batch);
+  var filter = new FilterAdaptor("filter");
+  filter.connect(mapper);
+  var counter = new CountingAdaptor("count");
+  counter.connect(filter);
+
+  for (var i = 0; i < 12; i = i + 1) {
+    counter.consume(new Event(i, "p" + i));
+  }
+  batch.flush();
+  check(counter.forwarded == 12, "all events entered");
+  check(filter.dropped == 6, "odd keys dropped");
+  check(filter.passed == 6, "even keys passed");
+  check(sinkA.receivedCount + sinkB.receivedCount == 6, "all delivered");
+  check(sinkA.receivedCount == 3 && sinkB.receivedCount == 3, "round robin split");
+  check(sinkA.itemAt(0).payload == "ev:p0", "mapped payload");
+  var audits = 0;
+  for (var round = 0; round < 6; round = round + 1) {
+    for (var i = 0; i < sinkA.receivedCount; i = i + 1) {
+      if (sinkA.itemAt(i).key % 2 == 0) { audits = audits + 1; }
+    }
+    for (var i = 0; i < sinkB.receivedCount; i = i + 1) {
+      if (sinkB.itemAt(i).key % 2 == 0) { audits = audits + 1; }
+    }
+  }
+  check(audits == 36, "audit reads");
+  var lonely = new FilterAdaptor("lonely");
+  try {
+    lonely.consume(new Event(2, "x"));
+  } catch (IllegalStateException e) {
+    println("no downstream: " + e.message);
+  }
+  // second pipeline: stamp -> throttle -> route by key
+  var low = new ScSink("low");
+  var high = new ScSink("high");
+  var router = new KeyRouterAdaptor("router", 5);
+  router.connect(low);
+  router.connectSecond(high);
+  var throttle = new ThrottleAdaptor("throttle", 6);
+  throttle.connect(router);
+  var stamp = new StampAdaptor("stamp");
+  stamp.connect(throttle);
+  for (var i = 0; i < 9; i = i + 1) {
+    stamp.consume(new Event(i, "q" + i));
+  }
+  check(stamp.seq == 9, "all stamped");
+  check(throttle.used == 6, "throttled at quota");
+  check(low.receivedCount == 5 && high.receivedCount == 1, "routed by key");
+  check(low.itemAt(0).payload == "q0#1", "stamp visible");
+  println("final=" + sinkA.receivedCount + "/" + sinkB.receivedCount
+          + "/" + low.receivedCount + "/" + high.receivedCount);
+  return 0;
+}
+|}

@@ -1,0 +1,8 @@
+(** Self*-style data-flow chain of adaptors feeding sinks (C++ suite).
+
+    One of the paper's Table-1 workload applications, re-implemented in
+    MiniLang with an equivalent structure and a deterministic driver. *)
+
+val name : string
+val source : string
+(** The full MiniLang program, including its [main] driver. *)

@@ -1,0 +1,179 @@
+(* CircularList workload (Java suite): a doubly-linked circular list
+   with a header sentinel and an explicit iterator object, modelled on
+   the Doug Lea collections CircularList. *)
+
+let name = "CircularList"
+
+let source =
+  Fragments.collections_base
+  ^ {|
+class DNode {
+  field value;
+  field prev;
+  field next;
+  method init(v) {
+    this.value = v;
+    this.prev = this;
+    this.next = this;
+    return this;
+  }
+}
+
+class CircularList extends AbstractContainer {
+  field header;
+  method init() {
+    super.init();
+    this.header = new DNode(null);
+    return this;
+  }
+  // Failure atomic: the node allocation (the only thing that can
+  // fail) happens before any mutation.
+  method insertBefore(anchor, v) throws OutOfMemoryError {
+    var node = new DNode(v);
+    node.prev = anchor.prev;
+    node.next = anchor;
+    anchor.prev.next = node;
+    anchor.prev = node;
+    this.size = this.size + 1;
+    return node;
+  }
+  // Pure failure non-atomic: counts first, allocates second.
+  method addFront(v) throws OutOfMemoryError {
+    this.size = this.size + 1;
+    var node = new DNode(v);
+    node.prev = this.header;
+    node.next = this.header.next;
+    this.header.next.prev = node;
+    this.header.next = node;
+    return null;
+  }
+  method addBack(v) throws OutOfMemoryError {
+    return this.insertBefore(this.header, v);
+  }
+  method removeFront() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "removeFront on empty list");
+    var node = this.header.next;
+    node.prev.next = node.next;
+    node.next.prev = node.prev;
+    this.size = this.size - 1;
+    return node.value;
+  }
+  method removeBack() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "removeBack on empty list");
+    var node = this.header.prev;
+    node.prev.next = node.next;
+    node.next.prev = node.prev;
+    this.size = this.size - 1;
+    return node.value;
+  }
+  // Pure failure non-atomic: rotation moves elements one at a time.
+  method rotate(turns) throws OutOfMemoryError, NoSuchElementException {
+    for (var i = 0; i < turns; i = i + 1) {
+      this.addBack(this.removeFront());
+    }
+    return null;
+  }
+  method front() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "front on empty list");
+    return this.header.next.value;
+  }
+  method back() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "back on empty list");
+    return this.header.prev.value;
+  }
+  method contains(v) {
+    var cur = this.header.next;
+    while (cur != this.header) {
+      if (cur.value == v) { return true; }
+      cur = cur.next;
+    }
+    return false;
+  }
+  method toArray() throws NegativeArraySizeException {
+    var out = newArray(this.size);
+    var cur = this.header.next;
+    var i = 0;
+    while (cur != this.header) {
+      out[i] = cur.value;
+      cur = cur.next;
+      i = i + 1;
+    }
+    return out;
+  }
+  method iterator() throws OutOfMemoryError {
+    return new CircularIter(this);
+  }
+}
+
+// The iterator is itself an object under test: its [advance] is pure
+// failure non-atomic because the cursor moves before the end check.
+class CircularIter {
+  field list;
+  field cursor;
+  field steps;
+  method init(list) {
+    this.list = list;
+    this.cursor = list.header.next;
+    this.steps = 0;
+    return this;
+  }
+  method hasNext() { return this.cursor != this.list.header; }
+  method advance() throws NoSuchElementException {
+    var node = this.cursor;
+    this.cursor = this.cursor.next;
+    this.steps = this.steps + 1;
+    this.list.requirePresent(node != this.list.header, "advance past end");
+    return node.value;
+  }
+}
+
+function main() {
+  var ring = new CircularList();
+  for (var i = 0; i < 5; i = i + 1) { ring.addBack(i); }
+  ring.addFront(-1);
+  check(ring.count() == 6, "count");
+  check(ring.front() == -1, "front");
+  check(ring.back() == 4, "back");
+  ring.rotate(2);
+  check(ring.front() == 1, "front after rotate");
+  check(ring.contains(3), "contains");
+  check(!ring.contains(42), "not contains");
+  var it = ring.iterator();
+  var sum = 0;
+  while (it.hasNext()) { sum = sum + it.advance(); }
+  check(sum == 9, "iterator sum");
+  try {
+    it.advance();
+  } catch (NoSuchElementException e) {
+    println("advance: " + e.message);
+  }
+  var scans = 0;
+  for (var round = 0; round < 8; round = round + 1) {
+    if (ring.contains(2)) { scans = scans + 1; }
+    if (!ring.contains(77)) { scans = scans + 1; }
+    if (ring.front() == 1) { scans = scans + 1; }
+  }
+  check(scans == 24, "scan reads");
+  check(ring.removeBack() == 0, "removeBack");
+  check(ring.removeFront() == 1, "removeFront");
+  var arr = ring.toArray();
+  check(len(arr) == 4, "toArray");
+  var empty = new CircularList();
+  try {
+    empty.front();
+  } catch (NoSuchElementException e) {
+    println("front: " + e.message);
+  }
+  var wheel = new CircularList();
+  for (var i = 0; i < 10; i = i + 1) { wheel.addBack(i * i); }
+  wheel.rotate(7);
+  var sum2 = 0;
+  var it2 = wheel.iterator();
+  while (it2.hasNext()) { sum2 = sum2 + it2.advance(); }
+  check(sum2 == 285, "wheel sum");
+  for (var i = 0; i < 5; i = i + 1) { wheel.removeFront(); }
+  check(wheel.count() == 5, "wheel count");
+  println("final=" + ring.count() + "/" + wheel.count());
+  return 0;
+}
+|}

@@ -1,0 +1,166 @@
+(* Dynarray workload (Java suite): a growable array in the style of the
+   Doug Lea collections Dynarray, plus a sorted subclass exercising
+   inheritance. *)
+
+let name = "Dynarray"
+
+let source =
+  Fragments.collections_base
+  ^ {|
+class Dynarray extends AbstractContainer {
+  field items;
+  field growths;
+  method init(capacity) throws NegativeArraySizeException {
+    super.init();
+    this.items = newArray(capacity);
+    this.growths = 0;
+    return this;
+  }
+  // Pure failure non-atomic: the element count moves before the
+  // growth helper, which may fail, runs.
+  method add(v) throws OutOfMemoryError {
+    this.size = this.size + 1;
+    this.ensureCapacity(this.size);
+    this.items[this.size - 1] = v;
+    return null;
+  }
+  // Failure atomic: the bigger array is built in locals and committed
+  // with two field writes at the end.
+  method ensureCapacity(needed) throws OutOfMemoryError {
+    if (needed <= len(this.items)) { return null; }
+    var capacity = max(1, len(this.items));
+    while (capacity < needed) { capacity = capacity * 2; }
+    var bigger = this.allocSlots(capacity);
+    arraycopy(this.items, 0, bigger, 0, this.size - 1);
+    this.items = bigger;
+    this.growths = this.growths + 1;
+    return null;
+  }
+  // Allocation routed through a method so that it is an injection
+  // point, like operator new in the paper's C++ programs.
+  method allocSlots(capacity) throws OutOfMemoryError {
+    return newArray(capacity);
+  }
+  // Pure failure non-atomic: shifts elements before validating.
+  method insertAt(index, v) throws IndexOutOfBoundsException, OutOfMemoryError {
+    this.size = this.size + 1;
+    this.ensureCapacity(this.size);
+    for (var i = this.size - 1; i > index; i = i - 1) {
+      this.items[i] = this.items[i - 1];
+    }
+    this.rangeCheck(index, this.size);
+    this.items[index] = v;
+    return null;
+  }
+  // Failure atomic: validate first, then shift.
+  method removeAt(index) throws IndexOutOfBoundsException {
+    this.rangeCheck(index, this.size);
+    var old = this.items[index];
+    for (var i = index; i < this.size - 1; i = i + 1) {
+      this.items[i] = this.items[i + 1];
+    }
+    this.items[this.size - 1] = null;
+    this.size = this.size - 1;
+    return old;
+  }
+  // Pure failure non-atomic: element-by-element removal.
+  method removeRange(from, until) throws IndexOutOfBoundsException {
+    for (var i = from; i < until; i = i + 1) {
+      this.removeAt(from);
+    }
+    return null;
+  }
+  method get(index) throws IndexOutOfBoundsException {
+    this.rangeCheck(index, this.size);
+    return this.items[index];
+  }
+  method set(index, v) throws IndexOutOfBoundsException {
+    this.rangeCheck(index, this.size);
+    var old = this.items[index];
+    this.items[index] = v;
+    return old;
+  }
+  method indexOf(v) {
+    for (var i = 0; i < this.size; i = i + 1) {
+      if (this.items[i] == v) { return i; }
+    }
+    return -1;
+  }
+  method contains(v) { return this.indexOf(v) >= 0; }
+  method trim() throws OutOfMemoryError {
+    var exact = this.allocSlots(this.size);
+    arraycopy(this.items, 0, exact, 0, this.size);
+    this.items = exact;
+    return null;
+  }
+  method capacity() { return len(this.items); }
+}
+
+// Sorted view: insertion delegates to the (non-atomic) insertAt, so
+// insertSorted is conditional failure non-atomic.
+class SortedDynarray extends Dynarray {
+  method lowerBound(v) {
+    var lo = 0;
+    var hi = this.size;
+    while (lo < hi) {
+      var mid = (lo + hi) / 2;
+      if (this.items[mid] < v) { lo = mid + 1; } else { hi = mid; }
+    }
+    return lo;
+  }
+  method insertSorted(v) throws IndexOutOfBoundsException, OutOfMemoryError {
+    return this.insertAt(this.lowerBound(v), v);
+  }
+  method isSorted() {
+    for (var i = 1; i < this.size; i = i + 1) {
+      if (this.items[i - 1] > this.items[i]) { return false; }
+    }
+    return true;
+  }
+}
+
+function main() {
+  var arr = new Dynarray(2);
+  for (var i = 0; i < 9; i = i + 1) { arr.add(i * 3); }
+  check(arr.count() == 9, "count after adds");
+  check(arr.capacity() >= 9, "grew");
+  arr.insertAt(4, 100);
+  check(arr.get(4) == 100, "insertAt value");
+  check(arr.indexOf(100) == 4, "indexOf");
+  arr.set(0, -5);
+  check(arr.removeAt(0) == -5, "removeAt returns old");
+  arr.removeRange(2, 5);
+  check(arr.count() == 6, "count after removeRange");
+  arr.trim();
+  check(arr.capacity() == 6, "trim to size");
+  try {
+    arr.get(77);
+  } catch (IndexOutOfBoundsException e) {
+    println("get range: " + e.message);
+  }
+  try {
+    arr.insertAt(44, 1);
+  } catch (IndexOutOfBoundsException e) {
+    println("insertAt range: " + e.message);
+  }
+  var sorted = new SortedDynarray(4);
+  sorted.insertSorted(5);
+  sorted.insertSorted(1);
+  sorted.insertSorted(9);
+  sorted.insertSorted(3);
+  check(sorted.isSorted(), "sorted invariant");
+  check(sorted.count() == 4, "sorted count");
+  var churn = new Dynarray(1);
+  for (var i = 0; i < 16; i = i + 1) { churn.add(i); }
+  for (var i = 0; i < 8; i = i + 1) { churn.removeAt(0); }
+  for (var i = 0; i < 8; i = i + 1) { churn.insertAt(i, i * 2); }
+  check(churn.count() == 16, "churn count");
+  var scan2 = 0;
+  for (var i = 0; i < churn.count(); i = i + 1) { scan2 = scan2 + churn.get(i); }
+  check(scan2 > 0, "churn scan");
+  for (var i = 0; i < 12; i = i + 1) { sorted.insertSorted(12 - i); }
+  check(sorted.isSorted(), "sorted after churn");
+  println("final=" + arr.count() + "/" + sorted.count() + "/" + churn.count());
+  return 0;
+}
+|}

@@ -1,0 +1,610 @@
+(* MiniLang source fragments shared between workload applications.
+
+   The paper notes that "because of the inheritance relationships
+   between classes and the reuse of methods, some classes have been
+   tested in several of the experiments" — these fragments are that
+   reuse: a collection base class, a red-black tree engine shared by
+   RBMap and RBTree, an XML library shared by the xml2* pipelines, and
+   the Self*-style component substrate of the C++ suite. *)
+
+(* Base class of the collection workloads (java-suite apps). *)
+let collections_base =
+  {|
+// ---- shared collection base -------------------------------------
+class AbstractContainer {
+  field size;
+  method init() {
+    this.size = 0;
+    return this;
+  }
+  method count() { return this.size; }
+  method isEmpty() { return this.size == 0; }
+  method rangeCheck(index, bound) throws IndexOutOfBoundsException {
+    if (index < 0 || index >= bound) {
+      throw new IndexOutOfBoundsException("index " + index + " out of " + bound);
+    }
+    return null;
+  }
+  method requirePresent(found, what) throws NoSuchElementException {
+    if (!found) { throw new NoSuchElementException(what); }
+    return null;
+  }
+}
+|}
+
+(* Singly-linked cell used by several list-like containers. *)
+let cell =
+  {|
+// ---- shared list cell --------------------------------------------
+class Cell {
+  field value;
+  field next;
+  method init(v) {
+    this.value = v;
+    this.next = null;
+    return this;
+  }
+}
+|}
+
+(* Red-black tree engine shared by the RBMap and RBTree applications.
+   Nodes carry a key, an optional value (unused by the set), a color
+   (1 = red, 0 = black) and parent/child links.  The rebalancing code
+   deliberately contains one "mutate across helper calls" sequence —
+   the kind of rotation bug the paper's injector is designed to
+   surface. *)
+let rb_engine =
+  {|
+// ---- shared red-black engine --------------------------------------
+class RBNode {
+  field key;
+  field value;
+  field color;
+  field left;
+  field right;
+  field parent;
+  method init(k, v) {
+    this.key = k;
+    this.value = v;
+    this.color = 1;
+    this.left = null;
+    this.right = null;
+    this.parent = null;
+    return this;
+  }
+  method isRed() { return this.color == 1; }
+  method paintBlack() { this.color = 0; return null; }
+  method paintRed() { this.color = 1; return null; }
+}
+
+class RBEngine extends AbstractContainer {
+  field root;
+  method init() {
+    super.init();
+    this.root = null;
+    return this;
+  }
+  method findNode(k) {
+    var cur = this.root;
+    while (cur != null) {
+      if (k == cur.key) { return cur; }
+      if (k < cur.key) { cur = cur.left; } else { cur = cur.right; }
+    }
+    return null;
+  }
+  method minimumFrom(node) throws NoSuchElementException {
+    this.requirePresent(node != null, "empty tree");
+    var cur = node;
+    while (cur.left != null) { cur = cur.left; }
+    return cur;
+  }
+  method rotateLeft(x) {
+    var y = x.right;
+    x.right = y.left;
+    if (y.left != null) { y.left.parent = x; }
+    y.parent = x.parent;
+    if (x.parent == null) { this.root = y; }
+    else {
+      if (x == x.parent.left) { x.parent.left = y; } else { x.parent.right = y; }
+    }
+    y.left = x;
+    x.parent = y;
+    return null;
+  }
+  method rotateRight(x) {
+    var y = x.left;
+    x.left = y.right;
+    if (y.right != null) { y.right.parent = x; }
+    y.parent = x.parent;
+    if (x.parent == null) { this.root = y; }
+    else {
+      if (x == x.parent.right) { x.parent.right = y; } else { x.parent.left = y; }
+    }
+    y.right = x;
+    x.parent = y;
+    return null;
+  }
+  // Pure failure non-atomic: the node is linked into the tree and the
+  // size bumped *before* the allocation-heavy rebalancing runs; an
+  // exception during fixup leaves a red-violation behind.
+  method insertNode(k, v) throws OutOfMemoryError {
+    var node = new RBNode(k, v);
+    var parent = null;
+    var cur = this.root;
+    while (cur != null) {
+      parent = cur;
+      if (k == cur.key) { cur.value = v; return false; }
+      if (k < cur.key) { cur = cur.left; } else { cur = cur.right; }
+    }
+    node.parent = parent;
+    if (parent == null) { this.root = node; }
+    else {
+      if (k < parent.key) { parent.left = node; } else { parent.right = node; }
+    }
+    this.size = this.size + 1;
+    this.fixupAfterInsert(node);
+    return true;
+  }
+  method fixupAfterInsert(z) {
+    var cur = z;
+    while (cur.parent != null && cur.parent.isRed()) {
+      var parent = cur.parent;
+      var grand = parent.parent;
+      if (grand == null) { break; }
+      if (parent == grand.left) {
+        var uncle = grand.right;
+        if (uncle != null && uncle.isRed()) {
+          parent.paintBlack();
+          uncle.paintBlack();
+          grand.paintRed();
+          cur = grand;
+        } else {
+          if (cur == parent.right) {
+            cur = parent;
+            this.rotateLeft(cur);
+          }
+          cur.parent.paintBlack();
+          if (cur.parent.parent != null) {
+            cur.parent.parent.paintRed();
+            this.rotateRight(cur.parent.parent);
+          }
+        }
+      } else {
+        var uncle2 = grand.left;
+        if (uncle2 != null && uncle2.isRed()) {
+          parent.paintBlack();
+          uncle2.paintBlack();
+          grand.paintRed();
+          cur = grand;
+        } else {
+          if (cur == parent.left) {
+            cur = parent;
+            this.rotateRight(cur);
+          }
+          cur.parent.paintBlack();
+          if (cur.parent.parent != null) {
+            cur.parent.parent.paintRed();
+            this.rotateLeft(cur.parent.parent);
+          }
+        }
+      }
+    }
+    if (this.root != null) { this.root.paintBlack(); }
+    return null;
+  }
+  // Proper red-black deletion with double-black fixup.  Like
+  // insertNode it unlinks and recounts before the rebalancing runs, so
+  // it is pure failure non-atomic under injection — but structurally
+  // correct when it completes.
+  method deleteNode(k) {
+    var victim = this.findNode(k);
+    if (victim == null) { return false; }
+    this.size = this.size - 1;
+    // reduce to deleting a node with at most one child
+    if (victim.left != null && victim.right != null) {
+      var heir = this.minimumFrom(victim.right);
+      victim.key = heir.key;
+      victim.value = heir.value;
+      victim = heir;
+    }
+    var child = victim.left;
+    if (child == null) { child = victim.right; }
+    if (child != null) {
+      // splice the child into the victim's place
+      child.parent = victim.parent;
+      this.replaceInParent(victim, child);
+      if (victim.color == 0) { this.fixupAfterDelete(child); }
+    } else {
+      if (victim.color == 0) { this.fixupAfterDelete(victim); }
+      this.replaceInParent(victim, null);
+    }
+    return true;
+  }
+  method replaceInParent(node, replacement) {
+    if (node.parent == null) { this.root = replacement; }
+    else {
+      if (node == node.parent.left) { node.parent.left = replacement; }
+      else { node.parent.right = replacement; }
+    }
+    return null;
+  }
+  method colorOf(node) {
+    if (node == null) { return 0; }
+    return node.color;
+  }
+  method fixupAfterDelete(x) {
+    while (x != this.root && this.colorOf(x) == 0) {
+      var parent = x.parent;
+      if (parent == null) { break; }
+      if (x == parent.left) {
+        var sib = parent.right;
+        if (this.colorOf(sib) == 1) {
+          sib.paintBlack();
+          parent.paintRed();
+          this.rotateLeft(parent);
+          sib = parent.right;
+        }
+        if (sib == null) { x = parent; }
+        else {
+          if (this.colorOf(sib.left) == 0 && this.colorOf(sib.right) == 0) {
+            sib.paintRed();
+            x = parent;
+          } else {
+            if (this.colorOf(sib.right) == 0) {
+              if (sib.left != null) { sib.left.paintBlack(); }
+              sib.paintRed();
+              this.rotateRight(sib);
+              sib = parent.right;
+            }
+            sib.color = parent.color;
+            parent.paintBlack();
+            if (sib.right != null) { sib.right.paintBlack(); }
+            this.rotateLeft(parent);
+            x = this.root;
+          }
+        }
+      } else {
+        var sib2 = parent.left;
+        if (this.colorOf(sib2) == 1) {
+          sib2.paintBlack();
+          parent.paintRed();
+          this.rotateRight(parent);
+          sib2 = parent.left;
+        }
+        if (sib2 == null) { x = parent; }
+        else {
+          if (this.colorOf(sib2.right) == 0 && this.colorOf(sib2.left) == 0) {
+            sib2.paintRed();
+            x = parent;
+          } else {
+            if (this.colorOf(sib2.left) == 0) {
+              if (sib2.right != null) { sib2.right.paintBlack(); }
+              sib2.paintRed();
+              this.rotateLeft(sib2);
+              sib2 = parent.left;
+            }
+            sib2.color = parent.color;
+            parent.paintBlack();
+            if (sib2.left != null) { sib2.left.paintBlack(); }
+            this.rotateRight(parent);
+            x = this.root;
+          }
+        }
+      }
+    }
+    if (x != null) { x.paintBlack(); }
+    return null;
+  }
+  // Validation helpers (read-only, hence failure atomic).
+  method blackHeight(node) {
+    if (node == null) { return 1; }
+    var lh = this.blackHeight(node.left);
+    var rh = this.blackHeight(node.right);
+    var h = max(lh, rh);
+    if (node.color == 0) { return h + 1; }
+    return h;
+  }
+  method countNodes(node) {
+    if (node == null) { return 0; }
+    return 1 + this.countNodes(node.left) + this.countNodes(node.right);
+  }
+  method collectKeys(node, out, offset) {
+    if (node == null) { return offset; }
+    var at = this.collectKeys(node.left, out, offset);
+    out[at] = node.key;
+    return this.collectKeys(node.right, out, at + 1);
+  }
+}
+|}
+
+(* Minimal XML library shared by the xml2* pipelines (C++ suite).
+   Provides a tokenizer, a node tree, and a recursive-descent parser.
+   The parser's [parseElement] commits children to the parent node as
+   it goes — interrupting it mid-element leaves a half-built sibling
+   list, which is exactly what its callers must cope with. *)
+let xml_lib =
+  {|
+// ---- shared XML library -------------------------------------------
+class XmlSyntaxError extends Exception {
+}
+
+class XmlNode {
+  field tag;
+  field text;
+  field attrNames;
+  field attrValues;
+  field attrCount;
+  field children;
+  field childCount;
+  method init(tag) {
+    this.tag = tag;
+    this.text = "";
+    this.attrNames = newArray(4);
+    this.attrValues = newArray(4);
+    this.attrCount = 0;
+    this.children = newArray(8);
+    this.childCount = 0;
+    return this;
+  }
+  // Failure atomic: room is ensured before anything is committed.
+  method addAttr(name, value) throws OutOfMemoryError {
+    this.ensureAttrRoom(this.attrCount + 1);
+    this.attrNames[this.attrCount] = name;
+    this.attrValues[this.attrCount] = value;
+    this.attrCount = this.attrCount + 1;
+    return null;
+  }
+  method ensureAttrRoom(needed) throws OutOfMemoryError {
+    if (needed <= len(this.attrNames)) { return null; }
+    var grown = newArray(len(this.attrNames) * 2);
+    arraycopy(this.attrNames, 0, grown, 0, len(this.attrNames));
+    var grownV = newArray(len(this.attrValues) * 2);
+    arraycopy(this.attrValues, 0, grownV, 0, len(this.attrValues));
+    this.attrNames = grown;
+    this.attrValues = grownV;
+    return null;
+  }
+  method attr(name) {
+    for (var i = 0; i < this.attrCount; i = i + 1) {
+      if (this.attrNames[i] == name) { return this.attrValues[i]; }
+    }
+    return null;
+  }
+  method addChild(node) throws OutOfMemoryError {
+    if (this.childCount == len(this.children)) {
+      var grown = newArray(len(this.children) * 2);
+      arraycopy(this.children, 0, grown, 0, this.childCount);
+      this.children = grown;
+    }
+    this.children[this.childCount] = node;
+    this.childCount = this.childCount + 1;
+    return null;
+  }
+  method childAt(i) throws IndexOutOfBoundsException {
+    if (i < 0 || i >= this.childCount) {
+      throw new IndexOutOfBoundsException("child " + i);
+    }
+    return this.children[i];
+  }
+}
+
+class XmlTokenizer {
+  field input;
+  field position;
+  method init(input) {
+    this.input = input;
+    this.position = 0;
+    return this;
+  }
+  method atEnd() { return this.position >= len(this.input); }
+  method peekChar() throws XmlSyntaxError {
+    if (this.atEnd()) { throw new XmlSyntaxError("unexpected end of input"); }
+    return charAt(this.input, this.position);
+  }
+  method nextChar() throws XmlSyntaxError {
+    var c = this.peekChar();
+    this.position = this.position + 1;
+    return c;
+  }
+  // The scanning methods below work on a local cursor and commit the
+  // position once at the end — the careful style the paper attributes
+  // to the Self* code base.
+  method skipSpaces() {
+    var at = this.position;
+    while (at < len(this.input)) {
+      var c = charAt(this.input, at);
+      if (c != " " && c != "\n" && c != "\t") { break; }
+      at = at + 1;
+    }
+    this.position = at;
+    return null;
+  }
+  method expectChar(c) throws XmlSyntaxError {
+    var got = this.nextChar();
+    if (got != c) {
+      throw new XmlSyntaxError("expected '" + c + "', found '" + got + "'");
+    }
+    return null;
+  }
+  // Decodes the predefined XML entities; unknown or unterminated
+  // entities are syntax errors.
+  method decodeEntities(raw) throws XmlSyntaxError {
+    var out = "";
+    var i = 0;
+    while (i < len(raw)) {
+      var c = charAt(raw, i);
+      if (c == "&") {
+        var semi = -1;
+        for (var j = i + 1; j < len(raw) && j <= i + 5; j = j + 1) {
+          if (charAt(raw, j) == ";") { semi = j; break; }
+        }
+        if (semi < 0) { throw new XmlSyntaxError("unterminated entity"); }
+        var entity = substr(raw, i + 1, semi - i - 1);
+        if (entity == "lt") { out = out + "<"; }
+        else if (entity == "gt") { out = out + ">"; }
+        else if (entity == "amp") { out = out + "&"; }
+        else if (entity == "quot") { out = out + "\""; }
+        else if (entity == "apos") { out = out + "'"; }
+        else { throw new XmlSyntaxError("unknown entity &" + entity + ";"); }
+        i = semi + 1;
+      } else {
+        out = out + c;
+        i = i + 1;
+      }
+    }
+    return out;
+  }
+  method readName() throws XmlSyntaxError {
+    var at = this.position;
+    var name = "";
+    while (at < len(this.input)) {
+      var c = charAt(this.input, at);
+      if (c == ">" || c == " " || c == "=" || c == "/" || c == "<"
+          || c == "\"" || c == "\n" || c == "\t") {
+        break;
+      }
+      name = name + c;
+      at = at + 1;
+    }
+    if (name == "") { throw new XmlSyntaxError("empty name"); }
+    this.position = at;
+    return name;
+  }
+  method readText() throws XmlSyntaxError {
+    var at = this.position;
+    var text = "";
+    while (at < len(this.input)) {
+      var c = charAt(this.input, at);
+      if (c == "<") { break; }
+      text = text + c;
+      at = at + 1;
+    }
+    var decoded = this.decodeEntities(text);
+    this.position = at;
+    return decoded;
+  }
+}
+
+class XmlParser {
+  field tokenizer;
+  method init() {
+    this.tokenizer = null;
+    return this;
+  }
+  method parse(input) throws XmlSyntaxError, OutOfMemoryError {
+    this.tokenizer = new XmlTokenizer(input);
+    this.tokenizer.skipSpaces();
+    var root = this.parseElement();
+    this.tokenizer.skipSpaces();
+    this.tokenizer = null;
+    return root;
+  }
+  method parseElement() throws XmlSyntaxError, OutOfMemoryError {
+    var t = this.tokenizer;
+    t.expectChar("<");
+    var node = new XmlNode(t.readName());
+    this.parseAttributes(node);
+    t.skipSpaces();
+    if (t.peekChar() == "/") {
+      t.expectChar("/");
+      t.expectChar(">");
+      return node;
+    }
+    t.expectChar(">");
+    this.parseChildren(node);
+    t.expectChar("<");
+    t.expectChar("/");
+    var closing = t.readName();
+    if (closing != node.tag) {
+      throw new XmlSyntaxError("mismatched tag " + closing + " vs " + node.tag);
+    }
+    t.expectChar(">");
+    return node;
+  }
+  method parseAttributes(node) throws XmlSyntaxError, OutOfMemoryError {
+    var t = this.tokenizer;
+    t.skipSpaces();
+    while (t.peekChar() != ">" && t.peekChar() != "/") {
+      var name = t.readName();
+      t.expectChar("=");
+      t.expectChar("\"");
+      var value = "";
+      while (t.peekChar() != "\"") { value = value + t.nextChar(); }
+      t.expectChar("\"");
+      node.addAttr(name, t.decodeEntities(value));
+      t.skipSpaces();
+    }
+    return null;
+  }
+  method parseChildren(node) throws XmlSyntaxError, OutOfMemoryError {
+    var t = this.tokenizer;
+    while (true) {
+      var text = t.readText();
+      if (text != "") { node.text = node.text + text; }
+      if (t.peekChar() == "<") {
+        if (this.peekIsClosing()) { return null; }
+        node.addChild(this.parseElement());
+      }
+    }
+    return null;
+  }
+  method peekIsClosing() throws XmlSyntaxError {
+    var t = this.tokenizer;
+    if (t.position + 1 >= len(t.input)) {
+      throw new XmlSyntaxError("unexpected end inside element");
+    }
+    return charAt(t.input, t.position + 1) == "/";
+  }
+}
+|}
+
+(* Self*-style component substrate of the C++ suite: components wired
+   into a pipeline, pushing items downstream. *)
+let sc_lib =
+  {|
+// ---- shared Self*-style component substrate ------------------------
+class ScComponent {
+  field downstream;
+  field name;
+  method init(name) {
+    this.name = name;
+    this.downstream = null;
+    return this;
+  }
+  method connect(next) {
+    this.downstream = next;
+    return this;
+  }
+  // Overridden by concrete components; base behavior forwards as-is.
+  method consume(item) throws IllegalStateException {
+    return this.emit(item);
+  }
+  // Conditional failure non-atomic: pure delegation downstream.
+  method emit(item) throws IllegalStateException {
+    if (this.downstream == null) {
+      throw new IllegalStateException(this.name + ": no downstream");
+    }
+    return this.downstream.consume(item);
+  }
+}
+
+class ScSink extends ScComponent {
+  field received;
+  field receivedCount;
+  method init(name) {
+    super.init(name);
+    this.received = newArray(64);
+    this.receivedCount = 0;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    if (this.receivedCount >= len(this.received)) {
+      throw new IllegalStateException("sink overflow");
+    }
+    this.received[this.receivedCount] = item;
+    this.receivedCount = this.receivedCount + 1;
+    return null;
+  }
+  method itemAt(i) { return this.received[i]; }
+}
+|}

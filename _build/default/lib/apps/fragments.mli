@@ -1,0 +1,19 @@
+(** MiniLang source fragments shared between workload applications —
+    the cross-experiment class reuse the paper reports (inheritance and
+    shared libraries cause some classes to be tested in several
+    experiments). *)
+
+val collections_base : string
+(** [AbstractContainer], the base class of the collection workloads. *)
+
+val cell : string
+(** The singly-linked [Cell] used by list-like containers. *)
+
+val rb_engine : string
+(** The red-black tree engine shared by RBMap and RBTree. *)
+
+val xml_lib : string
+(** Tokenizer, node tree and parser shared by the xml2* pipelines. *)
+
+val sc_lib : string
+(** The Self*-style component substrate of the C++ suite. *)

@@ -1,0 +1,194 @@
+(* HashedMap workload (Java suite): an open-hashing map with chained
+   buckets and load-factor driven rehashing, modelled on the Doug Lea
+   collections HashedMap. *)
+
+let name = "HashedMap"
+
+(* The map classes are also reused by the HashedSet application — the
+   paper notes that reuse causes some classes to be tested in several
+   experiments. *)
+let map_classes =
+  Fragments.collections_base
+  ^ {|
+class MapEntry {
+  field key;
+  field value;
+  field next;
+  method init(k, v) {
+    this.key = k;
+    this.value = v;
+    this.next = null;
+    return this;
+  }
+}
+
+class HashedMap extends AbstractContainer {
+  field buckets;
+  field threshold;
+  field rehashes;
+  method init(capacity) throws NegativeArraySizeException {
+    super.init();
+    this.buckets = newArray(capacity);
+    this.threshold = capacity * 3 / 4;
+    this.rehashes = 0;
+    return this;
+  }
+  method bucketFor(k) {
+    return hashCode(k) % len(this.buckets);
+  }
+  method findEntry(k) {
+    var e = this.buckets[this.bucketFor(k)];
+    while (e != null) {
+      if (e.key == k) { return e; }
+      e = e.next;
+    }
+    return null;
+  }
+  // Pure failure non-atomic: the size moves before the entry
+  // allocation, and the rehash can be interrupted afterwards.
+  method put(k, v) throws OutOfMemoryError {
+    var existing = this.findEntry(k);
+    if (existing != null) {
+      var old = existing.value;
+      existing.value = v;
+      return old;
+    }
+    this.size = this.size + 1;
+    var entry = new MapEntry(k, v);
+    var b = this.bucketFor(k);
+    entry.next = this.buckets[b];
+    this.buckets[b] = entry;
+    if (this.size > this.threshold) { this.rehash(); }
+    return null;
+  }
+  // Pure failure non-atomic: the new (empty) table is committed
+  // before the entries are carried over, so an interruption loses
+  // entries — a classic rehash bug.
+  method rehash() throws OutOfMemoryError {
+    var old = this.buckets;
+    this.buckets = newArray(len(old) * 2);
+    this.threshold = len(this.buckets) * 3 / 4;
+    this.rehashes = this.rehashes + 1;
+    for (var i = 0; i < len(old); i = i + 1) {
+      var e = old[i];
+      while (e != null) {
+        var carry = e.next;
+        this.reinsert(e);
+        e = carry;
+      }
+    }
+    return null;
+  }
+  method reinsert(entry) {
+    var b = this.bucketFor(entry.key);
+    entry.next = this.buckets[b];
+    this.buckets[b] = entry;
+    return null;
+  }
+  method get(k) throws NoSuchElementException {
+    var e = this.findEntry(k);
+    this.requirePresent(e != null, "no mapping for " + k);
+    return e.value;
+  }
+  method getOr(k, fallback) {
+    var e = this.findEntry(k);
+    if (e == null) { return fallback; }
+    return e.value;
+  }
+  method containsKey(k) { return this.findEntry(k) != null; }
+  // Failure atomic: locate first, then unlink and decrement.
+  method remove(k) throws NoSuchElementException {
+    var b = this.bucketFor(k);
+    var e = this.buckets[b];
+    var prev = null;
+    while (e != null && e.key != k) {
+      prev = e;
+      e = e.next;
+    }
+    this.requirePresent(e != null, "remove of absent key " + k);
+    if (prev == null) { this.buckets[b] = e.next; } else { prev.next = e.next; }
+    this.size = this.size - 1;
+    return e.value;
+  }
+  // Pure failure non-atomic: entry-by-entry bulk insertion.
+  method putAll(keys, values) throws OutOfMemoryError {
+    for (var i = 0; i < len(keys); i = i + 1) {
+      this.put(keys[i], values[i]);
+    }
+    return null;
+  }
+  method keys() throws NegativeArraySizeException {
+    var out = newArray(this.size);
+    var at = 0;
+    for (var i = 0; i < len(this.buckets); i = i + 1) {
+      var e = this.buckets[i];
+      while (e != null) {
+        out[at] = e.key;
+        at = at + 1;
+        e = e.next;
+      }
+    }
+    return out;
+  }
+  method clear() {
+    for (var i = 0; i < len(this.buckets); i = i + 1) { this.buckets[i] = null; }
+    this.size = 0;
+    return null;
+  }
+}
+|}
+
+let source =
+  map_classes
+  ^ {|
+function main() {
+  var map = new HashedMap(4);
+  map.put("alpha", 1);
+  map.put("beta", 2);
+  map.put("gamma", 3);
+  map.put("delta", 4);
+  map.put("epsilon", 5);
+  check(map.count() == 5, "count after puts");
+  check(map.rehashes >= 1, "rehashed");
+  check(map.get("gamma") == 3, "get");
+  check(map.containsKey("beta"), "containsKey");
+  check(!map.containsKey("zeta"), "absent key");
+  check(map.getOr("zeta", -1) == -1, "getOr fallback");
+  map.put("beta", 20);
+  check(map.get("beta") == 20, "overwrite");
+  check(map.count() == 5, "overwrite keeps count");
+  check(map.remove("alpha") == 1, "remove returns value");
+  check(map.count() == 4, "count after remove");
+  try {
+    map.get("alpha");
+  } catch (NoSuchElementException e) {
+    println("get absent: " + e.message);
+  }
+  try {
+    map.remove("alpha");
+  } catch (NoSuchElementException e) {
+    println("remove absent: " + e.message);
+  }
+  map.putAll(["k1", "k2", "k3"], [10, 20, 30]);
+  check(map.count() == 7, "count after putAll");
+  var keys = map.keys();
+  check(len(keys) == 7, "keys length");
+  map.clear();
+  check(map.isEmpty(), "cleared");
+  var census = new HashedMap(2);
+  for (var i = 0; i < 18; i = i + 1) { census.put("key" + i, i * i); }
+  check(census.count() == 18, "census count");
+  check(census.rehashes >= 3, "census rehashed");
+  var hits2 = 0;
+  for (var round = 0; round < 3; round = round + 1) {
+    for (var i = 0; i < 18; i = i + 1) {
+      if (census.get("key" + i) == i * i) { hits2 = hits2 + 1; }
+    }
+  }
+  check(hits2 == 54, "census reads");
+  for (var i = 0; i < 9; i = i + 1) { census.remove("key" + (i * 2)); }
+  check(census.count() == 9, "census after removals");
+  println("final=" + map.count() + "/" + census.count());
+  return 0;
+}
+|}

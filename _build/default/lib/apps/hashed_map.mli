@@ -1,0 +1,15 @@
+(** HashedMap workload (Java suite): a chained hash map with
+    load-factor rehashing, modelled on the Doug Lea collections
+    HashedMap.
+
+    One of the paper's Table-1 workload applications, re-implemented in
+    MiniLang with an equivalent structure and a deterministic driver. *)
+
+val name : string
+
+val map_classes : string
+(** The map classes without a driver; reused verbatim by the HashedSet
+    application (cross-experiment class reuse, as in the paper). *)
+
+val source : string
+(** The full MiniLang program, including its [main] driver. *)

@@ -1,0 +1,80 @@
+(* HashedSet workload (Java suite): a set facade over HashedMap.  The
+   map classes are reused verbatim, so this application mostly contains
+   conditional failure non-atomic methods: the set delegates to the
+   (non-atomic) map operations. *)
+
+let name = "HashedSet"
+
+let source =
+  Hashed_map.map_classes
+  ^ {|
+class HashedSet {
+  field map;
+  method init(capacity) throws NegativeArraySizeException, OutOfMemoryError {
+    this.map = new HashedMap(capacity);
+    return this;
+  }
+  // Conditional failure non-atomic: pure delegation to HashedMap.put.
+  method include(v) throws OutOfMemoryError {
+    this.map.put(v, true);
+    return null;
+  }
+  method exclude(v) throws NoSuchElementException {
+    this.map.remove(v);
+    return null;
+  }
+  method has(v) { return this.map.containsKey(v); }
+  method cardinality() { return this.map.count(); }
+  method isEmpty() { return this.map.isEmpty(); }
+  // Pure failure non-atomic: element-by-element union.
+  method includeAll(values) throws OutOfMemoryError {
+    for (var i = 0; i < len(values); i = i + 1) {
+      this.include(values[i]);
+    }
+    return null;
+  }
+  method toArray() throws NegativeArraySizeException {
+    return this.map.keys();
+  }
+  method clear() {
+    this.map.clear();
+    return null;
+  }
+}
+
+function main() {
+  var set = new HashedSet(4);
+  set.include("red");
+  set.include("green");
+  set.include("blue");
+  set.include("red");
+  check(set.cardinality() == 3, "cardinality dedupes");
+  check(set.has("green"), "has green");
+  check(!set.has("mauve"), "no mauve");
+  set.exclude("green");
+  check(!set.has("green"), "excluded");
+  try {
+    set.exclude("green");
+  } catch (NoSuchElementException e) {
+    println("exclude absent: " + e.message);
+  }
+  set.includeAll(["cyan", "magenta", "yellow", "black"]);
+  check(set.cardinality() == 6, "cardinality after includeAll");
+  var arr = set.toArray();
+  check(len(arr) == 6, "toArray");
+  set.clear();
+  check(set.isEmpty(), "cleared");
+  var tags = new HashedSet(2);
+  for (var i = 0; i < 14; i = i + 1) { tags.include("tag" + (i % 7)); }
+  check(tags.cardinality() == 7, "tags dedupe");
+  var present = 0;
+  for (var round = 0; round < 4; round = round + 1) {
+    for (var i = 0; i < 7; i = i + 1) {
+      if (tags.has("tag" + i)) { present = present + 1; }
+    }
+  }
+  check(present == 28, "tag reads");
+  println("final=" + set.cardinality() + "/" + tags.cardinality());
+  return 0;
+}
+|}

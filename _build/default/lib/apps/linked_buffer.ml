@@ -1,0 +1,132 @@
+(* LinkedBuffer workload (Java suite): a buffer made of linked
+   fixed-size chunks, modelled on the Doug Lea collections
+   LinkedBuffer; items are appended at the tail chunk and taken from
+   the head chunk. *)
+
+let name = "LinkedBuffer"
+
+let source =
+  Fragments.collections_base
+  ^ {|
+class Chunk {
+  field slots;
+  field used;
+  field start;
+  field next;
+  method init(capacity) throws NegativeArraySizeException {
+    this.slots = newArray(capacity);
+    this.used = 0;
+    this.start = 0;
+    this.next = null;
+    return this;
+  }
+  method isFull() { return this.used == len(this.slots); }
+  method isDrained() { return this.start == this.used; }
+}
+
+class LinkedBuffer extends AbstractContainer {
+  field head;
+  field tail;
+  field chunkCapacity;
+  field chunkCount;
+  method init(chunkCapacity) throws NegativeArraySizeException, OutOfMemoryError {
+    super.init();
+    this.chunkCapacity = chunkCapacity;
+    this.head = new Chunk(chunkCapacity);
+    this.tail = this.head;
+    this.chunkCount = 1;
+    return this;
+  }
+  // Pure failure non-atomic on the chunk-boundary path: the element
+  // count moves before the new chunk is allocated.
+  method append(v) throws OutOfMemoryError, NegativeArraySizeException {
+    this.size = this.size + 1;
+    if (this.tail.isFull()) {
+      var chunk = new Chunk(this.chunkCapacity);
+      this.tail.next = chunk;
+      this.tail = chunk;
+      this.chunkCount = this.chunkCount + 1;
+      // a fully drained head can now be retired (it could not be while
+      // it was also the tail)
+      if (this.head.isDrained() && this.head.next != null) {
+        this.head = this.head.next;
+        this.chunkCount = this.chunkCount - 1;
+      }
+    }
+    this.tail.slots[this.tail.used] = v;
+    this.tail.used = this.tail.used + 1;
+    return null;
+  }
+  // Pure failure non-atomic: element-by-element bulk append.
+  method appendAll(values) throws OutOfMemoryError, NegativeArraySizeException {
+    for (var i = 0; i < len(values); i = i + 1) {
+      this.append(values[i]);
+    }
+    return null;
+  }
+  // Failure atomic: validate, read, then commit.
+  method take() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "take on empty buffer");
+    var chunk = this.head;
+    var v = chunk.slots[chunk.start];
+    chunk.slots[chunk.start] = null;
+    chunk.start = chunk.start + 1;
+    this.size = this.size - 1;
+    if (chunk.isDrained() && chunk.next != null) {
+      this.head = chunk.next;
+      this.chunkCount = this.chunkCount - 1;
+    }
+    return v;
+  }
+  method peek() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "peek on empty buffer");
+    return this.head.slots[this.head.start];
+  }
+  // Pure failure non-atomic: drains element by element.
+  method drain(n) throws NoSuchElementException {
+    var out = newArray(n);
+    for (var i = 0; i < n; i = i + 1) {
+      out[i] = this.take();
+    }
+    return out;
+  }
+  method chunks() { return this.chunkCount; }
+}
+
+function main() {
+  var buf = new LinkedBuffer(4);
+  for (var i = 0; i < 10; i = i + 1) { buf.append(i); }
+  check(buf.count() == 10, "count");
+  check(buf.chunks() == 3, "three chunks");
+  check(buf.peek() == 0, "peek");
+  check(buf.take() == 0, "take fifo");
+  check(buf.take() == 1, "take fifo 2");
+  var got = buf.drain(5);
+  check(len(got) == 5, "drain length");
+  check(got[0] == 2 && got[4] == 6, "drain order");
+  check(buf.count() == 3, "count after drain");
+  var polls = 0;
+  for (var round = 0; round < 10; round = round + 1) {
+    if (buf.peek() == 7) { polls = polls + 1; }
+    if (buf.chunks() > 0) { polls = polls + 1; }
+    if (!buf.isEmpty()) { polls = polls + 1; }
+  }
+  check(polls == 30, "polling reads");
+  buf.appendAll([100, 200, 300]);
+  check(buf.count() == 6, "count after appendAll");
+  try {
+    buf.drain(99);
+  } catch (NoSuchElementException e) {
+    println("drain overrun: " + e.message);
+  }
+  check(buf.isEmpty(), "drained dry by failed drain");
+  var empty = new LinkedBuffer(2);
+  try {
+    empty.peek();
+  } catch (NoSuchElementException e) {
+    println("peek empty: " + e.message);
+  }
+  println("final=" + buf.count() + "/" + buf.chunks());
+  return 0;
+}
+|}

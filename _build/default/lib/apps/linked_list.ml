@@ -1,0 +1,367 @@
+(* LinkedList workload (Java suite).
+
+   Modelled on the Doug Lea collections LinkedList used by the paper:
+   a singly-linked list with head/tail pointers and a rich operation
+   mix.  Several methods follow the "mutate, then call something that
+   may throw" pattern — the paper found 18 pure failure non-atomic
+   methods in this application — and [fixed_source] is the repaired
+   variant of the case study (§6.1): trivial reorderings plus
+   temporaries reduce the pure non-atomic set to the few methods that
+   cannot be fixed locally. *)
+
+let name = "LinkedList"
+
+let classes =
+  Fragments.collections_base ^ Fragments.cell
+  ^ {|
+class LinkedList extends AbstractContainer {
+  field head;
+  field tail;
+  field modCount;
+  method init() {
+    super.init();
+    this.head = null;
+    this.tail = null;
+    this.modCount = 0;
+    return this;
+  }
+  // Pure failure non-atomic: size and modCount move before the cell
+  // allocation, which can fail.
+  method addFirst(v) throws OutOfMemoryError {
+    this.size = this.size + 1;
+    this.modCount = this.modCount + 1;
+    var cell = new Cell(v);
+    cell.next = this.head;
+    this.head = cell;
+    if (this.tail == null) { this.tail = cell; }
+    return null;
+  }
+  // Failure atomic: allocate first, link, then update counters.
+  method addLast(v) throws OutOfMemoryError {
+    var cell = new Cell(v);
+    if (this.tail == null) { this.head = cell; this.tail = cell; }
+    else { this.tail.next = cell; this.tail = cell; }
+    this.size = this.size + 1;
+    this.modCount = this.modCount + 1;
+    return null;
+  }
+  // Pure failure non-atomic: bumps counters before validating the
+  // index; the driver exercises the real out-of-range path.
+  method insertAt(index, v) throws IndexOutOfBoundsException, OutOfMemoryError {
+    this.modCount = this.modCount + 1;
+    this.rangeCheck(index, this.size + 1);
+    if (index == 0) { return this.addFirst(v); }
+    if (index == this.size) { return this.addLast(v); }
+    var prev = this.cellAt(index - 1);
+    var cell = new Cell(v);
+    cell.next = prev.next;
+    prev.next = cell;
+    this.size = this.size + 1;
+    return null;
+  }
+  method removeFirst() throws NoSuchElementException {
+    this.requirePresent(this.head != null, "removeFirst on empty list");
+    var cell = this.head;
+    this.head = cell.next;
+    if (this.head == null) { this.tail = null; }
+    this.size = this.size - 1;
+    this.modCount = this.modCount + 1;
+    return cell.value;
+  }
+  // Pure failure non-atomic: decrements size before locating the
+  // cell, so an out-of-range index leaves the count wrong.
+  method removeAt(index) throws IndexOutOfBoundsException, NoSuchElementException {
+    this.size = this.size - 1;
+    this.modCount = this.modCount + 1;
+    if (index == 0) {
+      var first = this.head;
+      this.requirePresent(first != null, "removeAt on empty list");
+      this.head = first.next;
+      if (this.head == null) { this.tail = null; }
+      return first.value;
+    }
+    var prev = this.cellAt(index - 1);
+    this.requirePresent(prev != null && prev.next != null, "removeAt " + index);
+    var victim = prev.next;
+    prev.next = victim.next;
+    if (victim == this.tail) { this.tail = prev; }
+    return victim.value;
+  }
+  method cellAt(index) throws IndexOutOfBoundsException {
+    this.rangeCheck(index, this.size);
+    var cur = this.head;
+    for (var i = 0; i < index; i = i + 1) { cur = cur.next; }
+    return cur;
+  }
+  method get(index) throws IndexOutOfBoundsException {
+    return this.cellAt(index).value;
+  }
+  method set(index, v) throws IndexOutOfBoundsException {
+    var cell = this.cellAt(index);
+    var old = cell.value;
+    cell.value = v;
+    return old;
+  }
+  method indexOf(v) {
+    var cur = this.head;
+    var i = 0;
+    while (cur != null) {
+      if (cur.value == v) { return i; }
+      cur = cur.next;
+      i = i + 1;
+    }
+    return -1;
+  }
+  method contains(v) { return this.indexOf(v) >= 0; }
+  // Pure failure non-atomic: elements are peeled off one by one, so an
+  // exception mid-way (even with atomic callees) loses elements.
+  method addAllFirst(values) throws OutOfMemoryError {
+    for (var i = len(values) - 1; i >= 0; i = i - 1) {
+      this.addFirst(values[i]);
+    }
+    return null;
+  }
+  // Failure atomic despite calls: builds the new spine in locals and
+  // commits with plain field writes at the end.
+  method toArray() throws NegativeArraySizeException {
+    var out = newArray(this.size);
+    var cur = this.head;
+    var i = 0;
+    while (cur != null) {
+      out[i] = cur.value;
+      cur = cur.next;
+      i = i + 1;
+    }
+    return out;
+  }
+  method clear() {
+    this.head = null;
+    this.tail = null;
+    this.size = 0;
+    this.modCount = this.modCount + 1;
+    return null;
+  }
+}
+
+// Stack facade over LinkedList: pure delegation, hence conditional
+// failure non-atomic wherever the underlying list is non-atomic.
+class ListStack {
+  field list;
+  method init() {
+    this.list = new LinkedList();
+    return this;
+  }
+  method push(v) throws OutOfMemoryError { return this.list.addFirst(v); }
+  method pop() throws NoSuchElementException { return this.list.removeFirst(); }
+  method top() throws IndexOutOfBoundsException { return this.list.get(0); }
+  method depth() { return this.list.count(); }
+}
+|}
+
+let driver =
+  {|
+function main() {
+  var list = new LinkedList();
+  for (var i = 0; i < 6; i = i + 1) { list.addLast(i * 10); }
+  list.addFirst(-1);
+  list.insertAt(3, 99);
+  check(list.count() == 8, "count after inserts");
+  check(list.get(3) == 99, "inserted value");
+  check(list.indexOf(99) == 3, "indexOf");
+  check(list.contains(40), "contains 40");
+  list.set(0, -2);
+  check(list.get(0) == -2, "set head");
+  list.removeAt(3);
+  check(list.count() == 7, "count after removeAt");
+  list.removeFirst();
+  list.addAllFirst([7, 8, 9]);
+  check(list.count() == 9, "count after addAllFirst");
+  var arr = list.toArray();
+  check(len(arr) == 9, "toArray length");
+  try {
+    list.insertAt(99, 0);
+  } catch (IndexOutOfBoundsException e) {
+    println("insertAt range: " + e.message);
+  }
+  try {
+    list.removeAt(42);
+  } catch (IndexOutOfBoundsException e) {
+    println("removeAt range: " + e.message);
+  }
+  var stack = new ListStack();
+  stack.push("a");
+  stack.push("b");
+  check(stack.top() == "b", "stack top");
+  check(stack.pop() == "b", "stack pop");
+  check(stack.depth() == 1, "stack depth");
+  var empty = new LinkedList();
+  try {
+    empty.removeFirst();
+  } catch (NoSuchElementException e) {
+    println("removeFirst empty: " + e.message);
+  }
+  empty.clear();
+  var queue = new LinkedList();
+  for (var i = 0; i < 10; i = i + 1) { queue.addLast("job" + i); }
+  for (var i = 0; i < 4; i = i + 1) {
+    check(queue.removeFirst() == "job" + i, "queue order");
+  }
+  queue.insertAt(2, "rush");
+  check(queue.indexOf("rush") == 2, "rush placed");
+  check(queue.count() == 7, "queue count");
+  var order = queue.toArray();
+  check(len(order) == 7, "queue snapshot");
+  println("final=" + list.count() + "/" + queue.count());
+  return 0;
+}
+|}
+
+let source = classes ^ driver
+
+(* The case-study variant (§6.1): the same application after "trivial
+   modifications" — statement reordering and temporaries — except for
+   [addAllFirst], whose loop cannot be fixed locally and remains pure
+   failure non-atomic (the paper ends with 3 such methods; masking or a
+   rewrite is needed for them). *)
+let fixed_classes =
+  Fragments.collections_base ^ Fragments.cell
+  ^ {|
+class LinkedList extends AbstractContainer {
+  field head;
+  field tail;
+  field modCount;
+  method init() {
+    super.init();
+    this.head = null;
+    this.tail = null;
+    this.modCount = 0;
+    return this;
+  }
+  // fixed: allocate first, then commit counters.
+  method addFirst(v) throws OutOfMemoryError {
+    var cell = new Cell(v);
+    cell.next = this.head;
+    this.head = cell;
+    if (this.tail == null) { this.tail = cell; }
+    this.size = this.size + 1;
+    this.modCount = this.modCount + 1;
+    return null;
+  }
+  method addLast(v) throws OutOfMemoryError {
+    var cell = new Cell(v);
+    if (this.tail == null) { this.head = cell; this.tail = cell; }
+    else { this.tail.next = cell; this.tail = cell; }
+    this.size = this.size + 1;
+    this.modCount = this.modCount + 1;
+    return null;
+  }
+  // fixed: validate and locate before mutating anything.
+  method insertAt(index, v) throws IndexOutOfBoundsException, OutOfMemoryError {
+    this.rangeCheck(index, this.size + 1);
+    if (index == 0) { return this.addFirst(v); }
+    if (index == this.size) { return this.addLast(v); }
+    var prev = this.cellAt(index - 1);
+    var cell = new Cell(v);
+    cell.next = prev.next;
+    prev.next = cell;
+    this.size = this.size + 1;
+    this.modCount = this.modCount + 1;
+    return null;
+  }
+  method removeFirst() throws NoSuchElementException {
+    this.requirePresent(this.head != null, "removeFirst on empty list");
+    var cell = this.head;
+    this.head = cell.next;
+    if (this.head == null) { this.tail = null; }
+    this.size = this.size - 1;
+    this.modCount = this.modCount + 1;
+    return cell.value;
+  }
+  // fixed: locate first, then unlink and update counters.
+  method removeAt(index) throws IndexOutOfBoundsException, NoSuchElementException {
+    if (index == 0) {
+      var first = this.head;
+      this.requirePresent(first != null, "removeAt on empty list");
+      this.head = first.next;
+      if (this.head == null) { this.tail = null; }
+      this.size = this.size - 1;
+      this.modCount = this.modCount + 1;
+      return first.value;
+    }
+    var prev = this.cellAt(index - 1);
+    this.requirePresent(prev != null && prev.next != null, "removeAt " + index);
+    var victim = prev.next;
+    prev.next = victim.next;
+    if (victim == this.tail) { this.tail = prev; }
+    this.size = this.size - 1;
+    this.modCount = this.modCount + 1;
+    return victim.value;
+  }
+  method cellAt(index) throws IndexOutOfBoundsException {
+    this.rangeCheck(index, this.size);
+    var cur = this.head;
+    for (var i = 0; i < index; i = i + 1) { cur = cur.next; }
+    return cur;
+  }
+  method get(index) throws IndexOutOfBoundsException {
+    return this.cellAt(index).value;
+  }
+  method set(index, v) throws IndexOutOfBoundsException {
+    var cell = this.cellAt(index);
+    var old = cell.value;
+    cell.value = v;
+    return old;
+  }
+  method indexOf(v) {
+    var cur = this.head;
+    var i = 0;
+    while (cur != null) {
+      if (cur.value == v) { return i; }
+      cur = cur.next;
+      i = i + 1;
+    }
+    return -1;
+  }
+  method contains(v) { return this.indexOf(v) >= 0; }
+  // Still pure failure non-atomic: no local fix exists for a
+  // multi-element mutation loop; this is what masking is for.
+  method addAllFirst(values) throws OutOfMemoryError {
+    for (var i = len(values) - 1; i >= 0; i = i - 1) {
+      this.addFirst(values[i]);
+    }
+    return null;
+  }
+  method toArray() throws NegativeArraySizeException {
+    var out = newArray(this.size);
+    var cur = this.head;
+    var i = 0;
+    while (cur != null) {
+      out[i] = cur.value;
+      cur = cur.next;
+      i = i + 1;
+    }
+    return out;
+  }
+  method clear() {
+    this.head = null;
+    this.tail = null;
+    this.size = 0;
+    this.modCount = this.modCount + 1;
+    return null;
+  }
+}
+
+class ListStack {
+  field list;
+  method init() {
+    this.list = new LinkedList();
+    return this;
+  }
+  method push(v) throws OutOfMemoryError { return this.list.addFirst(v); }
+  method pop() throws NoSuchElementException { return this.list.removeFirst(); }
+  method top() throws IndexOutOfBoundsException { return this.list.get(0); }
+  method depth() { return this.list.count(); }
+}
+|}
+
+let fixed_source = fixed_classes ^ driver

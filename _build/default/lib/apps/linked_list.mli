@@ -1,0 +1,20 @@
+(** LinkedList workload (Java suite) — the paper's §6.1 case study
+    subject: a singly-linked list whose original version contains the
+    mutate-before-throw defects the injector finds, and a repaired
+    variant after the paper's "trivial modifications". *)
+
+val name : string
+
+val classes : string
+(** The (defective) list classes without the driver. *)
+
+val driver : string
+(** The shared test driver ([main]). *)
+
+val source : string
+(** [classes ^ driver]: the Table-1 application. *)
+
+val fixed_classes : string
+(** The repaired classes of the case study. *)
+
+val fixed_source : string

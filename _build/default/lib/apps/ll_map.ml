@@ -1,0 +1,159 @@
+(* LLMap workload (Java suite): an association-list map in the style of
+   the Doug Lea collections LLMap, with move-to-front on lookup. *)
+
+let name = "LLMap"
+
+let source =
+  Fragments.collections_base
+  ^ {|
+class LLEntry {
+  field key;
+  field value;
+  field next;
+  method init(k, v) {
+    this.key = k;
+    this.value = v;
+    this.next = null;
+    return this;
+  }
+}
+
+class LLMap extends AbstractContainer {
+  field entries;
+  field hits;
+  method init() {
+    super.init();
+    this.entries = null;
+    this.hits = 0;
+    return this;
+  }
+  method findEntry(k) {
+    var e = this.entries;
+    while (e != null) {
+      if (e.key == k) { return e; }
+      e = e.next;
+    }
+    return null;
+  }
+  // Failure atomic: allocate first, then link and count.
+  method put(k, v) throws OutOfMemoryError {
+    var existing = this.findEntry(k);
+    if (existing != null) {
+      var old = existing.value;
+      existing.value = v;
+      return old;
+    }
+    var entry = new LLEntry(k, v);
+    entry.next = this.entries;
+    this.entries = entry;
+    this.size = this.size + 1;
+    return null;
+  }
+  // Pure failure non-atomic: the hit counter and the move-to-front
+  // relinking are committed before the presence check can throw.
+  method get(k) throws NoSuchElementException {
+    this.hits = this.hits + 1;
+    var e = this.moveToFront(k);
+    this.requirePresent(e != null, "no mapping for " + k);
+    return e.value;
+  }
+  method moveToFront(k) {
+    var e = this.entries;
+    var prev = null;
+    while (e != null && e.key != k) {
+      prev = e;
+      e = e.next;
+    }
+    if (e != null && prev != null) {
+      prev.next = e.next;
+      e.next = this.entries;
+      this.entries = e;
+    }
+    return e;
+  }
+  method containsKey(k) { return this.findEntry(k) != null; }
+  // Pure failure non-atomic: the size is decremented before the
+  // presence check.
+  method remove(k) throws NoSuchElementException {
+    this.size = this.size - 1;
+    var e = this.entries;
+    var prev = null;
+    while (e != null && e.key != k) {
+      prev = e;
+      e = e.next;
+    }
+    this.requirePresent(e != null, "remove of absent key " + k);
+    if (prev == null) { this.entries = e.next; } else { prev.next = e.next; }
+    return e.value;
+  }
+  // Pure failure non-atomic: pair-by-pair merge.
+  method merge(other) throws OutOfMemoryError {
+    var e = other.entries;
+    while (e != null) {
+      this.put(e.key, e.value);
+      e = e.next;
+    }
+    return null;
+  }
+  method keys() throws NegativeArraySizeException {
+    var out = newArray(this.size);
+    var e = this.entries;
+    var i = 0;
+    while (e != null) {
+      out[i] = e.key;
+      i = i + 1;
+      e = e.next;
+    }
+    return out;
+  }
+}
+
+function main() {
+  var map = new LLMap();
+  map.put("one", 1);
+  map.put("two", 2);
+  map.put("three", 3);
+  check(map.count() == 3, "count");
+  check(map.get("one") == 1, "get one");
+  check(map.hits == 1, "hit counter");
+  check(map.containsKey("two"), "containsKey");
+  map.put("two", 22);
+  check(map.get("two") == 22, "overwrite");
+  check(map.count() == 3, "overwrite keeps count");
+  try {
+    map.get("nine");
+  } catch (NoSuchElementException e) {
+    println("get absent: " + e.message);
+  }
+  check(map.remove("one") == 1, "remove");
+  check(map.count() == 2, "count after remove");
+  var extra = new LLMap();
+  extra.put("four", 4);
+  extra.put("five", 5);
+  map.merge(extra);
+  check(map.count() == 4, "count after merge");
+  var keys = map.keys();
+  check(len(keys) == 4, "keys");
+  try {
+    map.remove("one");
+  } catch (NoSuchElementException e) {
+    println("remove absent: " + e.message);
+  }
+  // The failed remove corrupted the size (4 -> 3): this is precisely
+  // the failure non-atomicity the detector reports for LLMap.remove.
+  check(map.count() == 3, "count corrupted by failed remove");
+  var dict = new LLMap();
+  var words = ["ash", "birch", "cedar", "fir", "oak", "pine", "yew"];
+  for (var i = 0; i < len(words); i = i + 1) { dict.put(words[i], i); }
+  for (var round = 0; round < 4; round = round + 1) {
+    for (var i = 0; i < len(words); i = i + 1) {
+      check(dict.get(words[i]) == i, "dict get");
+    }
+  }
+  check(dict.count() == 7, "dict count");
+  check(dict.remove("fir") == 3, "dict remove");
+  check(!dict.containsKey("fir"), "dict removed");
+  println("final=" + map.count() + "/" + dict.count());
+  return 0;
+}
+|}

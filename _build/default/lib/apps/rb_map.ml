@@ -1,0 +1,118 @@
+(* RBMap workload (Java suite): a red-black tree map on top of the
+   shared RBEngine (also used by the RBTree application, mirroring the
+   cross-experiment class reuse the paper reports). *)
+
+let name = "RBMap"
+
+let source =
+  Fragments.collections_base ^ Fragments.rb_engine
+  ^ {|
+class RBMap extends RBEngine {
+  // Conditional failure non-atomic: pure delegation to the engine's
+  // (pure non-atomic) insertNode.
+  method put(k, v) throws OutOfMemoryError {
+    return this.insertNode(k, v);
+  }
+  method get(k) throws NoSuchElementException {
+    var node = this.findNode(k);
+    this.requirePresent(node != null, "no mapping for " + k);
+    return node.value;
+  }
+  method getOr(k, fallback) {
+    var node = this.findNode(k);
+    if (node == null) { return fallback; }
+    return node.value;
+  }
+  method containsKey(k) { return this.findNode(k) != null; }
+  method firstKey() throws NoSuchElementException {
+    return this.minimumFrom(this.root).key;
+  }
+  method keys() throws NegativeArraySizeException {
+    var out = newArray(this.size);
+    this.collectKeys(this.root, out, 0);
+    return out;
+  }
+  // Pure failure non-atomic: a naive remove implemented by clearing
+  // and reinserting everything but the victim — interrupting it loses
+  // mappings wholesale.
+  method removeKey(k) throws NoSuchElementException, OutOfMemoryError,
+      NegativeArraySizeException {
+    var victim = this.findNode(k);
+    this.requirePresent(victim != null, "remove of absent key " + k);
+    var ks = this.keys();
+    var vs = newArray(this.size);
+    var at = 0;
+    for (var i = 0; i < len(ks); i = i + 1) {
+      vs[at] = this.findNode(ks[i]).value;
+      at = at + 1;
+    }
+    this.root = null;
+    this.size = 0;
+    for (var i = 0; i < len(ks); i = i + 1) {
+      if (ks[i] != k) { this.insertNode(ks[i], vs[i]); }
+    }
+    return null;
+  }
+  // Proper deletion through the engine's rebalancing delete.
+  method deleteKey(k) throws NoSuchElementException {
+    this.requirePresent(this.deleteNode(k), "delete of absent key " + k);
+    return null;
+  }
+  method depthOk() {
+    return this.blackHeight(this.root) >= 1;
+  }
+}
+
+function main() {
+  var map = new RBMap();
+  var keys = [50, 20, 80, 10, 30, 70, 90, 25, 5];
+  for (var i = 0; i < len(keys); i = i + 1) {
+    map.put(keys[i], keys[i] * 100);
+  }
+  check(map.count() == 9, "count");
+  check(map.countNodes(map.root) == 9, "node count");
+  check(map.get(30) == 3000, "get");
+  check(map.getOr(31, -1) == -1, "getOr");
+  check(map.containsKey(70), "containsKey");
+  check(map.firstKey() == 5, "firstKey");
+  check(map.depthOk(), "black height");
+  map.put(30, 42);
+  check(map.get(30) == 42, "overwrite");
+  check(map.count() == 9, "overwrite keeps count");
+  var sorted = map.keys();
+  check(sorted[0] == 5 && sorted[8] == 90, "keys sorted");
+  var lookups = 0;
+  for (var round = 0; round < 6; round = round + 1) {
+    for (var i = 0; i < len(keys); i = i + 1) {
+      if (map.containsKey(keys[i])) { lookups = lookups + 1; }
+    }
+  }
+  check(lookups == 54, "lookup reads");
+  map.removeKey(20);
+  check(map.count() == 8, "count after remove");
+  check(!map.containsKey(20), "removed");
+  try {
+    map.get(20);
+  } catch (NoSuchElementException e) {
+    println("get absent: " + e.message);
+  }
+  try {
+    map.removeKey(21);
+  } catch (NoSuchElementException e) {
+    println("remove absent: " + e.message);
+  }
+  map.deleteKey(80);
+  map.deleteKey(5);
+  check(map.count() == 6, "count after deletes");
+  check(!map.containsKey(80) && !map.containsKey(5), "deleted");
+  check(map.firstKey() == 10, "new first key");
+  check(map.depthOk(), "balanced after deletes");
+  try {
+    map.deleteKey(80);
+  } catch (NoSuchElementException e) {
+    println("delete absent: " + e.message);
+  }
+  println("final=" + map.count());
+  return 0;
+}
+|}

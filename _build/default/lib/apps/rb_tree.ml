@@ -1,0 +1,89 @@
+(* RBTree workload (Java suite): a red-black tree set over the shared
+   RBEngine. *)
+
+let name = "RBTree"
+
+let source =
+  Fragments.collections_base ^ Fragments.rb_engine
+  ^ {|
+class RBTree extends RBEngine {
+  // Conditional failure non-atomic: delegation to insertNode.
+  method insert(k) throws OutOfMemoryError {
+    return this.insertNode(k, true);
+  }
+  method containsElem(k) { return this.findNode(k) != null; }
+  method least() throws NoSuchElementException {
+    return this.minimumFrom(this.root).key;
+  }
+  method toSortedArray() throws NegativeArraySizeException {
+    var out = newArray(this.size);
+    this.collectKeys(this.root, out, 0);
+    return out;
+  }
+  // Pure failure non-atomic: element-by-element bulk insert.
+  method insertAll(values) throws OutOfMemoryError {
+    var added = 0;
+    for (var i = 0; i < len(values); i = i + 1) {
+      if (this.insert(values[i])) { added = added + 1; }
+    }
+    return added;
+  }
+  // Proper removal through the engine's rebalancing delete.
+  method removeElem(k) {
+    return this.deleteNode(k);
+  }
+  // Read-only structural validation: failure atomic.
+  method validRedInvariant(node) {
+    if (node == null) { return true; }
+    if (node.isRed()) {
+      if (node.left != null && node.left.isRed()) { return false; }
+      if (node.right != null && node.right.isRed()) { return false; }
+    }
+    return this.validRedInvariant(node.left) && this.validRedInvariant(node.right);
+  }
+  method audit() throws IllegalStateException {
+    if (!this.validRedInvariant(this.root)) {
+      throw new IllegalStateException("red invariant violated");
+    }
+    if (this.countNodes(this.root) != this.size) {
+      throw new IllegalStateException("size drift");
+    }
+    return true;
+  }
+}
+
+function main() {
+  var tree = new RBTree();
+  check(tree.insertAll([13, 8, 17, 1, 11, 15, 25, 6, 22, 27]) == 10, "insertAll");
+  check(tree.count() == 10, "count");
+  check(tree.audit(), "audit after build");
+  check(tree.containsElem(11), "contains 11");
+  check(!tree.containsElem(12), "no 12");
+  check(tree.least() == 1, "least");
+  check(!tree.insert(17), "duplicate insert");
+  check(tree.count() == 10, "duplicate keeps count");
+  var sorted = tree.toSortedArray();
+  check(sorted[0] == 1 && sorted[9] == 27, "sorted bounds");
+  var ascending = true;
+  for (var i = 1; i < len(sorted); i = i + 1) {
+    if (sorted[i - 1] >= sorted[i]) { ascending = false; }
+  }
+  check(ascending, "sorted ascending");
+  var empty = new RBTree();
+  try {
+    empty.least();
+  } catch (NoSuchElementException e) {
+    println("least empty: " + e.message);
+  }
+  check(tree.removeElem(13), "remove root region");
+  check(tree.removeElem(1), "remove least");
+  check(!tree.removeElem(99), "remove absent");
+  check(tree.count() == 8, "count after removals");
+  check(tree.audit(), "audit after removals");
+  check(tree.least() == 6, "new least");
+  check(tree.insertAll([1, 2, 3]) == 3, "refill");
+  check(tree.audit(), "audit at end");
+  println("final=" + tree.count());
+  return 0;
+}
+|}

@@ -1,0 +1,8 @@
+(** Red-black tree set over the shared RBEngine (Java suite).
+
+    One of the paper's Table-1 workload applications, re-implemented in
+    MiniLang with an equivalent structure and a deterministic driver. *)
+
+val name : string
+val source : string
+(** The full MiniLang program, including its [main] driver. *)

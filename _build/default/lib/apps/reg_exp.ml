@@ -1,0 +1,421 @@
+(* RegExp workload (Java suite): a small backtracking regular-expression
+   engine modelled on the Jakarta Regexp library the paper stress
+   tested: a recursive-descent pattern compiler producing a node
+   program, and a matcher that runs it.
+
+   Supported syntax: literals, backslash escapes, '.', character
+   classes "[a-z0-9]" (with ranges and negation "[^abc]"), alternation
+   '|', grouping "(..)", and the postfix operators '*', '+', '?'.
+   Matching is anchored at a starting position; [find] scans positions
+   and [replaceAll] rewrites every occurrence. *)
+
+let name = "RegExp"
+
+let source =
+  {|
+class RegexSyntaxError extends Exception {
+}
+
+// ---- compiled node program ----------------------------------------
+// Each node matches a prefix at [pos] and delegates the rest to its
+// [next] chain; matchAt returns the end position or -1.
+class ReNode {
+  field next;
+  method init() {
+    this.next = null;
+    return this;
+  }
+  method matchNext(s, pos) {
+    if (this.next == null) { return pos; }
+    return this.next.matchAt(s, pos);
+  }
+  method matchAt(s, pos) {
+    return this.matchNext(s, pos);
+  }
+  method lastNode() {
+    var cur = this;
+    while (cur.next != null) { cur = cur.next; }
+    return cur;
+  }
+  method append(node) {
+    this.lastNode().next = node;
+    return this;
+  }
+}
+
+class ReChar extends ReNode {
+  field ch;
+  method init(ch) {
+    super.init();
+    this.ch = ch;
+    return this;
+  }
+  method matchAt(s, pos) {
+    if (pos >= len(s)) { return -1; }
+    if (charAt(s, pos) != this.ch) { return -1; }
+    return this.matchNext(s, pos + 1);
+  }
+}
+
+class ReAny extends ReNode {
+  method matchAt(s, pos) {
+    if (pos >= len(s)) { return -1; }
+    return this.matchNext(s, pos + 1);
+  }
+}
+
+class ReClass extends ReNode {
+  field chars;
+  field ranges;
+  field negated;
+  // [chars] lists single members; [ranges] holds lo/hi pairs packed as
+  // consecutive characters ("az09" = a-z plus 0-9).
+  method init(chars, ranges, negated) {
+    super.init();
+    this.chars = chars;
+    this.ranges = ranges;
+    this.negated = negated;
+    return this;
+  }
+  method accepts(c) {
+    var found = false;
+    for (var i = 0; i < len(this.chars); i = i + 1) {
+      if (charAt(this.chars, i) == c) { found = true; }
+    }
+    var code = ord(c);
+    for (var i = 0; i + 1 < len(this.ranges); i = i + 2) {
+      if (code >= ord(charAt(this.ranges, i)) && code <= ord(charAt(this.ranges, i + 1))) {
+        found = true;
+      }
+    }
+    if (this.negated) { return !found; }
+    return found;
+  }
+  method matchAt(s, pos) {
+    if (pos >= len(s)) { return -1; }
+    if (!this.accepts(charAt(s, pos))) { return -1; }
+    return this.matchNext(s, pos + 1);
+  }
+}
+
+// Greedy repetition with backtracking: try to consume as many body
+// matches as possible, then give them back until the rest matches.
+class ReStar extends ReNode {
+  field body;
+  field minRepeat;
+  method init(body, minRepeat) {
+    super.init();
+    this.body = body;
+    this.minRepeat = minRepeat;
+    return this;
+  }
+  method matchAt(s, pos) {
+    return this.tryFrom(s, pos, 0);
+  }
+  method tryFrom(s, pos, depth) {
+    if (depth < 200) {
+      var bodyEnd = this.body.matchAt(s, pos);
+      if (bodyEnd >= 0 && bodyEnd != pos) {
+        var deeper = this.tryFrom(s, bodyEnd, depth + 1);
+        if (deeper >= 0) { return deeper; }
+      }
+    }
+    if (depth < this.minRepeat) { return -1; }
+    return this.matchNext(s, pos);
+  }
+}
+
+// Splices a sub-chain back into its owner's continuation, so that
+// backtracking inside the sub-chain correctly explores the rest of
+// the program (the node-program linking trick of the original
+// library).
+class ReJoin extends ReNode {
+  field owner;
+  method init(owner) {
+    super.init();
+    this.owner = owner;
+    return this;
+  }
+  method matchAt(s, pos) {
+    return this.owner.matchNext(s, pos);
+  }
+}
+
+// Anchors the match at the end of the input.
+class ReEnd extends ReNode {
+  method matchAt(s, pos) {
+    if (pos != len(s)) { return -1; }
+    return this.matchNext(s, pos);
+  }
+}
+
+class ReOpt extends ReNode {
+  field body;
+  method init(body) {
+    super.init();
+    this.body = body.append(new ReJoin(this));
+    return this;
+  }
+  method matchAt(s, pos) {
+    // the body flows through its join into this.next; only if every
+    // body alternative fails do we take the empty option
+    var taken = this.body.matchAt(s, pos);
+    if (taken >= 0) { return taken; }
+    return this.matchNext(s, pos);
+  }
+}
+
+class ReAlt extends ReNode {
+  field leftBranch;
+  field rightBranch;
+  method init(leftBranch, rightBranch) {
+    super.init();
+    this.leftBranch = leftBranch.append(new ReJoin(this));
+    this.rightBranch = rightBranch.append(new ReJoin(this));
+    return this;
+  }
+  method matchAt(s, pos) {
+    var taken = this.leftBranch.matchAt(s, pos);
+    if (taken >= 0) { return taken; }
+    return this.rightBranch.matchAt(s, pos);
+  }
+}
+
+// A group "(..)" delegates to its sub-program, whose join links back
+// into the group's continuation.
+class ReGroup extends ReNode {
+  field body;
+  method init(body) {
+    super.init();
+    this.body = body.append(new ReJoin(this));
+    return this;
+  }
+  method matchAt(s, pos) {
+    return this.body.matchAt(s, pos);
+  }
+}
+
+// ---- pattern compiler ----------------------------------------------
+// The compiler keeps its cursor in a field; failing mid-pattern leaves
+// the cursor moved — its methods are deliberately not failure atomic,
+// like the original library's parser.
+class ReCompiler {
+  field pattern;
+  field cursor;
+  field compiled;
+  method init() {
+    this.pattern = "";
+    this.cursor = 0;
+    this.compiled = 0;
+    return this;
+  }
+  method compile(pattern) throws RegexSyntaxError, OutOfMemoryError {
+    this.pattern = pattern;
+    this.cursor = 0;
+    this.compiled = this.compiled + 1;
+    var node = this.parseAlternation();
+    if (this.cursor != len(this.pattern)) {
+      throw new RegexSyntaxError("trailing input at " + this.cursor);
+    }
+    return node;
+  }
+  method atEnd() { return this.cursor >= len(this.pattern); }
+  method peekChar() throws RegexSyntaxError {
+    if (this.atEnd()) { throw new RegexSyntaxError("unexpected end of pattern"); }
+    return charAt(this.pattern, this.cursor);
+  }
+  method takeChar() throws RegexSyntaxError {
+    var c = this.peekChar();
+    this.cursor = this.cursor + 1;
+    return c;
+  }
+  method parseAlternation() throws RegexSyntaxError, OutOfMemoryError {
+    var left = this.parseSequence();
+    if (!this.atEnd() && this.peekChar() == "|") {
+      this.takeChar();
+      var right = this.parseAlternation();
+      return new ReAlt(left, right);
+    }
+    return left;
+  }
+  method parseSequence() throws RegexSyntaxError, OutOfMemoryError {
+    var head = new ReNode();
+    while (!this.atEnd()) {
+      var c = this.peekChar();
+      if (c == "|" || c == ")") { break; }
+      head.append(this.parsePostfix());
+    }
+    return head;
+  }
+  method parsePostfix() throws RegexSyntaxError, OutOfMemoryError {
+    var atom = this.parseAtom();
+    if (this.atEnd()) { return atom; }
+    var c = this.peekChar();
+    if (c == "*") { this.takeChar(); return new ReStar(atom, 0); }
+    if (c == "+") { this.takeChar(); return new ReStar(atom, 1); }
+    if (c == "?") { this.takeChar(); return new ReOpt(atom); }
+    return atom;
+  }
+  method parseAtom() throws RegexSyntaxError, OutOfMemoryError {
+    var c = this.takeChar();
+    if (c == "\\") { return new ReChar(this.takeChar()); }
+    if (c == "(") {
+      var body = this.parseAlternation();
+      if (this.atEnd() || this.takeChar() != ")") {
+        throw new RegexSyntaxError("unbalanced group");
+      }
+      return new ReGroup(body);
+    }
+    if (c == "[") { return this.parseClass(); }
+    if (c == ".") { return new ReAny(); }
+    if (c == "*" || c == "+" || c == "?" || c == ")" || c == "|") {
+      throw new RegexSyntaxError("misplaced '" + c + "'");
+    }
+    return new ReChar(c);
+  }
+  method parseClass() throws RegexSyntaxError, OutOfMemoryError {
+    var negated = false;
+    if (this.peekChar() == "^") {
+      this.takeChar();
+      negated = true;
+    }
+    var chars = "";
+    var ranges = "";
+    while (this.peekChar() != "]") {
+      var c = this.takeChar();
+      if (c == "\\") { c = this.takeChar(); }
+      if (!this.atEnd() && this.peekChar() == "-") {
+        this.takeChar();
+        if (this.peekChar() == "]") {
+          // trailing '-' is a literal member
+          chars = chars + c + "-";
+        } else {
+          var hi = this.takeChar();
+          if (hi == "\\") { hi = this.takeChar(); }
+          if (ord(c) > ord(hi)) { throw new RegexSyntaxError("inverted range " + c + "-" + hi); }
+          ranges = ranges + c + hi;
+        }
+      } else {
+        chars = chars + c;
+      }
+    }
+    this.takeChar();
+    if (chars == "" && ranges == "") { throw new RegexSyntaxError("empty class"); }
+    return new ReClass(chars, ranges, negated);
+  }
+}
+
+// ---- matcher --------------------------------------------------------
+// Pure failure non-atomic by design flaw: statistics and last-match
+// state are updated before the (possibly failing) node program runs.
+class ReMatcher {
+  field program;
+  field attempts;
+  field lastStart;
+  field lastEnd;
+  // [anchored] appends an end-of-input node: [matches] semantics.
+  // Unanchored matchers give prefix semantics for [matchesAt]/[find].
+  method init(program, anchored) {
+    if (anchored) { program.append(new ReEnd()); }
+    this.program = program;
+    this.attempts = 0;
+    this.lastStart = -1;
+    this.lastEnd = -1;
+    return this;
+  }
+  method matchesAt(s, pos) throws IllegalArgumentException {
+    this.attempts = this.attempts + 1;
+    this.lastStart = pos;
+    if (pos < 0 || pos > len(s)) {
+      throw new IllegalArgumentException("bad start position " + pos);
+    }
+    var endPos = this.program.matchAt(s, pos);
+    this.lastEnd = endPos;
+    return endPos >= 0;
+  }
+  method matches(s) throws IllegalArgumentException {
+    return this.matchesAt(s, 0);
+  }
+  method find(s) throws IllegalArgumentException {
+    for (var at = 0; at <= len(s); at = at + 1) {
+      if (this.matchesAt(s, at)) { return at; }
+    }
+    return -1;
+  }
+  // Rewrites every (leftmost, non-overlapping) occurrence.  Requires an
+  // unanchored matcher; empty matches advance by one to terminate.
+  method replaceAll(s, replacement) throws IllegalArgumentException {
+    var out = "";
+    var at = 0;
+    while (at < len(s)) {
+      if (this.matchesAt(s, at) && this.lastEnd > at) {
+        out = out + replacement;
+        at = this.lastEnd;
+      } else {
+        out = out + charAt(s, at);
+        at = at + 1;
+      }
+    }
+    return out;
+  }
+}
+
+function tryMatch(compiler, pattern, input) {
+  var matcher = new ReMatcher(compiler.compile(pattern), true);
+  return matcher.matches(input);
+}
+
+function main() {
+  var compiler = new ReCompiler();
+  check(tryMatch(compiler, "abc", "abc"), "literal match");
+  check(!tryMatch(compiler, "abc", "abd"), "literal mismatch");
+  check(tryMatch(compiler, "ab*c", "ac"), "star zero");
+  check(tryMatch(compiler, "ab*c", "abbbc"), "star many");
+  check(!tryMatch(compiler, "ab+c", "ac"), "plus needs one");
+  check(tryMatch(compiler, "ab+c", "abbc"), "plus many");
+  check(tryMatch(compiler, "ab?c", "ac"), "opt absent");
+  check(tryMatch(compiler, "ab?c", "abc"), "opt present");
+  check(tryMatch(compiler, "a.c", "axc"), "dot");
+  check(tryMatch(compiler, "a|b", "b"), "alt");
+  check(tryMatch(compiler, "(ab|cd)+", "abcdab"), "group alt plus");
+  check(tryMatch(compiler, "[abc]*d", "abcad"), "class star");
+  check(!tryMatch(compiler, "[^ab]c", "ac"), "negated class");
+  check(tryMatch(compiler, "[^ab]c", "xc"), "negated class pass");
+  var matcher = new ReMatcher(compiler.compile("b+"), false);
+  check(matcher.find("aaabbc") == 3, "find offset");
+  check(matcher.find("xyz") == -1, "find absent");
+  check(matcher.attempts > 0, "attempt counter");
+  try {
+    matcher.matchesAt("abc", -2);
+  } catch (IllegalArgumentException e) {
+    println("bad pos: " + e.message);
+  }
+  try {
+    compiler.compile("a(b");
+  } catch (RegexSyntaxError e) {
+    println("syntax: " + e.message);
+  }
+  try {
+    compiler.compile("*a");
+  } catch (RegexSyntaxError e) {
+    println("syntax: " + e.message);
+  }
+  check(tryMatch(compiler, "[a-c]+", "abcba"), "range class");
+  check(!tryMatch(compiler, "[a-c]+", "abd"), "range rejects");
+  check(tryMatch(compiler, "[a-cx]+", "axc"), "range plus single");
+  check(tryMatch(compiler, "[0-9][0-9]*", "1024"), "digits");
+  check(tryMatch(compiler, "a\\.b", "a.b"), "escaped dot");
+  check(!tryMatch(compiler, "a\\.b", "axb"), "escaped dot literal");
+  check(tryMatch(compiler, "[a-]+", "a-a"), "trailing dash literal");
+  try {
+    compiler.compile("[z-a]");
+  } catch (RegexSyntaxError e) {
+    println("syntax: " + e.message);
+  }
+  var censor = new ReMatcher(compiler.compile("b+"), false);
+  check(censor.replaceAll("abba bab", "*") == "a*a *a*", "replaceAll");
+  check(censor.replaceAll("ccc", "*") == "ccc", "replaceAll no match");
+  println("final=" + compiler.compiled);
+  return 0;
+}
+|}

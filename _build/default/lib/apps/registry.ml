@@ -1,0 +1,92 @@
+(* The workload applications of the paper's evaluation (Table 1):
+   six C++-suite programs and ten Java-suite programs, plus the
+   repaired LinkedList variant used in the §6.1 case study. *)
+
+type suite = Cpp | Java
+
+let suite_name = function Cpp -> "C++" | Java -> "Java"
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  source : string;
+}
+
+let cpp_apps : t list =
+  [ { name = "adaptorChain";
+      suite = Cpp;
+      description = "Self*-style data-flow chain of adaptors feeding sinks";
+      source = Adaptor_chain.source };
+    { name = "stdQ";
+      suite = Cpp;
+      description = "ring-buffer deque with queue facades";
+      source = Std_q.source };
+    { name = "xml2Ctcp";
+      suite = Cpp;
+      description = "XML to C-struct records shipped over a fake TCP stream";
+      source = Xml2ctcp.source };
+    { name = "xml2Cviasc1";
+      suite = Cpp;
+      description = "XML to C through a Self* component pipeline (variant 1)";
+      source = Xml2cviasc.source1 };
+    { name = "xml2Cviasc2";
+      suite = Cpp;
+      description = "XML to C with validation and attribute indexing (variant 2)";
+      source = Xml2cviasc.source2 };
+    { name = "xml2xml1";
+      suite = Cpp;
+      description = "rule-driven XML to XML transformer with serializer";
+      source = Xml2xml.source } ]
+
+let java_apps : t list =
+  [ { name = "CircularList";
+      suite = Java;
+      description = "doubly-linked circular list with sentinel and iterator";
+      source = Circular_list.source };
+    { name = "Dynarray";
+      suite = Java;
+      description = "growable array with a sorted subclass";
+      source = Dynarray.source };
+    { name = "HashedMap";
+      suite = Java;
+      description = "chained hash map with load-factor rehashing";
+      source = Hashed_map.source };
+    { name = "HashedSet";
+      suite = Java;
+      description = "set facade delegating to HashedMap";
+      source = Hashed_set.source };
+    { name = "LLMap";
+      suite = Java;
+      description = "association-list map with move-to-front lookup";
+      source = Ll_map.source };
+    { name = "LinkedBuffer";
+      suite = Java;
+      description = "FIFO buffer of linked fixed-size chunks";
+      source = Linked_buffer.source };
+    { name = "LinkedList";
+      suite = Java;
+      description = "singly-linked list with head/tail and a stack facade";
+      source = Linked_list.source };
+    { name = "RBMap";
+      suite = Java;
+      description = "red-black tree map over the shared RBEngine";
+      source = Rb_map.source };
+    { name = "RBTree";
+      suite = Java;
+      description = "red-black tree set over the shared RBEngine";
+      source = Rb_tree.source };
+    { name = "RegExp";
+      suite = Java;
+      description = "backtracking regular-expression compiler and matcher";
+      source = Reg_exp.source } ]
+
+let all = cpp_apps @ java_apps
+let find name = List.find_opt (fun a -> String.equal a.name name) all
+
+(* The repaired LinkedList of the case study; not part of Table 1. *)
+let linked_list_fixed : t =
+  { name = "LinkedListFixed";
+    suite = Java;
+    description = "LinkedList after the trivial fixes of the paper's case study";
+    source = Linked_list.fixed_source }

@@ -1,0 +1,25 @@
+(** The workload applications of the paper's evaluation (Table 1):
+    six C++-suite programs and ten Java-suite programs, re-implemented
+    in MiniLang, plus the repaired LinkedList of the §6.1 case study. *)
+
+type suite = Cpp | Java
+
+val suite_name : suite -> string
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  source : string;  (** full MiniLang program including its driver *)
+}
+
+val cpp_apps : t list
+val java_apps : t list
+
+val all : t list
+(** The sixteen Table 1 applications, C++ suite first. *)
+
+val find : string -> t option
+
+val linked_list_fixed : t
+(** The repaired LinkedList of the case study; not part of Table 1. *)

@@ -1,0 +1,237 @@
+(* stdQ workload (C++ suite): an std::deque-style ring buffer with
+   queue facades on top, modelled on the paper's Self* stdQ test. *)
+
+let name = "stdQ"
+
+let source =
+  Fragments.collections_base
+  ^ {|
+class RingDeque extends AbstractContainer {
+  field slots;
+  field head;
+  method init(capacity) throws NegativeArraySizeException {
+    super.init();
+    this.slots = newArray(capacity);
+    this.head = 0;
+    return this;
+  }
+  method slotIndex(logical) {
+    return (this.head + logical) % len(this.slots);
+  }
+  // Failure atomic: growth commits the new ring at the end.
+  method grow() throws OutOfMemoryError {
+    var bigger = this.allocRing(len(this.slots) * 2);
+    for (var i = 0; i < this.size; i = i + 1) {
+      bigger[i] = this.slots[this.slotIndex(i)];
+    }
+    this.slots = bigger;
+    this.head = 0;
+    return null;
+  }
+  method allocRing(capacity) throws OutOfMemoryError {
+    return newArray(capacity);
+  }
+  // Failure atomic: possible growth happens before the write.
+  method pushBack(v) throws OutOfMemoryError {
+    if (this.size == len(this.slots)) { this.grow(); }
+    this.slots[this.slotIndex(this.size)] = v;
+    this.size = this.size + 1;
+    return null;
+  }
+  // Pure failure non-atomic: the head pointer moves before the
+  // (possibly failing) growth check runs.
+  method pushFront(v) throws OutOfMemoryError {
+    this.head = (this.head + len(this.slots) - 1) % len(this.slots);
+    this.size = this.size + 1;
+    if (this.size > len(this.slots)) { this.grow(); }
+    this.slots[this.slotIndex(0)] = v;
+    return null;
+  }
+  method popFront() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "popFront on empty deque");
+    var v = this.slots[this.slotIndex(0)];
+    this.slots[this.slotIndex(0)] = null;
+    this.head = (this.head + 1) % len(this.slots);
+    this.size = this.size - 1;
+    return v;
+  }
+  method popBack() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "popBack on empty deque");
+    var v = this.slots[this.slotIndex(this.size - 1)];
+    this.slots[this.slotIndex(this.size - 1)] = null;
+    this.size = this.size - 1;
+    return v;
+  }
+  method at(i) throws IndexOutOfBoundsException {
+    this.rangeCheck(i, this.size);
+    return this.slots[this.slotIndex(i)];
+  }
+  method capacity() { return len(this.slots); }
+}
+
+// FIFO facade: conditional failure non-atomic wherever the deque is.
+class StdQueue {
+  field deque;
+  method init(capacity) throws NegativeArraySizeException, OutOfMemoryError {
+    this.deque = new RingDeque(capacity);
+    return this;
+  }
+  method enqueue(v) throws OutOfMemoryError { return this.deque.pushBack(v); }
+  method enqueueFront(v) throws OutOfMemoryError { return this.deque.pushFront(v); }
+  method dequeue() throws NoSuchElementException { return this.deque.popFront(); }
+  method front() throws IndexOutOfBoundsException { return this.deque.at(0); }
+  method length() { return this.deque.count(); }
+  method isEmpty() { return this.deque.isEmpty(); }
+}
+
+// Capacity-limited queue: validates, then delegates.
+class BoundedQueue extends StdQueue {
+  field bound;
+  method init(capacity, bound) throws NegativeArraySizeException, OutOfMemoryError {
+    super.init(capacity);
+    this.bound = bound;
+    return this;
+  }
+  method enqueue(v) throws IllegalStateException, OutOfMemoryError {
+    if (this.length() >= this.bound) {
+      throw new IllegalStateException("queue bound " + this.bound + " reached");
+    }
+    return this.deque.pushBack(v);
+  }
+}
+
+// Binary min-heap priority queue over a plain array (std::priority_queue
+// counterpart).  [push] sifts up after committing the count: the heap
+// order is violated while sifting, so an interruption leaves a broken
+// heap — pure failure non-atomic; [popMin] validates first and sifts
+// down with the count already committed, same story.
+class PriorityQueue extends AbstractContainer {
+  field slots;
+  method init(capacity) throws NegativeArraySizeException {
+    super.init();
+    this.slots = newArray(capacity);
+    return this;
+  }
+  method push(v) throws OutOfMemoryError {
+    if (this.size == len(this.slots)) { this.growHeap(); }
+    this.slots[this.size] = v;
+    this.size = this.size + 1;
+    this.siftUp(this.size - 1);
+    return null;
+  }
+  method growHeap() throws OutOfMemoryError {
+    var bigger = newArray(max(1, len(this.slots)) * 2);
+    arraycopy(this.slots, 0, bigger, 0, this.size);
+    this.slots = bigger;
+    return null;
+  }
+  method siftUp(i) {
+    while (i > 0) {
+      var parent = (i - 1) / 2;
+      if (this.slots[parent] <= this.slots[i]) { break; }
+      this.swap(parent, i);
+      i = parent;
+    }
+    return null;
+  }
+  method siftDown(i) {
+    while (true) {
+      var smallest = i;
+      var l = 2 * i + 1;
+      var r = 2 * i + 2;
+      if (l < this.size && this.slots[l] < this.slots[smallest]) { smallest = l; }
+      if (r < this.size && this.slots[r] < this.slots[smallest]) { smallest = r; }
+      if (smallest == i) { break; }
+      this.swap(i, smallest);
+      i = smallest;
+    }
+    return null;
+  }
+  method swap(i, j) {
+    var tmp = this.slots[i];
+    this.slots[i] = this.slots[j];
+    this.slots[j] = tmp;
+    return null;
+  }
+  method peekMin() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "peekMin on empty heap");
+    return this.slots[0];
+  }
+  method popMin() throws NoSuchElementException {
+    this.requirePresent(this.size > 0, "popMin on empty heap");
+    var top = this.slots[0];
+    this.size = this.size - 1;
+    this.slots[0] = this.slots[this.size];
+    this.slots[this.size] = null;
+    this.siftDown(0);
+    return top;
+  }
+  // Read-only heap-order audit: failure atomic.
+  method heapOrderOk() {
+    for (var i = 1; i < this.size; i = i + 1) {
+      if (this.slots[(i - 1) / 2] > this.slots[i]) { return false; }
+    }
+    return true;
+  }
+}
+
+function main() {
+  var dq = new RingDeque(2);
+  for (var i = 0; i < 7; i = i + 1) { dq.pushBack(i); }
+  check(dq.count() == 7, "deque count");
+  check(dq.capacity() == 8, "grew twice");
+  dq.pushFront(-1);
+  check(dq.at(0) == -1, "pushFront visible");
+  check(dq.popFront() == -1, "popFront order");
+  check(dq.popBack() == 6, "popBack order");
+  check(dq.at(2) == 2, "random access");
+  var scan = 0;
+  for (var round = 0; round < 8; round = round + 1) {
+    for (var i = 0; i < dq.count(); i = i + 1) { scan = scan + dq.at(i); }
+  }
+  check(scan == 8 * 15, "scan total");
+  try {
+    dq.at(55);
+  } catch (IndexOutOfBoundsException e) {
+    println("at range: " + e.message);
+  }
+  var q = new StdQueue(4);
+  q.enqueue("a");
+  q.enqueue("b");
+  q.enqueueFront("z");
+  check(q.front() == "z", "front");
+  check(q.dequeue() == "z", "fifo");
+  check(q.length() == 2, "length");
+  var bq = new BoundedQueue(2, 3);
+  bq.enqueue(1);
+  bq.enqueue(2);
+  bq.enqueue(3);
+  try {
+    bq.enqueue(4);
+  } catch (IllegalStateException e) {
+    println("bound: " + e.message);
+  }
+  check(bq.length() == 3, "bounded length");
+  var empty = new RingDeque(2);
+  try {
+    empty.popFront();
+  } catch (NoSuchElementException e) {
+    println("empty: " + e.message);
+  }
+  var pq = new PriorityQueue(2);
+  var items = [9, 4, 7, 1, 8, 3, 6, 2, 5];
+  for (var i = 0; i < len(items); i = i + 1) { pq.push(items[i]); }
+  check(pq.heapOrderOk(), "heap order after pushes");
+  check(pq.peekMin() == 1, "min on top");
+  var drained = "";
+  while (!pq.isEmpty()) { drained = drained + pq.popMin(); }
+  check(drained == "123456789", "heap sort order");
+  try {
+    pq.popMin();
+  } catch (NoSuchElementException e) {
+    println("heap empty: " + e.message);
+  }
+  println("final=" + dq.count() + "/" + q.length() + "/" + bq.length() + "/" + pq.count());
+  return 0;
+}
+|}

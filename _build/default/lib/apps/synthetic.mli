@@ -1,0 +1,15 @@
+(** Synthetic validation benchmark (paper §6, first paragraph): a small
+    application containing every combination of (pure / conditional)
+    failure (non-)atomic method, with its ground-truth classification.
+    The test-suite checks the detector against [expectations] in both
+    implementation flavors. *)
+
+open Failatom_core
+
+val name : string
+val source : string
+
+val expectations : (Method_id.t * Classify.verdict) list
+(** Ground truth, keyed by method. *)
+
+val app : Registry.t

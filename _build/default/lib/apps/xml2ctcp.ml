@@ -1,0 +1,166 @@
+(* xml2Ctcp workload (C++ suite): parses an XML document, converts the
+   element tree into flat C-struct-like records, and ships them over a
+   fake TCP stream in MTU-sized segments — modelled on the paper's
+   Self* xml2Ctcp application. *)
+
+let name = "xml2Ctcp"
+
+let source =
+  Fragments.xml_lib
+  ^ {|
+// A flat "C struct": name plus parallel field arrays.
+class CRecord {
+  field structName;
+  field fieldNames;
+  field fieldValues;
+  field fieldCount;
+  method init(structName) {
+    this.structName = structName;
+    this.fieldNames = newArray(8);
+    this.fieldValues = newArray(8);
+    this.fieldCount = 0;
+    return this;
+  }
+  method addField(name, value) throws IllegalStateException {
+    if (this.fieldCount >= len(this.fieldNames)) {
+      throw new IllegalStateException("record full");
+    }
+    this.fieldNames[this.fieldCount] = name;
+    this.fieldValues[this.fieldCount] = value;
+    this.fieldCount = this.fieldCount + 1;
+    return null;
+  }
+  method serialize() {
+    var out = this.structName + "{";
+    for (var i = 0; i < this.fieldCount; i = i + 1) {
+      out = out + this.fieldNames[i] + "=" + this.fieldValues[i] + ";";
+    }
+    return out + "}";
+  }
+}
+
+// Converts XML elements into CRecords, accumulating them in an output
+// list.  The conversion walks the tree child by child: interrupting it
+// leaves a partially converted document, so [convertTree] is pure
+// failure non-atomic.
+class Xml2CConverter {
+  field records;
+  field recordCount;
+  field converted;
+  method init() {
+    this.records = newArray(32);
+    this.recordCount = 0;
+    this.converted = 0;
+    return this;
+  }
+  method convertTree(root) throws IllegalStateException, OutOfMemoryError {
+    this.converted = this.converted + 1;
+    this.convertElement(root, "");
+    return this.recordCount;
+  }
+  method convertElement(node, path) throws IllegalStateException, OutOfMemoryError {
+    var record = new CRecord(path + node.tag);
+    for (var i = 0; i < node.attrCount; i = i + 1) {
+      record.addField(node.attrNames[i], node.attrValues[i]);
+    }
+    if (node.text != "") { record.addField("_text", node.text); }
+    this.appendRecord(record);
+    for (var i = 0; i < node.childCount; i = i + 1) {
+      this.convertElement(node.children[i], path + node.tag + ".");
+    }
+    return null;
+  }
+  method appendRecord(record) throws IllegalStateException {
+    if (this.recordCount >= len(this.records)) {
+      throw new IllegalStateException("converter full");
+    }
+    this.records[this.recordCount] = record;
+    this.recordCount = this.recordCount + 1;
+    return null;
+  }
+  method recordAt(i) { return this.records[i]; }
+}
+
+// A fake TCP stream with an MTU: [send] fragments a serialized record
+// into segments.  The sequence number moves before segments are
+// queued, so an interrupted send leaves a half-transmitted record —
+// pure failure non-atomic.
+class FakeTcpStream {
+  field segments;
+  field segmentCount;
+  field mtu;
+  field seq;
+  method init(mtu) {
+    this.segments = newArray(128);
+    this.segmentCount = 0;
+    this.mtu = mtu;
+    this.seq = 0;
+    return this;
+  }
+  method send(data) throws IllegalStateException {
+    this.seq = this.seq + 1;
+    if (this.mtu <= 0) { throw new IllegalStateException("bad mtu " + this.mtu); }
+    var offset = 0;
+    while (offset < len(data)) {
+      var take = min(this.mtu, len(data) - offset);
+      this.pushSegment(substr(data, offset, take));
+      offset = offset + take;
+    }
+    return this.seq;
+  }
+  method pushSegment(payload) throws IllegalStateException {
+    if (this.segmentCount >= len(this.segments)) {
+      throw new IllegalStateException("stream backlog full");
+    }
+    this.segments[this.segmentCount] = payload;
+    this.segmentCount = this.segmentCount + 1;
+    return null;
+  }
+  method reassemble() {
+    var out = "";
+    for (var i = 0; i < this.segmentCount; i = i + 1) {
+      out = out + this.segments[i];
+    }
+    return out;
+  }
+}
+
+function main() {
+  var doc = "<config version=\"3\"><server host=\"a\" port=\"80\"><opt name=\"x\"/></server><client retry=\"2\">fallback</client></config>";
+  var parser = new XmlParser();
+  var root = parser.parse(doc);
+  check(root.tag == "config", "root tag");
+  check(root.childCount == 2, "two children");
+  check(root.attr("version") == "3", "root attr");
+  var server = root.childAt(0);
+  check(server.attr("port") == "80", "server attr");
+  check(server.childAt(0).attr("name") == "x", "nested attr");
+  var converter = new Xml2CConverter();
+  var n = converter.convertTree(root);
+  check(n == 4, "four records");
+  check(converter.recordAt(0).structName == "config", "record 0");
+  check(converter.recordAt(1).structName == "config.server", "record path");
+  var stream = new FakeTcpStream(10);
+  for (var i = 0; i < n; i = i + 1) {
+    stream.send(converter.recordAt(i).serialize());
+  }
+  check(stream.seq == 4, "four sends");
+  check(stream.segmentCount > 4, "fragmented");
+  var wire = stream.reassemble();
+  check(len(wire) > 50, "wire size");
+  try {
+    parser.parse("<a><b></a>");
+  } catch (XmlSyntaxError e) {
+    println("syntax: " + e.message);
+  }
+  var tiny = new FakeTcpStream(0);
+  try {
+    tiny.send("xy");
+  } catch (IllegalStateException e) {
+    println("mtu: " + e.message);
+  }
+  check(tiny.seq == 1, "seq leaked by failed send");
+  println("final=" + stream.segmentCount);
+  return 0;
+}
+|}

@@ -1,0 +1,260 @@
+(* xml2Cviasc workloads (C++ suite): XML-to-C conversion routed through
+   a Self* component pipeline, in two variants like the paper's
+   xml2Cviasc1/xml2Cviasc2.  Both variants share the XML library, the
+   component substrate and the core conversion components; variant 2
+   adds validation and attribute indexing stages and drives a different
+   document. *)
+
+(* Components shared by both variants. *)
+let components =
+  Fragments.xml_lib ^ Fragments.sc_lib
+  ^ {|
+// Parses a document and feeds elements downstream, depth first.  The
+// progress counter moves per element: pure failure non-atomic.
+class XmlSourceComponent extends ScComponent {
+  field emitted;
+  method init(name) {
+    super.init(name);
+    this.emitted = 0;
+    return this;
+  }
+  method feed(doc) throws XmlSyntaxError, OutOfMemoryError, IllegalStateException {
+    var parser = new XmlParser();
+    var root = parser.parse(doc);
+    this.feedElement(root);
+    return this.emitted;
+  }
+  method feedElement(node) throws IllegalStateException {
+    this.emitted = this.emitted + 1;
+    this.emit(node);
+    for (var i = 0; i < node.childCount; i = i + 1) {
+      this.feedElement(node.children[i]);
+    }
+    return null;
+  }
+}
+
+// Turns an element into a flat C-struct declaration string.
+class FlattenComponent extends ScComponent {
+  field separator;
+  method init(name, separator) {
+    super.init(name);
+    this.separator = separator;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    var decl = "struct " + item.tag + " {";
+    for (var i = 0; i < item.attrCount; i = i + 1) {
+      decl = decl + " char* " + item.attrNames[i] + this.separator;
+    }
+    if (item.text != "") { decl = decl + " char* _text" + this.separator; }
+    return this.emit(decl + " }");
+  }
+}
+
+// Rejects elements lacking a required attribute.  Validation happens
+// before any state change: failure atomic.
+class ValidateComponent extends ScComponent {
+  field required;
+  field seen;
+  method init(name, required) {
+    super.init(name);
+    this.required = required;
+    this.seen = 0;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    if (item.attr(this.required) == null) {
+      throw new IllegalStateException(item.tag + " lacks @" + this.required);
+    }
+    var forwarded = this.emit(item);
+    this.seen = this.seen + 1;
+    return forwarded;
+  }
+}
+
+// Builds an attribute index while forwarding.  The index entries are
+// committed before the forward: pure failure non-atomic.
+class AttrIndexComponent extends ScComponent {
+  field keys;
+  field tags;
+  field indexed;
+  method init(name) {
+    super.init(name);
+    this.keys = newArray(64);
+    this.tags = newArray(64);
+    this.indexed = 0;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    for (var i = 0; i < item.attrCount; i = i + 1) {
+      this.keys[this.indexed] = item.attrNames[i];
+      this.tags[this.indexed] = item.tag;
+      this.indexed = this.indexed + 1;
+    }
+    return this.emit(item);
+  }
+  method lookupTag(key) {
+    for (var i = 0; i < this.indexed; i = i + 1) {
+      if (this.keys[i] == key) { return this.tags[i]; }
+    }
+    return null;
+  }
+}
+|}
+
+(* Additional stages used by variant 2. *)
+let extra_components =
+  {|
+// Census of element tags seen while forwarding.  The census arrays are
+// updated before the forward: pure failure non-atomic.
+class StatsComponent extends ScComponent {
+  field tags;
+  field counts;
+  field distinct;
+  method init(name) {
+    super.init(name);
+    this.tags = newArray(32);
+    this.counts = newArray(32);
+    this.distinct = 0;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    var at = -1;
+    for (var i = 0; i < this.distinct; i = i + 1) {
+      if (this.tags[i] == item.tag) { at = i; }
+    }
+    if (at < 0) {
+      at = this.distinct;
+      this.tags[at] = item.tag;
+      this.counts[at] = 0;
+      this.distinct = this.distinct + 1;
+    }
+    this.counts[at] = this.counts[at] + 1;
+    return this.emit(item);
+  }
+  method countOf(tag) {
+    for (var i = 0; i < this.distinct; i = i + 1) {
+      if (this.tags[i] == tag) { return this.counts[i]; }
+    }
+    return 0;
+  }
+}
+
+// Refuses to forward more than [limit] elements.  Validation happens
+// before any state change: failure atomic; the counter commits last.
+class LimitComponent extends ScComponent {
+  field limit;
+  field passed;
+  method init(name, limit) {
+    super.init(name);
+    this.limit = limit;
+    this.passed = 0;
+    return this;
+  }
+  method consume(item) throws IllegalStateException {
+    if (this.passed >= this.limit) {
+      throw new IllegalStateException(this.name + ": element limit " + this.limit);
+    }
+    var forwarded = this.emit(item);
+    this.passed = this.passed + 1;
+    return forwarded;
+  }
+}
+|}
+
+let name1 = "xml2Cviasc1"
+
+let source1 =
+  components
+  ^ {|
+function main() {
+  var sink = new ScSink("csink");
+  var flatten = new FlattenComponent("flatten", ";");
+  flatten.connect(sink);
+  var source = new XmlSourceComponent("source");
+  source.connect(flatten);
+  var doc = "<root><item id=\"1\" kind=\"a\"/><item id=\"2\" kind=\"b\"/><note lang=\"en\">hi</note></root>";
+  var n = source.feed(doc);
+  check(n == 4, "four elements");
+  check(sink.receivedCount == 4, "four structs");
+  check(sink.itemAt(0) == "struct root { }", "root struct");
+  check(sink.itemAt(1) == "struct item { char* id; char* kind; }", "item struct");
+  check(sink.itemAt(3) == "struct note { char* lang; char* _text; }", "note struct");
+  var orphan = new XmlSourceComponent("orphan");
+  try {
+    orphan.feed("<a/>");
+  } catch (IllegalStateException e) {
+    println("orphan: " + e.message);
+  }
+  check(orphan.emitted == 1, "counter leaked by failed feed");
+  try {
+    source.feed("<broken");
+  } catch (XmlSyntaxError e) {
+    println("syntax: " + e.message);
+  }
+  println("final=" + sink.receivedCount);
+  return 0;
+}
+|}
+
+let name2 = "xml2Cviasc2"
+
+let source2 =
+  components ^ extra_components
+  ^ {|
+function main() {
+  var sink = new ScSink("csink");
+  var flatten = new FlattenComponent("flatten", ";");
+  flatten.connect(sink);
+  var index = new AttrIndexComponent("index");
+  index.connect(flatten);
+  var stats = new StatsComponent("stats");
+  stats.connect(index);
+  var limiter = new LimitComponent("limit", 16);
+  limiter.connect(stats);
+  var validate = new ValidateComponent("validate", "id");
+  validate.connect(limiter);
+  var source = new XmlSourceComponent("source");
+  source.connect(validate);
+  var doc = "<items id=\"root\"><box id=\"b1\" w=\"3\"/><box id=\"b2\" w=\"5\"/></items>";
+  var n = source.feed(doc);
+  check(n == 3, "three elements");
+  check(validate.seen == 3, "validated");
+  check(index.indexed == 5, "five attributes indexed");
+  check(index.lookupTag("w") == "box", "index lookup");
+  check(index.lookupTag("nope") == null, "index miss");
+  check(sink.receivedCount == 3, "three structs");
+  check(sink.itemAt(1) == "struct box { char* id; char* w; }", "box struct");
+  check(stats.countOf("box") == 2, "stats census");
+  check(stats.countOf("items") == 1, "stats root");
+  check(stats.countOf("ghost") == 0, "stats miss");
+  check(limiter.passed == 3, "limit accounting");
+  var strictSink = new ScSink("tiny");
+  var tight = new LimitComponent("tight", 1);
+  tight.connect(strictSink);
+  var src3 = new XmlSourceComponent("src3");
+  src3.connect(tight);
+  try {
+    src3.feed("<a id=\"1\"><b id=\"2\"/></a>");
+  } catch (IllegalStateException e) {
+    println("limit: " + e.message);
+  }
+  check(strictSink.receivedCount == 1, "one passed the limit");
+  var bad = "<items id=\"root\"><box w=\"1\"/></items>";
+  var sink2 = new ScSink("strict");
+  var validate2 = new ValidateComponent("strict-validate", "id");
+  validate2.connect(sink2);
+  var source2 = new XmlSourceComponent("strict-source");
+  source2.connect(validate2);
+  try {
+    source2.feed(bad);
+  } catch (IllegalStateException e) {
+    println("invalid: " + e.message);
+  }
+  check(source2.emitted == 2, "partial feed visible");
+  check(validate2.seen == 1, "only root validated");
+  println("final=" + sink.receivedCount + "/" + sink2.receivedCount);
+  return 0;
+}
+|}

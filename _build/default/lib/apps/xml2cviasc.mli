@@ -1,0 +1,15 @@
+(** The xml2Cviasc workloads (C++ suite): XML-to-C conversion routed
+    through a Self* component pipeline, in two variants sharing their
+    component classes — mirroring the paper's xml2Cviasc1/xml2Cviasc2. *)
+
+val components : string
+(** The shared pipeline components (parser source + flatten/validate/
+    index stages). *)
+
+val name1 : string
+val source1 : string
+(** Variant 1: source -> flatten -> sink. *)
+
+val name2 : string
+val source2 : string
+(** Variant 2: adds validation and attribute indexing. *)

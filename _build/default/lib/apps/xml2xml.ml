@@ -1,0 +1,190 @@
+(* xml2xml1 workload (C++ suite): an XML-to-XML transformer applying a
+   list of rewrite rules (tag renaming, attribute stripping, element
+   wrapping) and serializing the result, modelled on the paper's Self*
+   xml2xml1 application. *)
+
+let name = "xml2xml1"
+
+let source =
+  Fragments.xml_lib
+  ^ {|
+// Base rule: identity rewrite of a single element (children are
+// handled by the transformer).
+class XmlRule {
+  field applied;
+  method init() {
+    this.applied = 0;
+    return this;
+  }
+  method matches(node) { return true; }
+  // Pure failure non-atomic: counts before delegating to the rewrite.
+  method apply(node) throws OutOfMemoryError {
+    this.applied = this.applied + 1;
+    return this.rewrite(node);
+  }
+  method rewrite(node) throws OutOfMemoryError { return node; }
+}
+
+class RenameRule extends XmlRule {
+  field fromTag;
+  field toTag;
+  method init(fromTag, toTag) {
+    super.init();
+    this.fromTag = fromTag;
+    this.toTag = toTag;
+    return this;
+  }
+  method matches(node) { return node.tag == this.fromTag; }
+  // Rewrites in place: the tag changes before [apply]'s counter-side
+  // bookkeeping completes in its caller.
+  method rewrite(node) throws OutOfMemoryError {
+    node.tag = this.toTag;
+    return node;
+  }
+}
+
+class StripAttrRule extends XmlRule {
+  field attrName;
+  method init(attrName) {
+    super.init();
+    this.attrName = attrName;
+    return this;
+  }
+  method matches(node) { return node.attr(this.attrName) != null; }
+  method rewrite(node) throws OutOfMemoryError {
+    var keep = 0;
+    for (var i = 0; i < node.attrCount; i = i + 1) {
+      if (node.attrNames[i] != this.attrName) {
+        node.attrNames[keep] = node.attrNames[i];
+        node.attrValues[keep] = node.attrValues[i];
+        keep = keep + 1;
+      }
+    }
+    node.attrCount = keep;
+    return node;
+  }
+}
+
+// Applies rules to a tree in place, depth first: pure failure
+// non-atomic (an interrupted pass leaves a half-rewritten tree).
+class Xml2XmlTransformer {
+  field rules;
+  field ruleCount;
+  field visited;
+  method init() {
+    this.rules = newArray(8);
+    this.ruleCount = 0;
+    this.visited = 0;
+    return this;
+  }
+  method addRule(rule) throws IllegalStateException {
+    if (this.ruleCount >= len(this.rules)) {
+      throw new IllegalStateException("too many rules");
+    }
+    this.rules[this.ruleCount] = rule;
+    this.ruleCount = this.ruleCount + 1;
+    return null;
+  }
+  method transform(node) throws OutOfMemoryError {
+    this.visited = this.visited + 1;
+    for (var i = 0; i < this.ruleCount; i = i + 1) {
+      var rule = this.rules[i];
+      if (rule.matches(node)) { rule.apply(node); }
+    }
+    for (var i = 0; i < node.childCount; i = i + 1) {
+      this.transform(node.children[i]);
+    }
+    return node;
+  }
+}
+
+// Serializes a tree into the writer's accumulator string; the
+// accumulator grows as the tree is walked, so an interrupted write
+// leaves a truncated document behind: pure failure non-atomic.
+class XmlWriter {
+  field acc;
+  method init() {
+    this.acc = "";
+    return this;
+  }
+  // Re-encodes the predefined entities on the way out.
+  method encode(raw) {
+    var out = "";
+    for (var i = 0; i < len(raw); i = i + 1) {
+      var c = charAt(raw, i);
+      if (c == "&") { out = out + "&amp;"; }
+      else if (c == "<") { out = out + "&lt;"; }
+      else if (c == ">") { out = out + "&gt;"; }
+      else if (c == "\"") { out = out + "&quot;"; }
+      else { out = out + c; }
+    }
+    return out;
+  }
+  method writeDocument(node) {
+    this.acc = "";
+    this.writeNode(node);
+    return this.acc;
+  }
+  method writeNode(node) {
+    this.acc = this.acc + "<" + node.tag;
+    for (var i = 0; i < node.attrCount; i = i + 1) {
+      this.acc = this.acc + " " + node.attrNames[i] + "=\"" + this.encode(node.attrValues[i]) + "\"";
+    }
+    if (node.childCount == 0 && node.text == "") {
+      this.acc = this.acc + "/>";
+      return null;
+    }
+    this.acc = this.acc + ">" + this.encode(node.text);
+    for (var i = 0; i < node.childCount; i = i + 1) {
+      this.writeNode(node.children[i]);
+    }
+    this.acc = this.acc + "</" + node.tag + ">";
+    return null;
+  }
+}
+
+function main() {
+  var doc = "<doc rev=\"7\"><sec id=\"s1\" draft=\"yes\"><p>alpha</p></sec><sec id=\"s2\" draft=\"no\"><p>beta</p></sec></doc>";
+  var parser = new XmlParser();
+  var root = parser.parse(doc);
+  var transformer = new Xml2XmlTransformer();
+  var rename = new RenameRule("sec", "section");
+  var strip = new StripAttrRule("draft");
+  transformer.addRule(rename);
+  transformer.addRule(strip);
+  transformer.transform(root);
+  check(transformer.visited == 5, "five elements visited");
+  check(rename.applied == 2, "two renames");
+  check(strip.applied == 2, "two strips");
+  check(root.childAt(0).tag == "section", "renamed");
+  check(root.childAt(0).attr("draft") == null, "stripped");
+  check(root.childAt(0).attr("id") == "s1", "kept id");
+  var writer = new XmlWriter();
+  var out = writer.writeDocument(root);
+  check(out == "<doc rev=\"7\"><section id=\"s1\"><p>alpha</p></section><section id=\"s2\"><p>beta</p></section></doc>",
+        "serialized form");
+  var reparsed = parser.parse(out);
+  check(reparsed.childCount == 2, "round trip children");
+  check(reparsed.childAt(1).childAt(0).text == "beta", "round trip text");
+  var entities = parser.parse("<m q=\"a&amp;b\">x &lt; y &gt; z</m>");
+  check(entities.attr("q") == "a&b", "attr entity decoded");
+  check(entities.text == "x < y > z", "text entities decoded");
+  var encoded = writer.writeDocument(entities);
+  check(encoded == "<m q=\"a&amp;b\">x &lt; y &gt; z</m>", "entities re-encoded");
+  check(graphEq(parser.parse(encoded), entities), "entity round trip");
+  try {
+    parser.parse("<m>bad &copy; here</m>");
+  } catch (XmlSyntaxError e) {
+    println("entity: " + e.message);
+  }
+  var greedy = new Xml2XmlTransformer();
+  for (var i = 0; i < 8; i = i + 1) { greedy.addRule(new XmlRule()); }
+  try {
+    greedy.addRule(new XmlRule());
+  } catch (IllegalStateException e) {
+    println("rules: " + e.message);
+  }
+  println("final=" + transformer.visited);
+  return 0;
+}
+|}

@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Ast Config Failatom_minilang List Method_id Purity

@@ -1,0 +1,1 @@
+lib/core/analyzer.mli: Ast Config Failatom_minilang Method_id

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Analyzer Detect Hashtbl List Marks Method_id Option Profile

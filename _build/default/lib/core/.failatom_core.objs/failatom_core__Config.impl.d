@@ -1,0 +1,1 @@
+lib/core/config.ml: Checkpoint Failatom_runtime List Method_id

@@ -1,0 +1,1 @@
+lib/core/config.mli: Checkpoint Failatom_runtime Method_id

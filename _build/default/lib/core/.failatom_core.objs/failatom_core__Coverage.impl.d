@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Analyzer Detect Fmt Hashtbl List Marks Method_id Option Profile String

@@ -1,0 +1,1 @@
+lib/core/detect.ml: Analyzer Ast Compile Config Failatom_minilang Failatom_runtime Fmt Injection List Marks Printf Profile Source_weaver String Vm

@@ -1,0 +1,1 @@
+lib/core/detect.mli: Analyzer Ast Config Failatom_minilang Failatom_runtime Marks Profile Vm

@@ -1,0 +1,1 @@
+lib/core/injection.ml: Analyzer Array Config Failatom_runtime Hashtbl Heap List Marks Method_id Object_graph Option Printf String Value Vm

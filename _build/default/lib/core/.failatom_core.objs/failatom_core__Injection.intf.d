@@ -1,0 +1,1 @@
+lib/core/injection.mli: Analyzer Config Failatom_runtime Hashtbl Marks Method_id Object_graph Vm

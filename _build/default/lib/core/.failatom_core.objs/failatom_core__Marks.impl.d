@@ -1,0 +1,1 @@
+lib/core/marks.ml: Fmt Method_id

@@ -1,0 +1,1 @@
+lib/core/mask.ml: Array Ast Checkpoint Classify Compile Config Detect Failatom_minilang Failatom_runtime Hashtbl Heap List Method_id Printf Source_weaver Value Vm

@@ -1,0 +1,1 @@
+lib/core/mask.mli: Ast Classify Config Detect Failatom_minilang Failatom_runtime Method_id Vm

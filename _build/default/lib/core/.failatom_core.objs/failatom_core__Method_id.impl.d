@@ -1,0 +1,1 @@
+lib/core/method_id.ml: Fmt Map Set String

@@ -1,0 +1,1 @@
+lib/core/method_id.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Ast Compile Failatom_minilang Failatom_runtime Hashtbl List Method_id Option Value Vm

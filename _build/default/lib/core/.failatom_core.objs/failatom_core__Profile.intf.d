@@ -1,0 +1,1 @@
+lib/core/profile.mli: Ast Failatom_minilang Failatom_runtime Method_id Value Vm

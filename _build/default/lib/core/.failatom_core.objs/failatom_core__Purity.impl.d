@@ -1,0 +1,1 @@
+lib/core/purity.ml: Ast Builtins Failatom_minilang Hashtbl List Method_id Option String

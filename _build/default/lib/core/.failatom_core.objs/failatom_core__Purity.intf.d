@@ -1,0 +1,1 @@
+lib/core/purity.mli: Ast Failatom_minilang Method_id

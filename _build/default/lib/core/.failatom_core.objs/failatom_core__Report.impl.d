@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Classify Detect Fmt List Method_id Option Printf String

@@ -1,0 +1,1 @@
+lib/core/run_log.ml: Buffer Classify Detect Fun List Marks Method_id Printf Profile String

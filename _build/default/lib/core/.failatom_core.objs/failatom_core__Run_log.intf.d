@@ -1,0 +1,1 @@
+lib/core/run_log.mli: Classify Detect Marks Method_id

@@ -1,0 +1,1 @@
+lib/core/source_weaver.ml: Ast Failatom_minilang List Method_id Printf String

@@ -1,0 +1,1 @@
+lib/core/source_weaver.mli: Ast Failatom_minilang Method_id

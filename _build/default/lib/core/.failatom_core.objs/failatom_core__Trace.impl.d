@@ -1,0 +1,1 @@
+lib/core/trace.ml: Failatom_minilang Failatom_runtime Fmt Heap List Method_id Object_graph Option Printf String Value Vm

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Failatom_minilang Failatom_runtime Fmt Method_id Vm

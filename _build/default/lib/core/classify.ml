@@ -1,0 +1,170 @@
+(* Classification of methods and classes from detection results
+   (paper §4.1 end, §4.3 and Definition 3).
+
+   A method is *failure atomic* iff no injection ever marked it
+   non-atomic.  A failure non-atomic method is *pure* iff in some run it
+   was the first method marked non-atomic during exception propagation
+   (marks arrive callee-before-caller, so a first non-atomic mark cannot
+   be blamed on a callee); all other failure non-atomic methods are
+   *conditional* — they become atomic for free once their callees are
+   masked.
+
+   [exception_free] re-classification (§4.3, third case): runs whose
+   exception was injected at a method the user declared exception-free
+   are discarded before classification. *)
+
+type verdict = Atomic | Conditional_non_atomic | Pure_non_atomic
+
+let verdict_name = function
+  | Atomic -> "atomic"
+  | Conditional_non_atomic -> "conditional non-atomic"
+  | Pure_non_atomic -> "pure non-atomic"
+
+type method_report = {
+  id : Method_id.t;
+  verdict : verdict;
+  calls : int; (* dynamic calls in the baseline run *)
+  non_atomic_marks : int; (* how many injections marked it non-atomic *)
+  atomic_marks : int;
+  sample_diff : string option; (* a field path witnessing an inconsistency *)
+}
+
+type counts = { atomic : int; conditional : int; pure : int }
+
+let total c = c.atomic + c.conditional + c.pure
+
+type t = {
+  methods : method_report Method_id.Map.t; (* methods defined and used *)
+  class_verdicts : (string * verdict) list; (* classes defined and used *)
+  discarded_runs : int; (* runs dropped by exception-free filtering *)
+}
+
+(* Core classification over raw detection data: the run records and the
+   baseline per-method call counts.  [classify] extracts these from a
+   {!Detect.result}; {!Run_log} feeds them back in from a log file
+   (the paper's offline classification of wrapper log files). *)
+let classify_data ?(exception_free = []) ~(runs : Marks.run_record list)
+    ~(calls : int Method_id.Map.t) () : t =
+  let excluded = Method_id.Set.of_list exception_free in
+  let considered, discarded =
+    List.partition
+      (fun (r : Marks.run_record) ->
+        match r.Marks.injected with
+        | Some (site, _) -> not (Method_id.Set.mem site excluded)
+        | None -> true)
+      runs
+  in
+  (* Aggregate marks per method, and detect first-non-atomic runs. *)
+  let non_atomic : (Method_id.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let atomic : (Method_id.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let first_non_atomic : (Method_id.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let diffs : (Method_id.t, string) Hashtbl.t = Hashtbl.create 64 in
+  let bump table id = Hashtbl.replace table id (1 + Option.value ~default:0 (Hashtbl.find_opt table id)) in
+  List.iter
+    (fun (r : Marks.run_record) ->
+      (* "First method marked non-atomic" is evaluated per exception
+         propagation chain: marks sharing an exception identity form one
+         callee-to-caller chain, and one run may contain several chains
+         (real exception paths in the workload plus the injection). *)
+      let chains_seen : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (m : Marks.mark) ->
+          if m.Marks.atomic then bump atomic m.Marks.meth
+          else begin
+            bump non_atomic m.Marks.meth;
+            (match m.Marks.diff_path with
+             | Some p -> Hashtbl.replace diffs m.Marks.meth p
+             | None -> ());
+            if not (Hashtbl.mem chains_seen m.Marks.exn_id) then begin
+              Hashtbl.replace chains_seen m.Marks.exn_id ();
+              Hashtbl.replace first_non_atomic m.Marks.meth ()
+            end
+          end)
+        r.Marks.marks)
+    considered;
+  (* Per-method verdicts over methods defined and used. *)
+  let methods =
+    Method_id.Map.mapi
+      (fun id call_count ->
+        let na = Option.value ~default:0 (Hashtbl.find_opt non_atomic id) in
+        let a = Option.value ~default:0 (Hashtbl.find_opt atomic id) in
+        let verdict =
+          if na = 0 then Atomic
+          else if Hashtbl.mem first_non_atomic id then Pure_non_atomic
+          else Conditional_non_atomic
+        in
+        { id;
+          verdict;
+          calls = call_count;
+          non_atomic_marks = na;
+          atomic_marks = a;
+          sample_diff = Hashtbl.find_opt diffs id })
+      calls
+  in
+  (* Class-level rollup (paper Figure 4): a class is atomic if all its
+     used methods are atomic, pure non-atomic if it contains at least
+     one pure non-atomic method, conditional otherwise. *)
+  let class_table : (string, verdict) Hashtbl.t = Hashtbl.create 16 in
+  Method_id.Map.iter
+    (fun id report ->
+      let cls = Analyzer.class_of_method id in
+      let worst prev v =
+        match prev, v with
+        | Pure_non_atomic, _ | _, Pure_non_atomic -> Pure_non_atomic
+        | Conditional_non_atomic, _ | _, Conditional_non_atomic -> Conditional_non_atomic
+        | Atomic, Atomic -> Atomic
+      in
+      match Hashtbl.find_opt class_table cls with
+      | None -> Hashtbl.replace class_table cls report.verdict
+      | Some prev -> Hashtbl.replace class_table cls (worst prev report.verdict))
+    methods;
+  let class_verdicts =
+    List.sort compare (Hashtbl.fold (fun c v acc -> (c, v) :: acc) class_table [])
+  in
+  { methods; class_verdicts; discarded_runs = List.length discarded }
+
+let classify ?exception_free (result : Detect.result) : t =
+  classify_data ?exception_free ~runs:result.Detect.runs
+    ~calls:result.Detect.profile.Profile.calls ()
+
+let verdict t id = Option.map (fun r -> r.verdict) (Method_id.Map.find_opt id t.methods)
+
+let reports t = List.map snd (Method_id.Map.bindings t.methods)
+
+let methods_with t v =
+  List.filter_map (fun r -> if r.verdict = v then Some r.id else None) (reports t)
+
+let pure_methods t = methods_with t Pure_non_atomic
+let conditional_methods t = methods_with t Conditional_non_atomic
+
+let non_atomic_methods t =
+  List.filter_map
+    (fun r -> if r.verdict = Atomic then None else Some r.id)
+    (reports t)
+
+let count_by f items =
+  List.fold_left
+    (fun acc item ->
+      match f item with
+      | Atomic -> { acc with atomic = acc.atomic + 1 }
+      | Conditional_non_atomic -> { acc with conditional = acc.conditional + 1 }
+      | Pure_non_atomic -> { acc with pure = acc.pure + 1 })
+    { atomic = 0; conditional = 0; pure = 0 }
+    items
+
+(* Figure 2(a)/3(a): distribution over methods defined and used. *)
+let method_counts t = count_by (fun r -> r.verdict) (reports t)
+
+(* Figure 2(b)/3(b): distribution weighted by the number of calls. *)
+let call_counts t =
+  List.fold_left
+    (fun acc r ->
+      match r.verdict with
+      | Atomic -> { acc with atomic = acc.atomic + r.calls }
+      | Conditional_non_atomic -> { acc with conditional = acc.conditional + r.calls }
+      | Pure_non_atomic -> { acc with pure = acc.pure + r.calls })
+    { atomic = 0; conditional = 0; pure = 0 }
+    (reports t)
+
+(* Figure 4: distribution over classes defined and used. *)
+let class_counts t = count_by snd t.class_verdicts

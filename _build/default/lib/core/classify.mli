@@ -1,0 +1,64 @@
+(** Classification of methods and classes from detection results
+    (paper §4.1, §4.3, Definition 3).
+
+    A method is {e failure atomic} iff no injection ever marked it
+    non-atomic.  A failure non-atomic method is {e pure} iff in some
+    propagation chain it was the first method marked non-atomic (marks
+    arrive callee-before-caller, so a first non-atomic mark cannot be
+    blamed on a callee); the rest are {e conditional} and become atomic
+    for free once their callees are masked. *)
+
+type verdict = Atomic | Conditional_non_atomic | Pure_non_atomic
+
+val verdict_name : verdict -> string
+
+type method_report = {
+  id : Method_id.t;
+  verdict : verdict;
+  calls : int;  (** dynamic calls in the baseline run *)
+  non_atomic_marks : int;
+  atomic_marks : int;
+  sample_diff : string option;
+      (** a field path witnessing an inconsistency, when non-atomic *)
+}
+
+type counts = { atomic : int; conditional : int; pure : int }
+
+val total : counts -> int
+
+type t = {
+  methods : method_report Method_id.Map.t;  (** methods defined and used *)
+  class_verdicts : (string * verdict) list;  (** classes defined and used *)
+  discarded_runs : int;  (** runs dropped by exception-free filtering *)
+}
+
+val classify : ?exception_free:Method_id.t list -> Detect.result -> t
+(** Classifies every method defined and used by the program.  Runs whose
+    exception was injected at an [exception_free] method are discarded
+    first (the paper's §4.3 re-classification). *)
+
+val classify_data :
+  ?exception_free:Method_id.t list ->
+  runs:Marks.run_record list ->
+  calls:int Method_id.Map.t ->
+  unit -> t
+(** Classification over raw detection data: the run records plus the
+    baseline per-method call counts.  Used by {!Run_log} to classify
+    offline from persisted wrapper logs, as in the paper's §5.1
+    (Step 3: "log files are then processed offline"). *)
+
+val verdict : t -> Method_id.t -> verdict option
+val reports : t -> method_report list
+val pure_methods : t -> Method_id.t list
+val conditional_methods : t -> Method_id.t list
+val non_atomic_methods : t -> Method_id.t list
+
+val method_counts : t -> counts
+(** Figures 2(a)/3(a): distribution over methods defined and used. *)
+
+val call_counts : t -> counts
+(** Figures 2(b)/3(b): distribution weighted by call counts. *)
+
+val class_counts : t -> counts
+(** Figure 4: distribution over classes (a class is pure non-atomic if
+    it has a pure non-atomic method, atomic if all methods are). *)

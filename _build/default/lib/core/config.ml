@@ -1,0 +1,50 @@
+(* Configuration of the detection and masking pipeline.
+
+   This is the programmatic equivalent of the paper's "web interface":
+   which generic runtime exceptions to inject, which methods the user
+   declares exception-free, which methods must not be wrapped, and the
+   masking policy. *)
+
+open Failatom_runtime
+
+type wrap_policy =
+  | Wrap_pure (* wrap only pure failure non-atomic methods (§4.3) *)
+  | Wrap_all_non_atomic (* wrap every failure non-atomic method *)
+
+type t = {
+  runtime_exceptions : string list;
+      (* generic runtime exceptions injectable into any method, in
+         addition to each method's declared [throws] clause *)
+  snapshot_args : bool;
+      (* include object-valued arguments in snapshots/checkpoints (the
+         paper's C++ flavor does; its Java flavor covers [this] only) *)
+  checkpoint_strategy : Checkpoint.strategy;
+  wrap_policy : wrap_policy;
+  exception_free : Method_id.t list;
+      (* methods the user asserts never throw: injections whose site is
+         such a method are discarded during re-classification *)
+  infer_exception_free : bool;
+      (* run the static exception-freedom analysis (Purity) and skip
+         injection points in methods that provably cannot raise — the
+         automation of the paper's manual annotation, listed there as
+         future work *)
+  do_not_wrap : Method_id.t list;
+      (* methods excluded from masking even if failure non-atomic *)
+  max_runs : int; (* safety bound on the number of injection runs *)
+}
+
+let default =
+  { runtime_exceptions = [ "NullPointerException"; "OutOfMemoryError" ];
+    snapshot_args = true;
+    checkpoint_strategy = Checkpoint.Eager;
+    wrap_policy = Wrap_pure;
+    exception_free = [];
+    infer_exception_free = false;
+    do_not_wrap = [];
+    max_runs = 200_000 }
+
+(* All exception classes injectable into a method declaring [throws].
+   Declared exceptions come first, mirroring the injection-point order
+   of the paper's Listing 1. *)
+let injectable config ~declared =
+  declared @ List.filter (fun e -> not (List.mem e declared)) config.runtime_exceptions

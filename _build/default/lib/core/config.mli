@@ -1,0 +1,45 @@
+(** Configuration of the detection and masking pipeline.
+
+    The programmatic equivalent of the paper's "web interface" (§4.3):
+    which generic runtime exceptions to inject, which methods the user
+    declares exception-free, which methods must not be wrapped, and the
+    masking policy. *)
+
+open Failatom_runtime
+
+type wrap_policy =
+  | Wrap_pure
+      (** wrap only pure failure non-atomic methods: conditional ones
+          become atomic through their callees (paper Definition 3) *)
+  | Wrap_all_non_atomic  (** wrap every failure non-atomic method *)
+
+type t = {
+  runtime_exceptions : string list;
+      (** generic runtime exceptions injectable into any method, in
+          addition to each method's declared [throws] clause *)
+  snapshot_args : bool;
+      (** include reference arguments in snapshots/checkpoints (the
+          paper's C++ flavor does; its Java flavor covers [this] only) *)
+  checkpoint_strategy : Checkpoint.strategy;
+  wrap_policy : wrap_policy;
+  exception_free : Method_id.t list;
+      (** methods asserted to never throw: injections sited in them are
+          discarded during re-classification (paper §4.3) *)
+  infer_exception_free : bool;
+      (** run the static exception-freedom analysis ({!Purity}) and skip
+          injection points in methods that provably cannot raise — the
+          automation of the paper's manual annotation, which its §4.3
+          lists as future work (default [false], the paper's behavior) *)
+  do_not_wrap : Method_id.t list;
+      (** methods excluded from masking even if failure non-atomic *)
+  max_runs : int;  (** safety bound on the number of injection runs *)
+}
+
+val default : t
+(** Generic exceptions [NullPointerException] and [OutOfMemoryError],
+    snapshots covering reference arguments, eager checkpointing, the
+    wrap-pure policy, and no user annotations. *)
+
+val injectable : t -> declared:string list -> string list
+(** All exception classes injectable into a method with the given
+    [throws] clause; declared exceptions first, as in Listing 1. *)

@@ -1,0 +1,30 @@
+(** Injection coverage reporting.
+
+    Audits the paper's "one injection per reachable injection point"
+    methodology: per used method, how many injections were sited in it
+    and which of its injectable exception classes were exercised; plus
+    the methods the test program never called — whose exception handling
+    therefore remains untested (the blind spot the paper's §2 quotes
+    Cristian on). *)
+
+type method_coverage = {
+  id : Method_id.t;
+  calls : int;  (** dynamic calls in the baseline run *)
+  injectable : string list;
+  exercised : string list;  (** classes actually injected at this site *)
+  sited_runs : int;
+}
+
+val ratio : method_coverage -> float
+(** Exercised / injectable exception classes (1.0 when nothing is
+    injectable). *)
+
+type t = {
+  methods : method_coverage list;  (** methods defined and used *)
+  unused : Method_id.t list;  (** defined but never called *)
+  total_runs : int;
+  fully_covered : int;
+}
+
+val of_detection : Detect.result -> t
+val pp : t Fmt.t

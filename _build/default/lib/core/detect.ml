@@ -1,0 +1,114 @@
+(* The detection phase driver (paper §4.1, Step 3 of Figure 1).
+
+   Executes the exception injector program repeatedly, arming injection
+   point 1, 2, 3, ... in successive runs; each run gets a fresh VM and
+   heap, so runs are independent (the paper restarts the injector
+   process).  The loop terminates at the first run in which the armed
+   threshold exceeds the number of injection points actually reached —
+   at that point every reachable injection point has been exercised
+   once.  That final probe run doubles as a transparency check: with no
+   injection firing, the instrumented program must produce the baseline
+   output. *)
+
+open Failatom_runtime
+open Failatom_minilang
+
+type flavor =
+  | Source_weaving (* the paper's C++ / AspectC++ implementation *)
+  | Load_time_filters (* the paper's Java / JWG implementation *)
+
+let flavor_name = function
+  | Source_weaving -> "source-weaving"
+  | Load_time_filters -> "load-time-filters"
+
+type result = {
+  flavor : flavor;
+  config : Config.t;
+  analyzer : Analyzer.t;
+  profile : Profile.t;
+  runs : Marks.run_record list;
+      (* one record per injection run, plus the final no-injection probe
+         run (injected = None).  The probe run matters: its marks record
+         the atomicity of the *real* exception paths the workload
+         exercises without any injected fault. *)
+  injections : int; (* number of runs in which an exception fired *)
+  transparent : bool; (* final no-injection run matched baseline output *)
+}
+
+(* A non-MiniLang failure inside an injection run: a genuine bug either
+   in the workload or in the instrumentation. *)
+exception Detection_error of string
+
+(* Builds the instrumented VM for one run and returns it together with
+   the armed injection state.  [prepare] registers any extra hooks the
+   program needs (e.g. checkpoint hooks of an already-masked program
+   being re-validated). *)
+let instrumented_vm flavor config analyzer ~prepare (program : Ast.program) ~threshold =
+  let state = Injection.make_state config analyzer ~threshold in
+  let vm =
+    match flavor with
+    | Load_time_filters ->
+      let vm = Compile.program program in
+      prepare vm;
+      Injection.attach state vm;
+      vm
+    | Source_weaving ->
+      let woven = Source_weaver.weave_injection program in
+      let vm = Compile.program woven in
+      prepare vm;
+      Injection.register_hooks state vm;
+      vm
+  in
+  (vm, state)
+
+let run_once flavor config analyzer ~prepare program ~threshold : Marks.run_record =
+  let vm, state = instrumented_vm flavor config analyzer ~prepare program ~threshold in
+  let escaped =
+    try
+      ignore (Compile.run_main vm);
+      None
+    with
+    | Vm.Mini_raise e -> Some e.Vm.exn_class
+    | Compile.Runtime_error (msg, pos) ->
+      raise
+        (Detection_error
+           (Fmt.str "run %d aborted: %s at %a" threshold msg Ast.pp_pos pos))
+    | Vm.Step_limit_exceeded ->
+      raise (Detection_error (Fmt.str "run %d exceeded the step limit" threshold))
+  in
+  { Marks.injection_point = threshold;
+    injected = state.Injection.injected;
+    marks = Injection.marks state;
+    escaped;
+    output = Vm.output vm;
+    calls = vm.Vm.calls }
+
+(* Runs the complete detection phase on [program]. *)
+let run ?(config = Config.default) ?(flavor = Source_weaving)
+    ?(prepare = fun (_ : Vm.t) -> ()) (program : Ast.program) : result =
+  let analyzer = Analyzer.analyze config program in
+  let profile = Profile.run ~prepare program in
+  let rec loop threshold acc =
+    if threshold > config.Config.max_runs then
+      raise
+        (Detection_error
+           (Printf.sprintf "exceeded max_runs = %d injection runs" config.Config.max_runs))
+    else
+      let record = run_once flavor config analyzer ~prepare program ~threshold in
+      match record.Marks.injected with
+      | Some _ -> loop (threshold + 1) (record :: acc)
+      | None ->
+        (* The no-injection probe run: instrumentation must be
+           transparent w.r.t. the baseline, and its marks capture the
+           workload's real exception paths. *)
+        let transparent = String.equal record.Marks.output profile.Profile.output in
+        (List.rev (record :: acc), transparent)
+  in
+  let runs, transparent = loop 1 [] in
+  { flavor;
+    config;
+    analyzer;
+    profile;
+    runs;
+    injections = List.length runs - 1;
+    transparent }

@@ -1,0 +1,40 @@
+(** The detection phase driver (paper §4.1, Step 3 of Figure 1).
+
+    Executes the exception injector program with the threshold armed at
+    1, 2, 3, … — a fresh VM and heap per run — until a run completes
+    with no injection.  That final probe run doubles as a transparency
+    check (the instrumented program must reproduce the baseline output)
+    and contributes the marks of the workload's {e real} exception
+    paths. *)
+
+open Failatom_runtime
+open Failatom_minilang
+
+type flavor =
+  | Source_weaving  (** the paper's C++ / AspectC++ implementation *)
+  | Load_time_filters  (** the paper's Java / JWG implementation *)
+
+val flavor_name : flavor -> string
+
+type result = {
+  flavor : flavor;
+  config : Config.t;
+  analyzer : Analyzer.t;
+  profile : Profile.t;
+  runs : Marks.run_record list;
+      (** one record per injection run, plus the final no-injection
+          probe run ([injected = None]) *)
+  injections : int;  (** number of runs in which an exception fired *)
+  transparent : bool;  (** probe run matched the baseline output *)
+}
+
+exception Detection_error of string
+(** A non-MiniLang failure inside a run: a genuine bug in the workload
+    or in the instrumentation. *)
+
+val run :
+  ?config:Config.t -> ?flavor:flavor -> ?prepare:(Vm.t -> unit) ->
+  Ast.program -> result
+(** Runs the complete detection phase.  [prepare] registers extra hooks
+    on every VM created (e.g. {!Mask.register_hooks} when re-validating
+    an already-masked program). *)

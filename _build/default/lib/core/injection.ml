@@ -1,0 +1,202 @@
+(* Exception injection and atomicity checking (paper §4.1, Listing 1).
+
+   One run of the exception injector program arms a single threshold
+   [InjectionPoint]; a global counter [Point] is incremented once per
+   injectable exception type at every (wrapped) method entry, and the
+   matching exception is thrown when the counter reaches the threshold.
+   When a wrapped call returns exceptionally, the wrapper compares the
+   receiver's object graph against the snapshot taken on entry and marks
+   the method atomic or non-atomic for this injection.
+
+   The logic lives here once and is exposed in the two forms used by the
+   paper's two implementations:
+   - {!filter}: a pre/post filter attached to compiled methods
+     ("binary code transformation", the Java/JWG path);
+   - {!register_hooks}: reflective builtins ([__inject], [__snapshot],
+     [__mark], [__drop]) called by wrapper methods that the source
+     weaver spliced into the program text (the C++/AspectC++ path). *)
+
+open Failatom_runtime
+
+type state = {
+  config : Config.t;
+  analyzer : Analyzer.t;
+  threshold : int; (* this run's InjectionPoint *)
+  mutable point : int; (* the global Point counter *)
+  mutable injected : (Method_id.t * string) option;
+  mutable marks : Marks.mark list; (* reversed *)
+  mutable snap_stack : (Method_id.t * Object_graph.node) list;
+      (* binary flavor: snapshot pushed by pre, popped by post *)
+  snapshots : (int, Object_graph.node) Hashtbl.t;
+      (* source flavor: snapshots held by wrapper-local tokens *)
+  mutable next_token : int;
+}
+
+let make_state config analyzer ~threshold =
+  { config;
+    analyzer;
+    threshold;
+    point = 0;
+    injected = None;
+    marks = [];
+    snap_stack = [];
+    snapshots = Hashtbl.create 32;
+    next_token = 0 }
+
+let marks state = List.rev state.marks
+
+(* Roots of a snapshot: the receiver plus, per configuration, every
+   argument passed by reference (paper: "all arguments that are passed
+   in as non-constant references"). *)
+let snapshot_roots state recv args =
+  if state.config.Config.snapshot_args then
+    recv :: List.filter Value.is_ref args
+  else [ recv ]
+
+let take_snapshot state vm recv args =
+  Object_graph.canonical_many vm.Vm.heap (snapshot_roots state recv args)
+
+(* The injection points of Listing 1, lines 2-5: one potential point per
+   injectable exception type.  Returns the exception to inject when the
+   armed threshold is crossed. *)
+let maybe_inject state vm id =
+  let rec try_types = function
+    | [] -> None
+    | exn_class :: rest ->
+      state.point <- state.point + 1;
+      if state.point = state.threshold then begin
+        state.injected <- Some (id, exn_class);
+        Some (Vm.make_exn vm exn_class "injected")
+      end
+      else try_types rest
+  in
+  try_types (Analyzer.injectable_for state.analyzer id)
+
+let exn_identity (exn_v : Vm.exn_value) =
+  match exn_v.Vm.exn_obj with Value.Ref id -> id | _ -> 0
+
+let record_mark state id ~atomic ~diff_path ~exn_id =
+  state.marks <- { Marks.meth = id; atomic; diff_path; exn_id } :: state.marks
+
+(* Snapshots wrap their roots in a synthetic array (receiver at slot 0,
+   reference arguments after it); rewrite the raw diff path so reports
+   speak in terms of [this] and [argN]. *)
+let tidy_diff_path path =
+  let prefix p = String.length path >= String.length p && String.sub path 0 (String.length p) = p in
+  if prefix "this[" then
+    match String.index_opt path ']' with
+    | Some close ->
+      let idx = String.sub path 5 (close - 5) in
+      let rest = String.sub path (close + 1) (String.length path - close - 1) in
+      (match int_of_string_opt idx with
+       | Some 0 -> "this" ^ rest
+       | Some n -> Printf.sprintf "arg%d%s" (n - 1) rest
+       | None -> path)
+    | None -> path
+  else path
+
+(* Compares the entry snapshot with the current graph and records the
+   verdict for this injection (Listing 1, lines 10-14). *)
+let check_and_mark state vm id before recv args ~exn_id =
+  let after = take_snapshot state vm recv args in
+  if Object_graph.equal before after then
+    record_mark state id ~atomic:true ~diff_path:None ~exn_id
+  else
+    record_mark state id ~atomic:false ~exn_id
+      ~diff_path:(Option.map tidy_diff_path (Object_graph.diff before after))
+
+(* ------------------------------------------------------------------ *)
+(* Binary flavor: a pre/post filter                                    *)
+(* ------------------------------------------------------------------ *)
+
+let filter state =
+  { Vm.filt_name = "injection";
+    pre =
+      (fun vm meth recv args ->
+        let id = Method_id.make meth.Vm.meth_class meth.Vm.meth_name in
+        match maybe_inject state vm id with
+        | Some exn_v -> Vm.Pre_raise exn_v
+        | None ->
+          state.snap_stack <- (id, take_snapshot state vm recv args) :: state.snap_stack;
+          Vm.Proceed);
+    post =
+      (fun vm _meth recv args result ->
+        match state.snap_stack with
+        | [] ->
+          (* Desynchronized only if a fatal (non-MiniLang) error aborted
+             the run; nothing sensible to record. *)
+          Vm.Pass
+        | (id, before) :: rest ->
+          state.snap_stack <- rest;
+          (match result with
+           | Ok _ -> ()
+           | Error exn_v ->
+             check_and_mark state vm id before recv args ~exn_id:(exn_identity exn_v));
+          Vm.Pass) }
+
+let attach state vm = Vm.attach_filter_everywhere vm (filter state)
+
+(* ------------------------------------------------------------------ *)
+(* Source flavor: reflective hooks called by woven wrapper methods     *)
+(* ------------------------------------------------------------------ *)
+
+let hook_error name = invalid_arg (Printf.sprintf "hook %s: invalid arguments" name)
+
+let id_of_args name args =
+  match args with
+  | Value.Str cls :: Value.Str meth :: rest -> (Method_id.make cls meth, rest)
+  | _ -> hook_error name
+
+let roots_of state vm recv args_array =
+  let args =
+    match args_array with
+    | Value.Ref id -> (
+      match Heap.get vm.Vm.heap id with
+      | Heap.Arr a -> Array.to_list a
+      | Heap.Obj _ -> hook_error "__snapshot")
+    | _ -> hook_error "__snapshot"
+  in
+  snapshot_roots state recv args
+
+let register_hooks state vm =
+  Vm.register_hook vm "__inject" (fun vm args ->
+      let id, rest = id_of_args "__inject" args in
+      if rest <> [] then hook_error "__inject";
+      (match maybe_inject state vm id with
+       | Some exn_v -> raise (Vm.Mini_raise exn_v)
+       | None -> ());
+      Value.Null);
+  Vm.register_hook vm "__snapshot" (fun vm args ->
+      match args with
+      | [ recv; args_array ] ->
+        let node = Object_graph.canonical_many vm.Vm.heap (roots_of state vm recv args_array) in
+        let token = state.next_token in
+        state.next_token <- token + 1;
+        Hashtbl.replace state.snapshots token node;
+        Value.Int token
+      | _ -> hook_error "__snapshot");
+  Vm.register_hook vm "__mark" (fun vm args ->
+      match args with
+      | [ Value.Str cls; Value.Str meth; Value.Int token; recv; args_array; exn_obj ] ->
+        let id = Method_id.make cls meth in
+        let exn_id = match exn_obj with Value.Ref i -> i | _ -> 0 in
+        (match Hashtbl.find_opt state.snapshots token with
+         | None -> hook_error "__mark"
+         | Some before ->
+           Hashtbl.remove state.snapshots token;
+           let after =
+             Object_graph.canonical_many vm.Vm.heap (roots_of state vm recv args_array)
+           in
+           if Object_graph.equal before after then
+             record_mark state id ~atomic:true ~diff_path:None ~exn_id
+           else
+             record_mark state id ~atomic:false ~exn_id
+               ~diff_path:(Option.map tidy_diff_path (Object_graph.diff before after)));
+        Value.Null
+      | _ -> hook_error "__mark");
+  Vm.register_hook vm "__drop" (fun _vm args ->
+      match args with
+      | [ Value.Int token ] ->
+        Hashtbl.remove state.snapshots token;
+        Value.Null
+      | _ -> hook_error "__drop")

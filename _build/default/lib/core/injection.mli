@@ -1,0 +1,44 @@
+(** Exception injection and atomicity checking (paper §4.1, Listing 1).
+
+    One run arms a single threshold [InjectionPoint]; a global counter
+    [Point] is incremented once per injectable exception type at every
+    wrapped method entry, and the matching exception is thrown when the
+    counter reaches the threshold.  On exceptional return, the wrapper
+    compares the receiver's object graph against the entry snapshot and
+    marks the method atomic or non-atomic for this injection.
+
+    The logic is exposed in the two forms of the paper's two
+    implementations: {!filter} (pre/post filters for compiled programs —
+    the Java/JWG path) and {!register_hooks} (reflective builtins called
+    by wrapper methods spliced in by {!Source_weaver} — the
+    C++/AspectC++ path). *)
+
+open Failatom_runtime
+
+type state = {
+  config : Config.t;
+  analyzer : Analyzer.t;
+  threshold : int;  (** this run's InjectionPoint *)
+  mutable point : int;  (** the global Point counter *)
+  mutable injected : (Method_id.t * string) option;
+      (** injection site and exception class, once fired *)
+  mutable marks : Marks.mark list;  (** reversed *)
+  mutable snap_stack : (Method_id.t * Object_graph.node) list;
+  snapshots : (int, Object_graph.node) Hashtbl.t;
+  mutable next_token : int;
+}
+
+val make_state : Config.t -> Analyzer.t -> threshold:int -> state
+
+val marks : state -> Marks.mark list
+(** Marks recorded so far, in emission (callee-before-caller) order. *)
+
+val filter : state -> Vm.filter
+(** The injection wrapper as a pre/post filter (binary flavor). *)
+
+val attach : state -> Vm.t -> unit
+(** Attaches {!filter} to every method of the VM. *)
+
+val register_hooks : state -> Vm.t -> unit
+(** Registers the reflective hooks ([__inject], [__snapshot], [__mark],
+    [__drop]) that source-woven wrapper methods call (source flavor). *)

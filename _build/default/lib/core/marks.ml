@@ -1,0 +1,48 @@
+(* Records produced by the detection phase.
+
+   Every injection run yields a {!run_record}: which injection point was
+   armed, where the exception was actually injected, and the sequence of
+   atomicity marks emitted by the wrappers while the exception
+   propagated from callee to caller (Listing 1's [mark] calls, in
+   order).  The classifier consumes these records. *)
+
+type mark = {
+  meth : Method_id.t;
+  atomic : bool;
+  diff_path : string option;
+      (* for non-atomic marks: first field path where the object graph
+         diverged from the pre-call snapshot *)
+  exn_id : int;
+      (* identity of the propagating exception object: marks with the
+         same [exn_id] belong to one callee-to-caller propagation
+         chain, which is the unit over which "first method marked
+         non-atomic" (Definition 3) is evaluated *)
+}
+
+type run_record = {
+  injection_point : int; (* the armed threshold of this run *)
+  injected : (Method_id.t * string) option;
+      (* injection site and exception class; [None] for the final probe
+         run in which the threshold exceeded the number of points *)
+  marks : mark list; (* callee-to-caller propagation order *)
+  escaped : string option; (* exception class escaping [main], if any *)
+  output : string; (* program output of this run *)
+  calls : int; (* dynamic method+constructor calls in this run *)
+}
+
+let pp_mark ppf { meth; atomic; diff_path; _ } =
+  Fmt.pf ppf "%a:%s%a" Method_id.pp meth
+    (if atomic then "atomic" else "NON-ATOMIC")
+    Fmt.(option (fun ppf p -> pf ppf "@@%s" p))
+    diff_path
+
+let pp_run ppf r =
+  match r.injected with
+  | None -> Fmt.pf ppf "run[%d]: no injection" r.injection_point
+  | Some (site, exn_class) ->
+    Fmt.pf ppf "run[%d]: %s @@ %a -> [%a]%a" r.injection_point exn_class
+      Method_id.pp site
+      Fmt.(list ~sep:comma pp_mark)
+      r.marks
+      Fmt.(option (fun ppf e -> pf ppf " escaped:%s" e))
+      r.escaped

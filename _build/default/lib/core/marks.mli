@@ -1,0 +1,33 @@
+(** Records produced by the detection phase.
+
+    Every run of the exception injector yields a {!run_record}: which
+    injection point was armed, where the exception was injected, and the
+    sequence of atomicity marks the wrappers emitted while exceptions
+    propagated from callee to caller (Listing 1's [mark] calls). *)
+
+type mark = {
+  meth : Method_id.t;
+  atomic : bool;
+  diff_path : string option;
+      (** for non-atomic marks: first field path where the object graph
+          diverged from the pre-call snapshot *)
+  exn_id : int;
+      (** identity of the propagating exception object: marks sharing an
+          [exn_id] form one callee-to-caller propagation chain — the
+          unit over which "first method marked non-atomic"
+          (Definition 3) is evaluated *)
+}
+
+type run_record = {
+  injection_point : int;  (** the armed threshold of this run *)
+  injected : (Method_id.t * string) option;
+      (** injection site and exception class; [None] for the final probe
+          run in which the threshold exceeded the number of points *)
+  marks : mark list;  (** callee-to-caller propagation order *)
+  escaped : string option;  (** exception class escaping [main], if any *)
+  output : string;  (** program output of this run *)
+  calls : int;  (** dynamic method+constructor calls in this run *)
+}
+
+val pp_mark : mark Fmt.t
+val pp_run : run_record Fmt.t

@@ -1,0 +1,47 @@
+(* Dynamic profile of the target program.
+
+   A plain (uninstrumented) run with a counting filter attached to every
+   method yields: which methods are actually *used* by the program, and
+   how often each is called.  The detection phase uses the profile to
+   know where wrappers are needed; Figures 2(b)/3(b) of the paper weight
+   the classification by these call counts. *)
+
+open Failatom_runtime
+open Failatom_minilang
+
+type t = {
+  calls : int Method_id.Map.t; (* per-method dynamic call counts *)
+  total_calls : int;
+  output : string; (* baseline program output *)
+  exit_value : Value.t;
+}
+
+let used_methods t = List.map fst (Method_id.Map.bindings t.calls)
+let call_count t id = Option.value ~default:0 (Method_id.Map.find_opt id t.calls)
+
+(* Runs [program] once with a counting filter on every method.  The
+   baseline run must complete without an escaping exception: a workload
+   that fails on its own would make injection results meaningless.
+   [prepare] is applied to the fresh VM before the run; programs that
+   were produced by the masking weaver use it to register their
+   checkpoint hooks. *)
+let run ?(prepare = fun (_ : Vm.t) -> ()) (program : Ast.program) : t =
+  let vm = Compile.program program in
+  prepare vm;
+  let counts : (Method_id.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let filter =
+    { Vm.filt_name = "profile";
+      pre =
+        (fun _vm meth _recv _args ->
+          let id = Method_id.make meth.Vm.meth_class meth.Vm.meth_name in
+          Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id));
+          Vm.Proceed);
+      post = (fun _vm _meth _recv _args _result -> Vm.Pass) }
+  in
+  Vm.attach_filter_everywhere vm filter;
+  let exit_value = Compile.run_main vm in
+  let calls = Hashtbl.fold Method_id.Map.add counts Method_id.Map.empty in
+  { calls;
+    total_calls = Method_id.Map.fold (fun _ n acc -> n + acc) calls 0;
+    output = Vm.output vm;
+    exit_value }

@@ -1,0 +1,25 @@
+(** Dynamic profile of the target program.
+
+    One uninstrumented run with a counting filter on every method
+    yields which methods the program actually {e uses} and how often —
+    the call weights behind Figures 2(b)/3(b). *)
+
+open Failatom_runtime
+open Failatom_minilang
+
+type t = {
+  calls : int Method_id.Map.t;  (** per-method dynamic call counts *)
+  total_calls : int;
+  output : string;  (** baseline program output *)
+  exit_value : Value.t;
+}
+
+val used_methods : t -> Method_id.t list
+val call_count : t -> Method_id.t -> int
+
+val run : ?prepare:(Vm.t -> unit) -> Ast.program -> t
+(** Runs [program] once with a counting filter attached everywhere.
+    The baseline run must complete without an escaping exception.
+    [prepare] is applied to the fresh VM before the run (used to
+    register checkpoint hooks when profiling an already-masked
+    program). *)

@@ -1,0 +1,23 @@
+(** Static exception-freedom analysis.
+
+    The paper's §4.3 relies on the user to annotate methods that never
+    throw and lists automating that determination as future work; this
+    module is that future work.  A conservative syntactic analysis
+    (closed over the call graph, with dynamic dispatch approximated by
+    method name) computes the methods that provably cannot raise a
+    MiniLang exception.  Enabled through
+    {!Config.t.infer_exception_free}: such methods then receive no
+    injection points, removing exactly the conservative false positives
+    §4.3 describes.
+
+    The analysis errs toward MAY-throw: a method is only spared from
+    injection when it truly cannot raise, so detection soundness is
+    preserved. *)
+
+open Failatom_minilang
+
+val never_throws : Ast.program -> Method_id.Set.t
+(** The set of methods that can never raise. *)
+
+val safe_builtins : string list
+(** Builtins that can never raise a MiniLang exception. *)

@@ -1,0 +1,147 @@
+(* Rendering of experiment results: Table 1 and Figures 2-4 of the
+   paper, as console tables/bars.  The benchmark harness prints these
+   for every workload application. *)
+
+type app_result = {
+  app_name : string;
+  language : string; (* "C++" or "Java": which paper suite it models *)
+  flavor : Detect.flavor;
+  classes : int;
+  methods : int; (* methods defined and used *)
+  injections : int;
+  classification : Classify.t;
+}
+
+let of_detection ~app_name ~language (detection : Detect.result) classification =
+  { app_name;
+    language;
+    flavor = detection.Detect.flavor;
+    classes =
+      (* classes defined and used *)
+      List.length classification.Classify.class_verdicts;
+    methods = Method_id.Map.cardinal classification.Classify.methods;
+    injections = detection.Detect.injections;
+    classification }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pp_table1 ppf (apps : app_result list) =
+  Fmt.pf ppf "%-14s %-6s %9s %9s %12s@." "Application" "Suite" "#Classes" "#Methods"
+    "#Injections";
+  Fmt.pf ppf "%s@." (String.make 55 '-');
+  List.iter
+    (fun a ->
+      Fmt.pf ppf "%-14s %-6s %9d %9d %12d@." a.app_name a.language a.classes a.methods
+        a.injections)
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Classification figures                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pct part total = if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+
+let bar width p =
+  let n = int_of_float (p *. float_of_int width /. 100.0) in
+  String.make (max 0 (min width n)) '#'
+
+(* One row of a Figure 2/3/4-style chart: three percentages plus a bar
+   of the non-atomic share. *)
+let pp_counts_row ppf name (c : Classify.counts) =
+  let t = Classify.total c in
+  let pa = pct c.Classify.atomic t
+  and pc = pct c.Classify.conditional t
+  and pp_ = pct c.Classify.pure t in
+  Fmt.pf ppf "%-14s %7.1f%% %12.1f%% %7.1f%%  |%-20s|@." name pa pc pp_
+    (bar 20 (pc +. pp_))
+
+let pp_figure_header ppf title =
+  Fmt.pf ppf "@.%s@.%s@." title (String.make (String.length title) '=');
+  Fmt.pf ppf "%-14s %8s %13s %8s  %s@." "Application" "atomic" "conditional" "pure"
+    "non-atomic share";
+  Fmt.pf ppf "%s@." (String.make 70 '-')
+
+(* Figures 2(a)/3(a): by methods defined and used. *)
+let pp_figure_methods ppf ~title apps =
+  pp_figure_header ppf title;
+  List.iter
+    (fun a -> pp_counts_row ppf a.app_name (Classify.method_counts a.classification))
+    apps
+
+(* Figures 2(b)/3(b): weighted by number of calls. *)
+let pp_figure_calls ppf ~title apps =
+  pp_figure_header ppf title;
+  List.iter
+    (fun a -> pp_counts_row ppf a.app_name (Classify.call_counts a.classification))
+    apps
+
+(* Figure 4: by classes defined and used. *)
+let pp_figure_classes ppf ~title apps =
+  pp_figure_header ppf title;
+  List.iter
+    (fun a -> pp_counts_row ppf a.app_name (Classify.class_counts a.classification))
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Per-method detail (what the paper's web interface shows)            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_method_report ppf (r : Classify.method_report) =
+  Fmt.pf ppf "%-36s %-22s calls=%-6d na-marks=%-4d%a@."
+    (Method_id.to_string r.Classify.id)
+    (Classify.verdict_name r.Classify.verdict)
+    r.Classify.calls r.Classify.non_atomic_marks
+    Fmt.(option (fun ppf d -> pf ppf " diff@@%s" d))
+    r.Classify.sample_diff
+
+let pp_details ppf (c : Classify.t) =
+  let reports = Classify.reports c in
+  let interesting =
+    List.filter (fun r -> r.Classify.verdict <> Classify.Atomic) reports
+  in
+  Fmt.pf ppf "%d method(s) defined and used, %d failure non-atomic:@."
+    (List.length reports) (List.length interesting);
+  List.iter (pp_method_report ppf) interesting
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable export                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* CSV of the per-method classification, one row per method defined and
+   used; consumable by spreadsheet tooling the way the paper's web
+   interface consumed the wrapper logs. *)
+let classification_to_csv (c : Classify.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "class,method,verdict,calls,non_atomic_marks,atomic_marks,diff_path\n";
+  List.iter
+    (fun (r : Classify.method_report) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%d,%d,%s\n" r.Classify.id.Method_id.cls
+           r.Classify.id.Method_id.name
+           (match r.Classify.verdict with
+            | Classify.Atomic -> "atomic"
+            | Classify.Conditional_non_atomic -> "conditional"
+            | Classify.Pure_non_atomic -> "pure")
+           r.Classify.calls r.Classify.non_atomic_marks r.Classify.atomic_marks
+           (Option.value ~default:"" r.Classify.sample_diff)))
+    (Classify.reports c);
+  Buffer.contents buf
+
+(* CSV of Table 1 plus the three classification distributions. *)
+let table1_to_csv (apps : app_result list) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "application,suite,classes,methods,injections,pure_methods,conditional_methods,atomic_methods,pure_call_pct\n";
+  List.iter
+    (fun a ->
+      let m = Classify.method_counts a.classification in
+      let calls = Classify.call_counts a.classification in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%d,%.2f\n" a.app_name a.language a.classes
+           a.methods a.injections m.Classify.pure m.Classify.conditional
+           m.Classify.atomic
+           (pct calls.Classify.pure (Classify.total calls))))
+    apps;
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Rendering of experiment results: Table 1 and Figures 2–4 of the
+    paper, as console tables and bar charts. *)
+
+type app_result = {
+  app_name : string;
+  language : string;  (** "C++" or "Java": which paper suite it models *)
+  flavor : Detect.flavor;
+  classes : int;  (** classes defined and used *)
+  methods : int;  (** methods defined and used *)
+  injections : int;
+  classification : Classify.t;
+}
+
+val of_detection :
+  app_name:string -> language:string -> Detect.result -> Classify.t -> app_result
+
+val pct : int -> int -> float
+(** [pct part total] in percent; 0 when [total] is 0. *)
+
+val bar : int -> float -> string
+(** [bar width percent] is an ASCII bar, clamped to [width]. *)
+
+val pp_table1 : Format.formatter -> app_result list -> unit
+val pp_figure_methods : Format.formatter -> title:string -> app_result list -> unit
+val pp_figure_calls : Format.formatter -> title:string -> app_result list -> unit
+val pp_figure_classes : Format.formatter -> title:string -> app_result list -> unit
+
+val pp_method_report : Format.formatter -> Classify.method_report -> unit
+
+val pp_details : Format.formatter -> Classify.t -> unit
+(** The per-method detail view (what the paper's web interface shows):
+    every non-atomic method with verdict, call count and diff path. *)
+
+val classification_to_csv : Classify.t -> string
+(** CSV export of the per-method classification (one row per method
+    defined and used). *)
+
+val table1_to_csv : app_result list -> string
+(** CSV export of the per-application statistics. *)

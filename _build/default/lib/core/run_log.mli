@@ -1,0 +1,32 @@
+(** Persistence of detection results as wrapper log files.
+
+    The paper's implementation writes "the results of online atomicity
+    checks ... to log files", which are "processed offline to classify
+    each method" (§5.1, Step 3).  This module is that workflow: save a
+    {!Detect.result} as a line-oriented text log, load it back later
+    (possibly in another process) and classify offline — including
+    exception-free re-classification, without re-running any
+    injections. *)
+
+type t = {
+  flavor : string;
+  transparent : bool;
+  calls : int Method_id.Map.t;  (** baseline per-method call counts *)
+  runs : Marks.run_record list;
+      (** loaded run records; the [output] field is not persisted and
+          comes back empty *)
+}
+
+exception Bad_log of string * int
+(** Parse failure: message and line number. *)
+
+val save : Detect.result -> string
+val save_file : Detect.result -> string -> unit
+
+val load : string -> t
+(** @raise Bad_log on malformed input. *)
+
+val load_file : string -> t
+
+val classify : ?exception_free:Method_id.t list -> t -> Classify.t
+(** Offline classification from a loaded log. *)

@@ -1,0 +1,138 @@
+(* Source-code weaving (paper §5.1, the AspectC++/CINT path).
+
+   The weaver rewrites the program text itself: every method [m] of
+   class [C] is renamed to a mangled private name, and a wrapper method
+   with the original name is spliced into the class.  All existing call
+   sites therefore reach the wrapper without being touched — the same
+   effect AspectC++ achieves with call-site advice.  Wrapper bodies call
+   the engine through reflective [__]-hooks; the woven program is
+   ordinary MiniLang and can be pretty-printed for inspection.
+
+   The mangled name carries the defining class ([__orig__C__m]) so that
+   a wrapper inherited by a subclass still reaches *its own* class's
+   original implementation even when the subclass overrides [m]. *)
+
+open Failatom_minilang
+
+type kind = Injection | Masking
+
+let prefix = function Injection -> "__orig" | Masking -> "__msk"
+
+let mangle kind (id : Method_id.t) =
+  Printf.sprintf "%s__%s__%s" (prefix kind) id.Method_id.cls id.Method_id.name
+
+(* Recovers the original method id from a mangled name, if it is one. *)
+let demangle name =
+  let strip p =
+    let pl = String.length p in
+    if String.length name > pl && String.sub name 0 pl = p then
+      let rest = String.sub name pl (String.length name - pl) in
+      match String.index_opt rest '_' with
+      | Some _ -> (
+        (* rest is "<cls>__<meth>"; split on the first "__" *)
+        let rec find i =
+          if i + 1 >= String.length rest then None
+          else if rest.[i] = '_' && rest.[i + 1] = '_' then Some i
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some i ->
+          Some
+            (Method_id.make (String.sub rest 0 i)
+               (String.sub rest (i + 2) (String.length rest - i - 2)))
+        | None -> None)
+      | None -> None
+    else None
+  in
+  match strip "__orig__" with Some id -> Some id | None -> strip "__msk__"
+
+let args_array params = Ast.mk_expr (Ast.Array_lit (List.map Ast.var params))
+
+(* The injection wrapper of Listing 1, as MiniLang source. *)
+let injection_wrapper cls (m : Ast.meth_decl) : Ast.meth_decl =
+  let id = Method_id.make cls m.Ast.m_name in
+  let orig = mangle Injection id in
+  let cls_lit = Ast.str_lit cls and name_lit = Ast.str_lit m.Ast.m_name in
+  let params = m.Ast.m_params in
+  let body =
+    [ Ast.mk_stmt (Ast.Expr_stmt (Ast.fn_call "__inject" [ cls_lit; name_lit ]));
+      Ast.mk_stmt
+        (Ast.Var_decl ("__snap", Ast.fn_call "__snapshot" [ Ast.this_e; args_array params ]));
+      Ast.mk_stmt
+        (Ast.Try
+           ( [ Ast.mk_stmt
+                 (Ast.Var_decl ("__r", Ast.call Ast.this_e orig (List.map Ast.var params)));
+               Ast.mk_stmt (Ast.Expr_stmt (Ast.fn_call "__drop" [ Ast.var "__snap" ]));
+               Ast.mk_stmt (Ast.Return (Some (Ast.var "__r"))) ],
+             [ { Ast.cc_class = "Throwable";
+                 cc_var = "__t";
+                 cc_body =
+                   [ Ast.mk_stmt
+                       (Ast.Expr_stmt
+                          (Ast.fn_call "__mark"
+                             [ cls_lit;
+                               name_lit;
+                               Ast.var "__snap";
+                               Ast.this_e;
+                               args_array params;
+                               Ast.var "__t" ]));
+                     Ast.mk_stmt (Ast.Throw (Ast.var "__t")) ] } ],
+             None )) ]
+  in
+  { m with Ast.m_body = body }
+
+(* The atomicity wrapper of Listing 2, as MiniLang source. *)
+let masking_wrapper cls (m : Ast.meth_decl) : Ast.meth_decl =
+  let id = Method_id.make cls m.Ast.m_name in
+  let orig = mangle Masking id in
+  let params = m.Ast.m_params in
+  let body =
+    [ Ast.mk_stmt
+        (Ast.Var_decl
+           ("__cp", Ast.fn_call "__checkpoint" [ Ast.this_e; args_array params ]));
+      Ast.mk_stmt
+        (Ast.Try
+           ( [ Ast.mk_stmt
+                 (Ast.Var_decl ("__r", Ast.call Ast.this_e orig (List.map Ast.var params)));
+               Ast.mk_stmt (Ast.Expr_stmt (Ast.fn_call "__cpdrop" [ Ast.var "__cp" ]));
+               Ast.mk_stmt (Ast.Return (Some (Ast.var "__r"))) ],
+             [ { Ast.cc_class = "Throwable";
+                 cc_var = "__t";
+                 cc_body =
+                   [ Ast.mk_stmt (Ast.Expr_stmt (Ast.fn_call "__restore" [ Ast.var "__cp" ]));
+                     Ast.mk_stmt (Ast.Throw (Ast.var "__t")) ] } ],
+             None )) ]
+  in
+  { m with Ast.m_body = body }
+
+let weave_class kind ~selected (c : Ast.class_decl) : Ast.class_decl =
+  let weave_method (m : Ast.meth_decl) =
+    let id = Method_id.make c.Ast.c_name m.Ast.m_name in
+    if not (selected id) then [ m ]
+    else
+      let renamed = { m with Ast.m_name = mangle kind id } in
+      let wrapper =
+        match kind with
+        | Injection -> injection_wrapper c.Ast.c_name m
+        | Masking -> masking_wrapper c.Ast.c_name m
+      in
+      [ renamed; wrapper ]
+  in
+  { c with Ast.c_methods = List.concat_map weave_method c.Ast.c_methods }
+
+let weave kind ~selected (program : Ast.program) : Ast.program =
+  List.map
+    (fun decl ->
+      match decl with
+      | Ast.Class_decl c -> Ast.Class_decl (weave_class kind ~selected c)
+      | Ast.Func_decl _ as d -> d)
+    program
+
+(* Weaves injection wrappers around every method of the program
+   (detection phase, Steps 1-2 of Figure 1). *)
+let weave_injection program = weave Injection ~selected:(fun _ -> true) program
+
+(* Weaves atomicity wrappers around the given methods (masking phase,
+   Steps 4-5 of Figure 1). *)
+let weave_masking ~targets program =
+  weave Masking ~selected:(fun id -> Method_id.Set.mem id targets) program

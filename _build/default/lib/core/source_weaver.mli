@@ -1,0 +1,34 @@
+(** Source-code weaving (paper §5.1, the AspectC++/CINT path).
+
+    Rewrites the program text itself: every selected method [m] of class
+    [C] is renamed to a mangled name and a wrapper method with the
+    original name is spliced into the class, so all existing call sites
+    reach the wrapper untouched.  Wrapper bodies call the engine through
+    reflective ["__"] hooks; the woven program is ordinary MiniLang and
+    can be pretty-printed for inspection.
+
+    The mangled name carries the defining class ([__orig__C__m]) so that
+    a wrapper inherited by a subclass still reaches {e its own} class's
+    original implementation even when the subclass overrides [m]. *)
+
+open Failatom_minilang
+
+type kind =
+  | Injection  (** detection-phase wrappers (Listing 1) *)
+  | Masking  (** atomicity wrappers (Listing 2) *)
+
+val mangle : kind -> Method_id.t -> string
+(** [__orig__C__m] or [__msk__C__m]. *)
+
+val demangle : string -> Method_id.t option
+(** Recovers the original method id from a mangled name, if it is one. *)
+
+val weave_injection : Ast.program -> Ast.program
+(** The exception injector program P_I: injection wrappers around every
+    method (Steps 1–2 of the paper's Figure 1).  Requires
+    {!Injection.register_hooks} on the VM before running. *)
+
+val weave_masking : targets:Method_id.Set.t -> Ast.program -> Ast.program
+(** The corrected program P_C: atomicity wrappers around the given
+    methods (Steps 4–5 of Figure 1).  Requires {!Mask.register_hooks}
+    on the VM before running. *)

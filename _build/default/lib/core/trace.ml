@@ -1,0 +1,99 @@
+(* Call tracing over the filter substrate.
+
+   A diagnostic companion to the injector: the same pre/post filter
+   mechanism used for injection and masking, here recording the dynamic
+   call tree of a run — every method entry with its receiver class and
+   rendered arguments, and every exit with its result or exception.
+   Useful for understanding why a particular injection produced a
+   particular mark, and a worked example of writing new tools on the
+   interposition layer. *)
+
+open Failatom_runtime
+
+type outcome =
+  | Returned of string (* rendered result *)
+  | Raised of string (* exception class *)
+
+type event = {
+  depth : int;
+  meth : Method_id.t;
+  receiver : string; (* rendered receiver (class@graph-size) *)
+  arguments : string list;
+  outcome : outcome;
+}
+
+type t = {
+  mutable events_rev : event list;
+  mutable depth : int;
+  mutable pending : (int * Method_id.t * string * string list) list; (* stack *)
+  max_events : int;
+}
+
+let create ?(max_events = 100_000) () =
+  { events_rev = []; depth = 0; pending = []; max_events }
+
+let events t = List.rev t.events_rev
+
+(* Values are rendered shallowly: references as Class#size, so a trace
+   line stays one line. *)
+let render vm (v : Value.t) =
+  match v with
+  | Value.Ref id -> (
+    match Heap.class_of vm.Vm.heap id with
+    | Some cls -> Printf.sprintf "%s#%d" cls (Object_graph.size vm.Vm.heap v)
+    | None -> Printf.sprintf "array[%d]" (Option.value ~default:0 (Heap.array_length vm.Vm.heap id)))
+  | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Null -> Value.to_string v
+
+let filter t =
+  { Vm.filt_name = "trace";
+    pre =
+      (fun vm meth recv args ->
+        let id = Method_id.make meth.Vm.meth_class meth.Vm.meth_name in
+        t.pending <- (t.depth, id, render vm recv, List.map (render vm) args) :: t.pending;
+        t.depth <- t.depth + 1;
+        Vm.Proceed);
+    post =
+      (fun vm _meth _recv _args result ->
+        (match t.pending with
+         | [] -> () (* desynchronized by a fatal abort *)
+         | (depth, id, receiver, arguments) :: rest ->
+           t.pending <- rest;
+           t.depth <- depth;
+           if List.length t.events_rev < t.max_events then
+             t.events_rev <-
+               { depth;
+                 meth = id;
+                 receiver;
+                 arguments;
+                 outcome =
+                   (match result with
+                    | Ok v -> Returned (render vm v)
+                    | Error e -> Raised e.Vm.exn_class) }
+               :: t.events_rev);
+        Vm.Pass) }
+
+let attach t vm = Vm.attach_filter_everywhere vm (filter t)
+
+let pp_event ppf (e : event) =
+  let indent = String.make (2 * e.depth) ' ' in
+  Fmt.pf ppf "%s%a(%s) on %s %s" indent Method_id.pp e.meth
+    (String.concat ", " e.arguments)
+    e.receiver
+    (match e.outcome with
+     | Returned v -> "-> " ^ v
+     | Raised exn_class -> "!! " ^ exn_class)
+
+let pp ppf t = List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (events t)
+
+(* Traces one full run of [program]; returns the trace and the output. *)
+let run_traced (program : Failatom_minilang.Ast.program) =
+  let vm = Failatom_minilang.Compile.program program in
+  let t = create () in
+  attach t vm;
+  let escaped =
+    try
+      ignore (Failatom_minilang.Compile.run_main vm);
+      None
+    with Vm.Mini_raise e -> Some e.Vm.exn_class
+  in
+  (t, Vm.output vm, escaped)

@@ -1,0 +1,37 @@
+(** Call tracing over the filter substrate.
+
+    Records the dynamic call tree of a run — method entries with
+    rendered receiver/arguments, exits with result or exception — using
+    the same pre/post interposition the injector and masker use.
+    Events are ordered by {e completion} (a callee's exit precedes its
+    caller's), matching the order in which atomicity marks are
+    emitted. *)
+
+open Failatom_runtime
+
+type outcome =
+  | Returned of string  (** rendered result *)
+  | Raised of string  (** exception class *)
+
+type event = {
+  depth : int;
+  meth : Method_id.t;
+  receiver : string;  (** rendered as Class#graph-size *)
+  arguments : string list;
+  outcome : outcome;
+}
+
+type t
+
+val create : ?max_events:int -> unit -> t
+val events : t -> event list
+val filter : t -> Vm.filter
+val attach : t -> Vm.t -> unit
+
+val pp_event : event Fmt.t
+val pp : t Fmt.t
+
+val run_traced :
+  Failatom_minilang.Ast.program -> t * string * string option
+(** Runs the program once under tracing; returns the trace, the
+    program's output, and the class of an escaped exception if any. *)

@@ -1,0 +1,1 @@
+lib/minilang/ast.ml: Fmt List Option

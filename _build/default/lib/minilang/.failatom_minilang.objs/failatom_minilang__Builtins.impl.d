@@ -1,0 +1,1 @@
+lib/minilang/builtins.ml: Array Char Failatom_runtime Hashtbl Heap List Object_graph Printf String Value Vm

@@ -1,0 +1,1 @@
+lib/minilang/builtins.mli: Failatom_runtime Value Vm

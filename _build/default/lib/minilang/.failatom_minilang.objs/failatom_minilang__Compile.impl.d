@@ -1,0 +1,1 @@
+lib/minilang/compile.ml: Array Ast Builtins Failatom_runtime Fmt Fun Hashtbl Heap List Option Pretty Printf String Value Vm

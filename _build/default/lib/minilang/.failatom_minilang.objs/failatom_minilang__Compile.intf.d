@@ -1,0 +1,1 @@
+lib/minilang/compile.mli: Ast Failatom_runtime Value Vm

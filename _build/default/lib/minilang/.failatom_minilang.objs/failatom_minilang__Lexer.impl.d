@@ -1,0 +1,1 @@
+lib/minilang/lexer.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/minilang/minilang.ml: Compile Failatom_runtime Parser Static_check Vm

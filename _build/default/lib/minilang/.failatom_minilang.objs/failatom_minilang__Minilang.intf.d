@@ -1,0 +1,1 @@
+lib/minilang/minilang.mli: Ast Failatom_runtime Value Vm

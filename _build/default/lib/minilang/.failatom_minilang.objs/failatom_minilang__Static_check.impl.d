@@ -1,0 +1,1 @@
+lib/minilang/static_check.ml: Ast Builtins Failatom_runtime Fmt Hashtbl List Option String Vm

@@ -1,0 +1,1 @@
+lib/minilang/static_check.mli: Ast Fmt

@@ -1,0 +1,172 @@
+(* Abstract syntax of MiniLang, the class-based language in which the
+   instrumented applications are written.
+
+   MiniLang stands in for the C++/Java sources of the paper: classes
+   with single inheritance, mutable fields, methods with declared
+   [throws] clauses, [try]/[catch]/[finally], reference semantics for
+   objects and arrays.  The weaving engine of the core library rewrites
+   these trees (source-code transformation, the paper's AspectC++ path),
+   so the AST must round-trip through the pretty-printer. *)
+
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+let pp_pos ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+
+type unop = Neg | Not
+
+type expr = { e : expr_desc; epos : pos }
+
+and expr_desc =
+  | Int_lit of int
+  | Str_lit of string
+  | Bool_lit of bool
+  | Null_lit
+  | This
+  | Var of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Field of expr * string
+  | Index of expr * expr
+  | Call of expr * string * expr list (* receiver.method(args) *)
+  | Super_call of string * expr list
+  | Fn_call of string * expr list (* free function or builtin *)
+  | New of string * expr list
+  | Array_lit of expr list
+
+type lvalue =
+  | Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+
+type stmt = { s : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Var_decl of string * expr
+  | Assign of lvalue * expr
+  | Expr_stmt of expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Throw of expr
+  | Try of block * catch_clause list * block option
+  | Break
+  | Continue
+  | Block of block
+
+and block = stmt list
+
+and catch_clause = { cc_class : string; cc_var : string; cc_body : block }
+
+type meth_decl = {
+  m_name : string;
+  m_params : string list;
+  m_throws : string list;
+  m_body : block;
+  m_pos : pos;
+}
+
+type class_decl = {
+  c_name : string;
+  c_super : string option;
+  c_fields : string list;
+  c_methods : meth_decl list;
+  c_pos : pos;
+}
+
+type func_decl = {
+  f_name : string;
+  f_params : string list;
+  f_body : block;
+  f_pos : pos;
+}
+
+type decl = Class_decl of class_decl | Func_decl of func_decl
+
+type program = decl list
+
+(* Convenience constructors used by the source weaver, which synthesizes
+   wrapper code programmatically. *)
+let mk_expr e = { e; epos = dummy_pos }
+let mk_stmt s = { s; spos = dummy_pos }
+let var name = mk_expr (Var name)
+let this_e = mk_expr This
+let call recv m args = mk_expr (Call (recv, m, args))
+let fn_call f args = mk_expr (Fn_call (f, args))
+let str_lit s = mk_expr (Str_lit s)
+
+(* -------------------------------------------------------------- *)
+(* Position-insensitive structural equality (used by tests and by
+   the parse/pretty round-trip property).                          *)
+(* -------------------------------------------------------------- *)
+
+let rec strip_expr { e; _ } =
+  { epos = dummy_pos;
+    e =
+      (match e with
+       | Int_lit _ | Str_lit _ | Bool_lit _ | Null_lit | This | Var _ -> e
+       | Unary (op, a) -> Unary (op, strip_expr a)
+       | Binary (op, a, b) -> Binary (op, strip_expr a, strip_expr b)
+       | And (a, b) -> And (strip_expr a, strip_expr b)
+       | Or (a, b) -> Or (strip_expr a, strip_expr b)
+       | Field (a, f) -> Field (strip_expr a, f)
+       | Index (a, i) -> Index (strip_expr a, strip_expr i)
+       | Call (r, m, args) -> Call (strip_expr r, m, List.map strip_expr args)
+       | Super_call (m, args) -> Super_call (m, List.map strip_expr args)
+       | Fn_call (f, args) -> Fn_call (f, List.map strip_expr args)
+       | New (c, args) -> New (c, List.map strip_expr args)
+       | Array_lit args -> Array_lit (List.map strip_expr args)) }
+
+let strip_lvalue = function
+  | Lvar _ as l -> l
+  | Lfield (e, f) -> Lfield (strip_expr e, f)
+  | Lindex (e, i) -> Lindex (strip_expr e, strip_expr i)
+
+let rec strip_stmt { s; _ } =
+  { spos = dummy_pos;
+    s =
+      (match s with
+       | Var_decl (x, e) -> Var_decl (x, strip_expr e)
+       | Assign (l, e) -> Assign (strip_lvalue l, strip_expr e)
+       | Expr_stmt e -> Expr_stmt (strip_expr e)
+       | If (c, t, f) -> If (strip_expr c, strip_block t, strip_block f)
+       | While (c, b) -> While (strip_expr c, strip_block b)
+       | For (i, c, u, b) ->
+         For
+           ( Option.map strip_stmt i,
+             Option.map strip_expr c,
+             Option.map strip_stmt u,
+             strip_block b )
+       | Return e -> Return (Option.map strip_expr e)
+       | Throw e -> Throw (strip_expr e)
+       | Try (b, catches, fin) ->
+         Try
+           ( strip_block b,
+             List.map
+               (fun c -> { c with cc_body = strip_block c.cc_body })
+               catches,
+             Option.map strip_block fin )
+       | Break -> Break
+       | Continue -> Continue
+       | Block b -> Block (strip_block b)) }
+
+and strip_block b = List.map strip_stmt b
+
+let strip_meth m = { m with m_body = strip_block m.m_body; m_pos = dummy_pos }
+
+let strip_decl = function
+  | Class_decl c ->
+    Class_decl
+      { c with c_methods = List.map strip_meth c.c_methods; c_pos = dummy_pos }
+  | Func_decl f -> Func_decl { f with f_body = strip_block f.f_body; f_pos = dummy_pos }
+
+let strip_program p = List.map strip_decl p
+
+let equal_program a b = strip_program a = strip_program b

@@ -1,0 +1,110 @@
+(** Abstract syntax of MiniLang.
+
+    MiniLang stands in for the C++/Java sources of the paper: classes
+    with single inheritance, mutable fields, methods with declared
+    [throws] clauses, [try]/[catch]/[finally], and reference semantics
+    for objects and arrays.  The weaving engine rewrites these trees
+    (source-code transformation, the paper's AspectC++ path), so the AST
+    round-trips through {!Pretty} and {!Parser}. *)
+
+type pos = { line : int; col : int }
+
+val dummy_pos : pos
+val pp_pos : pos Fmt.t
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Le | Gt | Ge
+type unop = Neg | Not
+
+type expr = { e : expr_desc; epos : pos }
+
+and expr_desc =
+  | Int_lit of int
+  | Str_lit of string
+  | Bool_lit of bool
+  | Null_lit
+  | This
+  | Var of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Field of expr * string
+  | Index of expr * expr
+  | Call of expr * string * expr list  (** receiver.method(args) *)
+  | Super_call of string * expr list
+  | Fn_call of string * expr list  (** free function, builtin or hook *)
+  | New of string * expr list
+  | Array_lit of expr list
+
+type lvalue =
+  | Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+
+type stmt = { s : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Var_decl of string * expr
+  | Assign of lvalue * expr
+  | Expr_stmt of expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Throw of expr
+  | Try of block * catch_clause list * block option
+  | Break
+  | Continue
+  | Block of block
+
+and block = stmt list
+
+and catch_clause = { cc_class : string; cc_var : string; cc_body : block }
+
+type meth_decl = {
+  m_name : string;
+  m_params : string list;
+  m_throws : string list;
+  m_body : block;
+  m_pos : pos;
+}
+
+type class_decl = {
+  c_name : string;
+  c_super : string option;
+  c_fields : string list;
+  c_methods : meth_decl list;
+  c_pos : pos;
+}
+
+type func_decl = {
+  f_name : string;
+  f_params : string list;
+  f_body : block;
+  f_pos : pos;
+}
+
+type decl = Class_decl of class_decl | Func_decl of func_decl
+type program = decl list
+
+(** {1 Constructors}
+    Convenience builders (at {!dummy_pos}) used by the source weaver. *)
+
+val mk_expr : expr_desc -> expr
+val mk_stmt : stmt_desc -> stmt
+val var : string -> expr
+val this_e : expr
+val call : expr -> string -> expr list -> expr
+val fn_call : string -> expr list -> expr
+val str_lit : string -> expr
+
+(** {1 Position-insensitive equality} *)
+
+val strip_expr : expr -> expr
+val strip_stmt : stmt -> stmt
+val strip_block : block -> block
+val strip_program : program -> program
+
+val equal_program : program -> program -> bool
+(** Structural equality ignoring positions (the parse/pretty round-trip
+    invariant). *)

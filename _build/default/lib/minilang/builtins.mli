@@ -1,0 +1,23 @@
+(** Built-in functions callable from MiniLang with free-function syntax.
+
+    The set mirrors what the paper's workloads need from their standard
+    libraries: array allocation and copying, string primitives, hashing,
+    printing, assertions, and a deep object-graph equality ([graphEq])
+    drivers use to validate state in-language. *)
+
+open Failatom_runtime
+
+val find : string -> (int * (Vm.t -> Value.t list -> Value.t)) option
+(** Arity and implementation of a builtin, if it exists. *)
+
+val exists : string -> bool
+val names : unit -> string list
+
+val call : Vm.t -> string -> Value.t list -> Value.t
+(** Invokes a builtin.
+    @raise Invalid_argument on unknown name or arity mismatch (a program
+    bug, surfaced by the interpreter as a runtime error, not a MiniLang
+    exception). *)
+
+val string_hash : string -> int
+(** The polynomial string hash used by the hash-container workloads. *)

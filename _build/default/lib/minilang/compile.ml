@@ -1,0 +1,384 @@
+(* Compiles a MiniLang program into a {!Vm.t} and interprets it.
+
+   Methods are compiled to closures stored in the VM's class table, so
+   that load-time interposition (attaching filters to method entries)
+   works on compiled programs without source access — the analog of the
+   paper's bytecode-level JWG instrumentation.  Each injection run of
+   the detection phase compiles a fresh VM, guaranteeing independent
+   heaps across runs. *)
+
+open Failatom_runtime
+
+(* A genuine defect in the interpreted program (unknown variable, bad
+   arity, ...) as opposed to a MiniLang-level exception, which is raised
+   as {!Vm.Mini_raise} and is catchable in-language. *)
+exception Runtime_error of string * Ast.pos
+
+let runtime_error pos fmt = Fmt.kstr (fun s -> raise (Runtime_error (s, pos))) fmt
+
+(* Non-local control flow within a method body. *)
+exception Return_value of Value.t
+exception Break_loop
+exception Continue_loop
+
+type frame = { vars : (string, Value.t ref) Hashtbl.t; mutable this : Value.t }
+
+let frame_create this =
+  { vars = Hashtbl.create 16; this }
+
+let frame_roots frame () =
+  frame.this :: Hashtbl.fold (fun _ r acc -> !r :: acc) frame.vars []
+
+let declare frame name v = Hashtbl.replace frame.vars name (ref v)
+
+let lookup_var frame pos name =
+  match Hashtbl.find_opt frame.vars name with
+  | Some r -> r
+  | None -> runtime_error pos "unknown variable %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let eval_binop vm pos op (a : Value.t) (b : Value.t) : Value.t =
+  match op, a, b with
+  | Ast.Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+  | Ast.Add, Value.Str x, y -> Value.Str (x ^ Value.to_display_string y)
+  | Ast.Add, x, Value.Str y -> Value.Str (Value.to_display_string x ^ y)
+  | Ast.Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+  | Ast.Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+  | Ast.Div, Value.Int x, Value.Int y ->
+    if y = 0 then Vm.throw vm "ArithmeticException" "division by zero"
+    else Value.Int (x / y)
+  | Ast.Mod, Value.Int x, Value.Int y ->
+    if y = 0 then Vm.throw vm "ArithmeticException" "modulo by zero"
+    else Value.Int (x mod y)
+  | Ast.Eq, x, y -> Value.Bool (Value.equal x y)
+  | Ast.Neq, x, y -> Value.Bool (not (Value.equal x y))
+  | Ast.Lt, Value.Int x, Value.Int y -> Value.Bool (x < y)
+  | Ast.Le, Value.Int x, Value.Int y -> Value.Bool (x <= y)
+  | Ast.Gt, Value.Int x, Value.Int y -> Value.Bool (x > y)
+  | Ast.Ge, Value.Int x, Value.Int y -> Value.Bool (x >= y)
+  | Ast.Lt, Value.Str x, Value.Str y -> Value.Bool (String.compare x y < 0)
+  | Ast.Le, Value.Str x, Value.Str y -> Value.Bool (String.compare x y <= 0)
+  | Ast.Gt, Value.Str x, Value.Str y -> Value.Bool (String.compare x y > 0)
+  | Ast.Ge, Value.Str x, Value.Str y -> Value.Bool (String.compare x y >= 0)
+  | (Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), x, y ->
+    runtime_error pos "operator %s not defined on %s and %s"
+      (Pretty.binop_str op) (Value.type_name x) (Value.type_name y)
+
+let get_obj_field vm pos recv field =
+  match (recv : Value.t) with
+  | Value.Null -> Vm.throw vm "NullPointerException" ("read of field " ^ field ^ " on null")
+  | Value.Ref id -> (
+    match Heap.get_field vm.Vm.heap id field with
+    | Some v -> v
+    | None -> (
+      match Heap.class_of vm.Vm.heap id with
+      | Some cls -> runtime_error pos "class %s has no field %s" cls field
+      | None -> runtime_error pos "arrays have no fields (reading %s)" field))
+  | v -> runtime_error pos "field read %s on %s" field (Value.type_name v)
+
+let set_obj_field vm pos recv field v =
+  match (recv : Value.t) with
+  | Value.Null -> Vm.throw vm "NullPointerException" ("write of field " ^ field ^ " on null")
+  | Value.Ref id ->
+    if Heap.get_field vm.Vm.heap id field = None then (
+      match Heap.class_of vm.Vm.heap id with
+      | Some cls -> runtime_error pos "class %s has no field %s" cls field
+      | None -> runtime_error pos "arrays have no fields (writing %s)" field)
+    else Heap.set_field vm.Vm.heap id field v
+  | v -> runtime_error pos "field write %s on %s" field (Value.type_name v)
+
+let get_index vm pos recv idx =
+  match (recv : Value.t), (idx : Value.t) with
+  | Value.Null, _ -> Vm.throw vm "NullPointerException" "index read on null"
+  | Value.Ref id, Value.Int i -> (
+    match Heap.get_elem vm.Vm.heap id i with
+    | Some v -> v
+    | None -> (
+      match Heap.array_length vm.Vm.heap id with
+      | Some n ->
+        Vm.throw vm "IndexOutOfBoundsException" (Printf.sprintf "index %d of %d" i n)
+      | None -> runtime_error pos "indexing a non-array object"))
+  | Value.Ref _, v -> runtime_error pos "array index must be int, got %s" (Value.type_name v)
+  | v, _ -> runtime_error pos "indexing %s" (Value.type_name v)
+
+let set_index vm pos recv idx v =
+  match (recv : Value.t), (idx : Value.t) with
+  | Value.Null, _ -> Vm.throw vm "NullPointerException" "index write on null"
+  | Value.Ref id, Value.Int i -> (
+    match Heap.array_length vm.Vm.heap id with
+    | Some n ->
+      if not (Heap.set_elem vm.Vm.heap id i v) then
+        Vm.throw vm "IndexOutOfBoundsException" (Printf.sprintf "index %d of %d" i n)
+    | None -> runtime_error pos "indexing a non-array object")
+  | Value.Ref _, w -> runtime_error pos "array index must be int, got %s" (Value.type_name w)
+  | v, _ -> runtime_error pos "indexing %s" (Value.type_name v)
+
+(* Instantiates class [cls]: allocates the object with all (inherited)
+   fields set to null, then runs the [init] method if the class defines
+   or inherits one.  [init] is an ordinary method: it is counted,
+   filtered and woven like any other (the paper injects into
+   constructor calls too). *)
+let rec instantiate vm pos cls args =
+  if not (Vm.class_exists vm cls) then runtime_error pos "unknown class %s" cls;
+  let fields = List.map (fun f -> (f, Value.Null)) (Vm.all_fields vm cls) in
+  let id = Heap.alloc_object vm.Vm.heap ~cls fields in
+  let recv = Value.Ref id in
+  (match Vm.lookup_method vm cls "init" with
+   | Some _ -> ignore (Vm.invoke vm recv "init" args)
+   | None -> (
+     (* Built-in exception classes have no init; a single string
+        argument sets the message field, as in Java's Throwable. *)
+     match args with
+     | [] -> ()
+     | [ Value.Str m ] when Vm.is_exception_class vm cls ->
+       Heap.set_field vm.Vm.heap id "message" (Value.Str m)
+     | _ -> runtime_error pos "class %s has no init method" cls));
+  recv
+
+and eval vm frame (e : Ast.expr) : Value.t =
+  Vm.tick vm;
+  let pos = e.Ast.epos in
+  match e.Ast.e with
+  | Ast.Int_lit n -> Value.Int n
+  | Ast.Str_lit s -> Value.Str s
+  | Ast.Bool_lit b -> Value.Bool b
+  | Ast.Null_lit -> Value.Null
+  | Ast.This -> frame.this
+  | Ast.Var x -> !(lookup_var frame pos x)
+  | Ast.Unary (Ast.Neg, a) -> (
+    match eval vm frame a with
+    | Value.Int n -> Value.Int (-n)
+    | v -> runtime_error pos "negation of %s" (Value.type_name v))
+  | Ast.Unary (Ast.Not, a) -> Value.Bool (not (Value.truthy (eval vm frame a)))
+  | Ast.Binary (op, a, b) ->
+    let va = eval vm frame a in
+    let vb = eval vm frame b in
+    eval_binop vm pos op va vb
+  | Ast.And (a, b) ->
+    if Value.truthy (eval vm frame a) then Value.Bool (Value.truthy (eval vm frame b))
+    else Value.Bool false
+  | Ast.Or (a, b) ->
+    if Value.truthy (eval vm frame a) then Value.Bool true
+    else Value.Bool (Value.truthy (eval vm frame b))
+  | Ast.Field (r, f) -> get_obj_field vm pos (eval vm frame r) f
+  | Ast.Index (r, i) ->
+    let recv = eval vm frame r in
+    let idx = eval vm frame i in
+    get_index vm pos recv idx
+  | Ast.Call (r, m, args) ->
+    let recv = eval vm frame r in
+    let vargs = List.map (eval vm frame) args in
+    Vm.invoke vm recv m vargs
+  | Ast.Super_call (m, args) -> (
+    (* Static dispatch starting above the defining class of the
+       currently executing method; the defining class is recorded in the
+       frame under a reserved name by [compile_method]. *)
+    let defining =
+      match Hashtbl.find_opt frame.vars "__defining_class" with
+      | Some { contents = Value.Str c } -> c
+      | _ -> runtime_error pos "super call outside of a method"
+    in
+    let super =
+      match (Vm.find_class vm defining).Vm.super with
+      | Some s -> s
+      | None -> runtime_error pos "class %s has no superclass" defining
+    in
+    match Vm.lookup_method vm super m with
+    | Some meth ->
+      let vargs = List.map (eval vm frame) args in
+      Vm.call_filtered vm meth frame.this vargs
+    | None -> runtime_error pos "no method %s in superclasses of %s" m defining)
+  | Ast.Fn_call (name, args) ->
+    let vargs = List.map (eval vm frame) args in
+    call_function vm pos name vargs
+  | Ast.New (cls, args) ->
+    let vargs = List.map (eval vm frame) args in
+    instantiate vm pos cls vargs
+  | Ast.Array_lit elems ->
+    let values = List.map (eval vm frame) elems in
+    Value.Ref (Heap.alloc_array vm.Vm.heap (Array.of_list values))
+
+and call_function vm pos name args =
+  (* Reflective hooks (double-underscore names) are registered by the
+     detection/masking engine and take precedence; then user functions;
+     then builtins. *)
+  match Vm.find_hook vm name with
+  | Some hook -> hook vm args
+  | None -> (
+    match Hashtbl.find_opt vm.Vm.functions name with
+    | Some fn ->
+      if List.length args <> List.length fn.Vm.fn_params then
+        runtime_error pos "function %s expects %d argument(s), got %d" name
+          (List.length fn.Vm.fn_params) (List.length args)
+      else fn.Vm.fn_impl vm args
+    | None ->
+      if Builtins.exists name then (
+        try Builtins.call vm name args
+        with Invalid_argument msg -> runtime_error pos "%s" msg)
+      else runtime_error pos "unknown function %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+and exec vm frame (st : Ast.stmt) : unit =
+  Vm.tick vm;
+  let pos = st.Ast.spos in
+  match st.Ast.s with
+  | Ast.Var_decl (x, e) -> declare frame x (eval vm frame e)
+  | Ast.Assign (Ast.Lvar x, e) -> lookup_var frame pos x := eval vm frame e
+  | Ast.Assign (Ast.Lfield (r, f), e) ->
+    let recv = eval vm frame r in
+    let v = eval vm frame e in
+    set_obj_field vm pos recv f v
+  | Ast.Assign (Ast.Lindex (r, i), e) ->
+    let recv = eval vm frame r in
+    let idx = eval vm frame i in
+    let v = eval vm frame e in
+    set_index vm pos recv idx v
+  | Ast.Expr_stmt e -> ignore (eval vm frame e)
+  | Ast.If (c, t, f) ->
+    if Value.truthy (eval vm frame c) then exec_block vm frame t
+    else exec_block vm frame f
+  | Ast.While (c, body) ->
+    (try
+       while Value.truthy (eval vm frame c) do
+         try exec_block vm frame body with Continue_loop -> ()
+       done
+     with Break_loop -> ())
+  | Ast.For (init, cond, update, body) ->
+    Option.iter (exec vm frame) init;
+    let continue_cond () =
+      match cond with None -> true | Some c -> Value.truthy (eval vm frame c)
+    in
+    (try
+       while continue_cond () do
+         (try exec_block vm frame body with Continue_loop -> ());
+         Option.iter (exec vm frame) update
+       done
+     with Break_loop -> ())
+  | Ast.Return None -> raise (Return_value Value.Null)
+  | Ast.Return (Some e) -> raise (Return_value (eval vm frame e))
+  | Ast.Throw e -> (
+    match eval vm frame e with
+    | Value.Ref id as obj -> (
+      match Heap.class_of vm.Vm.heap id with
+      | Some cls when Vm.is_exception_class vm cls ->
+        let message =
+          match Heap.get_field vm.Vm.heap id "message" with
+          | Some (Value.Str m) -> m
+          | Some _ | None -> ""
+        in
+        raise (Vm.Mini_raise { Vm.exn_class = cls; message; exn_obj = obj })
+      | Some cls -> runtime_error pos "throw of non-exception class %s" cls
+      | None -> runtime_error pos "throw of an array")
+    | v -> runtime_error pos "throw of %s" (Value.type_name v))
+  | Ast.Try (body, catches, fin) ->
+    let outcome =
+      try
+        exec_block vm frame body;
+        `Done
+      with
+      | Vm.Mini_raise exn_v -> `Raised exn_v
+      | Return_value v -> `Returned v
+      | (Break_loop | Continue_loop) as flow -> `Flow flow
+    in
+    let handled =
+      match outcome with
+      | `Raised exn_v -> (
+        match
+          List.find_opt (fun c -> Vm.exn_matches vm exn_v c.Ast.cc_class) catches
+        with
+        | Some clause -> (
+          declare frame clause.Ast.cc_var exn_v.Vm.exn_obj;
+          try
+            exec_block vm frame clause.Ast.cc_body;
+            `Done
+          with
+          | Vm.Mini_raise e -> `Raised e
+          | Return_value v -> `Returned v
+          | (Break_loop | Continue_loop) as flow -> `Flow flow)
+        | None -> outcome)
+      | `Done | `Returned _ | `Flow _ -> outcome
+    in
+    (* As in Java: the finally block runs last and, if it completes
+       abruptly, its outcome supersedes the pending one. *)
+    Option.iter (exec_block vm frame) fin;
+    (match handled with
+     | `Done -> ()
+     | `Raised e -> raise (Vm.Mini_raise e)
+     | `Returned v -> raise (Return_value v)
+     | `Flow f -> raise f)
+  | Ast.Break -> raise Break_loop
+  | Ast.Continue -> raise Continue_loop
+  | Ast.Block b -> exec_block vm frame b
+
+and exec_block vm frame b = List.iter (exec vm frame) b
+
+(* ------------------------------------------------------------------ *)
+(* Program compilation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_body vm frame body =
+  vm.Vm.frame_roots <- frame_roots frame :: vm.Vm.frame_roots;
+  Fun.protect
+    ~finally:(fun () ->
+      match vm.Vm.frame_roots with
+      | _ :: rest -> vm.Vm.frame_roots <- rest
+      | [] -> ())
+    (fun () ->
+      try
+        exec_block vm frame body;
+        Value.Null
+      with Return_value v -> v)
+
+let compile_method vm cls_name (m : Ast.meth_decl) =
+  let impl vm this args =
+    if List.length args <> List.length m.Ast.m_params then
+      runtime_error m.Ast.m_pos "method %s.%s expects %d argument(s), got %d"
+        cls_name m.Ast.m_name (List.length m.Ast.m_params) (List.length args);
+    let frame = frame_create this in
+    declare frame "__defining_class" (Value.Str cls_name);
+    List.iter2 (declare frame) m.Ast.m_params args;
+    run_body vm frame m.Ast.m_body
+  in
+  ignore
+    (Vm.add_method vm cls_name ~name:m.Ast.m_name ~params:m.Ast.m_params
+       ~throws:m.Ast.m_throws impl)
+
+let compile_function vm (f : Ast.func_decl) =
+  let fn_impl vm args =
+    let frame = frame_create Value.Null in
+    List.iter2 (declare frame) f.Ast.f_params args;
+    run_body vm frame f.Ast.f_body
+  in
+  Hashtbl.replace vm.Vm.functions f.Ast.f_name
+    { Vm.fn_name = f.Ast.f_name; fn_params = f.Ast.f_params; fn_impl }
+
+(* Builds a fresh VM for [program].  Class declarations are installed in
+   two passes so that methods can reference classes declared later. *)
+let program (prog : Ast.program) : Vm.t =
+  let vm = Vm.create () in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Class_decl c -> ignore (Vm.add_class vm ?super:c.Ast.c_super ~fields:c.Ast.c_fields c.Ast.c_name)
+      | Ast.Func_decl _ -> ())
+    prog;
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Class_decl c -> List.iter (compile_method vm c.Ast.c_name) c.Ast.c_methods
+      | Ast.Func_decl f -> compile_function vm f)
+    prog;
+  vm
+
+(* Runs the program's [main] function; returns its value. *)
+let run_main vm =
+  match Hashtbl.find_opt vm.Vm.functions "main" with
+  | Some fn -> fn.Vm.fn_impl vm []
+  | None -> invalid_arg "program has no main function"

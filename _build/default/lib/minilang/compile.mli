@@ -1,0 +1,23 @@
+(** Compiles MiniLang programs into a {!Vm.t} and interprets them.
+
+    Methods compile to closures stored in the VM's class table, so that
+    load-time interposition (attaching filters to method entries) works
+    on compiled programs without source access — the analog of the
+    paper's bytecode-level JWG instrumentation. *)
+
+open Failatom_runtime
+
+exception Runtime_error of string * Ast.pos
+(** A genuine defect in the interpreted program (unknown variable, bad
+    arity, type confusion, ...), as opposed to a MiniLang-level
+    exception, which is raised as {!Vm.Mini_raise} and is catchable
+    in-language. *)
+
+val program : Ast.program -> Vm.t
+(** Builds a fresh VM for the program.  Each detection run compiles its
+    own VM, guaranteeing independent heaps across runs. *)
+
+val run_main : Vm.t -> Value.t
+(** Runs the program's [main] function and returns its value.
+    @raise Invalid_argument if there is no [main]
+    @raise Vm.Mini_raise if an exception escapes [main]. *)

@@ -1,0 +1,203 @@
+(* Hand-written lexer for MiniLang. *)
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_CLASS | KW_EXTENDS | KW_FIELD | KW_METHOD | KW_FUNCTION
+  | KW_VAR | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN
+  | KW_THROW | KW_THROWS | KW_TRY | KW_CATCH | KW_FINALLY
+  | KW_BREAK | KW_CONTINUE | KW_NEW | KW_THIS | KW_SUPER
+  | KW_TRUE | KW_FALSE | KW_NULL
+  (* punctuation / operators *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | EQEQ | NEQ | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | EOF
+
+exception Lex_error of string * Ast.pos
+
+let keyword_table =
+  [ ("class", KW_CLASS); ("extends", KW_EXTENDS); ("field", KW_FIELD);
+    ("method", KW_METHOD); ("function", KW_FUNCTION); ("var", KW_VAR);
+    ("if", KW_IF); ("else", KW_ELSE); ("while", KW_WHILE); ("for", KW_FOR);
+    ("return", KW_RETURN); ("throw", KW_THROW); ("throws", KW_THROWS);
+    ("try", KW_TRY); ("catch", KW_CATCH); ("finally", KW_FINALLY);
+    ("break", KW_BREAK); ("continue", KW_CONTINUE); ("new", KW_NEW);
+    ("this", KW_THIS); ("super", KW_SUPER); ("true", KW_TRUE);
+    ("false", KW_FALSE); ("null", KW_NULL) ]
+
+let token_name = function
+  | INT _ -> "integer literal"
+  | STRING _ -> "string literal"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_CLASS -> "'class'" | KW_EXTENDS -> "'extends'" | KW_FIELD -> "'field'"
+  | KW_METHOD -> "'method'" | KW_FUNCTION -> "'function'" | KW_VAR -> "'var'"
+  | KW_IF -> "'if'" | KW_ELSE -> "'else'" | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'" | KW_RETURN -> "'return'" | KW_THROW -> "'throw'"
+  | KW_THROWS -> "'throws'" | KW_TRY -> "'try'" | KW_CATCH -> "'catch'"
+  | KW_FINALLY -> "'finally'" | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'" | KW_NEW -> "'new'" | KW_THIS -> "'this'"
+  | KW_SUPER -> "'super'" | KW_TRUE -> "'true'" | KW_FALSE -> "'false'"
+  | KW_NULL -> "'null'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'" | SEMI -> "';'" | COMMA -> "','"
+  | DOT -> "'.'" | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'"
+  | SLASH -> "'/'" | PERCENT -> "'%'" | EQ -> "'='" | EQEQ -> "'=='"
+  | NEQ -> "'!='" | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | ANDAND -> "'&&'" | OROR -> "'||'" | BANG -> "'!'" | EOF -> "end of input"
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; offset = 0; line = 1; col = 1 }
+let pos st : Ast.pos = { line = st.line; col = st.col }
+let at_end st = st.offset >= String.length st.src
+let peek st = if at_end st then '\000' else st.src.[st.offset]
+let peek2 st =
+  if st.offset + 1 >= String.length st.src then '\000' else st.src.[st.offset + 1]
+
+let advance st =
+  (if peek st = '\n' then begin
+     st.line <- st.line + 1;
+     st.col <- 1
+   end
+   else st.col <- st.col + 1);
+  st.offset <- st.offset + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+    advance st;
+    skip_trivia st
+  | '/' when peek2 st = '/' ->
+    while (not (at_end st)) && peek st <> '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | '/' when peek2 st = '*' ->
+    let start = pos st in
+    advance st;
+    advance st;
+    let rec close () =
+      if at_end st then raise (Lex_error ("unterminated comment", start))
+      else if peek st = '*' && peek2 st = '/' then begin
+        advance st;
+        advance st
+      end
+      else begin
+        advance st;
+        close ()
+      end
+    in
+    close ();
+    skip_trivia st
+  | _ -> ()
+
+let lex_string st =
+  let start = pos st in
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end st then raise (Lex_error ("unterminated string literal", start))
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\\' ->
+        advance st;
+        let c = peek st in
+        advance st;
+        (match c with
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'r' -> Buffer.add_char buf '\r'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '"' -> Buffer.add_char buf '"'
+         | '0' -> Buffer.add_char buf '\000'
+         | c -> raise (Lex_error (Printf.sprintf "invalid escape '\\%c'" c, start)));
+        go ()
+      | c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let next_token st =
+  skip_trivia st;
+  let p = pos st in
+  if at_end st then (EOF, p)
+  else
+    let c = peek st in
+    let simple tok = advance st; (tok, p) in
+    (* operator possibly followed by '=' *)
+    let with_eq single double =
+      advance st;
+      if peek st = '=' then begin advance st; (double, p) end else (single, p)
+    in
+    match c with
+    | '(' -> simple LPAREN
+    | ')' -> simple RPAREN
+    | '{' -> simple LBRACE
+    | '}' -> simple RBRACE
+    | '[' -> simple LBRACKET
+    | ']' -> simple RBRACKET
+    | ';' -> simple SEMI
+    | ',' -> simple COMMA
+    | '.' -> simple DOT
+    | '+' -> simple PLUS
+    | '-' -> simple MINUS
+    | '*' -> simple STAR
+    | '/' -> simple SLASH
+    | '%' -> simple PERCENT
+    | '=' -> with_eq EQ EQEQ
+    | '<' -> with_eq LT LE
+    | '>' -> with_eq GT GE
+    | '!' -> with_eq BANG NEQ
+    | '&' ->
+      advance st;
+      if peek st = '&' then begin advance st; (ANDAND, p) end
+      else raise (Lex_error ("expected '&&'", p))
+    | '|' ->
+      advance st;
+      if peek st = '|' then begin advance st; (OROR, p) end
+      else raise (Lex_error ("expected '||'", p))
+    | '"' -> (lex_string st, p)
+    | c when is_digit c ->
+      let start = st.offset in
+      while is_digit (peek st) do
+        advance st
+      done;
+      (INT (int_of_string (String.sub st.src start (st.offset - start))), p)
+    | c when is_ident_start c ->
+      let start = st.offset in
+      while is_ident_char (peek st) do
+        advance st
+      done;
+      let word = String.sub st.src start (st.offset - start) in
+      ((match List.assoc_opt word keyword_table with
+        | Some kw -> kw
+        | None -> IDENT word),
+       p)
+    | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, p))
+
+(* Tokenizes the whole input eagerly; MiniLang sources are small. *)
+let tokenize src =
+  let st = make src in
+  let rec go acc =
+    let (tok, p) = next_token st in
+    if tok = EOF then List.rev ((tok, p) :: acc) else go ((tok, p) :: acc)
+  in
+  go []

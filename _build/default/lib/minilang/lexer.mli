@@ -1,0 +1,26 @@
+(** Hand-written lexer for MiniLang. *)
+
+type token =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_CLASS | KW_EXTENDS | KW_FIELD | KW_METHOD | KW_FUNCTION
+  | KW_VAR | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN
+  | KW_THROW | KW_THROWS | KW_TRY | KW_CATCH | KW_FINALLY
+  | KW_BREAK | KW_CONTINUE | KW_NEW | KW_THIS | KW_SUPER
+  | KW_TRUE | KW_FALSE | KW_NULL
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | EQEQ | NEQ | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | EOF
+
+exception Lex_error of string * Ast.pos
+
+val token_name : token -> string
+(** Human-readable token description, for error messages. *)
+
+val tokenize : string -> (token * Ast.pos) list
+(** Tokenizes a whole compilation unit; the list ends with [EOF].
+    @raise Lex_error on malformed input. *)

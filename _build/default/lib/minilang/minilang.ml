@@ -1,0 +1,34 @@
+(* Façade for the MiniLang front end: parse, check, compile, run.
+
+   Typical use:
+   {[
+     let program = Minilang.parse source in
+     let vm = Minilang.load program in
+     let _exit_value = Minilang.run vm in
+     print_string (Minilang.output vm)
+   ]} *)
+
+open Failatom_runtime
+
+(* Parses and statically checks a MiniLang compilation unit. *)
+let parse ?allow_reserved src =
+  let prog = Parser.program_of_string src in
+  Static_check.check ?allow_reserved prog;
+  prog
+
+(* Compiles a (checked) program into a fresh VM. *)
+let load = Compile.program
+
+(* Parses, checks and compiles in one go. *)
+let load_string ?allow_reserved src = load (parse ?allow_reserved src)
+
+(* Runs [main]; the program's output is in [output vm] afterwards. *)
+let run vm = Compile.run_main vm
+
+let output = Vm.output
+
+(* Runs a source text and returns its printed output. *)
+let run_string ?allow_reserved src =
+  let vm = load_string ?allow_reserved src in
+  ignore (run vm);
+  output vm

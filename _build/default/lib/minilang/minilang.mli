@@ -1,0 +1,27 @@
+(** Façade for the MiniLang front end: parse, check, compile, run.
+
+    {[
+      let program = Minilang.parse source in
+      let vm = Minilang.load program in
+      let _exit_value = Minilang.run vm in
+      print_string (Minilang.output vm)
+    ]} *)
+
+open Failatom_runtime
+
+val parse : ?allow_reserved:bool -> string -> Ast.program
+(** Parses and statically checks a compilation unit.
+    @raise Lexer.Lex_error, Parser.Parse_error, Static_check.Check_error *)
+
+val load : Ast.program -> Vm.t
+(** Compiles a (checked) program into a fresh VM. *)
+
+val load_string : ?allow_reserved:bool -> string -> Vm.t
+
+val run : Vm.t -> Value.t
+(** Runs [main]; the program's output is in [output vm] afterwards. *)
+
+val output : Vm.t -> string
+
+val run_string : ?allow_reserved:bool -> string -> string
+(** Runs a source text and returns its printed output. *)

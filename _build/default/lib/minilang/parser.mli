@@ -1,0 +1,11 @@
+(** Recursive-descent parser for MiniLang. *)
+
+exception Parse_error of string * Ast.pos
+
+val program_of_string : string -> Ast.program
+(** Parses a full compilation unit.
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val expr_of_string : string -> Ast.expr
+(** Parses a single expression (whole input must be consumed). *)

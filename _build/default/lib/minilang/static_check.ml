@@ -1,0 +1,229 @@
+(* Static well-formedness checks for MiniLang programs.
+
+   MiniLang is dynamically typed, but a number of structural defects can
+   and should be rejected before a program reaches the injection
+   pipeline — a malformed workload would otherwise surface as a bogus
+   non-atomicity report. *)
+
+open Failatom_runtime
+
+type error = { message : string; pos : Ast.pos }
+
+exception Check_error of error list
+
+let pp_error ppf { message; pos } = Fmt.pf ppf "%a: %s" Ast.pp_pos pos message
+
+(* Names beginning with "__" are reserved for the weaving engine
+   (wrapper methods and reflective hooks).  [allow_reserved] is set when
+   checking programs that the weaver itself produced. *)
+let reserved name = String.length name >= 2 && String.sub name 0 2 = "__"
+
+let check ?(allow_reserved = false) (prog : Ast.program) =
+  let errors = ref [] in
+  let err pos fmt = Fmt.kstr (fun message -> errors := { message; pos } :: !errors) fmt in
+
+  let classes = Hashtbl.create 16 in
+  let functions = Hashtbl.create 16 in
+  let builtin_class name =
+    List.mem_assoc name Vm.builtin_exception_classes
+  in
+
+  (* Pass 1: collect declarations, reject duplicates. *)
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Class_decl c ->
+        if Hashtbl.mem classes c.Ast.c_name then
+          err c.Ast.c_pos "duplicate class %s" c.Ast.c_name
+        else if builtin_class c.Ast.c_name then
+          err c.Ast.c_pos "class %s shadows a built-in exception class" c.Ast.c_name
+        else Hashtbl.replace classes c.Ast.c_name c
+      | Ast.Func_decl f ->
+        if Hashtbl.mem functions f.Ast.f_name then
+          err f.Ast.f_pos "duplicate function %s" f.Ast.f_name
+        else if Builtins.exists f.Ast.f_name then
+          err f.Ast.f_pos "function %s shadows a builtin" f.Ast.f_name
+        else Hashtbl.replace functions f.Ast.f_name f)
+    prog;
+
+  let class_known name = Hashtbl.mem classes name || builtin_class name in
+
+  (* Superclass chains: known and acyclic. *)
+  let rec super_chain_ok seen (c : Ast.class_decl) =
+    match c.Ast.c_super with
+    | None -> true
+    | Some s ->
+      if List.mem s seen then begin
+        err c.Ast.c_pos "inheritance cycle through %s" s;
+        false
+      end
+      else if builtin_class s then true
+      else (
+        match Hashtbl.find_opt classes s with
+        | None ->
+          err c.Ast.c_pos "unknown superclass %s" s;
+          false
+        | Some parent -> super_chain_ok (c.Ast.c_name :: seen) parent)
+  in
+  Hashtbl.iter (fun _ c -> ignore (super_chain_ok [] c)) classes;
+
+  (* Field sets including inherited fields, for shadowing checks.  The
+     [seen] set keeps this terminating on (already reported) cyclic
+     inheritance chains. *)
+  let rec inherited_fields seen name =
+    if builtin_class name then [ "message" ]
+    else if List.mem name seen then []
+    else
+      match Hashtbl.find_opt classes name with
+      | None -> []
+      | Some c ->
+        (match c.Ast.c_super with
+         | Some s -> inherited_fields (name :: seen) s
+         | None -> [])
+        @ c.Ast.c_fields
+  in
+  let inherited_fields name = inherited_fields [] name in
+
+  let check_name pos name =
+    if reserved name && not (allow_reserved) then
+      err pos "identifier %s uses the reserved '__' prefix" name
+  in
+
+  (* Statement / expression traversal. *)
+  let rec check_expr ~in_method ~cls (e : Ast.expr) =
+    let pos = e.Ast.epos in
+    match e.Ast.e with
+    | Ast.Int_lit _ | Ast.Str_lit _ | Ast.Bool_lit _ | Ast.Null_lit -> ()
+    | Ast.This -> if not in_method then err pos "'this' outside of a method"
+    | Ast.Var name -> check_name pos name
+    | Ast.Unary (_, a) -> check_expr ~in_method ~cls a
+    | Ast.Binary (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+      check_expr ~in_method ~cls a;
+      check_expr ~in_method ~cls b
+    | Ast.Field (r, _) -> check_expr ~in_method ~cls r
+    | Ast.Index (r, i) ->
+      check_expr ~in_method ~cls r;
+      check_expr ~in_method ~cls i
+    | Ast.Call (r, m, args) ->
+      if not allow_reserved then check_name pos m;
+      check_expr ~in_method ~cls r;
+      List.iter (check_expr ~in_method ~cls) args
+    | Ast.Super_call (m, args) ->
+      if not in_method then err pos "'super' outside of a method";
+      (match cls with
+       | Some c when c.Ast.c_super = None ->
+         err pos "'super.%s' in class %s, which has no superclass" m c.Ast.c_name
+       | Some _ | None -> ());
+      List.iter (check_expr ~in_method ~cls) args
+    | Ast.Fn_call (name, args) ->
+      (* Hook calls (__-prefixed) are resolved at runtime; everything
+         else must be a declared function or a builtin. *)
+      if reserved name then begin
+        if not allow_reserved then check_name pos name
+      end
+      else if not (Hashtbl.mem functions name || Builtins.exists name) then
+        err pos "unknown function %s" name
+      else begin
+        let expected =
+          match Hashtbl.find_opt functions name with
+          | Some f -> Some (List.length f.Ast.f_params)
+          | None -> Option.map fst (Builtins.find name)
+        in
+        match expected with
+        | Some n when n <> List.length args ->
+          err pos "%s expects %d argument(s), got %d" name n (List.length args)
+        | Some _ | None -> ()
+      end;
+      List.iter (check_expr ~in_method ~cls) args
+    | Ast.New (c, args) ->
+      if not (class_known c) then err pos "unknown class %s" c;
+      List.iter (check_expr ~in_method ~cls) args
+    | Ast.Array_lit elems -> List.iter (check_expr ~in_method ~cls) elems
+  in
+
+  let rec check_stmt ~in_method ~cls ~in_loop (st : Ast.stmt) =
+    let pos = st.Ast.spos in
+    let expr = check_expr ~in_method ~cls in
+    match st.Ast.s with
+    | Ast.Var_decl (x, e) ->
+      check_name pos x;
+      expr e
+    | Ast.Assign (l, e) ->
+      (match l with
+       | Ast.Lvar x -> check_name pos x
+       | Ast.Lfield (r, _) -> expr r
+       | Ast.Lindex (r, i) ->
+         expr r;
+         expr i);
+      expr e
+    | Ast.Expr_stmt e -> expr e
+    | Ast.If (c, t, f) ->
+      expr c;
+      check_block ~in_method ~cls ~in_loop t;
+      check_block ~in_method ~cls ~in_loop f
+    | Ast.While (c, b) ->
+      expr c;
+      check_block ~in_method ~cls ~in_loop:true b
+    | Ast.For (init, cond, update, b) ->
+      Option.iter (check_stmt ~in_method ~cls ~in_loop) init;
+      Option.iter expr cond;
+      Option.iter (check_stmt ~in_method ~cls ~in_loop:true) update;
+      check_block ~in_method ~cls ~in_loop:true b
+    | Ast.Return e -> Option.iter expr e
+    | Ast.Throw e -> expr e
+    | Ast.Try (b, catches, fin) ->
+      check_block ~in_method ~cls ~in_loop b;
+      List.iter
+        (fun clause ->
+          if not (class_known clause.Ast.cc_class) then
+            err pos "catch of unknown exception class %s" clause.Ast.cc_class;
+          check_name pos clause.Ast.cc_var;
+          check_block ~in_method ~cls ~in_loop clause.Ast.cc_body)
+        catches;
+      Option.iter (check_block ~in_method ~cls ~in_loop) fin
+    | Ast.Break -> if not in_loop then err pos "'break' outside of a loop"
+    | Ast.Continue -> if not in_loop then err pos "'continue' outside of a loop"
+    | Ast.Block b -> check_block ~in_method ~cls ~in_loop b
+  and check_block ~in_method ~cls ~in_loop b =
+    List.iter (check_stmt ~in_method ~cls ~in_loop) b
+  in
+
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Class_decl c ->
+        if not allow_reserved then check_name c.Ast.c_pos c.Ast.c_name;
+        (* duplicate / shadowed fields *)
+        let inherited =
+          match c.Ast.c_super with Some s -> inherited_fields s | None -> []
+        in
+        List.fold_left
+          (fun seen f ->
+            check_name c.Ast.c_pos f;
+            if List.mem f seen then err c.Ast.c_pos "duplicate field %s in %s" f c.Ast.c_name;
+            if List.mem f inherited then
+              err c.Ast.c_pos "field %s of %s shadows an inherited field" f c.Ast.c_name;
+            f :: seen)
+          [] c.Ast.c_fields
+        |> ignore;
+        (* methods *)
+        List.fold_left
+          (fun seen (m : Ast.meth_decl) ->
+            if not allow_reserved then check_name m.Ast.m_pos m.Ast.m_name;
+            if List.mem m.Ast.m_name seen then
+              err m.Ast.m_pos "duplicate method %s in %s" m.Ast.m_name c.Ast.c_name;
+            List.iter
+              (fun t ->
+                if not (class_known t) then
+                  err m.Ast.m_pos "throws clause names unknown class %s" t)
+              m.Ast.m_throws;
+            check_block ~in_method:true ~cls:(Some c) ~in_loop:false m.Ast.m_body;
+            m.Ast.m_name :: seen)
+          [] c.Ast.c_methods
+        |> ignore
+      | Ast.Func_decl f ->
+        if not allow_reserved then check_name f.Ast.f_pos f.Ast.f_name;
+        check_block ~in_method:false ~cls:None ~in_loop:false f.Ast.f_body)
+    prog;
+
+  match List.rev !errors with [] -> () | errs -> raise (Check_error errs)

@@ -1,0 +1,19 @@
+(** Static well-formedness checks for MiniLang programs.
+
+    MiniLang is dynamically typed, but structural defects — duplicate or
+    unknown names, inheritance cycles, misplaced [this]/[super]/
+    [break], bad arities, reserved ["__"] identifiers — are rejected
+    before a program reaches the injection pipeline, where they would
+    otherwise surface as bogus non-atomicity reports. *)
+
+type error = { message : string; pos : Ast.pos }
+
+exception Check_error of error list
+
+val pp_error : error Fmt.t
+
+val check : ?allow_reserved:bool -> Ast.program -> unit
+(** Checks the whole program; collects all errors before raising.
+    [allow_reserved] permits ["__"]-prefixed identifiers and hook calls
+    (set when checking programs produced by the weaver).
+    @raise Check_error when any defect is found. *)

@@ -1,0 +1,1 @@
+lib/runtime/checkpoint.ml: Fun Hashtbl Heap List Value

@@ -1,0 +1,1 @@
+lib/runtime/gc_heap.ml: Hashtbl Heap List Value Vm

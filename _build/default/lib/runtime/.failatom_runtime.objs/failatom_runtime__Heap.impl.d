@@ -1,0 +1,1 @@
+lib/runtime/heap.ml: Array Hashtbl List String Value

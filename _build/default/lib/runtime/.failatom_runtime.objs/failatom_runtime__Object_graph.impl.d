@@ -1,0 +1,1 @@
+lib/runtime/object_graph.ml: Array Fmt Hashtbl Heap List Printf String Value

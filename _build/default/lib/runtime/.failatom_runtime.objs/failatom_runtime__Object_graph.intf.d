@@ -1,0 +1,1 @@
+lib/runtime/object_graph.mli: Fmt Heap Value

@@ -1,0 +1,1 @@
+lib/runtime/vm.ml: Buffer Hashtbl Heap List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/runtime/vm.mli: Buffer Hashtbl Heap Value

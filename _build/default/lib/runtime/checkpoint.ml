@@ -1,0 +1,103 @@
+(* Checkpoint / rollback of object graphs (paper Listing 2).
+
+   A checkpoint captures, for every object reachable from its roots, a
+   copy of that object's payload keyed by the object's identity.
+   Rollback restores the captured payloads *in place*, so every alias of
+   a checkpointed object observes the rolled-back state — exactly the
+   paper's [replace(this, objgraph)].  Objects allocated after the
+   checkpoint become garbage after rollback and are reclaimed by
+   {!Gc_heap.collect} (the paper used reference counting plus an
+   off-the-shelf collector for cycles).
+
+   Two strategies are provided:
+   - [Eager]: traverse the graph at checkpoint time and copy every
+     reachable payload up front (the paper's implementation);
+   - [Lazy]: copy-on-write — the optimization suggested in §6.2 of the
+     paper for large objects.  Nothing is copied up front; the heap's
+     write barrier saves an object's payload the first time it is
+     mutated while the checkpoint is active. *)
+
+type strategy = Eager | Lazy
+
+type t = {
+  saved : (Value.obj_id, Heap.payload) Hashtbl.t;
+  heap : Heap.t;
+  strategy : strategy;
+  mutable active : bool; (* lazy checkpoints stop recording once disposed *)
+}
+
+(* The stack of active lazy checkpoints of a heap, innermost first.  The
+   single installed barrier dispatches to all of them, so nested wrapped
+   calls each get a correct snapshot. *)
+let lazy_stacks : (int, t list ref) Hashtbl.t = Hashtbl.create 8
+
+let stack_of heap =
+  match Hashtbl.find_opt lazy_stacks heap.Heap.uid with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace lazy_stacks heap.Heap.uid r;
+    r
+
+let record cp id =
+  if cp.active && not (Hashtbl.mem cp.saved id) && Heap.mem cp.heap id then
+    Hashtbl.replace cp.saved id (Heap.copy_payload (Heap.get cp.heap id))
+
+let install_barrier heap =
+  let stack = stack_of heap in
+  heap.Heap.on_write <- Some (fun id -> List.iter (fun cp -> record cp id) !stack)
+
+let reachable_ids heap roots =
+  let visited = Hashtbl.create 64 in
+  let rec visit v =
+    match (v : Value.t) with
+    | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Null -> ()
+    | Value.Ref id ->
+      if not (Hashtbl.mem visited id) then begin
+        Hashtbl.replace visited id ();
+        List.iter (fun r -> visit (Value.Ref r)) (Heap.successors heap id)
+      end
+  in
+  List.iter visit roots;
+  visited
+
+(* Takes a checkpoint covering everything reachable from [roots]. *)
+let take ?(strategy = Eager) heap roots =
+  let cp = { saved = Hashtbl.create 64; heap; strategy; active = true } in
+  (match strategy with
+   | Eager ->
+     let ids = reachable_ids heap roots in
+     Hashtbl.iter
+       (fun id () -> Hashtbl.replace cp.saved id (Heap.copy_payload (Heap.get heap id)))
+       ids
+   | Lazy ->
+     install_barrier heap;
+     let stack = stack_of heap in
+     stack := cp :: !stack);
+  cp
+
+(* Number of payloads captured so far (for lazy checkpoints this grows
+   as the wrapped call mutates state). *)
+let size cp = Hashtbl.length cp.saved
+
+(* Detaches a lazy checkpoint from the write barrier.  Must be called
+   exactly once, whether or not the checkpoint was rolled back. *)
+let dispose cp =
+  cp.active <- false;
+  match cp.strategy with
+  | Eager -> ()
+  | Lazy ->
+    let stack = stack_of cp.heap in
+    stack := List.filter (fun c -> c != cp) !stack;
+    if !stack = [] then begin
+      cp.heap.Heap.on_write <- None;
+      Hashtbl.remove lazy_stacks cp.heap.Heap.uid
+    end
+
+(* Rolls every captured object back to its checkpointed payload. *)
+let rollback cp =
+  Hashtbl.iter (fun id payload -> Heap.restore_payload cp.heap id payload) cp.saved
+
+let with_checkpoint ?strategy heap roots f =
+  let cp = take ?strategy heap roots in
+  Fun.protect ~finally:(fun () -> dispose cp) (fun () -> f cp)

@@ -1,0 +1,40 @@
+(** Checkpoint / rollback of object graphs (paper Listing 2).
+
+    A checkpoint captures, for every relevant object, a copy of its
+    payload keyed by the object's identity; {!rollback} restores the
+    captured payloads {e in place}, so every alias observes the restored
+    state — the paper's [replace(this, objgraph)].  Objects allocated
+    after the checkpoint become garbage after rollback and are reclaimed
+    by {!Gc_heap.collect}. *)
+
+type strategy =
+  | Eager
+      (** traverse the graph at checkpoint time and copy every reachable
+          payload up front (the paper's implementation) *)
+  | Lazy
+      (** copy-on-write, the optimization suggested in paper §6.2:
+          nothing is copied up front; the heap's write barrier saves an
+          object's payload on its first mutation while the checkpoint is
+          active *)
+
+type t
+
+val take : ?strategy:strategy -> Heap.t -> Value.t list -> t
+(** [take heap roots] checkpoints everything reachable from [roots]
+    (default strategy: [Eager]).  Lazy checkpoints install themselves on
+    the heap's write barrier and nest correctly (each active checkpoint
+    records independently). *)
+
+val size : t -> int
+(** Number of payloads captured so far; grows on demand for lazy
+    checkpoints. *)
+
+val rollback : t -> unit
+(** Restores every captured object to its checkpointed payload. *)
+
+val dispose : t -> unit
+(** Detaches the checkpoint (and, for lazy ones, the write barrier).
+    Must be called exactly once, whether or not it was rolled back. *)
+
+val with_checkpoint : ?strategy:strategy -> Heap.t -> Value.t list -> (t -> 'a) -> 'a
+(** Scoped form: disposes the checkpoint on exit, even on exceptions. *)

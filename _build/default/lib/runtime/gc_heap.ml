@@ -1,0 +1,28 @@
+(* Mark–sweep collection of the simulated heap.
+
+   The paper cleans up objects discarded by a rollback with reference
+   counting, falling back to "an off-the-shelf C++ garbage collector"
+   for cyclic structures; a tracing collector subsumes both.  Roots are
+   the program's globals, the values of every live interpreter frame
+   (registered in [vm.frame_roots] by the interpreter) and any extra
+   roots supplied by the caller (e.g. a checkpoint being held). *)
+
+let collect ?(extra_roots = []) (vm : Vm.t) =
+  let heap = vm.Vm.heap in
+  let marked : (Value.obj_id, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec mark v =
+    match (v : Value.t) with
+    | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Null -> ()
+    | Value.Ref id ->
+      if (not (Hashtbl.mem marked id)) && Heap.mem heap id then begin
+        Hashtbl.replace marked id ();
+        List.iter (fun r -> mark (Value.Ref r)) (Heap.successors heap id)
+      end
+  in
+  List.iter (fun (_, r) -> mark !r) vm.Vm.globals;
+  List.iter (fun frame -> List.iter mark (frame ())) vm.Vm.frame_roots;
+  List.iter mark extra_roots;
+  let garbage = ref [] in
+  Heap.iter_ids heap (fun id -> if not (Hashtbl.mem marked id) then garbage := id :: !garbage);
+  List.iter (fun id -> Heap.free heap id) !garbage;
+  List.length !garbage

@@ -1,0 +1,10 @@
+(** Mark–sweep collection of the simulated heap.
+
+    The paper cleans up objects discarded by a rollback with reference
+    counting, falling back to an off-the-shelf collector for cyclic
+    structures; a tracing collector subsumes both.  Roots are the VM's
+    globals, the values of every live interpreter frame, and any extra
+    roots supplied by the caller (e.g. a checkpoint being held). *)
+
+val collect : ?extra_roots:Value.t list -> Vm.t -> int
+(** Frees every unreachable heap object; returns how many were freed. *)

@@ -1,0 +1,128 @@
+(* The simulated heap.
+
+   Every object and array of the instrumented program lives here, keyed
+   by an integer identity.  The heap exposes a write barrier hook
+   ([on_write]) that fires *before* any mutation of an object's payload;
+   the lazy (copy-on-write) checkpointing strategy of {!Checkpoint}
+   relies on it to snapshot an object's payload the first time it is
+   written inside a wrapped call. *)
+
+type payload =
+  | Obj of { cls : string; fields : (string, Value.t) Hashtbl.t }
+  | Arr of Value.t array
+
+type t = {
+  uid : int; (* distinguishes heaps; usable as a hash key *)
+  store : (Value.obj_id, payload) Hashtbl.t;
+  mutable next_id : Value.obj_id;
+  mutable allocations : int; (* total number of allocations ever made *)
+  mutable on_write : (Value.obj_id -> unit) option;
+}
+
+exception Dangling_reference of Value.obj_id
+
+let uid_counter = ref 0
+
+let create () =
+  incr uid_counter;
+  { uid = !uid_counter;
+    store = Hashtbl.create 256;
+    next_id = 1;
+    allocations = 0;
+    on_write = None }
+
+let live_count h = Hashtbl.length h.store
+let allocations h = h.allocations
+
+let get h id =
+  match Hashtbl.find_opt h.store id with
+  | Some p -> p
+  | None -> raise (Dangling_reference id)
+
+let mem h id = Hashtbl.mem h.store id
+
+let alloc h payload =
+  let id = h.next_id in
+  h.next_id <- id + 1;
+  h.allocations <- h.allocations + 1;
+  Hashtbl.replace h.store id payload;
+  id
+
+let alloc_object h ~cls fields =
+  let table = Hashtbl.create (max 4 (List.length fields)) in
+  List.iter (fun (name, v) -> Hashtbl.replace table name v) fields;
+  alloc h (Obj { cls; fields = table })
+
+let alloc_array h values = alloc h (Arr (Array.copy values))
+
+let free h id = Hashtbl.remove h.store id
+
+let barrier h id = match h.on_write with None -> () | Some f -> f id
+
+let class_of h id =
+  match get h id with Obj { cls; _ } -> Some cls | Arr _ -> None
+
+let field_names h id =
+  match get h id with
+  | Obj { fields; _ } ->
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) fields [])
+  | Arr _ -> []
+
+let get_field h id name =
+  match get h id with
+  | Obj { fields; _ } -> Hashtbl.find_opt fields name
+  | Arr _ -> None
+
+let set_field h id name v =
+  match get h id with
+  | Obj { fields; _ } ->
+    barrier h id;
+    Hashtbl.replace fields name v
+  | Arr _ -> invalid_arg "Heap.set_field: array"
+
+let array_length h id =
+  match get h id with Arr a -> Some (Array.length a) | Obj _ -> None
+
+let get_elem h id i =
+  match get h id with
+  | Arr a -> if i >= 0 && i < Array.length a then Some a.(i) else None
+  | Obj _ -> None
+
+(* Returns [false] when the index is out of bounds; the VM turns that
+   into an [IndexOutOfBoundsException]. *)
+let set_elem h id i v =
+  match get h id with
+  | Arr a ->
+    if i >= 0 && i < Array.length a then begin
+      barrier h id;
+      a.(i) <- v;
+      true
+    end
+    else false
+  | Obj _ -> invalid_arg "Heap.set_elem: object"
+
+(* A detached copy of a payload: the field table / element array is
+   duplicated but the values (including references) are kept as-is.
+   Used by checkpoints, which capture one payload per reachable object. *)
+let copy_payload = function
+  | Obj { cls; fields } -> Obj { cls; fields = Hashtbl.copy fields }
+  | Arr a -> Arr (Array.copy a)
+
+(* Restores a previously copied payload in place, bypassing the write
+   barrier (rollback must not re-trigger checkpointing). *)
+let restore_payload h id payload =
+  if Hashtbl.mem h.store id then Hashtbl.replace h.store id (copy_payload payload)
+
+(* Direct successors of an object: every reference stored in it. *)
+let successors h id =
+  match get h id with
+  | Obj { fields; _ } ->
+    Hashtbl.fold
+      (fun _ v acc -> match v with Value.Ref r -> r :: acc | _ -> acc)
+      fields []
+  | Arr a ->
+    Array.fold_left
+      (fun acc v -> match v with Value.Ref r -> r :: acc | _ -> acc)
+      [] a
+
+let iter_ids h f = Hashtbl.iter (fun id _ -> f id) h.store

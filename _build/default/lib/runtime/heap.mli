@@ -1,0 +1,85 @@
+(** The simulated heap.
+
+    Every object and array of the instrumented program lives here, keyed
+    by an integer identity.  The heap exposes a write barrier
+    ({!field-on_write}) that fires before any mutation of an object's
+    payload; the lazy (copy-on-write) checkpoint strategy of
+    {!Checkpoint} relies on it. *)
+
+type payload =
+  | Obj of { cls : string; fields : (string, Value.t) Hashtbl.t }
+  | Arr of Value.t array
+
+type t = {
+  uid : int;  (** distinguishes heaps; usable as a hash key *)
+  store : (Value.obj_id, payload) Hashtbl.t;
+  mutable next_id : Value.obj_id;
+  mutable allocations : int;  (** total allocations ever made *)
+  mutable on_write : (Value.obj_id -> unit) option;
+      (** write barrier, called with the object's id before each
+          mutation of its payload *)
+}
+
+exception Dangling_reference of Value.obj_id
+(** Raised when dereferencing an identity that was {!free}d. *)
+
+val create : unit -> t
+
+val live_count : t -> int
+(** Number of objects currently on the heap. *)
+
+val allocations : t -> int
+
+val get : t -> Value.obj_id -> payload
+(** @raise Dangling_reference if the object does not exist. *)
+
+val mem : t -> Value.obj_id -> bool
+
+val alloc : t -> payload -> Value.obj_id
+(** Allocates a payload as-is (no defensive copy). *)
+
+val alloc_object : t -> cls:string -> (string * Value.t) list -> Value.obj_id
+(** Allocates an object of class [cls] with the given fields. *)
+
+val alloc_array : t -> Value.t array -> Value.obj_id
+(** Allocates an array initialized with a copy of the given values. *)
+
+val free : t -> Value.obj_id -> unit
+(** Removes an object; used by the collector and by rollback cleanup. *)
+
+val barrier : t -> Value.obj_id -> unit
+(** Fires the write barrier for [id], if one is installed. *)
+
+val class_of : t -> Value.obj_id -> string option
+(** Class name of an object; [None] for arrays. *)
+
+val field_names : t -> Value.obj_id -> string list
+(** Sorted field names of an object; [[]] for arrays. *)
+
+val get_field : t -> Value.obj_id -> string -> Value.t option
+val set_field : t -> Value.obj_id -> string -> Value.t -> unit
+
+val array_length : t -> Value.obj_id -> int option
+(** Length of an array; [None] for objects. *)
+
+val get_elem : t -> Value.obj_id -> int -> Value.t option
+(** [None] when out of bounds or not an array. *)
+
+val set_elem : t -> Value.obj_id -> int -> Value.t -> bool
+(** [false] when the index is out of bounds (the VM turns that into an
+    [IndexOutOfBoundsException]). *)
+
+val copy_payload : payload -> payload
+(** A detached copy of a payload: the field table / element array is
+    duplicated, the values (including references) kept as-is.  This is
+    the unit of checkpointing. *)
+
+val restore_payload : t -> Value.obj_id -> payload -> unit
+(** Restores a previously copied payload in place, bypassing the write
+    barrier (rollback must not re-trigger checkpointing).  No-op if the
+    object no longer exists. *)
+
+val successors : t -> Value.obj_id -> Value.obj_id list
+(** Direct successors: every reference stored in the object. *)
+
+val iter_ids : t -> (Value.obj_id -> unit) -> unit

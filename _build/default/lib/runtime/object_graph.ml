@@ -1,0 +1,168 @@
+(* Object graphs (paper Definition 1) and their comparison.
+
+   The object graph of a value [v] is the rooted graph of all objects,
+   arrays and primitive values reachable from [v] through instance
+   variables and array slots.  Sharing matters: two pointers to the same
+   object must remain pointers to one shared node.
+
+   We represent an object graph by a *canonical form*: a finite tree in
+   which each heap object is expanded at its first visit (in a
+   deterministic traversal order: fields sorted by name, array slots in
+   index order) and every later occurrence becomes a back-reference
+   [Back idx] to the first-visit index.  Two rooted graphs are identical
+   in the sense of Definition 1 iff their canonical forms are equal, so
+   graph comparison reduces to structural equality of trees — including
+   for cyclic graphs, whose cycles always close through a [Back]. *)
+
+type node =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Null
+  | Obj of { idx : int; cls : string; fields : (string * node) list }
+  | Arr of { idx : int; elems : node list }
+  | Back of int
+
+let rec pp_node ppf = function
+  | Int n -> Fmt.int ppf n
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.pf ppf "%S" s
+  | Null -> Fmt.string ppf "null"
+  | Back i -> Fmt.pf ppf "^%d" i
+  | Obj { idx; cls; fields } ->
+    let pp_field ppf (name, n) = Fmt.pf ppf "%s=%a" name pp_node n in
+    Fmt.pf ppf "@[<hv 2>%s@%d{%a}@]" cls idx (Fmt.list ~sep:Fmt.comma pp_field) fields
+  | Arr { idx; elems } ->
+    Fmt.pf ppf "@[<hv 2>arr@%d[%a]@]" idx (Fmt.list ~sep:Fmt.semi pp_node) elems
+
+(* Canonical form of the object graph rooted at [v]. *)
+let canonical heap v =
+  let visited : (Value.obj_id, int) Hashtbl.t = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let rec node v =
+    match (v : Value.t) with
+    | Value.Int n -> Int n
+    | Value.Bool b -> Bool b
+    | Value.Str s -> Str s
+    | Value.Null -> Null
+    | Value.Ref id -> (
+      match Hashtbl.find_opt visited id with
+      | Some idx -> Back idx
+      | None ->
+        let idx = !counter in
+        incr counter;
+        Hashtbl.replace visited id idx;
+        (match Heap.get heap id with
+         | Heap.Obj { cls; fields } ->
+           let names =
+             List.sort String.compare
+               (Hashtbl.fold (fun k _ acc -> k :: acc) fields [])
+           in
+           let entries =
+             List.map (fun name -> (name, node (Hashtbl.find fields name))) names
+           in
+           Obj { idx; cls; fields = entries }
+         | Heap.Arr a -> Arr { idx; elems = Array.to_list (Array.map node a) }))
+  in
+  node v
+
+(* Canonical form covering several roots at once (the receiver plus the
+   by-reference arguments of a call): sharing *across* roots is captured
+   because the visit table is common to all of them. *)
+let canonical_many heap vs =
+  (* Wrapping the roots in a synthetic array node reuses [canonical]'s
+     single-root traversal while sharing one visit table. *)
+  let id = Heap.alloc heap (Heap.Arr (Array.of_list vs)) in
+  let result = canonical heap (Value.Ref id) in
+  Heap.free heap id;
+  result
+
+let equal (a : node) (b : node) = a = b
+let hash (n : node) = Hashtbl.hash n
+let to_string n = Fmt.str "%a" pp_node n
+
+(* First path (root-to-leaf field trail) at which two canonical forms
+   differ, if any.  Used in detection reports so the user can see *where*
+   a method left the receiver inconsistent. *)
+let diff a b =
+  let exception Found of string in
+  let rec walk path a b =
+    match a, b with
+    | Int x, Int y -> if x <> y then raise (Found path)
+    | Bool x, Bool y -> if x <> y then raise (Found path)
+    | Str x, Str y -> if not (String.equal x y) then raise (Found path)
+    | Null, Null -> ()
+    | Back x, Back y -> if x <> y then raise (Found path)
+    | Obj oa, Obj ob ->
+      if not (String.equal oa.cls ob.cls) then raise (Found path)
+      else walk_fields path oa.fields ob.fields
+    | Arr aa, Arr ab ->
+      if List.length aa.elems <> List.length ab.elems then raise (Found path)
+      else
+        List.iteri
+          (fun i (x, y) -> walk (Printf.sprintf "%s[%d]" path i) x y)
+          (List.combine aa.elems ab.elems)
+    | (Int _ | Bool _ | Str _ | Null | Obj _ | Arr _ | Back _), _ ->
+      raise (Found path)
+  and walk_fields path fa fb =
+    match fa, fb with
+    | [], [] -> ()
+    | (na, va) :: ra, (nb, vb) :: rb ->
+      if not (String.equal na nb) then raise (Found path)
+      else begin
+        walk (path ^ "." ^ na) va vb;
+        walk_fields path ra rb
+      end
+    | _ :: _, [] | [], _ :: _ -> raise (Found path)
+  in
+  try
+    walk "this" a b;
+    None
+  with Found p -> Some p
+
+(* Deep copy of the graph rooted at [v], preserving sharing and cycles:
+   the result references freshly allocated objects only.  This is the
+   paper's [deep_copy]. *)
+let clone heap v =
+  let mapping : (Value.obj_id, Value.obj_id) Hashtbl.t = Hashtbl.create 64 in
+  let rec copy v =
+    match (v : Value.t) with
+    | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Null -> v
+    | Value.Ref id -> (
+      match Hashtbl.find_opt mapping id with
+      | Some fresh -> Value.Ref fresh
+      | None ->
+        (* Allocate the copy first so cycles map back to it. *)
+        let fresh =
+          match Heap.get heap id with
+          | Heap.Obj { cls; _ } ->
+            Heap.alloc heap (Heap.Obj { cls; fields = Hashtbl.create 8 })
+          | Heap.Arr a ->
+            Heap.alloc heap (Heap.Arr (Array.make (Array.length a) Value.Null))
+        in
+        Hashtbl.replace mapping id fresh;
+        (match Heap.get heap id, Heap.get heap fresh with
+         | Heap.Obj { fields; _ }, Heap.Obj { fields = fresh_fields; _ } ->
+           Hashtbl.iter (fun k v -> Hashtbl.replace fresh_fields k (copy v)) fields
+         | Heap.Arr a, Heap.Arr fresh_a ->
+           Array.iteri (fun i v -> fresh_a.(i) <- copy v) a
+         | (Heap.Obj _ | Heap.Arr _), _ -> assert false);
+        Value.Ref fresh)
+  in
+  copy v
+
+(* Number of heap objects in the graph rooted at [v] (checkpoint size
+   metric used by the Figure 5 benchmarks). *)
+let size heap v =
+  let visited = Hashtbl.create 64 in
+  let rec visit v =
+    match (v : Value.t) with
+    | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Null -> ()
+    | Value.Ref id ->
+      if not (Hashtbl.mem visited id) then begin
+        Hashtbl.replace visited id ();
+        List.iter (fun r -> visit (Value.Ref r)) (Heap.successors heap id)
+      end
+  in
+  visit v;
+  Hashtbl.length visited

@@ -1,0 +1,55 @@
+(** Object graphs (paper Definition 1) and their comparison.
+
+    The object graph of a value [v] is the rooted graph of all objects,
+    arrays and primitive values reachable from [v] through instance
+    variables and array slots, with sharing preserved: two pointers to
+    the same object remain pointers to one shared node.
+
+    Graphs are represented by a {e canonical form}: a finite tree in
+    which each heap object is expanded at its first visit (fields sorted
+    by name, array slots in index order) and later occurrences become
+    back-references to the first-visit index.  Two rooted graphs are
+    identical in the sense of Definition 1 iff their canonical forms are
+    structurally equal — including cyclic graphs, whose cycles close
+    through a [Back] node. *)
+
+type node =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Null
+  | Obj of { idx : int; cls : string; fields : (string * node) list }
+  | Arr of { idx : int; elems : node list }
+  | Back of int  (** reference to an already-visited object *)
+
+val pp_node : node Fmt.t
+
+val canonical : Heap.t -> Value.t -> node
+(** Canonical form of the object graph rooted at the given value. *)
+
+val canonical_many : Heap.t -> Value.t list -> node
+(** Canonical form covering several roots at once (e.g. the receiver
+    plus the by-reference arguments of a call); sharing across roots is
+    captured because the visit table is common to all of them. *)
+
+val equal : node -> node -> bool
+(** Object-graph identity per Definition 1. *)
+
+val hash : node -> int
+
+val to_string : node -> string
+
+val diff : node -> node -> string option
+(** First root-to-leaf field path at which two canonical forms differ,
+    e.g. ["this.head.next.value"]; [None] when equal.  Shown in
+    detection reports so users can see {e where} a method left the
+    receiver inconsistent. *)
+
+val clone : Heap.t -> Value.t -> Value.t
+(** Deep copy of the graph, preserving sharing and cycles; the result
+    references freshly allocated objects only.  This is the paper's
+    [deep_copy]. *)
+
+val size : Heap.t -> Value.t -> int
+(** Number of heap objects in the graph (the checkpoint-size metric of
+    the Figure 5 benchmarks). *)

@@ -1,0 +1,56 @@
+(* Dynamic values manipulated by the simulated object runtime.
+
+   Primitive values are immutable and carried inline; objects and arrays
+   live on the simulated {!Heap.t} and are designated by their identity
+   [Ref id].  This mirrors the reference semantics of the Java/C++
+   programs instrumented by the paper: aliasing is observable, which is
+   what makes object-graph comparison (Definition 1) meaningful. *)
+
+type obj_id = int
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Null
+  | Ref of obj_id
+
+let is_ref = function Ref _ -> true | Int _ | Bool _ | Str _ | Null -> false
+
+let type_name = function
+  | Int _ -> "int"
+  | Bool _ -> "bool"
+  | Str _ -> "string"
+  | Null -> "null"
+  | Ref _ -> "object"
+
+let truthy = function
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Null -> false
+  | Str _ | Ref _ -> true
+
+(* Shallow equality: two references are equal iff they denote the same
+   heap object.  Deep (graph) equality lives in {!Object_graph}. *)
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Null, Null -> true
+  | Ref x, Ref y -> x = y
+  | (Int _ | Bool _ | Str _ | Null | Ref _), _ -> false
+
+let pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.pf ppf "%S" s
+  | Null -> Fmt.string ppf "null"
+  | Ref id -> Fmt.pf ppf "#%d" id
+
+let to_string v = Fmt.str "%a" pp v
+
+(* Rendering used by the [print]/[str] builtins: strings are unquoted. *)
+let to_display_string = function
+  | Str s -> s
+  | (Int _ | Bool _ | Null | Ref _) as v -> to_string v

@@ -1,0 +1,40 @@
+(** Dynamic values of the simulated object runtime.
+
+    Primitive values are immutable and carried inline; objects and
+    arrays live on a {!Heap.t} and are designated by their identity
+    ([Ref id]), giving the reference semantics of the Java/C++ programs
+    the paper instruments: aliasing is observable, which is what makes
+    object-graph comparison (paper Definition 1) meaningful. *)
+
+type obj_id = int
+(** Identity of a heap object. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Null
+  | Ref of obj_id  (** reference to a heap object or array *)
+
+val is_ref : t -> bool
+(** [is_ref v] is [true] iff [v] designates a heap object. *)
+
+val type_name : t -> string
+(** Human-readable name of the value's dynamic type. *)
+
+val truthy : t -> bool
+(** Condition semantics: [false], [0] and [null] are false; everything
+    else is true. *)
+
+val equal : t -> t -> bool
+(** Shallow equality: references are equal iff they denote the same heap
+    object.  Deep (graph) equality lives in {!Object_graph}. *)
+
+val pp : t Fmt.t
+(** Debug printer; strings are quoted, references print as [#id]. *)
+
+val to_string : t -> string
+(** [to_string v] is [Fmt.str "%a" pp v]. *)
+
+val to_display_string : t -> string
+(** Rendering used by the [print]/[str] builtins: strings unquoted. *)

@@ -1,0 +1,293 @@
+(* The virtual machine: class table, method dispatch and interposition.
+
+   This module plays the role of the JVM / C++ runtime in the paper.
+   Method entries are mutable so that "load-time" tools — our analog of
+   the paper's Java Wrapper Generator (JWG/BCEL filters) — can attach
+   pre/post filters to any method *after* the program has been compiled,
+   without touching its source.  Source-level weaving, the analog of the
+   paper's AspectC++ path, instead rewrites the AST before compilation
+   and needs no filter. *)
+
+type exn_value = {
+  exn_class : string;
+  message : string;
+  exn_obj : Value.t; (* the heap object carried by the exception, or Null *)
+}
+
+(* The MiniLang-level exception, propagated as an OCaml exception while
+   a program runs. *)
+exception Mini_raise of exn_value
+
+type t = {
+  heap : Heap.t;
+  classes : (string, cls) Hashtbl.t;
+  functions : (string, func) Hashtbl.t;
+  out : Buffer.t; (* program output, captured per run *)
+  hooks : (string, t -> Value.t list -> Value.t) Hashtbl.t;
+      (* reflective builtins (__inject, __mark, ...) registered by the
+         detection/masking engine; looked up by woven code at runtime *)
+  mutable frame_roots : (unit -> Value.t list) list;
+      (* live interpreter frames, for GC root enumeration *)
+  mutable call_depth : int;
+  mutable max_call_depth : int;
+  mutable steps : int;
+  mutable step_limit : int; (* guards against runaway injected programs *)
+  mutable calls : int; (* dynamic count of method + constructor calls *)
+  mutable globals : (string * Value.t ref) list; (* program globals, GC roots *)
+}
+
+and cls = {
+  cls_name : string;
+  super : string option;
+  decl_fields : string list;
+  cls_methods : (string, meth) Hashtbl.t;
+}
+
+and meth = {
+  meth_class : string; (* defining class *)
+  meth_name : string;
+  params : string list;
+  throws : string list; (* declared exception classes *)
+  mutable impl : impl;
+  mutable filters : filter list; (* outermost first *)
+}
+
+and impl = t -> Value.t -> Value.t list -> Value.t
+
+and func = {
+  fn_name : string;
+  fn_params : string list;
+  mutable fn_impl : t -> Value.t list -> Value.t;
+}
+
+and filter = {
+  filt_name : string;
+  pre : t -> meth -> Value.t -> Value.t list -> pre_action;
+  post :
+    t -> meth -> Value.t -> Value.t list -> (Value.t, exn_value) result ->
+    post_action;
+}
+
+and pre_action = Proceed | Pre_return of Value.t | Pre_raise of exn_value
+and post_action = Pass | Post_return of Value.t | Post_raise of exn_value
+
+exception Unknown_class of string
+exception Unknown_method of string * string (* class, method *)
+exception Step_limit_exceeded
+
+(* ------------------------------------------------------------------ *)
+(* Built-in exception class hierarchy                                  *)
+(* ------------------------------------------------------------------ *)
+
+let throwable = "Throwable"
+let exception_class = "Exception"
+let runtime_exception = "RuntimeException"
+let error_class = "Error"
+
+(* Runtime exceptions: may be raised implicitly by any operation, hence
+   are injection candidates for every method (paper §4.1 step 1). *)
+let builtin_runtime_exceptions =
+  [ "NullPointerException";
+    "IndexOutOfBoundsException";
+    "ArithmeticException";
+    "NegativeArraySizeException";
+    "ClassCastException";
+    "IllegalArgumentException";
+    "IllegalStateException";
+    "NoSuchElementException";
+    "UnsupportedOperationException";
+    "ConcurrentModificationException" ]
+
+let builtin_errors = [ "OutOfMemoryError"; "StackOverflowError" ]
+
+let builtin_exception_classes =
+  (throwable, None)
+  :: (exception_class, Some throwable)
+  :: (runtime_exception, Some throwable)
+  :: (error_class, Some throwable)
+  :: List.map (fun c -> (c, Some runtime_exception)) builtin_runtime_exceptions
+  @ List.map (fun c -> (c, Some error_class)) builtin_errors
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let add_class vm ?super ?(fields = []) name =
+  let cls = { cls_name = name; super; decl_fields = fields; cls_methods = Hashtbl.create 8 } in
+  Hashtbl.replace vm.classes name cls;
+  cls
+
+let create () =
+  let vm =
+    { heap = Heap.create ();
+      classes = Hashtbl.create 64;
+      functions = Hashtbl.create 16;
+      out = Buffer.create 256;
+      hooks = Hashtbl.create 8;
+      frame_roots = [];
+      call_depth = 0;
+      max_call_depth = 2_000;
+      steps = 0;
+      step_limit = 50_000_000;
+      calls = 0;
+      globals = [] }
+  in
+  List.iter
+    (fun (name, super) -> ignore (add_class vm ?super ~fields:[ "message" ] name))
+    builtin_exception_classes;
+  vm
+
+let find_class vm name =
+  match Hashtbl.find_opt vm.classes name with
+  | Some c -> c
+  | None -> raise (Unknown_class name)
+
+let class_exists vm name = Hashtbl.mem vm.classes name
+
+(* [is_subclass vm c1 c2] holds iff [c1] equals [c2] or transitively
+   extends it. *)
+let rec is_subclass vm c1 c2 =
+  String.equal c1 c2
+  || match Hashtbl.find_opt vm.classes c1 with
+     | Some { super = Some s; _ } -> is_subclass vm s c2
+     | Some { super = None; _ } | None -> false
+
+let is_exception_class vm name =
+  class_exists vm name && is_subclass vm name throwable
+
+(* All fields of a class, including inherited ones. *)
+let rec all_fields vm name =
+  match Hashtbl.find_opt vm.classes name with
+  | None -> []
+  | Some { super; decl_fields; _ } ->
+    (match super with None -> [] | Some s -> all_fields vm s) @ decl_fields
+
+let add_method vm cls_name ~name ~params ~throws impl =
+  let cls = find_class vm cls_name in
+  let meth =
+    { meth_class = cls_name; meth_name = name; params; throws; impl; filters = [] }
+  in
+  Hashtbl.replace cls.cls_methods name meth;
+  meth
+
+(* Method resolution walks the superclass chain (single inheritance). *)
+let rec lookup_method vm cls_name mname =
+  match Hashtbl.find_opt vm.classes cls_name with
+  | None -> None
+  | Some cls -> (
+    match Hashtbl.find_opt cls.cls_methods mname with
+    | Some m -> Some m
+    | None -> (
+      match cls.super with
+      | Some s -> lookup_method vm s mname
+      | None -> None))
+
+let find_method vm cls_name mname =
+  match lookup_method vm cls_name mname with
+  | Some m -> m
+  | None -> raise (Unknown_method (cls_name, mname))
+
+(* Every method of [vm], user classes only (builtin exception classes
+   define none). *)
+let iter_methods vm f =
+  Hashtbl.iter (fun _ cls -> Hashtbl.iter (fun _ m -> f cls m) cls.cls_methods) vm.classes
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocates the exception object on the simulated heap (exceptions are
+   objects, as in Java) and raises it as a MiniLang exception. *)
+let make_exn vm cls_name message =
+  let fields =
+    List.map
+      (fun f -> (f, if String.equal f "message" then Value.Str message else Value.Null))
+      (all_fields vm cls_name)
+  in
+  let id = Heap.alloc_object vm.heap ~cls:cls_name fields in
+  { exn_class = cls_name; message; exn_obj = Value.Ref id }
+
+let throw vm cls_name message = raise (Mini_raise (make_exn vm cls_name message))
+
+let exn_matches vm exn_v handler_class = is_subclass vm exn_v.exn_class handler_class
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch with filter interposition                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tick vm =
+  vm.steps <- vm.steps + 1;
+  if vm.steps > vm.step_limit then raise Step_limit_exceeded
+
+(* Runs [meth] on [recv] with [args], threading the call through the
+   method's filter chain (outermost first).  Filters see the MiniLang
+   exception as a [result] and may pass it on, swallow it, or replace
+   it — exactly the JWG pre/post filter contract described in §5.2. *)
+let call_filtered vm meth recv args =
+  vm.calls <- vm.calls + 1;
+  vm.call_depth <- vm.call_depth + 1;
+  if vm.call_depth > vm.max_call_depth then begin
+    vm.call_depth <- vm.call_depth - 1;
+    throw vm "StackOverflowError" "call depth exceeded"
+  end;
+  let finish v =
+    vm.call_depth <- vm.call_depth - 1;
+    v
+  in
+  let rec run filters =
+    match filters with
+    | [] -> meth.impl vm recv args
+    | f :: rest -> (
+      match f.pre vm meth recv args with
+      | Pre_return v -> v
+      | Pre_raise e -> raise (Mini_raise e)
+      | Proceed -> (
+        let result = try Ok (run rest) with Mini_raise e -> Error e in
+        match f.post vm meth recv args result with
+        | Pass -> (match result with Ok v -> v | Error e -> raise (Mini_raise e))
+        | Post_return v -> v
+        | Post_raise e -> raise (Mini_raise e)))
+  in
+  match run meth.filters with
+  | v -> finish v
+  | exception e ->
+    vm.call_depth <- vm.call_depth - 1;
+    raise e
+
+(* Dynamic dispatch on a receiver value. *)
+let invoke vm recv mname args =
+  match recv with
+  | Value.Ref id -> (
+    match Heap.get vm.heap id with
+    | Heap.Obj { cls; _ } -> call_filtered vm (find_method vm cls mname) recv args
+    | Heap.Arr _ -> throw vm "UnsupportedOperationException" ("method call on array: " ^ mname))
+  | Value.Null -> throw vm "NullPointerException" ("call of " ^ mname ^ " on null")
+  | Value.Int _ | Value.Bool _ | Value.Str _ ->
+    throw vm "UnsupportedOperationException"
+      (Printf.sprintf "call of %s on %s" mname (Value.type_name recv))
+
+(* Filter (de-)installation: the load-time weaving API. *)
+let attach_filter meth filter = meth.filters <- filter :: meth.filters
+let detach_filter meth name =
+  meth.filters <- List.filter (fun f -> not (String.equal f.filt_name name)) meth.filters
+let detach_all_filters meth = meth.filters <- []
+
+let attach_filter_everywhere vm filter = iter_methods vm (fun _ m -> attach_filter m filter)
+let detach_filter_everywhere vm name = iter_methods vm (fun _ m -> detach_filter m name)
+
+(* ------------------------------------------------------------------ *)
+(* Hooks, output, globals                                              *)
+(* ------------------------------------------------------------------ *)
+
+let register_hook vm name f = Hashtbl.replace vm.hooks name f
+let find_hook vm name = Hashtbl.find_opt vm.hooks name
+
+let output vm = Buffer.contents vm.out
+let print_out vm s = Buffer.add_string vm.out s
+
+let set_global vm name v =
+  match List.assoc_opt name vm.globals with
+  | Some r -> r := v
+  | None -> vm.globals <- (name, ref v) :: vm.globals
+
+let get_global vm name = Option.map ( ! ) (List.assoc_opt name vm.globals)

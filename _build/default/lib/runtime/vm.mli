@@ -1,0 +1,171 @@
+(** The virtual machine: class table, method dispatch, interposition.
+
+    Plays the role of the JVM / C++ runtime in the paper.  Method
+    entries are mutable so that "load-time" tools — the analog of the
+    paper's Java Wrapper Generator (JWG/BCEL filters, §5.2) — can attach
+    pre/post filters to any method after compilation, without source
+    access. *)
+
+type exn_value = {
+  exn_class : string;
+  message : string;
+  exn_obj : Value.t;  (** the heap object carried by the exception *)
+}
+
+exception Mini_raise of exn_value
+(** A MiniLang-level exception in flight.  Catchable in-language;
+    distinct from OCaml-level errors such as {!Unknown_method}. *)
+
+type t = {
+  heap : Heap.t;
+  classes : (string, cls) Hashtbl.t;
+  functions : (string, func) Hashtbl.t;
+  out : Buffer.t;  (** program output, captured per run *)
+  hooks : (string, t -> Value.t list -> Value.t) Hashtbl.t;
+      (** reflective builtins ([__inject], [__mark], ...) registered by
+          the detection/masking engine; called by woven code *)
+  mutable frame_roots : (unit -> Value.t list) list;
+      (** live interpreter frames, for GC root enumeration *)
+  mutable call_depth : int;
+  mutable max_call_depth : int;
+  mutable steps : int;
+  mutable step_limit : int;  (** guards against runaway injected programs *)
+  mutable calls : int;  (** dynamic count of method + constructor calls *)
+  mutable globals : (string * Value.t ref) list;
+}
+
+and cls = {
+  cls_name : string;
+  super : string option;
+  decl_fields : string list;
+  cls_methods : (string, meth) Hashtbl.t;
+}
+
+and meth = {
+  meth_class : string;  (** defining class *)
+  meth_name : string;
+  params : string list;
+  throws : string list;  (** declared exception classes *)
+  mutable impl : impl;
+  mutable filters : filter list;  (** outermost first *)
+}
+
+and impl = t -> Value.t -> Value.t list -> Value.t
+(** [impl vm this args] *)
+
+and func = {
+  fn_name : string;
+  fn_params : string list;
+  mutable fn_impl : t -> Value.t list -> Value.t;
+}
+
+and filter = {
+  filt_name : string;
+  pre : t -> meth -> Value.t -> Value.t list -> pre_action;
+  post :
+    t -> meth -> Value.t -> Value.t list -> (Value.t, exn_value) result ->
+    post_action;
+}
+(** A JWG-style pre/post filter: [pre] may short-circuit the call or
+    inject an exception; [post] observes the outcome (normal or
+    exceptional) and may pass it on, replace it, or raise. *)
+
+and pre_action = Proceed | Pre_return of Value.t | Pre_raise of exn_value
+and post_action = Pass | Post_return of Value.t | Post_raise of exn_value
+
+exception Unknown_class of string
+exception Unknown_method of string * string
+exception Step_limit_exceeded
+
+(** {1 Built-in exception hierarchy} *)
+
+val throwable : string
+(** Root of the exception hierarchy ("Throwable"). *)
+
+val exception_class : string
+val runtime_exception : string
+val error_class : string
+
+val builtin_runtime_exceptions : string list
+(** Runtime exceptions any operation may raise implicitly — injection
+    candidates for every method (paper §4.1, step 1). *)
+
+val builtin_errors : string list
+
+val builtin_exception_classes : (string * string option) list
+(** All built-in exception classes with their superclass. *)
+
+(** {1 Construction} *)
+
+val create : unit -> t
+(** A fresh VM with the built-in exception classes registered. *)
+
+val add_class : t -> ?super:string -> ?fields:string list -> string -> cls
+val find_class : t -> string -> cls
+val class_exists : t -> string -> bool
+
+val is_subclass : t -> string -> string -> bool
+(** [is_subclass vm c1 c2] holds iff [c1] = [c2] or transitively
+    extends it. *)
+
+val is_exception_class : t -> string -> bool
+
+val all_fields : t -> string -> string list
+(** All fields of a class, inherited ones first. *)
+
+val add_method :
+  t -> string -> name:string -> params:string list -> throws:string list ->
+  impl -> meth
+
+val lookup_method : t -> string -> string -> meth option
+(** Resolution along the superclass chain. *)
+
+val find_method : t -> string -> string -> meth
+(** @raise Unknown_method when resolution fails. *)
+
+val iter_methods : t -> (cls -> meth -> unit) -> unit
+
+(** {1 Exceptions} *)
+
+val make_exn : t -> string -> string -> exn_value
+(** Allocates the exception object on the simulated heap (exceptions are
+    objects, as in Java) with its [message] field set. *)
+
+val throw : t -> string -> string -> 'a
+(** [throw vm cls msg] raises {!Mini_raise} with a fresh exception. *)
+
+val exn_matches : t -> exn_value -> string -> bool
+(** Does a handler for the given class catch this exception? *)
+
+(** {1 Dispatch} *)
+
+val tick : t -> unit
+(** Accounts one interpreter step.
+    @raise Step_limit_exceeded past the budget. *)
+
+val call_filtered : t -> meth -> Value.t -> Value.t list -> Value.t
+(** Runs a resolved method, threading the call through its filter chain
+    (outermost first) and the depth/call accounting. *)
+
+val invoke : t -> Value.t -> string -> Value.t list -> Value.t
+(** Dynamic dispatch on a receiver value.  Raises
+    [NullPointerException] (as {!Mini_raise}) on [Null] receivers. *)
+
+(** {1 Filter (de-)installation: the load-time weaving API} *)
+
+val attach_filter : meth -> filter -> unit
+(** Prepends, so the latest attached filter is outermost. *)
+
+val detach_filter : meth -> string -> unit
+val detach_all_filters : meth -> unit
+val attach_filter_everywhere : t -> filter -> unit
+val detach_filter_everywhere : t -> string -> unit
+
+(** {1 Hooks, output, globals} *)
+
+val register_hook : t -> string -> (t -> Value.t list -> Value.t) -> unit
+val find_hook : t -> string -> (t -> Value.t list -> Value.t) option
+val output : t -> string
+val print_out : t -> string -> unit
+val set_global : t -> string -> Value.t -> unit
+val get_global : t -> string -> Value.t option

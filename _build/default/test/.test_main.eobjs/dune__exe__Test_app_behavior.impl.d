@@ -1,0 +1,1 @@
+test/test_app_behavior.ml: Alcotest Array Buffer Failatom_apps Failatom_minilang Fun Hashtbl Int Lazy List Option Printf QCheck2 QCheck_alcotest Registry Set String

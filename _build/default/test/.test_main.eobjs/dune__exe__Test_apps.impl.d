@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Classify Detect Failatom_apps Failatom_core Harness List Method_id Option Registry String Synthetic

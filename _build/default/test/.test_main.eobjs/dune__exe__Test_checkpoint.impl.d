@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Array Checkpoint Failatom_runtime Gc_heap Heap Object_graph Printf QCheck2 QCheck_alcotest Random Value Vm

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Classify Detect Failatom_core Failatom_minilang List Method_id

@@ -1,0 +1,1 @@
+test/test_composition.ml: Alcotest Analyzer Classify Config Detect Failatom_core Failatom_minilang Failatom_runtime Injection List Marks Mask Method_id Source_weaver Vm

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Failatom_minilang List Printf

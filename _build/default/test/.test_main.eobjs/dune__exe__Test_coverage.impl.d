@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Coverage Detect Failatom_core Failatom_minilang Fmt Lazy List Method_id String

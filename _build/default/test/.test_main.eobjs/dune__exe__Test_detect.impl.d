@@ -1,0 +1,1 @@
+test/test_detect.ml: Alcotest Analyzer Classify Config Detect Failatom_apps Failatom_core Failatom_minilang Fmt List Marks Method_id Synthetic

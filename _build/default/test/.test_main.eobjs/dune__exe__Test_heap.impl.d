@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Failatom_runtime Heap List Value

@@ -1,0 +1,1 @@
+test/test_injection.ml: Alcotest Analyzer Classify Config Detect Failatom_core Failatom_minilang Failatom_runtime Heap Injection List Marks Method_id Option Value Vm

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Compile Failatom_minilang Failatom_runtime Minilang Printf

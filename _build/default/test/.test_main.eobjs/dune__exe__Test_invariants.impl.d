@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Analyzer Classify Config Detect Failatom_apps Failatom_core Failatom_minilang Harness Injection List Marks Mask Method_id Option Profile Registry Synthetic

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Ast Failatom_minilang Fmt Lexer List

@@ -1,0 +1,1 @@
+test/test_mask.ml: Alcotest Classify Config Detect Failatom_apps Failatom_core Failatom_minilang Failatom_runtime List Mask Method_id Option Registry Source_weaver String Synthetic

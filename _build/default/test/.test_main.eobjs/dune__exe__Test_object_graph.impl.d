@@ -1,0 +1,1 @@
+test/test_object_graph.ml: Alcotest Array Failatom_runtime Heap Object_graph QCheck2 QCheck_alcotest Random Value

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Failatom_minilang List Parser Pretty QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_purity.ml: Alcotest Analyzer Classify Config Detect Failatom_apps Failatom_core Failatom_minilang Lazy List Method_id Option Purity

@@ -1,0 +1,1 @@
+test/test_random_pipeline.ml: Buffer Classify Config Detect Failatom_core Failatom_minilang List Mask Method_id Printf QCheck2 QCheck_alcotest Source_weaver String

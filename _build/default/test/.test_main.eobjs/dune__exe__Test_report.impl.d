@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Classify Failatom_apps Failatom_core Fmt Harness Lazy List Report String Synthetic

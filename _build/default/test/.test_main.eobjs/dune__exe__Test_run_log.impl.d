@@ -1,0 +1,1 @@
+test/test_run_log.ml: Alcotest Classify Detect Failatom_apps Failatom_core Failatom_minilang Filename Fun Lazy List Marks Method_id Profile Run_log Synthetic Sys

@@ -1,0 +1,1 @@
+test/test_static_check.ml: Alcotest Failatom_minilang Fmt List Minilang Static_check String

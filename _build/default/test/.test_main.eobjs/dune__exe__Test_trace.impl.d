@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Failatom_core Failatom_minilang Fmt Lazy List Method_id String Trace

@@ -1,0 +1,1 @@
+test/test_weaver.ml: Alcotest Analyzer Ast Compile Config Failatom_core Failatom_minilang Injection List Mask Method_id Minilang Parser Pretty Source_weaver Static_check String

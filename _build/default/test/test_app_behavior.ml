@@ -1,0 +1,537 @@
+(* Differential tests of the workload data structures.
+
+   The Table-1 applications are real container/engine implementations in
+   MiniLang; these tests drive them with generated operation sequences
+   and compare every observable result against a plain OCaml model.
+   Operation sequences are generated valid (in-range), so the model does
+   not need to mirror the apps' deliberate failure non-atomicity — that
+   part is covered by the detection tests. *)
+
+open Failatom_apps
+
+(* The classes of an application, without its bundled driver (every app
+   source ends with its [function main]). *)
+let classes_of (app : Registry.t) =
+  let source = app.Registry.source in
+  let marker = "function main()" in
+  let rec find i =
+    if i + String.length marker > String.length source then
+      Alcotest.failf "%s has no main" app.Registry.name
+    else if String.sub source i (String.length marker) = marker then i
+    else find (i + 1)
+  in
+  String.sub source 0 (find 0)
+
+let run_driver app driver =
+  Failatom_minilang.Minilang.run_string (classes_of app ^ driver)
+
+(* ---------------- LinkedList vs OCaml list model ---------------- *)
+
+type list_op = Add_last of int | Add_first of int | Insert_at of int * int
+             | Remove_at of int | Get of int | Index_of of int | Count
+
+let gen_list_ops =
+  let open QCheck2.Gen in
+  let rec build size n acc =
+    if n = 0 then return (List.rev acc)
+    else
+      let stop = return (List.rev acc) in
+      let add_last = map (fun v -> `Continue (Add_last v, size + 1)) (int_range 0 50) in
+      let add_first = map (fun v -> `Continue (Add_first v, size + 1)) (int_range 0 50) in
+      let choices =
+        [ add_last; add_first ]
+        @ (if size > 0 then
+             [ map2 (fun i v -> `Continue (Insert_at (i, v), size + 1))
+                 (int_range 0 size) (int_range 0 50);
+               map (fun i -> `Continue (Remove_at i, size - 1)) (int_range 0 (size - 1));
+               map (fun i -> `Continue (Get i, size)) (int_range 0 (size - 1));
+               map (fun v -> `Continue (Index_of v, size)) (int_range 0 50);
+               return (`Continue (Count, size)) ]
+           else [])
+      in
+      oneof choices >>= function
+      | `Continue (op, size') -> build size' (n - 1) (op :: acc)
+      | `Stop -> stop
+  in
+  QCheck2.Gen.(int_range 1 25 >>= fun n -> build 0 n [])
+
+(* Renders ops as a MiniLang driver that prints each observation. *)
+let list_driver ops =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "function main() {\n  var l = new LinkedList();\n";
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (match op with
+         | Add_last v -> Printf.sprintf "  l.addLast(%d);\n" v
+         | Add_first v -> Printf.sprintf "  l.addFirst(%d);\n" v
+         | Insert_at (i, v) -> Printf.sprintf "  l.insertAt(%d, %d);\n" i v
+         | Remove_at i -> Printf.sprintf "  println(\"rm \" + l.removeAt(%d));\n" i
+         | Get i -> Printf.sprintf "  println(\"get \" + l.get(%d));\n" i
+         | Index_of v -> Printf.sprintf "  println(\"idx \" + l.indexOf(%d));\n" v
+         | Count -> "  println(\"n \" + l.count());\n"))
+    ops;
+  Buffer.add_string buf "  var arr = l.toArray();\n";
+  Buffer.add_string buf
+    "  var s = \"\";\n  for (var i = 0; i < len(arr); i = i + 1) { s = s + arr[i] + \",\"; }\n";
+  Buffer.add_string buf "  println(\"final \" + s);\n  return 0;\n}\n";
+  Buffer.contents buf
+
+(* OCaml model of the same operations. *)
+let list_model ops =
+  let buf = Buffer.create 256 in
+  let insert_at i v l =
+    let rec go i acc = function
+      | rest when i = 0 -> List.rev_append acc (v :: rest)
+      | [] -> List.rev (v :: acc)
+      | x :: rest -> go (i - 1) (x :: acc) rest
+    in
+    go i [] l
+  in
+  let remove_at i l =
+    let rec go i acc = function
+      | x :: rest when i = 0 -> (x, List.rev_append acc rest)
+      | x :: rest -> go (i - 1) (x :: acc) rest
+      | [] -> assert false
+    in
+    go i [] l
+  in
+  let index_of v l =
+    let rec go i = function
+      | [] -> -1
+      | x :: _ when x = v -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 l
+  in
+  let state =
+    List.fold_left
+      (fun l op ->
+        match op with
+        | Add_last v -> l @ [ v ]
+        | Add_first v -> v :: l
+        | Insert_at (i, v) -> insert_at i v l
+        | Remove_at i ->
+          let x, rest = remove_at i l in
+          Buffer.add_string buf (Printf.sprintf "rm %d\n" x);
+          rest
+        | Get i ->
+          Buffer.add_string buf (Printf.sprintf "get %d\n" (List.nth l i));
+          l
+        | Index_of v ->
+          Buffer.add_string buf (Printf.sprintf "idx %d\n" (index_of v l));
+          l
+        | Count ->
+          Buffer.add_string buf (Printf.sprintf "n %d\n" (List.length l));
+          l)
+      [] ops
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "final %s\n"
+       (String.concat "" (List.map (fun v -> string_of_int v ^ ",") state)));
+  Buffer.contents buf
+
+let linked_list_app = lazy (Option.get (Registry.find "LinkedList"))
+
+let prop_linked_list_matches_model =
+  QCheck2.Test.make ~name:"LinkedList agrees with the OCaml list model" ~count:60
+    gen_list_ops
+    (fun ops ->
+      let got = run_driver (Lazy.force linked_list_app) (list_driver ops) in
+      let expected = list_model ops in
+      if String.equal got expected then true
+      else
+        QCheck2.Test.fail_reportf "mismatch:@.got:@.%s@.expected:@.%s" got expected)
+
+(* The fixed variant must agree with the same model. *)
+let prop_fixed_linked_list_matches_model =
+  QCheck2.Test.make ~name:"LinkedListFixed agrees with the model" ~count:40
+    gen_list_ops
+    (fun ops ->
+      let got = run_driver Registry.linked_list_fixed (list_driver ops) in
+      String.equal got (list_model ops))
+
+(* ---------------- RBTree vs OCaml Set model ---------------- *)
+
+module Int_set = Set.Make (Int)
+
+type set_op = Insert of int | Remove of int | Member of int | Least | Cardinal
+
+let gen_set_ops =
+  let open QCheck2.Gen in
+  list_size (1 -- 40)
+    (oneof
+       [ map (fun k -> Insert k) (int_range 0 60);
+         map (fun k -> Remove k) (int_range 0 60);
+         map (fun k -> Member k) (int_range 0 60);
+         return Least;
+         return Cardinal ])
+
+let set_driver ops =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "function main() {\n  var t = new RBTree();\n";
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (match op with
+         | Insert k -> Printf.sprintf "  println(\"ins \" + t.insert(%d));\n" k
+         | Remove k ->
+           Printf.sprintf "  println(\"del \" + t.removeElem(%d));\n  check(t.audit(), \"post-delete invariants\");\n" k
+         | Member k -> Printf.sprintf "  println(\"mem \" + t.containsElem(%d));\n" k
+         | Least ->
+           "  if (t.count() > 0) { println(\"min \" + t.least()); } else { println(\"min -\"); }\n"
+         | Cardinal -> "  println(\"n \" + t.count());\n"))
+    ops;
+  Buffer.add_string buf "  check(t.audit(), \"red-black invariants\");\n";
+  Buffer.add_string buf "  var arr = t.toSortedArray();\n";
+  Buffer.add_string buf
+    "  var s = \"\";\n  for (var i = 0; i < len(arr); i = i + 1) { s = s + arr[i] + \",\"; }\n";
+  Buffer.add_string buf "  println(\"final \" + s);\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let set_model ops =
+  let buf = Buffer.create 256 in
+  let state =
+    List.fold_left
+      (fun s op ->
+        match op with
+        | Insert k ->
+          Buffer.add_string buf
+            (Printf.sprintf "ins %b\n" (not (Int_set.mem k s)));
+          Int_set.add k s
+        | Remove k ->
+          Buffer.add_string buf (Printf.sprintf "del %b\n" (Int_set.mem k s));
+          Int_set.remove k s
+        | Member k ->
+          Buffer.add_string buf (Printf.sprintf "mem %b\n" (Int_set.mem k s));
+          s
+        | Least ->
+          Buffer.add_string buf
+            (match Int_set.min_elt_opt s with
+             | Some k -> Printf.sprintf "min %d\n" k
+             | None -> "min -\n");
+          s
+        | Cardinal ->
+          Buffer.add_string buf (Printf.sprintf "n %d\n" (Int_set.cardinal s));
+          s)
+      Int_set.empty ops
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "final %s\n"
+       (String.concat ""
+          (List.map (fun v -> string_of_int v ^ ",") (Int_set.elements state))));
+  Buffer.contents buf
+
+let rb_tree_app = lazy (Option.get (Registry.find "RBTree"))
+
+let prop_rb_tree_matches_model =
+  QCheck2.Test.make ~name:"RBTree agrees with the OCaml Set model (and audits)"
+    ~count:60 gen_set_ops
+    (fun ops ->
+      let got = run_driver (Lazy.force rb_tree_app) (set_driver ops) in
+      let expected = set_model ops in
+      if String.equal got expected then true
+      else
+        QCheck2.Test.fail_reportf "mismatch:@.got:@.%s@.expected:@.%s" got expected)
+
+(* ---------------- HashedMap vs OCaml Hashtbl model ---------------- *)
+
+type map_op = Put of string * int | Get_or of string | Contains of string
+            | Remove_present of string | Size
+
+let keys = [| "ka"; "kb"; "kc"; "kd"; "ke"; "kf"; "kg"; "kh" |]
+
+let gen_map_ops =
+  let open QCheck2.Gen in
+  let key = map (fun i -> keys.(i)) (int_range 0 (Array.length keys - 1)) in
+  list_size (1 -- 30)
+    (oneof
+       [ map2 (fun k v -> Put (k, v)) key (int_range 0 99);
+         map (fun k -> Get_or k) key;
+         map (fun k -> Contains k) key;
+         map (fun k -> Remove_present k) key;
+         return Size ])
+
+let map_driver ops =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "function main() {\n  var m = new HashedMap(2);\n";
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (match op with
+         | Put (k, v) -> Printf.sprintf "  m.put(\"%s\", %d);\n" k v
+         | Get_or k -> Printf.sprintf "  println(\"get \" + m.getOr(\"%s\", -1));\n" k
+         | Contains k -> Printf.sprintf "  println(\"has \" + m.containsKey(\"%s\"));\n" k
+         | Remove_present k ->
+           Printf.sprintf
+             "  if (m.containsKey(\"%s\")) { println(\"rm \" + m.remove(\"%s\")); } else { println(\"rm -\"); }\n"
+             k k
+         | Size -> "  println(\"n \" + m.count());\n"))
+    ops;
+  Buffer.add_string buf "  println(\"final \" + m.count());\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let map_model ops =
+  let buf = Buffer.create 256 in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) -> Hashtbl.replace table k v
+      | Get_or k ->
+        Buffer.add_string buf
+          (Printf.sprintf "get %d\n" (Option.value ~default:(-1) (Hashtbl.find_opt table k)))
+      | Contains k ->
+        Buffer.add_string buf (Printf.sprintf "has %b\n" (Hashtbl.mem table k))
+      | Remove_present k ->
+        (match Hashtbl.find_opt table k with
+         | Some v ->
+           Hashtbl.remove table k;
+           Buffer.add_string buf (Printf.sprintf "rm %d\n" v)
+         | None -> Buffer.add_string buf "rm -\n")
+      | Size -> Buffer.add_string buf (Printf.sprintf "n %d\n" (Hashtbl.length table)))
+    ops;
+  Buffer.add_string buf (Printf.sprintf "final %d\n" (Hashtbl.length table));
+  Buffer.contents buf
+
+let hashed_map_app = lazy (Option.get (Registry.find "HashedMap"))
+
+let prop_hashed_map_matches_model =
+  QCheck2.Test.make ~name:"HashedMap agrees with the OCaml Hashtbl model" ~count:60
+    gen_map_ops
+    (fun ops ->
+      let got = run_driver (Lazy.force hashed_map_app) (map_driver ops) in
+      let expected = map_model ops in
+      if String.equal got expected then true
+      else
+        QCheck2.Test.fail_reportf "mismatch:@.got:@.%s@.expected:@.%s" got expected)
+
+(* ---------------- RegExp vs OCaml reference matcher ---------------- *)
+
+(* A tiny reference implementation of the same regex dialect, used to
+   cross-check the MiniLang engine on generated patterns. *)
+type re = Chr of char | Any | Seq of re list | Alt of re * re | Star of re
+        | Plus of re | Opt of re
+
+let rec re_to_pattern = function
+  | Chr c -> String.make 1 c
+  | Any -> "."
+  | Seq rs -> String.concat "" (List.map atom_pattern rs)
+  | Alt (a, b) -> re_to_pattern a ^ "|" ^ re_to_pattern b
+  | Star r -> atom_pattern r ^ "*"
+  | Plus r -> atom_pattern r ^ "+"
+  | Opt r -> atom_pattern r ^ "?"
+
+and atom_pattern r =
+  match r with
+  | Chr _ | Any -> re_to_pattern r
+  | Seq [ single ] -> atom_pattern single
+  | Seq _ | Alt _ | Star _ | Plus _ | Opt _ -> "(" ^ re_to_pattern r ^ ")"
+
+(* Reference matcher via continuations. *)
+let re_matches re s =
+  let n = String.length s in
+  let rec m re pos k =
+    match re with
+    | Chr c -> pos < n && s.[pos] = c && k (pos + 1)
+    | Any -> pos < n && k (pos + 1)
+    | Seq rs ->
+      let rec seq rs pos k =
+        match rs with [] -> k pos | r :: rest -> m r pos (fun p -> seq rest p k)
+      in
+      seq rs pos k
+    | Alt (a, b) -> m a pos k || m b pos k
+    | Opt r -> m r pos k || k pos
+    | Star r ->
+      let rec star pos depth =
+        (depth < 50 && m r pos (fun p -> p <> pos && star p (depth + 1))) || k pos
+      in
+      star pos 0
+    | Plus r -> m (Seq [ r; Star r ]) pos k
+  in
+  m re 0 (fun p -> p = n)
+
+let gen_re =
+  let open QCheck2.Gen in
+  let chr = map (fun c -> Chr c) (oneofl [ 'a'; 'b'; 'c' ]) in
+  sized @@ fix (fun self size ->
+      if size <= 0 then oneof [ chr; return Any ]
+      else
+        let sub = self (size / 2) in
+        (* repetition bodies must be non-empty-matching, like the engine *)
+        let body = oneof [ chr; return Any ] in
+        oneof
+          [ chr;
+            map (fun rs -> Seq rs) (list_size (1 -- 3) sub);
+            map2 (fun a b -> Alt (a, b)) sub sub;
+            map (fun r -> Star r) body;
+            map (fun r -> Plus r) body;
+            map (fun r -> Opt r) sub ])
+
+let gen_input =
+  QCheck2.Gen.(string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (0 -- 6))
+
+let reg_exp_app = lazy (Option.get (Registry.find "RegExp"))
+
+let prop_regexp_matches_reference =
+  QCheck2.Test.make ~name:"RegExp engine agrees with a reference matcher" ~count:120
+    QCheck2.Gen.(pair gen_re gen_input)
+    (fun (re, input) ->
+      let pattern = re_to_pattern re in
+      let driver =
+        Printf.sprintf
+          "function main() {\n\
+          \  var compiler = new ReCompiler();\n\
+          \  var matcher = new ReMatcher(compiler.compile(\"%s\"), true);\n\
+          \  println(matcher.matches(\"%s\"));\n\
+          \  return 0;\n\
+           }\n"
+          pattern input
+      in
+      let got = String.trim (run_driver (Lazy.force reg_exp_app) driver) in
+      let expected = string_of_bool (re_matches re input) in
+      if String.equal got expected then true
+      else
+        QCheck2.Test.fail_reportf "pattern %S on %S: engine=%s reference=%s" pattern
+          input got expected)
+
+(* ---------------- PriorityQueue vs sorted-list model ---------------- *)
+
+type pq_op = Push of int | Pop_min | Peek_min | Heap_size
+
+let gen_pq_ops =
+  let open QCheck2.Gen in
+  list_size (1 -- 30)
+    (frequency
+       [ (3, map (fun v -> Push v) (int_range 0 99));
+         (2, return Pop_min);
+         (1, return Peek_min);
+         (1, return Heap_size) ])
+
+let pq_driver ops =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "function main() {\n  var pq = new PriorityQueue(1);\n";
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (match op with
+         | Push v -> Printf.sprintf "  pq.push(%d);\n" v
+         | Pop_min ->
+           "  if (pq.count() > 0) { println(\"pop \" + pq.popMin()); } else { println(\"pop -\"); }\n"
+         | Peek_min ->
+           "  if (pq.count() > 0) { println(\"top \" + pq.peekMin()); } else { println(\"top -\"); }\n"
+         | Heap_size -> "  println(\"n \" + pq.count());\n"))
+    ops;
+  Buffer.add_string buf
+    "  check(pq.heapOrderOk(), \"final heap order\");\n  println(\"final \" + pq.count());\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let pq_model ops =
+  let buf = Buffer.create 256 in
+  let heap = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Push v -> heap := List.sort compare (v :: !heap)
+      | Pop_min -> (
+        match !heap with
+        | [] -> Buffer.add_string buf "pop -\n"
+        | x :: rest ->
+          heap := rest;
+          Buffer.add_string buf (Printf.sprintf "pop %d\n" x))
+      | Peek_min -> (
+        match !heap with
+        | [] -> Buffer.add_string buf "top -\n"
+        | x :: _ -> Buffer.add_string buf (Printf.sprintf "top %d\n" x))
+      | Heap_size -> Buffer.add_string buf (Printf.sprintf "n %d\n" (List.length !heap)))
+    ops;
+  Buffer.add_string buf (Printf.sprintf "final %d\n" (List.length !heap));
+  Buffer.contents buf
+
+let std_q_app = lazy (Option.get (Registry.find "stdQ"))
+
+let prop_priority_queue_matches_model =
+  QCheck2.Test.make ~name:"PriorityQueue agrees with the sorted-list model" ~count:60
+    gen_pq_ops
+    (fun ops ->
+      let got = run_driver (Lazy.force std_q_app) (pq_driver ops) in
+      let expected = pq_model ops in
+      if String.equal got expected then true
+      else
+        QCheck2.Test.fail_reportf "mismatch:@.got:@.%s@.expected:@.%s" got expected)
+
+(* ---------------- focused scenario tests ---------------- *)
+
+let test_deque_wraparound () =
+  let app = Option.get (Registry.find "stdQ") in
+  let driver =
+    {|
+function main() {
+  var dq = new RingDeque(4);
+  // march the window around the ring several times
+  for (var i = 0; i < 20; i = i + 1) {
+    dq.pushBack(i);
+    if (i >= 3) { println(dq.popFront()); }
+  }
+  println("left " + dq.count());
+  while (dq.count() > 0) { println("tail " + dq.popBack()); }
+  return 0;
+}
+|}
+  in
+  let got = run_driver app driver in
+  let expected =
+    String.concat "\n"
+      (List.map string_of_int (List.init 17 Fun.id)
+      @ [ "left 3"; "tail 19"; "tail 18"; "tail 17"; "" ])
+  in
+  Alcotest.(check string) "wraparound order" expected got
+
+let test_xml_roundtrip_stability () =
+  let app = Option.get (Registry.find "xml2xml1") in
+  let driver =
+    {|
+function main() {
+  var doc = "<a x=\"1\"><b>t1</b><c y=\"2\" z=\"3\"/><d>t2</d></a>";
+  var parser = new XmlParser();
+  var writer = new XmlWriter();
+  var once = writer.writeDocument(parser.parse(doc));
+  var twice = writer.writeDocument(parser.parse(once));
+  check(once == twice, "write-parse-write is stable");
+  check(once == doc, "canonical document unchanged");
+  println("ok");
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "xml roundtrip" "ok\n" (run_driver app driver)
+
+let test_linked_buffer_chunk_boundaries () =
+  let app = Option.get (Registry.find "LinkedBuffer") in
+  let driver =
+    {|
+function main() {
+  var buf = new LinkedBuffer(3);
+  for (var i = 0; i < 9; i = i + 1) { buf.append(i); }
+  check(buf.chunks() == 3, "exactly full chunks");
+  for (var i = 0; i < 9; i = i + 1) { check(buf.take() == i, "fifo " + i); }
+  check(buf.isEmpty(), "drained");
+  buf.append(42);
+  check(buf.peek() == 42, "reusable after drain");
+  println("ok");
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "chunk boundaries" "ok\n" (run_driver app driver)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_linked_list_matches_model;
+    QCheck_alcotest.to_alcotest prop_fixed_linked_list_matches_model;
+    QCheck_alcotest.to_alcotest prop_rb_tree_matches_model;
+    QCheck_alcotest.to_alcotest prop_hashed_map_matches_model;
+    QCheck_alcotest.to_alcotest prop_regexp_matches_reference;
+    QCheck_alcotest.to_alcotest prop_priority_queue_matches_model;
+    Alcotest.test_case "deque wraparound" `Quick test_deque_wraparound;
+    Alcotest.test_case "xml write/parse stability" `Quick test_xml_roundtrip_stability;
+    Alcotest.test_case "buffer chunk boundaries" `Quick test_linked_buffer_chunk_boundaries ]

@@ -1,0 +1,115 @@
+(* Classifier tests: call weighting, class-level rollup, and the
+   exception-free re-classification of paper §4.3. *)
+
+open Failatom_core
+
+let parse = Failatom_minilang.Minilang.parse
+
+(* A program where class Clean is fully atomic and class Dirty has one
+   pure non-atomic method whose only exposure comes from exceptions in
+   Helper.maybeFail. *)
+let src =
+  {|
+class Helper {
+  method maybeFail(n) throws IllegalArgumentException {
+    if (n < 0) { throw new IllegalArgumentException("neg"); }
+    return n;
+  }
+}
+class Clean {
+  field total;
+  method init() { this.total = 0; return this; }
+  method absorb(h, n) throws IllegalArgumentException {
+    var v = h.maybeFail(n);
+    this.total = this.total + v;
+    return this.total;
+  }
+}
+class Dirty {
+  field total;
+  method init() { this.total = 0; return this; }
+  method absorb(h, n) throws IllegalArgumentException {
+    this.total = this.total + n;
+    h.maybeFail(n);
+    return this.total;
+  }
+}
+function main() {
+  var h = new Helper();
+  var clean = new Clean();
+  var dirty = new Dirty();
+  for (var i = 0; i < 5; i = i + 1) { clean.absorb(h, i); }
+  dirty.absorb(h, 10);
+  println(clean.total + " " + dirty.total);
+  return 0;
+}
+|}
+
+let classified ?exception_free () =
+  let detection = Detect.run (parse src) in
+  (detection, Classify.classify ?exception_free detection)
+
+let test_verdicts () =
+  let _, c = classified () in
+  let v id = Classify.verdict c id in
+  Alcotest.(check bool) "clean absorb atomic" true
+    (v (Method_id.make "Clean" "absorb") = Some Classify.Atomic);
+  Alcotest.(check bool) "dirty absorb pure" true
+    (v (Method_id.make "Dirty" "absorb") = Some Classify.Pure_non_atomic);
+  Alcotest.(check bool) "helper atomic" true
+    (v (Method_id.make "Helper" "maybeFail") = Some Classify.Atomic)
+
+let test_call_weighting () =
+  let _, c = classified () in
+  let counts = Classify.call_counts c in
+  (* clean.absorb 5x, dirty.absorb once, maybeFail 6x, two inits (Helper has none) *)
+  Alcotest.(check int) "pure call weight" 1 counts.Classify.pure;
+  Alcotest.(check int) "atomic call weight" (5 + 6 + 2) counts.Classify.atomic;
+  let methods = Classify.method_counts c in
+  Alcotest.(check int) "methods total" 5 (Classify.total methods)
+
+let test_class_rollup () =
+  let _, c = classified () in
+  let expected =
+    [ ("Clean", Classify.Atomic);
+      ("Dirty", Classify.Pure_non_atomic);
+      ("Helper", Classify.Atomic) ]
+  in
+  Alcotest.(check (list (pair string string))) "class verdicts"
+    (List.map (fun (n, v) -> (n, Classify.verdict_name v)) expected)
+    (List.map (fun (n, v) -> (n, Classify.verdict_name v)) c.Classify.class_verdicts)
+
+(* Declaring Helper.maybeFail exception-free discards the injections
+   whose site it was; Dirty.absorb stays non-atomic only through the
+   real path... but here there is none (all arguments are positive), so
+   it must be re-classified as atomic. *)
+let test_exception_free_reclassification () =
+  let _, c0 = classified () in
+  Alcotest.(check bool) "initially pure" true
+    (Classify.verdict c0 (Method_id.make "Dirty" "absorb")
+     = Some Classify.Pure_non_atomic);
+  let detection, c =
+    let d = Detect.run (parse src) in
+    (d, Classify.classify ~exception_free:[ Method_id.make "Helper" "maybeFail" ] d)
+  in
+  ignore detection;
+  Alcotest.(check bool) "runs were discarded" true (c.Classify.discarded_runs > 0);
+  Alcotest.(check bool) "re-classified atomic" true
+    (Classify.verdict c (Method_id.make "Dirty" "absorb") = Some Classify.Atomic)
+
+let test_pure_and_non_atomic_lists () =
+  let _, c = classified () in
+  Alcotest.(check (list string)) "pure methods" [ "Dirty.absorb" ]
+    (List.map Method_id.to_string (Classify.pure_methods c));
+  Alcotest.(check (list string)) "all non-atomic" [ "Dirty.absorb" ]
+    (List.map Method_id.to_string (Classify.non_atomic_methods c));
+  Alcotest.(check (list string)) "conditional empty" []
+    (List.map Method_id.to_string (Classify.conditional_methods c))
+
+let suite =
+  [ Alcotest.test_case "verdicts" `Quick test_verdicts;
+    Alcotest.test_case "call weighting" `Quick test_call_weighting;
+    Alcotest.test_case "class rollup" `Quick test_class_rollup;
+    Alcotest.test_case "exception-free reclassification" `Quick
+      test_exception_free_reclassification;
+    Alcotest.test_case "verdict lists" `Quick test_pure_and_non_atomic_lists ]

@@ -1,0 +1,110 @@
+(* Composition of the instrumentation layers: masking under live
+   injection in one VM, double weaving, and masking idempotence. *)
+
+open Failatom_core
+open Failatom_runtime
+
+let parse = Failatom_minilang.Minilang.parse
+
+let src =
+  {|
+class Store {
+  field total;
+  field entries;
+  method init() { this.total = 0; this.entries = newArray(8); return this; }
+  // pure failure non-atomic: count first, write second
+  method record(i, v) throws IndexOutOfBoundsException {
+    this.total = this.total + 1;
+    this.boundsCheck(i);
+    this.entries[i] = v;
+    return null;
+  }
+  method boundsCheck(i) throws IndexOutOfBoundsException {
+    if (i < 0 || i >= len(this.entries)) {
+      throw new IndexOutOfBoundsException("slot " + i);
+    }
+    return null;
+  }
+}
+function main() {
+  var s = new Store();
+  s.record(0, "a");
+  s.record(1, "b");
+  println(s.total);
+  return 0;
+}
+|}
+
+let record_id = Method_id.make "Store" "record"
+
+(* Masking filters attached UNDER the injection filter: injections that
+   interrupt the masked method must observe the rollback — the masked
+   method is marked atomic by the very injector that condemned it. *)
+let test_binary_masking_under_injection () =
+  let program = parse src in
+  let config = Config.default in
+  let analyzer = Analyzer.analyze config program in
+  (* unmasked: record is pure non-atomic *)
+  let unmasked = Classify.classify (Detect.run ~flavor:Detect.Load_time_filters program) in
+  Alcotest.(check bool) "unmasked verdict" true
+    (Classify.verdict unmasked record_id = Some Classify.Pure_non_atomic);
+  (* masked VM, then injection attached on top, run the full loop *)
+  let rec loop threshold acc =
+    let vm = Failatom_minilang.Compile.program program in
+    Mask.attach_masking config ~targets:(Method_id.Set.singleton record_id) vm;
+    let state = Injection.make_state config analyzer ~threshold in
+    Injection.attach state vm;
+    (try ignore (Failatom_minilang.Compile.run_main vm)
+     with Vm.Mini_raise _ -> ());
+    let marks = Injection.marks state in
+    match state.Injection.injected with
+    | Some _ -> loop (threshold + 1) (marks :: acc)
+    | None -> List.concat (List.rev acc)
+  in
+  let marks = loop 1 [] in
+  let record_marks =
+    List.filter (fun (m : Marks.mark) -> Method_id.equal m.Marks.meth record_id) marks
+  in
+  Alcotest.(check bool) "record observed under injection" true (record_marks <> []);
+  List.iter
+    (fun (m : Marks.mark) ->
+      Alcotest.(check bool) "every record mark atomic under masking" true
+        m.Marks.atomic)
+    record_marks
+
+(* Weaving the corrected program again (mask of a mask) keeps behavior
+   and still verifies clean. *)
+let test_masking_idempotent () =
+  let config = Config.default in
+  let program = parse src in
+  let once = Mask.correct ~config program in
+  let twice =
+    Mask.correct ~config ~flavor:Detect.Source_weaving
+      ~prepare:(Mask.register_hooks config) once.Mask.corrected
+  in
+  (* nothing with an original (non-mangled) name is left to wrap *)
+  let original_targets =
+    Method_id.Set.filter
+      (fun id -> Source_weaver.demangle id.Method_id.name = None)
+      twice.Mask.wrapped
+  in
+  Alcotest.(check int) "no original method re-wrapped" 0
+    (Method_id.Set.cardinal original_targets)
+
+(* The corrected program still produces the baseline output, even when
+   masked and re-woven for injection at the same time (source flavor:
+   wrappers of wrappers). *)
+let test_double_weave_transparent () =
+  let config = Config.default in
+  let program = parse src in
+  let outcome = Mask.correct ~config program in
+  let detection =
+    Detect.run ~config ~prepare:(Mask.register_hooks config) outcome.Mask.corrected
+  in
+  Alcotest.(check bool) "double-woven probe run transparent" true
+    detection.Detect.transparent
+
+let suite =
+  [ Alcotest.test_case "masking under injection" `Quick test_binary_masking_under_injection;
+    Alcotest.test_case "masking idempotent" `Quick test_masking_idempotent;
+    Alcotest.test_case "double weave transparent" `Quick test_double_weave_transparent ]

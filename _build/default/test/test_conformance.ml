@@ -1,0 +1,202 @@
+(* MiniLang conformance corpus: a matrix of small programs with their
+   expected output, pinning down the semantics the instrumentation
+   relies on (evaluation order, dispatch, exception propagation,
+   aliasing).  Each entry is independent and runs in milliseconds. *)
+
+let corpus : (string * string * string) list =
+  [ ( "arith-precedence",
+      "println(2 + 3 * 4 - 10 / 2);",
+      "9\n" );
+    ( "modulo-negative",
+      "println(-7 % 3);",
+      (* OCaml mod semantics: sign of the dividend *)
+      "-1\n" );
+    ( "string-coercion-order",
+      "println(1 + 2 + \"x\" + 1 + 2);",
+      "3x12\n" );
+    ( "comparison-chaining-via-bools",
+      "println((1 < 2) == (3 < 4));",
+      "true\n" );
+    ( "short-circuit-preserves-state",
+      "var a = [0]; var hit = false; if (true || a[9] == 1) { hit = true; } println(hit);",
+      "true\n" );
+    ( "unary-stacking",
+      "println(- -5); println(!!true);",
+      "5\ntrue\n" );
+    ( "var-shadow-by-redeclare",
+      "var x = 1; var x = 2; println(x);",
+      "2\n" );
+    ( "while-false-never-runs",
+      "while (false) { println(\"no\"); } println(\"yes\");",
+      "yes\n" );
+    ( "for-without-init-or-update",
+      "var i = 0; for (; i < 3;) { print(i); i = i + 1; } println(\"\");",
+      "012\n" );
+    ( "nested-break-inner-only",
+      "for (var i = 0; i < 2; i = i + 1) { for (var j = 0; j < 5; j = j + 1) { if (j == 1) { break; } print(i + \"\" + j); } } println(\"\");",
+      "0010\n" );
+    ( "continue-in-while",
+      "var i = 0; var s = \"\"; while (i < 5) { i = i + 1; if (i % 2 == 0) { continue; } s = s + i; } println(s);",
+      "135\n" );
+    ( "array-aliasing",
+      "var a = [1, 2]; var b = a; a[0] = 9; println(b[0] + \" \" + (a == b));",
+      "9 true\n" );
+    ( "array-literal-evaluation-order",
+      "var log = \"\"; var mk = [1, 2, 3]; log = log + len(mk); println(log);",
+      "3\n" );
+    ( "null-comparisons",
+      "var n = null; println((n == null) + \" \" + (n != null));",
+      "true false\n" );
+    ( "string-compare-lexicographic",
+      "println((\"abc\" < \"abd\") + \" \" + (\"b\" > \"ab\"));",
+      "true true\n" );
+    ( "truthiness-in-conditions",
+      "var out = \"\"; if (3) { out = out + \"i\"; } if (\"\") { out = out + \"s\"; } if (null) { out = out + \"n\"; } println(out);",
+      (* nonzero ints are true; strings are true even when empty; null is false *)
+      "is\n" );
+    ( "catch-binds-exception-object",
+      "try { throw new IllegalStateException(\"m1\"); } catch (Throwable t) { println(classOf(t) + \":\" + t.message); }",
+      "IllegalStateException:m1\n" );
+    ( "finally-runs-on-break",
+      "for (var i = 0; i < 3; i = i + 1) { try { if (i == 1) { break; } print(i); } finally { print(\"f\"); } } println(\"\");",
+      "0ff\n" );
+    ( "nested-finally-order",
+      "try { try { print(\"a\"); } finally { print(\"b\"); } print(\"c\"); } finally { print(\"d\"); } println(\"\");",
+      "abcd\n" );
+    ( "rethrow-preserves-identity",
+      "var first = null; try { try { throw new Exception(\"e\"); } catch (Exception e) { first = e; throw e; } } catch (Exception e2) { println(first == e2); }",
+      "true\n" );
+    ( "uncaught-in-catch-propagates",
+      "try { try { throw new Exception(\"a\"); } catch (Exception e) { throw new IllegalStateException(\"b\"); } } catch (IllegalStateException e) { println(e.message); }",
+      "b\n" );
+    ( "exception-from-deep-recursion",
+      "println(\"start\"); try { var a = [1]; var x = a[5]; } catch (IndexOutOfBoundsException e) { println(\"caught\"); }",
+      "start\ncaught\n" ) ]
+
+let class_corpus : (string * string * string) list =
+  [ ( "three-level-dispatch",
+      {|
+class A { method who() { return "A"; } method id() { return this.who(); } }
+class B extends A { method who() { return "B"; } }
+class C extends B { method who() { return "C"; } }
+function main() { println(new A().id() + new B().id() + new C().id()); return 0; }
+|},
+      "ABC\n" );
+    ( "super-chain",
+      {|
+class A { method tag() { return "a"; } }
+class B extends A { method tag() { return super.tag() + "b"; } }
+class C extends B { method tag() { return super.tag() + "c"; } }
+function main() { println(new C().tag()); return 0; }
+|},
+      "abc\n" );
+    ( "inherited-init",
+      {|
+class A { field x; method init(v) { this.x = v; return this; } }
+class B extends A { }
+function main() { println(new B(7).x); return 0; }
+|},
+      "7\n" );
+    ( "fields-are-per-instance",
+      {|
+class Box { field v; method init(v) { this.v = v; return this; } }
+function main() {
+  var a = new Box(1);
+  var b = new Box(2);
+  a.v = 9;
+  println(a.v + " " + b.v);
+  return 0;
+}
+|},
+      "9 2\n" );
+    ( "object-identity-vs-structure",
+      {|
+class P { field x; method init(x) { this.x = x; return this; } }
+function main() {
+  var a = new P(1);
+  var b = new P(1);
+  println((a == b) + " " + graphEq(a, b));
+  return 0;
+}
+|},
+      "false true\n" );
+    ( "methods-see-current-field-values",
+      {|
+class Acc { field n;
+  method init() { this.n = 0; return this; }
+  method add(k) { this.n = this.n + k; return this.n; }
+}
+function main() {
+  var a = new Acc();
+  println(a.add(1) + "" + a.add(2) + "" + a.add(3));
+  return 0;
+}
+|},
+      "136\n" );
+    ( "exception-subclass-matching-order",
+      {|
+class AppError extends Exception { }
+class DbError extends AppError { }
+function main() {
+  try { throw new DbError("down"); }
+  catch (DbError e) { println("db:" + e.message); }
+  catch (AppError e) { println("app"); }
+  return 0;
+}
+|},
+      "db:down\n" );
+    ( "user-exception-through-superclass-handler",
+      {|
+class AppError extends Exception { }
+class DbError extends AppError { }
+function main() {
+  try { throw new DbError("x"); }
+  catch (Exception e) { println(classOf(e)); }
+  return 0;
+}
+|},
+      "DbError\n" );
+    ( "cyclic-structures-print-and-compare",
+      {|
+class N { field next; method init() { this.next = null; return this; } }
+function main() {
+  var a = new N();
+  a.next = a;
+  var b = deepCopy(a);
+  println((a == b) + " " + graphEq(a, b) + " " + (b.next == b));
+  return 0;
+}
+|},
+      "false true true\n" );
+    ( "argument-evaluation-left-to-right",
+      {|
+class T { field log;
+  method init() { this.log = ""; return this; }
+  method note(tag) { this.log = this.log + tag; return tag; }
+  method pair(x, y) { return x + y; }
+}
+function main() {
+  var t = new T();
+  t.pair(t.note("L"), t.note("R"));
+  println(t.log);
+  return 0;
+}
+|},
+      "LR\n" ) ]
+
+let run_expect name body expected () =
+  let source = Printf.sprintf "function main() { %s return 0; }" body in
+  Alcotest.(check string) name expected (Failatom_minilang.Minilang.run_string source)
+
+let run_program_expect name source expected () =
+  Alcotest.(check string) name expected (Failatom_minilang.Minilang.run_string source)
+
+let suite =
+  List.map
+    (fun (name, body, expected) ->
+      Alcotest.test_case name `Quick (run_expect name body expected))
+    corpus
+  @ List.map
+      (fun (name, source, expected) ->
+        Alcotest.test_case name `Quick (run_program_expect name source expected))
+      class_corpus

@@ -1,0 +1,94 @@
+(* Injection coverage reporting tests. *)
+
+open Failatom_core
+
+let parse = Failatom_minilang.Minilang.parse
+
+let src =
+  {|
+class Used {
+  field n;
+  method init() { this.n = 0; return this; }
+  method hot() { this.n = this.n + 1; return this.n; }
+  method declared() throws IllegalStateException { return this.n; }
+}
+class Dormant {
+  field x;
+  method init() { this.x = 0; return this; }
+  method neverCalled() { return this.x; }
+  method alsoIdle() throws IllegalArgumentException { return this.x; }
+}
+function main() {
+  var u = new Used();
+  u.hot();
+  u.hot();
+  u.declared();
+  println(u.n);
+  return 0;
+}
+|}
+
+let coverage = lazy (Coverage.of_detection (Detect.run (parse src)))
+
+let find name =
+  List.find
+    (fun (mc : Coverage.method_coverage) ->
+      String.equal (Method_id.to_string mc.Coverage.id) name)
+    (Lazy.force coverage).Coverage.methods
+
+let test_full_loop_covers_used_methods () =
+  let c = Lazy.force coverage in
+  Alcotest.(check int) "all used methods fully covered" (List.length c.Coverage.methods)
+    c.Coverage.fully_covered;
+  List.iter
+    (fun mc -> Alcotest.(check (float 0.001)) "ratio 1.0" 1.0 (Coverage.ratio mc))
+    c.Coverage.methods
+
+let test_sited_run_accounting () =
+  let hot = find "Used.hot" in
+  (* 2 calls x 2 generic exception classes *)
+  Alcotest.(check int) "hot sited runs" 4 hot.Coverage.sited_runs;
+  Alcotest.(check int) "hot calls" 2 hot.Coverage.calls;
+  Alcotest.(check (list string)) "hot exercised"
+    [ "NullPointerException"; "OutOfMemoryError" ]
+    hot.Coverage.exercised;
+  let declared = find "Used.declared" in
+  Alcotest.(check int) "declared sited runs" 3 declared.Coverage.sited_runs;
+  Alcotest.(check (list string)) "declared classes"
+    [ "IllegalStateException"; "NullPointerException"; "OutOfMemoryError" ]
+    declared.Coverage.exercised
+
+let test_unused_methods_reported () =
+  let c = Lazy.force coverage in
+  Alcotest.(check (list string)) "untested methods"
+    [ "Dormant.alsoIdle"; "Dormant.init"; "Dormant.neverCalled" ]
+    (List.map Method_id.to_string c.Coverage.unused)
+
+let test_total_runs_match_detection () =
+  let d = Detect.run (parse src) in
+  let c = Coverage.of_detection d in
+  Alcotest.(check int) "totals" d.Detect.injections c.Coverage.total_runs;
+  (* sited runs partition the injection runs *)
+  Alcotest.(check int) "sited runs sum to total" d.Detect.injections
+    (List.fold_left
+       (fun acc (mc : Coverage.method_coverage) -> acc + mc.Coverage.sited_runs)
+       0 c.Coverage.methods)
+
+let test_pp_mentions_untested () =
+  let rendered = Fmt.str "%a" Coverage.pp (Lazy.force coverage) in
+  let contains ~needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    nl = 0 || go 0
+  in
+  Alcotest.(check bool) "mentions never-called section" true
+    (contains ~needle:"NEVER CALLED" rendered);
+  Alcotest.(check bool) "mentions dormant method" true
+    (contains ~needle:"Dormant.neverCalled" rendered)
+
+let suite =
+  [ Alcotest.test_case "full loop covers used" `Quick test_full_loop_covers_used_methods;
+    Alcotest.test_case "sited run accounting" `Quick test_sited_run_accounting;
+    Alcotest.test_case "unused methods reported" `Quick test_unused_methods_reported;
+    Alcotest.test_case "totals match" `Quick test_total_runs_match_detection;
+    Alcotest.test_case "pp mentions untested" `Quick test_pp_mentions_untested ]

@@ -1,0 +1,95 @@
+(* Unit tests for the simulated heap and the value module. *)
+
+open Failatom_runtime
+
+let check = Alcotest.check
+
+let test_value_basics () =
+  check Alcotest.bool "truthy int" true (Value.truthy (Value.Int 2));
+  check Alcotest.bool "falsy zero" false (Value.truthy (Value.Int 0));
+  check Alcotest.bool "falsy null" false (Value.truthy Value.Null);
+  check Alcotest.bool "truthy ref" true (Value.truthy (Value.Ref 3));
+  check Alcotest.string "display string unquoted" "ab" (Value.to_display_string (Value.Str "ab"));
+  check Alcotest.string "pp string quoted" "\"ab\"" (Value.to_string (Value.Str "ab"));
+  check Alcotest.bool "ref identity equal" true (Value.equal (Value.Ref 1) (Value.Ref 1));
+  check Alcotest.bool "ref identity differ" false (Value.equal (Value.Ref 1) (Value.Ref 2));
+  check Alcotest.bool "cross type" false (Value.equal (Value.Int 0) Value.Null)
+
+let test_alloc_get () =
+  let heap = Heap.create () in
+  let id = Heap.alloc_object heap ~cls:"C" [ ("x", Value.Int 1) ] in
+  check Alcotest.(option string) "class_of" (Some "C") (Heap.class_of heap id);
+  check Alcotest.bool "mem" true (Heap.mem heap id);
+  check Alcotest.int "live count" 1 (Heap.live_count heap);
+  check Alcotest.int "allocations" 1 (Heap.allocations heap);
+  (match Heap.get_field heap id "x" with
+   | Some (Value.Int 1) -> ()
+   | _ -> Alcotest.fail "field x");
+  Heap.set_field heap id "x" (Value.Str "s");
+  (match Heap.get_field heap id "x" with
+   | Some (Value.Str "s") -> ()
+   | _ -> Alcotest.fail "field updated")
+
+let test_dangling () =
+  let heap = Heap.create () in
+  let id = Heap.alloc_object heap ~cls:"C" [] in
+  Heap.free heap id;
+  check Alcotest.bool "freed" false (Heap.mem heap id);
+  (try
+     ignore (Heap.get heap id);
+     Alcotest.fail "expected Dangling_reference"
+   with Heap.Dangling_reference got -> check Alcotest.int "dangling id" id got)
+
+let test_arrays () =
+  let heap = Heap.create () in
+  let id = Heap.alloc_array heap [| Value.Int 1; Value.Int 2 |] in
+  check Alcotest.(option int) "array length" (Some 2) (Heap.array_length heap id);
+  check Alcotest.bool "in bounds" true (Heap.get_elem heap id 1 = Some (Value.Int 2));
+  check Alcotest.bool "out of bounds" true (Heap.get_elem heap id 2 = None);
+  check Alcotest.bool "set in bounds" true (Heap.set_elem heap id 0 (Value.Int 9));
+  check Alcotest.bool "set out of bounds" false (Heap.set_elem heap id 5 Value.Null);
+  check Alcotest.bool "updated" true (Heap.get_elem heap id 0 = Some (Value.Int 9))
+
+let test_write_barrier () =
+  let heap = Heap.create () in
+  let hits = ref [] in
+  let obj = Heap.alloc_object heap ~cls:"C" [ ("x", Value.Int 0) ] in
+  let arr = Heap.alloc_array heap [| Value.Null |] in
+  heap.Heap.on_write <- Some (fun id -> hits := id :: !hits);
+  Heap.set_field heap obj "x" (Value.Int 1);
+  ignore (Heap.set_elem heap arr 0 (Value.Int 2));
+  (* out-of-bounds writes must not fire the barrier *)
+  ignore (Heap.set_elem heap arr 9 (Value.Int 3));
+  check Alcotest.(list int) "barrier fired per mutation" [ arr; obj ] !hits;
+  (* restore_payload bypasses the barrier *)
+  Heap.restore_payload heap obj (Heap.copy_payload (Heap.get heap obj));
+  check Alcotest.int "no barrier on restore" 2 (List.length !hits)
+
+let test_copy_payload_detached () =
+  let heap = Heap.create () in
+  let id = Heap.alloc_object heap ~cls:"C" [ ("x", Value.Int 1) ] in
+  let saved = Heap.copy_payload (Heap.get heap id) in
+  Heap.set_field heap id "x" (Value.Int 2);
+  Heap.restore_payload heap id saved;
+  check Alcotest.bool "restored" true (Heap.get_field heap id "x" = Some (Value.Int 1))
+
+let test_successors () =
+  let heap = Heap.create () in
+  let a = Heap.alloc_object heap ~cls:"C" [] in
+  let b =
+    Heap.alloc_object heap ~cls:"C"
+      [ ("p", Value.Ref a); ("q", Value.Int 3); ("r", Value.Ref a) ]
+  in
+  let succ = List.sort compare (Heap.successors heap b) in
+  check Alcotest.(list int) "object successors" [ a; a ] succ;
+  let arr = Heap.alloc_array heap [| Value.Ref b; Value.Null |] in
+  check Alcotest.(list int) "array successors" [ b ] (Heap.successors heap arr)
+
+let suite =
+  [ Alcotest.test_case "value basics" `Quick test_value_basics;
+    Alcotest.test_case "alloc and get" `Quick test_alloc_get;
+    Alcotest.test_case "dangling reference" `Quick test_dangling;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "write barrier" `Quick test_write_barrier;
+    Alcotest.test_case "payload copy detached" `Quick test_copy_payload_detached;
+    Alcotest.test_case "successors" `Quick test_successors ]

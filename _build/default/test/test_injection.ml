@@ -1,0 +1,146 @@
+(* Unit tests of the injection engine itself: point counting, snapshot
+   scope, filter semantics, and the reflective hooks. *)
+
+open Failatom_core
+open Failatom_runtime
+
+let parse = Failatom_minilang.Minilang.parse
+
+let src =
+  {|
+class Pair {
+  field a;
+  field b;
+  method init() { this.a = 0; this.b = null; return this; }
+  method setA(v) { this.a = v; return null; }
+  method noteWrite() { return this.a; }
+  // mutates ONLY the argument before an injectable call: non-atomic
+  // iff snapshots cover reference arguments
+  method setOther(v, other) throws IllegalArgumentException {
+    other.a = v;
+    this.noteWrite();
+    return null;
+  }
+  method fragile() throws IllegalStateException {
+    throw new IllegalStateException("always");
+  }
+  // read-only proxy: exceptions pass through it without state change
+  method proxyRead(other) throws IllegalStateException {
+    return other.fragile();
+  }
+}
+function main() {
+  var p = new Pair();
+  var q = new Pair();
+  p.setA(1);
+  p.setOther(2, q);
+  try { p.proxyRead(q); } catch (IllegalStateException e) { }
+  println(p.a + "/" + q.a);
+  return 0;
+}
+|}
+
+let make_state ?(config = Config.default) ~threshold () =
+  let program = parse src in
+  let analyzer = Analyzer.analyze config program in
+  (program, Injection.make_state config analyzer ~threshold)
+
+(* Listing 1: one point per injectable exception type per call. *)
+let test_point_counting () =
+  let program, state = make_state ~threshold:max_int () in
+  let vm = Failatom_minilang.Compile.program program in
+  Injection.attach state vm;
+  ignore (Failatom_minilang.Compile.run_main vm);
+  (* init x2 (2 pts each), setA (2), setOther (3: declared + generics),
+     noteWrite (2), proxyRead (3), fragile (3) *)
+  Alcotest.(check int) "points counted" (4 + 2 + 3 + 2 + 3 + 3) state.Injection.point;
+  Alcotest.(check bool) "nothing injected" true (state.Injection.injected = None)
+
+let test_injection_fires_once () =
+  let program, state = make_state ~threshold:3 () in
+  let vm = Failatom_minilang.Compile.program program in
+  Injection.attach state vm;
+  (match Failatom_minilang.Compile.run_main vm with
+   | _ -> ()
+   | exception Vm.Mini_raise _ -> ());
+  match state.Injection.injected with
+  | Some (site, exn_class) ->
+    Alcotest.(check string) "site" "Pair.init" (Method_id.to_string site);
+    (* threshold 3 = first point of the second init: its first
+       injectable exception *)
+    Alcotest.(check string) "exception class" "NullPointerException" exn_class
+  | None -> Alcotest.fail "expected an injection"
+
+(* Snapshot scope: with snapshot_args=false, mutations to reference
+   arguments are invisible, so setBoth appears atomic. *)
+let detect_with ~snapshot_args =
+  let config = { Config.default with Config.snapshot_args } in
+  let d = Detect.run ~config (parse src) in
+  Classify.classify d
+
+let test_snapshot_args_on () =
+  let c = detect_with ~snapshot_args:true in
+  Alcotest.(check bool) "setOther non-atomic (arg mutated)" true
+    (Classify.verdict c (Method_id.make "Pair" "setOther")
+     = Some Classify.Pure_non_atomic)
+
+let test_snapshot_args_off () =
+  let c = detect_with ~snapshot_args:false in
+  Alcotest.(check bool) "setOther atomic when args not covered" true
+    (Classify.verdict c (Method_id.make "Pair" "setOther") = Some Classify.Atomic)
+
+(* The filter records atomic marks too (Listing 1 line 13-14). *)
+let test_atomic_marks_recorded () =
+  let d = Detect.run (parse src) in
+  let atomic_marks =
+    List.concat_map
+      (fun (r : Marks.run_record) ->
+        List.filter (fun (m : Marks.mark) -> m.Marks.atomic) r.Marks.marks)
+      d.Detect.runs
+  in
+  Alcotest.(check bool) "atomic marks exist" true (atomic_marks <> [])
+
+(* Hooks reject malformed arguments loudly. *)
+let test_hook_misuse () =
+  let program, state = make_state ~threshold:max_int () in
+  let vm = Failatom_minilang.Compile.program program in
+  Injection.register_hooks state vm;
+  let hook name =
+    match Vm.find_hook vm name with Some f -> f | None -> Alcotest.failf "missing %s" name
+  in
+  (try
+     ignore (hook "__inject" vm [ Value.Int 3 ]);
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (hook "__mark" vm [ Value.Null ]);
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ())
+
+(* Snapshot tokens are single-use. *)
+let test_snapshot_tokens () =
+  let program, state = make_state ~threshold:max_int () in
+  let vm = Failatom_minilang.Compile.program program in
+  Injection.register_hooks state vm;
+  let hook name = Option.get (Vm.find_hook vm name) in
+  let recv = Value.Ref (Heap.alloc_object vm.Vm.heap ~cls:"Pair" [ ("a", Value.Int 0); ("b", Value.Null) ]) in
+  let args = Value.Ref (Heap.alloc_array vm.Vm.heap [||]) in
+  let token = hook "__snapshot" vm [ recv; args ] in
+  Alcotest.(check bool) "token is an int" true
+    (match token with Value.Int _ -> true | _ -> false);
+  ignore (hook "__drop" vm [ token ]);
+  (try
+     ignore
+       (hook "__mark" vm
+          [ Value.Str "Pair"; Value.Str "x"; token; recv; args; Value.Null ]);
+     Alcotest.fail "dropped token must not be reusable"
+   with Invalid_argument _ -> ())
+
+let suite =
+  [ Alcotest.test_case "point counting" `Quick test_point_counting;
+    Alcotest.test_case "injection fires once" `Quick test_injection_fires_once;
+    Alcotest.test_case "snapshot covers args" `Quick test_snapshot_args_on;
+    Alcotest.test_case "snapshot without args" `Quick test_snapshot_args_off;
+    Alcotest.test_case "atomic marks recorded" `Quick test_atomic_marks_recorded;
+    Alcotest.test_case "hook misuse rejected" `Quick test_hook_misuse;
+    Alcotest.test_case "snapshot tokens single-use" `Quick test_snapshot_tokens ]

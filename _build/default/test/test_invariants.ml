@@ -1,0 +1,88 @@
+(* Cross-cutting invariants of the pipeline: determinism, accounting
+   consistency, and agreement between independent views of the same
+   detection result. *)
+
+open Failatom_core
+open Failatom_apps
+
+let parse = Failatom_minilang.Minilang.parse
+
+(* Detection is deterministic: two full runs of the pipeline over the
+   same program produce identical run records. *)
+let test_detection_deterministic () =
+  let program = parse Synthetic.source in
+  let d1 = Detect.run program in
+  let d2 = Detect.run program in
+  Alcotest.(check int) "same injections" d1.Detect.injections d2.Detect.injections;
+  List.iter2
+    (fun (a : Marks.run_record) (b : Marks.run_record) ->
+      Alcotest.(check bool) "same injected site" true (a.Marks.injected = b.Marks.injected);
+      Alcotest.(check bool) "same marks" true (a.Marks.marks = b.Marks.marks);
+      Alcotest.(check string) "same output" a.Marks.output b.Marks.output)
+    d1.Detect.runs d2.Detect.runs
+
+(* The three count views agree with the reports they summarize. *)
+let test_count_consistency () =
+  let o = Harness.detect_app (Option.get (Registry.find "RBMap")) in
+  let c = o.Harness.classification in
+  let reports = Classify.reports c in
+  Alcotest.(check int) "method counts total" (List.length reports)
+    (Classify.total (Classify.method_counts c));
+  Alcotest.(check int) "call counts total"
+    (List.fold_left (fun acc (r : Classify.method_report) -> acc + r.Classify.calls) 0 reports)
+    (Classify.total (Classify.call_counts c));
+  Alcotest.(check int) "class counts total"
+    (List.length c.Classify.class_verdicts)
+    (Classify.total (Classify.class_counts c))
+
+(* The profile's total equals the sum of per-method counts, and every
+   classified method was actually called. *)
+let test_profile_consistency () =
+  let d = Detect.run (parse Synthetic.source) in
+  let p = d.Detect.profile in
+  Alcotest.(check int) "total calls"
+    (List.fold_left (fun acc id -> acc + Profile.call_count p id) 0 (Profile.used_methods p))
+    p.Profile.total_calls;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Method_id.to_string id ^ " has calls")
+        true
+        (Profile.call_count p id > 0))
+    (Profile.used_methods p)
+
+(* #Injections equals the number of injection points reached: arming
+   point N for N <= total fires, N = total+1 does not (the probe). *)
+let test_injection_count_is_point_count () =
+  let program = parse Synthetic.source in
+  let d = Detect.run program in
+  let config = Config.default in
+  let analyzer = Analyzer.analyze config program in
+  let state = Injection.make_state config analyzer ~threshold:max_int in
+  let vm = Failatom_minilang.Compile.program program in
+  Injection.attach state vm;
+  ignore (Failatom_minilang.Compile.run_main vm);
+  Alcotest.(check int) "injections = total points" state.Injection.point
+    d.Detect.injections
+
+(* A verdict never changes between wrap-policy selections; only the
+   target set does. *)
+let test_policy_only_affects_targets () =
+  let program = parse Synthetic.source in
+  let d = Detect.run program in
+  let c = Classify.classify d in
+  let pure = Mask.targets { Config.default with Config.wrap_policy = Config.Wrap_pure } c in
+  let all =
+    Mask.targets { Config.default with Config.wrap_policy = Config.Wrap_all_non_atomic } c
+  in
+  Alcotest.(check bool) "pure subset of all" true (Method_id.Set.subset pure all);
+  Alcotest.(check int) "difference is the conditional set"
+    (List.length (Classify.conditional_methods c))
+    (Method_id.Set.cardinal (Method_id.Set.diff all pure))
+
+let suite =
+  [ Alcotest.test_case "detection deterministic" `Quick test_detection_deterministic;
+    Alcotest.test_case "count consistency" `Slow test_count_consistency;
+    Alcotest.test_case "profile consistency" `Quick test_profile_consistency;
+    Alcotest.test_case "injections = points" `Quick test_injection_count_is_point_count;
+    Alcotest.test_case "policy affects only targets" `Quick test_policy_only_affects_targets ]

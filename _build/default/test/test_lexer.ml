@@ -1,0 +1,62 @@
+(* Lexer unit tests. *)
+
+open Failatom_minilang
+
+let tokens src = List.map fst (Lexer.tokenize src)
+
+let token_pp = Fmt.of_to_string Lexer.token_name
+let token_t = Alcotest.testable token_pp ( = )
+let check_tokens msg expected src =
+  Alcotest.check (Alcotest.list token_t) msg (expected @ [ Lexer.EOF ]) (tokens src)
+
+let test_simple () =
+  check_tokens "arith" [ Lexer.INT 1; Lexer.PLUS; Lexer.INT 2 ] "1 + 2";
+  check_tokens "idents and keywords"
+    [ Lexer.KW_VAR; Lexer.IDENT "x"; Lexer.EQ; Lexer.KW_NULL; Lexer.SEMI ]
+    "var x = null;";
+  check_tokens "comparison chain"
+    [ Lexer.IDENT "a"; Lexer.LE; Lexer.IDENT "b"; Lexer.NEQ; Lexer.IDENT "c" ]
+    "a <= b != c";
+  check_tokens "logic"
+    [ Lexer.BANG; Lexer.IDENT "a"; Lexer.ANDAND; Lexer.IDENT "b"; Lexer.OROR;
+      Lexer.IDENT "c" ]
+    "!a && b || c"
+
+let test_strings () =
+  check_tokens "plain" [ Lexer.STRING "hi" ] {|"hi"|};
+  check_tokens "escapes" [ Lexer.STRING "a\nb\t\"\\" ] {|"a\nb\t\"\\"|};
+  check_tokens "empty" [ Lexer.STRING "" ] {|""|}
+
+let test_comments () =
+  check_tokens "line comment" [ Lexer.INT 1; Lexer.INT 2 ] "1 // comment\n2";
+  check_tokens "block comment" [ Lexer.INT 1; Lexer.INT 2 ] "1 /* mid */ 2";
+  check_tokens "block comment multiline" [ Lexer.INT 1 ] "/* a\nb\nc */ 1"
+
+let test_positions () =
+  let toks = Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ (Lexer.IDENT "a", p1); (Lexer.IDENT "b", p2); (Lexer.EOF, _) ] ->
+    Alcotest.(check (pair int int)) "a at 1:1" (1, 1) (p1.Ast.line, p1.Ast.col);
+    Alcotest.(check (pair int int)) "b at 2:3" (2, 3) (p2.Ast.line, p2.Ast.col)
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let expect_error src =
+  try
+    ignore (Lexer.tokenize src);
+    Alcotest.failf "expected lex error on %S" src
+  with Lexer.Lex_error _ -> ()
+
+let test_errors () =
+  expect_error "\"unterminated";
+  expect_error "/* unterminated";
+  expect_error "a $ b";
+  expect_error "a & b";
+  expect_error "a | b";
+  expect_error {|"bad \q escape"|}
+
+let suite =
+  [ Alcotest.test_case "simple tokens" `Quick test_simple;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "errors" `Quick test_errors ]

@@ -1,0 +1,249 @@
+(* Parser unit tests plus the parse/pretty round-trip property over
+   randomly generated ASTs — the invariant the source weaver relies on
+   when it turns woven trees back into text. *)
+
+open Failatom_minilang
+
+let parse_expr = Parser.expr_of_string
+let parse_program = Parser.program_of_string
+
+let expr_desc src =
+  let e = parse_expr src in
+  (Ast.strip_expr e).Ast.e
+
+let test_precedence () =
+  (match expr_desc "1 + 2 * 3" with
+   | Ast.Binary (Ast.Add, { e = Ast.Int_lit 1; _ }, { e = Ast.Binary (Ast.Mul, _, _); _ }) -> ()
+   | _ -> Alcotest.fail "mul binds tighter than add");
+  (match expr_desc "(1 + 2) * 3" with
+   | Ast.Binary (Ast.Mul, { e = Ast.Binary (Ast.Add, _, _); _ }, _) -> ()
+   | _ -> Alcotest.fail "parens override");
+  (match expr_desc "1 - 2 - 3" with
+   | Ast.Binary (Ast.Sub, { e = Ast.Binary (Ast.Sub, _, _); _ }, { e = Ast.Int_lit 3; _ }) -> ()
+   | _ -> Alcotest.fail "sub left associative");
+  (match expr_desc "a || b && c" with
+   | Ast.Or (_, { e = Ast.And (_, _); _ }) -> ()
+   | _ -> Alcotest.fail "and binds tighter than or");
+  (match expr_desc "a == b < c" with
+   | Ast.Binary (Ast.Eq, _, { e = Ast.Binary (Ast.Lt, _, _); _ }) -> ()
+   | _ -> Alcotest.fail "comparison binds tighter than equality")
+
+let test_postfix_chains () =
+  match expr_desc "a.b.c(1)[2].d" with
+  | Ast.Field ({ e = Ast.Index ({ e = Ast.Call ({ e = Ast.Field _; _ }, "c", [ _ ]); _ }, _); _ }, "d")
+    -> ()
+  | _ -> Alcotest.fail "postfix chain shape"
+
+let test_statements () =
+  let prog =
+    parse_program
+      {|
+function f(a, b) {
+  var x = a;
+  x = x + 1;
+  if (x > 0) { return x; } else { return -x; }
+  while (true) { break; }
+  for (var i = 0; i < 3; i = i + 1) { continue; }
+  try { throw new Exception("e"); } catch (Exception e) { } finally { }
+  a[0] = b.f;
+}
+|}
+  in
+  match prog with
+  | [ Ast.Func_decl f ] ->
+    Alcotest.(check int) "statement count" 7 (List.length f.Ast.f_body)
+  | _ -> Alcotest.fail "one function"
+
+let test_class_decl () =
+  let prog =
+    parse_program
+      {|
+class A extends B {
+  field x;
+  field y;
+  method m(p) throws E1, E2 { return p; }
+  method n() { return null; }
+}
+|}
+  in
+  match prog with
+  | [ Ast.Class_decl c ] ->
+    Alcotest.(check (option string)) "super" (Some "B") c.Ast.c_super;
+    Alcotest.(check (list string)) "fields" [ "x"; "y" ] c.Ast.c_fields;
+    Alcotest.(check int) "methods" 2 (List.length c.Ast.c_methods);
+    let m = List.hd c.Ast.c_methods in
+    Alcotest.(check (list string)) "throws" [ "E1"; "E2" ] m.Ast.m_throws
+  | _ -> Alcotest.fail "one class"
+
+let expect_parse_error src =
+  try
+    ignore (parse_program src);
+    Alcotest.failf "expected parse error on %S" src
+  with Parser.Parse_error _ -> ()
+
+let test_errors () =
+  expect_parse_error "function f( { }";
+  expect_parse_error "class { }";
+  expect_parse_error "function f() { var = 3; }";
+  expect_parse_error "function f() { 1 + ; }";
+  expect_parse_error "function f() { try { } }" (* try needs catch/finally *);
+  expect_parse_error "function f() { x.1; }";
+  expect_parse_error "function f() { if x { } }";
+  expect_parse_error "function f() { f(1)(2); }" (* no first-class calls *)
+
+(* ---------------- round-trip property ---------------- *)
+
+let gen_ident =
+  QCheck2.Gen.(oneofl [ "a"; "b"; "cx"; "dd"; "foo"; "barBaz"; "v1" ])
+
+let gen_cls = QCheck2.Gen.(oneofl [ "K"; "L"; "Exception"; "MyThing" ])
+
+let gen_expr =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [ map (fun i -> Ast.mk_expr (Ast.Int_lit (abs i))) small_int;
+            map (fun s -> Ast.str_lit s) (string_size ~gen:(char_range 'a' 'z') (0 -- 5));
+            map (fun b -> Ast.mk_expr (Ast.Bool_lit b)) bool;
+            return (Ast.mk_expr Ast.Null_lit);
+            return Ast.this_e;
+            map Ast.var gen_ident ]
+      in
+      if n <= 0 then leaf
+      else
+        let sub = self (n / 3) in
+        oneof
+          [ leaf;
+            map2 (fun op (a, b) -> Ast.mk_expr (Ast.Binary (op, a, b)))
+              (oneofl Ast.[ Add; Sub; Mul; Div; Mod; Eq; Neq; Lt; Le; Gt; Ge ])
+              (pair sub sub);
+            map2 (fun a b -> Ast.mk_expr (Ast.And (a, b))) sub sub;
+            map2 (fun a b -> Ast.mk_expr (Ast.Or (a, b))) sub sub;
+            map (fun a -> Ast.mk_expr (Ast.Unary (Ast.Neg, a))) sub;
+            map (fun a -> Ast.mk_expr (Ast.Unary (Ast.Not, a))) sub;
+            map2 (fun a f -> Ast.mk_expr (Ast.Field (a, f))) sub gen_ident;
+            map2 (fun a i -> Ast.mk_expr (Ast.Index (a, i))) sub sub;
+            map3 (fun a m args -> Ast.call a m args) sub gen_ident (list_size (0 -- 2) sub);
+            map2 (fun m args -> Ast.mk_expr (Ast.Super_call (m, args))) gen_ident
+              (list_size (0 -- 2) sub);
+            map2 (fun f args -> Ast.fn_call f args) gen_ident (list_size (0 -- 2) sub);
+            map2 (fun c args -> Ast.mk_expr (Ast.New (c, args))) gen_cls
+              (list_size (0 -- 2) sub);
+            map (fun elems -> Ast.mk_expr (Ast.Array_lit elems)) (list_size (0 -- 3) sub) ])
+
+let gen_lvalue =
+  let open QCheck2.Gen in
+  oneof
+    [ map (fun x -> Ast.Lvar x) gen_ident;
+      map2 (fun e f -> Ast.Lfield (e, f)) gen_expr gen_ident;
+      map2 (fun e i -> Ast.Lindex (e, i)) gen_expr gen_expr ]
+
+let gen_stmt =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let block_of g = list_size (0 -- 2) g in
+      let leaf =
+        oneof
+          [ map2 (fun x e -> Ast.mk_stmt (Ast.Var_decl (x, e))) gen_ident gen_expr;
+            map2 (fun l e -> Ast.mk_stmt (Ast.Assign (l, e))) gen_lvalue gen_expr;
+            map (fun e -> Ast.mk_stmt (Ast.Expr_stmt e)) gen_expr;
+            map (fun e -> Ast.mk_stmt (Ast.Return (Some e))) gen_expr;
+            return (Ast.mk_stmt (Ast.Return None));
+            map (fun e -> Ast.mk_stmt (Ast.Throw e)) gen_expr;
+            return (Ast.mk_stmt Ast.Break);
+            return (Ast.mk_stmt Ast.Continue) ]
+      in
+      if n <= 0 then leaf
+      else
+        let sub = block_of (self (n / 3)) in
+        oneof
+          [ leaf;
+            map3 (fun c t f -> Ast.mk_stmt (Ast.If (c, t, f))) gen_expr sub sub;
+            map2 (fun c b -> Ast.mk_stmt (Ast.While (c, b))) gen_expr sub;
+            map3
+              (fun init cond b ->
+                Ast.mk_stmt (Ast.For (init, cond, None, b)))
+              (option (map2 (fun x e -> Ast.mk_stmt (Ast.Var_decl (x, e))) gen_ident gen_expr))
+              (option gen_expr) sub;
+            map3
+              (fun b c fin ->
+                Ast.mk_stmt
+                  (Ast.Try
+                     ( b,
+                       [ { Ast.cc_class = "Exception"; cc_var = c; cc_body = [] } ],
+                       fin )))
+              sub gen_ident (option sub);
+            map (fun b -> Ast.mk_stmt (Ast.Block b)) sub ])
+
+let gen_program =
+  let open QCheck2.Gen in
+  let gen_method =
+    map3
+      (fun name params body ->
+        { Ast.m_name = name;
+          m_params = params;
+          m_throws = [];
+          m_body = body;
+          m_pos = Ast.dummy_pos })
+      gen_ident
+      (map (List.sort_uniq compare) (list_size (0 -- 3) gen_ident))
+      (list_size (0 -- 3) gen_stmt)
+  in
+  let gen_class =
+    map3
+      (fun name fields methods ->
+        Ast.Class_decl
+          { Ast.c_name = name;
+            c_super = None;
+            c_fields = fields;
+            c_methods = methods;
+            c_pos = Ast.dummy_pos })
+      gen_cls
+      (map (List.sort_uniq compare) (list_size (0 -- 3) gen_ident))
+      (list_size (0 -- 2) gen_method)
+  in
+  let gen_func =
+    map3
+      (fun name params body ->
+        Ast.Func_decl
+          { Ast.f_name = name;
+            f_params = params;
+            f_body = body;
+            f_pos = Ast.dummy_pos })
+      gen_ident
+      (map (List.sort_uniq compare) (list_size (0 -- 3) gen_ident))
+      (list_size (0 -- 4) gen_stmt)
+  in
+  QCheck2.Gen.(list_size (1 -- 3) (oneof [ gen_class; gen_func ]))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse (pretty p) = p" ~count:300
+    ~print:(fun p -> Pretty.program_to_string p)
+    gen_program
+    (fun program ->
+      let printed = Pretty.program_to_string program in
+      match parse_program printed with
+      | reparsed -> Ast.equal_program program reparsed
+      | exception (Parser.Parse_error (msg, pos)) ->
+        QCheck2.Test.fail_reportf "parse error: %s at %a@.%s" msg Ast.pp_pos pos printed)
+
+let prop_expr_roundtrip =
+  QCheck2.Test.make ~name:"parse (pretty e) = e" ~count:500
+    ~print:(fun e -> Pretty.expr_to_string e)
+    gen_expr
+    (fun e ->
+      let printed = Pretty.expr_to_string e in
+      match parse_expr printed with
+      | reparsed -> Ast.strip_expr reparsed = Ast.strip_expr e
+      | exception (Parser.Parse_error (msg, pos)) ->
+        QCheck2.Test.fail_reportf "parse error: %s at %a@.%s" msg Ast.pp_pos pos printed)
+
+let suite =
+  [ Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "postfix chains" `Quick test_postfix_chains;
+    Alcotest.test_case "statements" `Quick test_statements;
+    Alcotest.test_case "class declarations" `Quick test_class_decl;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip ]

@@ -1,0 +1,135 @@
+(* The pipeline's core guarantees, property-tested over randomly
+   generated programs.
+
+   A generator produces small class-based programs whose methods are
+   arbitrary sequences of the primitives that matter to failure
+   atomicity — field mutations, calls to earlier methods, allocations,
+   and guard calls — together with a driver that exercises every
+   method.  Over these programs we check the reproduction's two central
+   properties:
+
+   1. closure: after masking, re-detection finds no failure non-atomic
+      method with an original name (the paper's §4.2 claim), and
+   2. flavor equivalence: the source-weaving and load-time-filter
+      implementations assign identical verdicts (paper §5).
+
+   Baseline determinism: generated validations can never fire on the
+   real path, so every generated program runs clean uninstrumented. *)
+
+open Failatom_core
+
+type action =
+  | Mutate of int (* this.f<i> = this.f<i> + 1 *)
+  | Call of int (* this.m<j>() for j < current index *)
+  | Alloc (* var t<n> = new Obj(...) *)
+  | Guard (* this.guard() — validating leaf, never fires in baseline *)
+
+let gen_method_body ~index =
+  let open QCheck2.Gen in
+  let action =
+    oneof
+      ([ map (fun i -> Mutate i) (int_range 0 2); return Alloc; return Guard ]
+      @ (if index > 0 then [ map (fun j -> Call j) (int_range 0 (index - 1)) ] else []))
+  in
+  list_size (1 -- 5) action
+
+let gen_program_spec =
+  QCheck2.Gen.(
+    int_range 1 5 >>= fun n ->
+    let rec build i acc =
+      if i = n then return (List.rev acc)
+      else gen_method_body ~index:i >>= fun body -> build (i + 1) (body :: acc)
+    in
+    build 0 [])
+
+let render_spec (spec : action list list) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    {|
+class Obj {
+  field tag;
+  method init(tag) { this.tag = tag; return this; }
+}
+class W {
+  field f0;
+  field f1;
+  field f2;
+  method init() { this.f0 = 0; this.f1 = 0; this.f2 = 0; return this; }
+  method guard() throws IllegalStateException {
+    if (this.f0 < 0 - 1000000) { throw new IllegalStateException("impossible"); }
+    return null;
+  }
+|};
+  List.iteri
+    (fun i body ->
+      Buffer.add_string buf (Printf.sprintf "  method m%d() {\n" i);
+      List.iteri
+        (fun k action ->
+          Buffer.add_string buf
+            (match action with
+             | Mutate f -> Printf.sprintf "    this.f%d = this.f%d + 1;\n" f f
+             | Call j -> Printf.sprintf "    this.m%d();\n" j
+             | Alloc -> Printf.sprintf "    var t%d = new Obj(%d);\n" k k
+             | Guard -> "    this.guard();\n"))
+        body;
+      Buffer.add_string buf "    return null;\n  }\n")
+    spec;
+  Buffer.add_string buf "}\nfunction main() {\n  var w = new W();\n";
+  List.iteri (fun i _ -> Buffer.add_string buf (Printf.sprintf "  w.m%d();\n" i)) spec;
+  Buffer.add_string buf "  println(w.f0 + \"/\" + w.f1 + \"/\" + w.f2);\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let print_spec spec = render_spec spec
+
+let verdict_map classification =
+  List.map
+    (fun (r : Classify.method_report) ->
+      (Method_id.to_string r.Classify.id, Classify.verdict_name r.Classify.verdict))
+    (Classify.reports classification)
+
+let prop_masking_closes =
+  QCheck2.Test.make ~name:"masking closes on random programs" ~count:25
+    ~print:print_spec gen_program_spec
+    (fun spec ->
+      let program = Failatom_minilang.Minilang.parse (render_spec spec) in
+      let config = Config.default in
+      let outcome = Mask.correct ~config program in
+      let d2 =
+        Detect.run ~config ~prepare:(Mask.register_hooks config) outcome.Mask.corrected
+      in
+      let residual =
+        List.filter
+          (fun (id : Method_id.t) -> Source_weaver.demangle id.Method_id.name = None)
+          (Classify.non_atomic_methods (Classify.classify d2))
+      in
+      if residual = [] then true
+      else
+        QCheck2.Test.fail_reportf "residual non-atomic: %s"
+          (String.concat ", " (List.map Method_id.to_string residual)))
+
+let prop_flavor_equivalence =
+  QCheck2.Test.make ~name:"flavors agree on random programs" ~count:25
+    ~print:print_spec gen_program_spec
+    (fun spec ->
+      let program = Failatom_minilang.Minilang.parse (render_spec spec) in
+      let via flavor = verdict_map (Classify.classify (Detect.run ~flavor program)) in
+      let s = via Detect.Source_weaving and b = via Detect.Load_time_filters in
+      if s = b then true
+      else
+        QCheck2.Test.fail_reportf "source=%s@.binary=%s"
+          (String.concat ";" (List.map (fun (m, v) -> m ^ "=" ^ v) s))
+          (String.concat ";" (List.map (fun (m, v) -> m ^ "=" ^ v) b)))
+
+(* Every run of the instrumented program (probe run) reproduces the
+   baseline output: instrumentation transparency on random shapes. *)
+let prop_transparent =
+  QCheck2.Test.make ~name:"instrumentation transparent on random programs" ~count:25
+    ~print:print_spec gen_program_spec
+    (fun spec ->
+      let program = Failatom_minilang.Minilang.parse (render_spec spec) in
+      (Detect.run program).Detect.transparent)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_masking_closes;
+    QCheck_alcotest.to_alcotest prop_flavor_equivalence;
+    QCheck_alcotest.to_alcotest prop_transparent ]

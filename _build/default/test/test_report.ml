@@ -1,0 +1,91 @@
+(* Report rendering tests: Table 1 and the figure-style charts must
+   contain the right rows and percentages. *)
+
+open Failatom_core
+open Failatom_apps
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let outcome = lazy (Harness.detect_app Synthetic.app)
+
+let app_result () = (Lazy.force outcome).Harness.report
+
+let test_table1 () =
+  let row = app_result () in
+  let rendered = Fmt.str "%a" Report.pp_table1 [ row ] in
+  Alcotest.(check bool) "header present" true (contains ~needle:"#Injections" rendered);
+  Alcotest.(check bool) "app row present" true (contains ~needle:"Synthetic" rendered);
+  Alcotest.(check bool) "injection count present" true
+    (contains ~needle:(string_of_int row.Report.injections) rendered)
+
+let test_counts () =
+  let row = app_result () in
+  (* synthetic ground truth: 12 methods = 8 atomic, 2 conditional, 3 pure
+     ... minus never-called ones; counts must match the expectation table *)
+  let counts = Classify.method_counts row.Report.classification in
+  let of_verdict v =
+    List.length (List.filter (fun (_, v') -> v' = v) Synthetic.expectations)
+  in
+  Alcotest.(check int) "atomic" (of_verdict Classify.Atomic) counts.Classify.atomic;
+  Alcotest.(check int) "conditional"
+    (of_verdict Classify.Conditional_non_atomic)
+    counts.Classify.conditional;
+  Alcotest.(check int) "pure" (of_verdict Classify.Pure_non_atomic) counts.Classify.pure
+
+let test_figures_render () =
+  let rows = [ app_result () ] in
+  let methods = Fmt.str "%a" (fun ppf -> Report.pp_figure_methods ppf ~title:"t1") rows in
+  let calls = Fmt.str "%a" (fun ppf -> Report.pp_figure_calls ppf ~title:"t2") rows in
+  let classes = Fmt.str "%a" (fun ppf -> Report.pp_figure_classes ppf ~title:"t3") rows in
+  List.iter
+    (fun (name, rendered) ->
+      Alcotest.(check bool) (name ^ " shows the app") true
+        (contains ~needle:"Synthetic" rendered);
+      Alcotest.(check bool) (name ^ " shows percentages") true
+        (contains ~needle:"%" rendered))
+    [ ("methods", methods); ("calls", calls); ("classes", classes) ]
+
+let test_details () =
+  let row = app_result () in
+  let rendered = Fmt.str "%a" Report.pp_details row.Report.classification in
+  Alcotest.(check bool) "mentions pure method" true
+    (contains ~needle:"Unit.mutateThenCall" rendered);
+  Alcotest.(check bool) "mentions verdict" true
+    (contains ~needle:"pure non-atomic" rendered);
+  Alcotest.(check bool) "mentions diff path" true (contains ~needle:"diff@" rendered)
+
+let test_bar_bounds () =
+  Alcotest.(check string) "empty bar" "" (Report.bar 10 0.0);
+  Alcotest.(check string) "full bar" "##########" (Report.bar 10 100.0);
+  Alcotest.(check string) "clamped" "##########" (Report.bar 10 250.0);
+  Alcotest.(check int) "half bar" 5 (String.length (Report.bar 10 50.0))
+
+let test_pct () =
+  Alcotest.(check (float 0.001)) "pct" 25.0 (Report.pct 1 4);
+  Alcotest.(check (float 0.001)) "pct zero total" 0.0 (Report.pct 3 0)
+
+let test_csv () =
+  let row = app_result () in
+  let csv = Report.classification_to_csv row.Report.classification in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+  Alcotest.(check int) "header + one row per method"
+    (1 + List.length (Classify.reports row.Report.classification))
+    (List.length lines);
+  Alcotest.(check bool) "header first" true
+    (String.length (List.hd lines) > 0 && String.sub (List.hd lines) 0 5 = "class");
+  Alcotest.(check bool) "contains a pure row" true
+    (contains ~needle:"Unit,mutateThenCall,pure" csv);
+  let t1 = Report.table1_to_csv [ row ] in
+  Alcotest.(check bool) "table1 csv row" true (contains ~needle:"Synthetic,Java" t1)
+
+let suite =
+  [ Alcotest.test_case "table 1" `Quick test_table1;
+    Alcotest.test_case "method counts" `Quick test_counts;
+    Alcotest.test_case "figures render" `Quick test_figures_render;
+    Alcotest.test_case "details" `Quick test_details;
+    Alcotest.test_case "bar bounds" `Quick test_bar_bounds;
+    Alcotest.test_case "pct" `Quick test_pct;
+    Alcotest.test_case "csv export" `Quick test_csv ]

@@ -1,0 +1,93 @@
+(* Static checker tests: structural defects must be rejected before a
+   program reaches the injection pipeline. *)
+
+open Failatom_minilang
+
+let check_ok ?allow_reserved src =
+  match Minilang.parse ?allow_reserved src with
+  | _ -> ()
+  | exception Static_check.Check_error errs ->
+    Alcotest.failf "unexpected check errors: %a"
+      Fmt.(list ~sep:semi Static_check.pp_error)
+      errs
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_rejected ?allow_reserved ~substring src =
+  match Minilang.parse ?allow_reserved src with
+  | _ -> Alcotest.failf "expected a check error mentioning %S" substring
+  | exception Static_check.Check_error errs ->
+    let messages = String.concat "; " (List.map (fun e -> e.Static_check.message) errs) in
+    if not (contains ~needle:substring messages) then
+      Alcotest.failf "errors %S do not mention %S" messages substring
+
+let test_accepts_valid () =
+  check_ok
+    {|
+class A { field x; method m(p) throws Exception { return p; } }
+class B extends A { method n() { return super.m(1); } }
+function main() { var b = new B(); return b.n(); }
+|}
+
+let test_duplicates () =
+  check_rejected ~substring:"duplicate class" "class A { } class A { }";
+  check_rejected ~substring:"duplicate function" "function f() { } function f() { }";
+  check_rejected ~substring:"duplicate method"
+    "class A { method m() { return 1; } method m() { return 2; } }";
+  check_rejected ~substring:"duplicate field" "class A { field x; field x; }";
+  check_rejected ~substring:"shadows an inherited field"
+    "class A { field x; } class B extends A { field x; }"
+
+let test_unknown_names () =
+  check_rejected ~substring:"unknown superclass" "class A extends Nope { }";
+  check_rejected ~substring:"unknown class" "function main() { return new Nope(); }";
+  check_rejected ~substring:"unknown function" "function main() { return nope(); }";
+  check_rejected ~substring:"unknown exception class"
+    "function main() { try { return 1; } catch (Nope e) { } return 0; }";
+  check_rejected ~substring:"throws clause names unknown class"
+    "class A { method m() throws Nope { return 1; } }"
+
+let test_inheritance_cycle () =
+  check_rejected ~substring:"cycle" "class A extends B { } class B extends A { }"
+
+let test_shadowing_builtins () =
+  check_rejected ~substring:"shadows a builtin" "function println(x) { return x; }";
+  check_rejected ~substring:"shadows a built-in exception class"
+    "class Exception { }"
+
+let test_this_and_super_scope () =
+  check_rejected ~substring:"'this' outside" "function main() { return this; }";
+  check_rejected ~substring:"'super' outside" "function main() { return super.m(); }";
+  check_rejected ~substring:"no superclass"
+    "class A { method m() { return super.m(); } }"
+
+let test_loop_scope () =
+  check_rejected ~substring:"'break' outside" "function main() { break; }";
+  check_rejected ~substring:"'continue' outside"
+    "class A { method m() { continue; } }";
+  check_ok "function main() { while (true) { if (true) { break; } } return 0; }"
+
+let test_arity () =
+  check_rejected ~substring:"expects 1 argument" "function f(a) { return a; } function main() { return f(); }";
+  check_rejected ~substring:"expects 1 argument" "function main() { return len(); }"
+
+let test_reserved_names () =
+  check_rejected ~substring:"reserved" "function main() { var __x = 1; return __x; }";
+  check_rejected ~substring:"reserved" "function main() { return __snapshot(1, 2); }";
+  (* the weaver's output is allowed to use reserved names and hooks *)
+  check_ok ~allow_reserved:true
+    "class A { method __orig__A__m() { return 1; } } function main() { __hook(); return 0; }"
+
+let suite =
+  [ Alcotest.test_case "accepts valid" `Quick test_accepts_valid;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+    Alcotest.test_case "unknown names" `Quick test_unknown_names;
+    Alcotest.test_case "inheritance cycle" `Quick test_inheritance_cycle;
+    Alcotest.test_case "shadowing builtins" `Quick test_shadowing_builtins;
+    Alcotest.test_case "this/super scope" `Quick test_this_and_super_scope;
+    Alcotest.test_case "loop scope" `Quick test_loop_scope;
+    Alcotest.test_case "arity" `Quick test_arity;
+    Alcotest.test_case "reserved names" `Quick test_reserved_names ]

@@ -1,0 +1,107 @@
+(* Call-trace facility tests. *)
+
+open Failatom_core
+
+let parse = Failatom_minilang.Minilang.parse
+
+let src =
+  {|
+class Box {
+  field v;
+  method init(v) { this.v = v; return this; }
+  method get() { return this.v; }
+  method bump() { this.v = this.v + 1; return this.get(); }
+  method explode() throws IllegalStateException {
+    throw new IllegalStateException("x");
+  }
+}
+function main() {
+  var b = new Box(5);
+  b.bump();
+  try { b.explode(); } catch (IllegalStateException e) { }
+  println(b.get());
+  return 0;
+}
+|}
+
+let trace = lazy (Trace.run_traced (parse src))
+
+let test_event_sequence () =
+  let t, output, escaped = Lazy.force trace in
+  Alcotest.(check string) "output" "6\n" output;
+  Alcotest.(check (option string)) "no escape" None escaped;
+  let names =
+    List.map (fun (e : Trace.event) -> Method_id.to_string e.Trace.meth) (Trace.events t)
+  in
+  (* completion order: callees before callers *)
+  Alcotest.(check (list string)) "events"
+    [ "Box.init"; "Box.get"; "Box.bump"; "Box.explode"; "Box.get" ]
+    names
+
+let test_depths_and_outcomes () =
+  let t, _, _ = Lazy.force trace in
+  let by_name name =
+    List.find
+      (fun (e : Trace.event) -> String.equal e.Trace.meth.Method_id.name name)
+      (Trace.events t)
+  in
+  Alcotest.(check int) "bump at depth 0" 0 (by_name "bump").Trace.depth;
+  (* the get() inside bump is nested *)
+  Alcotest.(check int) "nested get depth" 1 (by_name "get").Trace.depth;
+  (match (by_name "explode").Trace.outcome with
+   | Trace.Raised cls -> Alcotest.(check string) "raised" "IllegalStateException" cls
+   | Trace.Returned _ -> Alcotest.fail "explode should raise");
+  (match (by_name "bump").Trace.outcome with
+   | Trace.Returned v -> Alcotest.(check string) "bump result" "6" v
+   | Trace.Raised _ -> Alcotest.fail "bump returns")
+
+let test_receiver_rendering () =
+  let t, _, _ = Lazy.force trace in
+  let bump =
+    List.find
+      (fun (e : Trace.event) -> String.equal e.Trace.meth.Method_id.name "bump")
+      (Trace.events t)
+  in
+  Alcotest.(check string) "receiver rendered with graph size" "Box#1" bump.Trace.receiver
+
+let test_max_events_cap () =
+  let program =
+    parse
+      {|
+class Spin {
+  field n;
+  method init() { this.n = 0; return this; }
+  method step() { this.n = this.n + 1; return this.n; }
+}
+function main() {
+  var s = new Spin();
+  for (var i = 0; i < 100; i = i + 1) { s.step(); }
+  return 0;
+}
+|}
+  in
+  let vm = Failatom_minilang.Compile.program program in
+  let t = Trace.create ~max_events:10 () in
+  Trace.attach t vm;
+  ignore (Failatom_minilang.Compile.run_main vm);
+  Alcotest.(check int) "capped" 10 (List.length (Trace.events t))
+
+let test_pp () =
+  let t, _, _ = Lazy.force trace in
+  let rendered = Fmt.str "%a" Trace.pp t in
+  Alcotest.(check bool) "pp mentions explode" true
+    (String.length rendered > 0
+     &&
+     let needle = "!! IllegalStateException" in
+     let rec go i =
+       i + String.length needle <= String.length rendered
+       && (String.sub rendered i (String.length needle) = needle || go (i + 1))
+     in
+     go 0)
+
+let suite =
+  [ Alcotest.test_case "event sequence" `Quick test_event_sequence;
+    Alcotest.test_case "depths and outcomes" `Quick test_depths_and_outcomes;
+    Alcotest.test_case "receiver rendering" `Quick test_receiver_rendering;
+    Alcotest.test_case "max events cap" `Quick test_max_events_cap;
+    Alcotest.test_case "pretty printing" `Quick test_pp ]

@@ -1,0 +1,201 @@
+(* Tests for the VM: class table, dispatch, inheritance, the built-in
+   exception hierarchy, and pre/post filter interposition (the JWG
+   analog of paper §5.2). *)
+
+open Failatom_runtime
+
+let check = Alcotest.check
+
+(* A VM with:  class A { m/0 returns 1; n/0 returns 10 }
+               class B extends A { m/0 returns 2 }        *)
+let fixture () =
+  let vm = Vm.create () in
+  ignore (Vm.add_class vm "A" ~fields:[ "x" ]);
+  ignore (Vm.add_class vm ~super:"A" "B" ~fields:[ "y" ]);
+  ignore
+    (Vm.add_method vm "A" ~name:"m" ~params:[] ~throws:[] (fun _ _ _ -> Value.Int 1));
+  ignore
+    (Vm.add_method vm "A" ~name:"n" ~params:[] ~throws:[] (fun _ _ _ -> Value.Int 10));
+  ignore
+    (Vm.add_method vm "B" ~name:"m" ~params:[] ~throws:[] (fun _ _ _ -> Value.Int 2));
+  let a = Heap.alloc_object vm.Vm.heap ~cls:"A" [ ("x", Value.Null) ] in
+  let b = Heap.alloc_object vm.Vm.heap ~cls:"B" [ ("x", Value.Null); ("y", Value.Null) ] in
+  (vm, Value.Ref a, Value.Ref b)
+
+let invoke_int vm recv name =
+  match Vm.invoke vm recv name [] with
+  | Value.Int n -> n
+  | v -> Alcotest.failf "expected int, got %s" (Value.to_string v)
+
+let test_dispatch_and_override () =
+  let vm, a, b = fixture () in
+  check Alcotest.int "A.m" 1 (invoke_int vm a "m");
+  check Alcotest.int "B.m overrides" 2 (invoke_int vm b "m");
+  check Alcotest.int "B inherits n" 10 (invoke_int vm b "n")
+
+let test_unknown_method () =
+  let vm, a, _ = fixture () in
+  try
+    ignore (Vm.invoke vm a "nope" []);
+    Alcotest.fail "expected Unknown_method"
+  with Vm.Unknown_method (cls, m) ->
+    check Alcotest.(pair string string) "error contents" ("A", "nope") (cls, m)
+
+let test_call_on_null_raises_npe () =
+  let vm, _, _ = fixture () in
+  try
+    ignore (Vm.invoke vm Value.Null "m" []);
+    Alcotest.fail "expected NullPointerException"
+  with Vm.Mini_raise e ->
+    check Alcotest.string "npe" "NullPointerException" e.Vm.exn_class
+
+let test_subclass_relation () =
+  let vm, _, _ = fixture () in
+  check Alcotest.bool "B <= A" true (Vm.is_subclass vm "B" "A");
+  check Alcotest.bool "A <= A" true (Vm.is_subclass vm "A" "A");
+  check Alcotest.bool "A !<= B" false (Vm.is_subclass vm "A" "B");
+  check Alcotest.bool "NPE <= RuntimeException" true
+    (Vm.is_subclass vm "NullPointerException" "RuntimeException");
+  check Alcotest.bool "NPE <= Throwable" true
+    (Vm.is_subclass vm "NullPointerException" Vm.throwable);
+  check Alcotest.bool "OOM <= Error" true (Vm.is_subclass vm "OutOfMemoryError" "Error");
+  check Alcotest.bool "OOM !<= RuntimeException" false
+    (Vm.is_subclass vm "OutOfMemoryError" "RuntimeException")
+
+let test_make_exn_is_heap_object () =
+  let vm, _, _ = fixture () in
+  let e = Vm.make_exn vm "IllegalStateException" "boom" in
+  check Alcotest.string "class" "IllegalStateException" e.Vm.exn_class;
+  check Alcotest.string "message" "boom" e.Vm.message;
+  (match e.Vm.exn_obj with
+   | Value.Ref id ->
+     check Alcotest.bool "message field set" true
+       (Heap.get_field vm.Vm.heap id "message" = Some (Value.Str "boom"))
+   | _ -> Alcotest.fail "exception carries a heap object");
+  check Alcotest.bool "matches super" true (Vm.exn_matches vm e "RuntimeException");
+  check Alcotest.bool "no match sibling" false (Vm.exn_matches vm e "NullPointerException")
+
+let test_all_fields_inherited () =
+  let vm, _, _ = fixture () in
+  check Alcotest.(list string) "B fields" [ "x"; "y" ] (Vm.all_fields vm "B")
+
+(* ---------------- filters ---------------- *)
+
+let trace_filter log name =
+  { Vm.filt_name = name;
+    pre =
+      (fun _ _ _ _ ->
+        log := (name ^ ":pre") :: !log;
+        Vm.Proceed);
+    post =
+      (fun _ _ _ _ _ ->
+        log := (name ^ ":post") :: !log;
+        Vm.Pass) }
+
+let test_filter_order () =
+  let vm, a, _ = fixture () in
+  let log = ref [] in
+  let meth = Vm.find_method vm "A" "m" in
+  Vm.attach_filter meth (trace_filter log "inner");
+  Vm.attach_filter meth (trace_filter log "outer");
+  ignore (Vm.invoke vm a "m" []);
+  check
+    Alcotest.(list string)
+    "outermost first" [ "outer:pre"; "inner:pre"; "inner:post"; "outer:post" ]
+    (List.rev !log)
+
+let test_filter_pre_return_short_circuits () =
+  let vm, a, _ = fixture () in
+  let meth = Vm.find_method vm "A" "m" in
+  Vm.attach_filter meth
+    { Vm.filt_name = "stub";
+      pre = (fun _ _ _ _ -> Vm.Pre_return (Value.Int 99));
+      post = (fun _ _ _ _ _ -> Vm.Pass) };
+  check Alcotest.int "stubbed result" 99 (invoke_int vm a "m")
+
+let test_filter_pre_raise () =
+  let vm, a, _ = fixture () in
+  let meth = Vm.find_method vm "A" "m" in
+  Vm.attach_filter meth
+    { Vm.filt_name = "bomb";
+      pre = (fun vm _ _ _ -> Vm.Pre_raise (Vm.make_exn vm "OutOfMemoryError" "inj"));
+      post = (fun _ _ _ _ _ -> Vm.Pass) };
+  try
+    ignore (Vm.invoke vm a "m" []);
+    Alcotest.fail "expected injection"
+  with Vm.Mini_raise e -> check Alcotest.string "injected" "OutOfMemoryError" e.Vm.exn_class
+
+let test_filter_post_observes_exception_and_swallows () =
+  let vm, a, _ = fixture () in
+  let meth = Vm.find_method vm "A" "m" in
+  (* innermost filter raises on return; outer one swallows it *)
+  Vm.attach_filter meth
+    { Vm.filt_name = "thrower";
+      pre = (fun _ _ _ _ -> Vm.Proceed);
+      post = (fun vm _ _ _ _ -> Vm.Post_raise (Vm.make_exn vm "IllegalStateException" "x")) };
+  let observed = ref None in
+  Vm.attach_filter meth
+    { Vm.filt_name = "swallower";
+      pre = (fun _ _ _ _ -> Vm.Proceed);
+      post =
+        (fun _ _ _ _ result ->
+          (match result with
+           | Error e -> observed := Some e.Vm.exn_class
+           | Ok _ -> ());
+          Vm.Post_return (Value.Int 0)) };
+  check Alcotest.int "swallowed to 0" 0 (invoke_int vm a "m");
+  check Alcotest.(option string) "outer saw the exception" (Some "IllegalStateException")
+    !observed
+
+let test_detach_filter () =
+  let vm, a, _ = fixture () in
+  let log = ref [] in
+  let meth = Vm.find_method vm "A" "m" in
+  Vm.attach_filter meth (trace_filter log "t");
+  Vm.detach_filter meth "t";
+  ignore (Vm.invoke vm a "m" []);
+  check Alcotest.int "no trace" 0 (List.length !log)
+
+let test_attach_everywhere () =
+  let vm, a, b = fixture () in
+  let count = ref 0 in
+  Vm.attach_filter_everywhere vm
+    { Vm.filt_name = "count";
+      pre =
+        (fun _ _ _ _ ->
+          incr count;
+          Vm.Proceed);
+      post = (fun _ _ _ _ _ -> Vm.Pass) };
+  ignore (Vm.invoke vm a "m" []);
+  ignore (Vm.invoke vm b "m" []);
+  ignore (Vm.invoke vm b "n" []);
+  check Alcotest.int "three filtered calls" 3 !count;
+  check Alcotest.int "vm call counter" 3 vm.Vm.calls
+
+let test_stack_overflow_guard () =
+  let vm = Vm.create () in
+  ignore (Vm.add_class vm "R");
+  ignore
+    (Vm.add_method vm "R" ~name:"loop" ~params:[] ~throws:[] (fun vm this _ ->
+         Vm.invoke vm this "loop" []));
+  let r = Heap.alloc_object vm.Vm.heap ~cls:"R" [] in
+  try
+    ignore (Vm.invoke vm (Value.Ref r) "loop" []);
+    Alcotest.fail "expected StackOverflowError"
+  with Vm.Mini_raise e ->
+    check Alcotest.string "overflow" "StackOverflowError" e.Vm.exn_class
+
+let suite =
+  [ Alcotest.test_case "dispatch and override" `Quick test_dispatch_and_override;
+    Alcotest.test_case "unknown method" `Quick test_unknown_method;
+    Alcotest.test_case "call on null" `Quick test_call_on_null_raises_npe;
+    Alcotest.test_case "subclass relation" `Quick test_subclass_relation;
+    Alcotest.test_case "exceptions are objects" `Quick test_make_exn_is_heap_object;
+    Alcotest.test_case "inherited fields" `Quick test_all_fields_inherited;
+    Alcotest.test_case "filter order" `Quick test_filter_order;
+    Alcotest.test_case "pre_return short-circuit" `Quick test_filter_pre_return_short_circuits;
+    Alcotest.test_case "pre_raise injection" `Quick test_filter_pre_raise;
+    Alcotest.test_case "post observes and swallows" `Quick test_filter_post_observes_exception_and_swallows;
+    Alcotest.test_case "detach filter" `Quick test_detach_filter;
+    Alcotest.test_case "attach everywhere" `Quick test_attach_everywhere;
+    Alcotest.test_case "stack overflow guard" `Quick test_stack_overflow_guard ]

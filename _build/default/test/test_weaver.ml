@@ -1,0 +1,145 @@
+(* Source weaver tests: renaming, wrapper generation, inheritance
+   behavior, and transparency of woven programs. *)
+
+open Failatom_core
+open Failatom_minilang
+
+let parse = Minilang.parse
+
+let simple_src =
+  {|
+class A {
+  field x;
+  method init() { this.x = 0; return this; }
+  method bump() { this.x = this.x + 1; return this.x; }
+}
+function main() {
+  var a = new A();
+  println(a.bump());
+  println(a.bump());
+  return 0;
+}
+|}
+
+let test_mangle_demangle () =
+  let id = Method_id.make "Cls" "meth" in
+  Alcotest.(check string) "injection mangling" "__orig__Cls__meth"
+    (Source_weaver.mangle Source_weaver.Injection id);
+  Alcotest.(check string) "masking mangling" "__msk__Cls__meth"
+    (Source_weaver.mangle Source_weaver.Masking id);
+  (match Source_weaver.demangle "__orig__Cls__meth" with
+   | Some got -> Alcotest.(check bool) "demangle inverse" true (Method_id.equal got id)
+   | None -> Alcotest.fail "demangle failed");
+  (match Source_weaver.demangle "__msk__Cls__meth" with
+   | Some got -> Alcotest.(check bool) "demangle msk" true (Method_id.equal got id)
+   | None -> Alcotest.fail "demangle msk failed");
+  Alcotest.(check bool) "ordinary name not demangled" true
+    (Source_weaver.demangle "bump" = None)
+
+let method_names program cls =
+  List.concat_map
+    (fun decl ->
+      match decl with
+      | Ast.Class_decl c when String.equal c.Ast.c_name cls ->
+        List.map (fun m -> m.Ast.m_name) c.Ast.c_methods
+      | Ast.Class_decl _ | Ast.Func_decl _ -> [])
+    program
+
+let test_injection_weave_shape () =
+  let woven = Source_weaver.weave_injection (parse simple_src) in
+  let names = List.sort compare (method_names woven "A") in
+  Alcotest.(check (list string)) "renamed plus wrappers"
+    [ "__orig__A__bump"; "__orig__A__init"; "bump"; "init" ]
+    names;
+  (* woven program must still be checkable (reserved names allowed) *)
+  Static_check.check ~allow_reserved:true woven
+
+let test_masking_weave_selective () =
+  let targets = Method_id.Set.singleton (Method_id.make "A" "bump") in
+  let woven = Source_weaver.weave_masking ~targets (parse simple_src) in
+  let names = List.sort compare (method_names woven "A") in
+  Alcotest.(check (list string)) "only bump wrapped"
+    [ "__msk__A__bump"; "bump"; "init" ]
+    names
+
+let test_woven_pretty_roundtrip () =
+  let woven = Source_weaver.weave_injection (parse simple_src) in
+  let printed = Pretty.program_to_string woven in
+  let reparsed = Parser.program_of_string printed in
+  Alcotest.(check bool) "woven program round-trips" true
+    (Ast.equal_program woven reparsed)
+
+(* Inheritance: a wrapper inherited by a subclass must reach the
+   defining class's original implementation even when the subclass
+   overrides the method (the class-qualified mangled name guarantees
+   this). *)
+let test_weave_with_override () =
+  let src =
+    {|
+class Base {
+  field tag;
+  method init() { this.tag = "?"; return this; }
+  method who() { this.tag = "base"; return this.tag; }
+  method describe() { return "I am " + this.who(); }
+}
+class Sub extends Base {
+  method who() { this.tag = "sub"; return this.tag; }
+}
+function main() {
+  println(new Base().describe());
+  println(new Sub().describe());
+  println(new Sub().who());
+  return 0;
+}
+|}
+  in
+  let program = parse src in
+  let baseline = Minilang.run_string src in
+  Alcotest.(check string) "baseline sanity" "I am base\nI am sub\nsub\n" baseline;
+  let woven = Source_weaver.weave_injection program in
+  let vm = Compile.program woven in
+  (* no injection state: hooks that do nothing *)
+  let state =
+    Injection.make_state Config.default
+      (Analyzer.analyze Config.default program)
+      ~threshold:max_int
+  in
+  Injection.register_hooks state vm;
+  ignore (Compile.run_main vm);
+  Alcotest.(check string) "woven output unchanged" baseline (Minilang.output vm)
+
+let test_mask_hooks_roundtrip () =
+  (* A masked method rolls back exactly the state the paper's Listing 2
+     describes, via the __checkpoint/__restore hooks. *)
+  let src =
+    {|
+class C {
+  field n;
+  method init() { this.n = 0; return this; }
+  method breaks() throws IllegalStateException {
+    this.n = this.n + 1;
+    throw new IllegalStateException("mid-flight");
+  }
+}
+function main() {
+  var c = new C();
+  try { c.breaks(); } catch (IllegalStateException e) { }
+  println(c.n);
+  return 0;
+}
+|}
+  in
+  let program = parse src in
+  Alcotest.(check string) "unmasked leaks" "1\n" (Minilang.run_string src);
+  let targets = Method_id.Set.singleton (Method_id.make "C" "breaks") in
+  let vm = Mask.load_corrected Config.default ~targets program in
+  ignore (Compile.run_main vm);
+  Alcotest.(check string) "masked rolls back" "0\n" (Minilang.output vm)
+
+let suite =
+  [ Alcotest.test_case "mangle/demangle" `Quick test_mangle_demangle;
+    Alcotest.test_case "injection weave shape" `Quick test_injection_weave_shape;
+    Alcotest.test_case "masking weave selective" `Quick test_masking_weave_selective;
+    Alcotest.test_case "woven pretty round-trip" `Quick test_woven_pretty_roundtrip;
+    Alcotest.test_case "weave with override" `Quick test_weave_with_override;
+    Alcotest.test_case "mask hooks roll back" `Quick test_mask_hooks_roundtrip ]
