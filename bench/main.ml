@@ -15,8 +15,13 @@
    quantity is the shape: who is non-atomic, how the proportions fall,
    and how masking overhead grows with checkpoint size and call ratio.
 
+   Beyond the paper, the campaign section measures the parallel
+   detection-campaign engine: wall-clock of the full detection phase at
+   1/2/4/8 worker domains on every bundled application.
+
    Usage: main.exe [section...] where section is one of
-   table1 fig2 fig3 fig4 fig5 case-study ablation (default: all). *)
+   table1 fig2 fig3 fig4 fig5 case-study campaign ablation
+   (default: all). *)
 
 open Bechamel
 open Failatom_runtime
@@ -100,6 +105,47 @@ let section_case_study () =
     "(paper: 18 pure non-atomic methods at 7.8%% of calls reduced to 3 at <0.2%%;@.";
   Fmt.pr
     " here the workload is smaller, but the same fix pattern collapses the set)@."
+
+(* ------------------------------------------------------------------ *)
+(* Campaign scaling: parallel detection wall-clock vs worker domains   *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_jobs = [ 1; 2; 4; 8 ]
+
+let section_campaign () =
+  Fmt.pr "@.== Campaign scaling: detection wall-clock vs worker domains ===========@.";
+  Fmt.pr "  (speculative batch scheduling; every result verified identical to the@.";
+  Fmt.pr "   sequential detector; times in seconds, speedup vs --jobs 1)@.";
+  Fmt.pr "  hardware: %d core(s) available — wall-clock gains need cores > 1@."
+    (Domain.recommended_domain_count ());
+  Fmt.pr "%-14s %6s" "Application" "runs";
+  List.iter (fun j -> Fmt.pr "%9s" (Printf.sprintf "j=%d" j)) campaign_jobs;
+  Fmt.pr "%10s@." "speedup";
+  let totals = Array.make (List.length campaign_jobs) 0.0 in
+  List.iter
+    (fun (app : Registry.t) ->
+      let sequential = Harness.detect_app app in
+      let times =
+        List.mapi
+          (fun i jobs ->
+            let outcome, summary = Harness.detect_app_parallel ~jobs app in
+            if
+              outcome.Harness.detection.Detect.runs
+              <> sequential.Harness.detection.Detect.runs
+            then Fmt.epr "  WARNING: %s: parallel result differs!@." app.Registry.name;
+            let t = summary.Failatom_campaign.Progress.wall_clock_s in
+            totals.(i) <- totals.(i) +. t;
+            t)
+          campaign_jobs
+      in
+      Fmt.pr "%-14s %6d" app.Registry.name
+        (1 + sequential.Harness.detection.Detect.injections);
+      List.iter (fun t -> Fmt.pr "%9.3f" t) times;
+      Fmt.pr "%9.2fx@." (List.hd times /. List.nth times (List.length times - 1)))
+    Registry.all;
+  Fmt.pr "%-14s %6s" "total" "";
+  Array.iter (fun t -> Fmt.pr "%9.3f" t) totals;
+  Fmt.pr "%9.2fx@." (totals.(0) /. totals.(Array.length totals - 1))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5: masking overhead (Bechamel)                               *)
@@ -271,6 +317,7 @@ let sections =
     ("fig3", section_fig3);
     ("fig4", section_fig4);
     ("case-study", section_case_study);
+    ("campaign", section_campaign);
     ("fig5", section_fig5);
     ("ablation", section_ablation) ]
 

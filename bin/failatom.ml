@@ -16,11 +16,7 @@ let load_source spec =
     let name = String.sub spec 4 (String.length spec - 4) in
     match Registry.find name with
     | Some app -> Ok app.Registry.source
-    | None ->
-      (match name with
-       | "LinkedListFixed" -> Ok Registry.linked_list_fixed.Registry.source
-       | "Synthetic" -> Ok Synthetic.app.Registry.source
-       | _ -> Error (Printf.sprintf "unknown bundled application %S" name))
+    | None -> Error (Printf.sprintf "unknown bundled application %S" name)
   else if Sys.file_exists spec then (
     let ic = open_in_bin spec in
     let n = in_channel_length ic in
@@ -186,6 +182,82 @@ let detect_cmd =
       const action $ program_arg $ flavor_arg $ details_arg $ exception_free_arg
       $ infer_arg $ log_arg $ coverage_arg $ csv_arg)
 
+let campaign_cmd =
+  let jobs_arg =
+    let doc = "Number of worker domains (0 = one per available core, capped at 8)." in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let journal_arg =
+    let doc =
+      "Append every completed run to $(docv) as it finishes, so a killed \
+       campaign can be resumed with $(b,--resume)."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Adopt the runs already recorded in the $(b,--journal) file and execute \
+       only the missing thresholds."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let action spec flavor jobs journal resume details exception_free log csv =
+    with_program spec (fun program ->
+        if resume && journal = None then begin
+          Fmt.epr "failatom: --resume requires --journal@.";
+          exit 1
+        end;
+        let jobs = if jobs <= 0 then Failatom_campaign.Campaign.default_jobs () else jobs in
+        let report = Failatom_campaign.Progress.reporter Fmt.stderr in
+        match
+          Failatom_campaign.Campaign.run ~flavor ~jobs ?journal ~resume ~report program
+        with
+        | exception Failatom_campaign.Campaign.Campaign_error msg ->
+          Fmt.epr "failatom: %s@." msg;
+          exit 1
+        | detection, summary ->
+          (match log with
+           | Some path ->
+             Run_log.save_file detection path;
+             Fmt.epr "run log written to %s@." path
+           | None -> ());
+          let classification = Classify.classify ~exception_free detection in
+          let counts = Classify.method_counts classification in
+          Fmt.pr "flavor:           %s@." (Detect.flavor_name flavor);
+          Fmt.pr "workers:          %d@." summary.Failatom_campaign.Progress.workers;
+          Fmt.pr "injections:       %d@." detection.Detect.injections;
+          Fmt.pr "transparent:      %b@." detection.Detect.transparent;
+          Fmt.pr "discarded runs:   %d@." classification.Classify.discarded_runs;
+          Fmt.pr "methods used:     %d (atomic %d, conditional %d, pure %d)@."
+            (Classify.total counts) counts.Classify.atomic counts.Classify.conditional
+            counts.Classify.pure;
+          if details then Report.pp_details Fmt.stdout classification
+          else
+            List.iter
+              (fun id ->
+                let verdict = Option.get (Classify.verdict classification id) in
+                Fmt.pr "  %-36s %s@." (Method_id.to_string id)
+                  (Classify.verdict_name verdict))
+              (Classify.non_atomic_methods classification);
+          match csv with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (Report.classification_to_csv classification);
+            close_out oc;
+            Fmt.epr "classification CSV written to %s@." path
+          | None -> ())
+  in
+  let doc =
+    "Detection phase as a parallel, resumable campaign: injection-threshold \
+     runs are scheduled speculatively across worker domains, journaled to \
+     disk, and merged into a classification identical to $(b,detect)'s."
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc)
+    Term.(
+      const action $ program_arg $ flavor_arg $ jobs_arg $ journal_arg $ resume_arg
+      $ details_arg $ exception_free_arg $ log_arg $ csv_arg)
+
 let weave_cmd =
   let action spec =
     with_program spec (fun program ->
@@ -305,7 +377,7 @@ let apps_cmd =
         Fmt.pr "%-14s %-5s %s@." a.Registry.name
           (Registry.suite_name a.Registry.suite)
           a.Registry.description)
-      (Registry.all @ [ Registry.linked_list_fixed; Synthetic.app ])
+      Registry.catalog
   in
   let doc = "List the bundled workload applications (usable as app:NAME)." in
   Cmd.v (Cmd.info "apps" ~doc) Term.(const action $ const ())
@@ -338,7 +410,7 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "failatom" ~version:"1.0.0" ~doc)
-    [ run_cmd; detect_cmd; classify_cmd; weave_cmd; mask_cmd; trace_cmd; apps_cmd;
-      experiments_cmd ]
+    [ run_cmd; detect_cmd; campaign_cmd; classify_cmd; weave_cmd; mask_cmd; trace_cmd;
+      apps_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -82,7 +82,6 @@ let java_apps : t list =
       source = Reg_exp.source } ]
 
 let all = cpp_apps @ java_apps
-let find name = List.find_opt (fun a -> String.equal a.name name) all
 
 (* The repaired LinkedList of the case study; not part of Table 1. *)
 let linked_list_fixed : t =
@@ -90,3 +89,17 @@ let linked_list_fixed : t =
     suite = Java;
     description = "LinkedList after the trivial fixes of the paper's case study";
     source = Linked_list.fixed_source }
+
+(* The synthetic ground-truth benchmark; not part of Table 1. *)
+let synthetic : t =
+  { name = Synthetic.name;
+    suite = Java;
+    description = "synthetic ground-truth benchmark of all verdict combinations";
+    source = Synthetic.source }
+
+let specials = [ linked_list_fixed; synthetic ]
+
+(* Every application resolvable as app:NAME — the single source of truth
+   shared by [failatom apps] and program-spec resolution. *)
+let catalog = all @ specials
+let find name = List.find_opt (fun a -> String.equal a.name name) catalog

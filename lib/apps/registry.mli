@@ -19,7 +19,20 @@ val java_apps : t list
 val all : t list
 (** The sixteen Table 1 applications, C++ suite first. *)
 
-val find : string -> t option
-
 val linked_list_fixed : t
 (** The repaired LinkedList of the case study; not part of Table 1. *)
+
+val synthetic : t
+(** The synthetic ground-truth benchmark ({!Synthetic}); not part of
+    Table 1. *)
+
+val specials : t list
+(** [[linked_list_fixed; synthetic]] — bundled but outside Table 1. *)
+
+val catalog : t list
+(** Every bundled application resolvable as app:NAME: {!all} plus
+    {!specials}.  The single source of truth shared by [failatom apps]
+    and program-spec resolution. *)
+
+val find : string -> t option
+(** Looks a name up in {!catalog}. *)

@@ -146,8 +146,3 @@ let expectations : (Method_id.t * Classify.verdict) list =
     (Method_id.make "Facade" "guardedDelegate", Classify.Conditional_non_atomic);
     (Method_id.make "Facade" "atomicDelegate", Classify.Atomic) ]
 
-let app : Registry.t =
-  { Registry.name;
-    suite = Registry.Java;
-    description = "synthetic ground-truth benchmark of all verdict combinations";
-    source }

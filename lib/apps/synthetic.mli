@@ -10,6 +10,8 @@ val name : string
 val source : string
 
 val expectations : (Method_id.t * Classify.verdict) list
-(** Ground truth, keyed by method. *)
+(** Ground truth, keyed by method.
 
-val app : Registry.t
+    The application record lives in {!Registry.synthetic} (so that
+    [Registry.find] is the single source of truth for app:NAME
+    resolution). *)

@@ -1,0 +1,190 @@
+(* The parallel, resumable detection-campaign engine.
+
+   Semantically this is exactly {!Detect.run}: execute the injector with
+   InjectionPoint = 1, 2, 3, … until a run completes with no injection,
+   then assemble the runs into a {!Detect.result}.  The difference is
+   how the runs are executed:
+
+   - {b Parallel}: every run gets a fresh VM and heap, so runs are
+     independent by construction and are executed across [jobs] OCaml 5
+     domains.  {!Scheduler} hands out thresholds speculatively (the
+     stopping threshold is unknown upfront) and discards whatever was
+     executed past the frontier, so the merged result — run records,
+     order, injection count, transparency verdict — is identical to the
+     sequential loop's.
+
+   - {b Resumable}: with [~journal], every completed run is appended to
+     an on-disk journal the moment it is recorded.  A killed campaign
+     re-invoked with [~resume:true] adopts the journaled runs and only
+     executes the missing thresholds.  The journal stores each run's
+     output, so even the transparency check of a resumed campaign uses
+     the genuine probe output.
+
+   - {b Observable}: a [report] callback receives one event per state
+     change; {!Progress.reporter} turns them into throughput/ETA lines
+     and a final summary.
+
+   Shared state during the parallel phase is the scheduler, the journal
+   writer, and the busy-time accumulator, all guarded by one mutex;
+   workers only hold it to claim and record, never while executing a
+   run.  The program AST, analyzer and profile are built once on the
+   spawning domain and shared read-only. *)
+
+open Failatom_core
+open Failatom_runtime
+open Failatom_minilang
+
+exception Campaign_error of string
+
+let default_jobs () = min 8 (max 1 (Domain.recommended_domain_count () - 1))
+
+(* Identifies the program inside a journal so that a resume against a
+   different program or flavor is rejected instead of silently merging
+   unrelated runs. *)
+let program_digest (program : Ast.program) =
+  Digest.to_hex (Digest.string (Pretty.program_to_string program))
+
+let load_journal ~path ~header:(expected : Journal.header) =
+  match Journal.load ~path with
+  | None -> ([], Some (Journal.create ~path expected))
+  | Some (found, runs) ->
+    if not (String.equal found.Journal.flavor expected.Journal.flavor) then
+      raise
+        (Campaign_error
+           (Printf.sprintf "journal %s was recorded with flavor %s, not %s" path
+              found.Journal.flavor expected.Journal.flavor));
+    if not (String.equal found.Journal.program_digest expected.Journal.program_digest)
+    then
+      raise
+        (Campaign_error
+           (Printf.sprintf "journal %s was recorded for a different program" path));
+    (* Rewrite rather than append: this scrubs a truncated trailing
+       block left by a kill mid-append, which would otherwise corrupt
+       the grammar for the next resume. *)
+    let w = Journal.create ~path expected in
+    List.iter (Journal.append w) runs;
+    (runs, Some w)
+  | exception Run_log.Bad_log (msg, line) ->
+    raise (Campaign_error (Printf.sprintf "corrupt journal %s: line %d: %s" path line msg))
+
+let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
+    ?(prepare = fun (_ : Vm.t) -> ()) ?jobs ?journal ?(resume = false)
+    ?(report = Progress.null) (program : Ast.program) :
+    Detect.result * Progress.summary =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let t_start = Unix.gettimeofday () in
+  let analyzer = Analyzer.analyze config program in
+  let profile = Profile.run ~prepare program in
+  let header =
+    { Journal.flavor = Detect.flavor_name flavor; program_digest = program_digest program }
+  in
+  let journaled, writer =
+    match journal with
+    | None ->
+      if resume then raise (Campaign_error "cannot resume without a journal path");
+      ([], None)
+    | Some path ->
+      if resume then load_journal ~path ~header
+      else ([], Some (Journal.create ~path header))
+  in
+  let sched =
+    Scheduler.create ~journaled ~max_runs:config.Config.max_runs ~jobs ()
+  in
+  report (Progress.Started { workers = jobs; reused = List.length journaled });
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  (* CPU seconds consumed by the whole process; the delta over the
+     campaign is the work a single worker would have had to do
+     back-to-back, so cpu/wall is the honest effective parallelism even
+     when the machine has fewer cores than workers. *)
+  let cpu_now () =
+    let t = Unix.times () in
+    t.Unix.tms_utime +. t.Unix.tms_stime
+  in
+  let cpu_start = cpu_now () in
+  let failure : exn option ref = ref None in
+  (* Called with the mutex held, after each recorded run. *)
+  let tick () =
+    let completed, injections, needed = Scheduler.progress sched in
+    let elapsed = Unix.gettimeofday () -. t_start in
+    let executed = (Scheduler.stats sched).Scheduler.executed in
+    let rate = if elapsed > 0. then float_of_int executed /. elapsed else 0. in
+    let eta_s =
+      match needed with
+      | Some n when rate > 0. -> Some (float_of_int (n - completed) /. rate)
+      | Some _ | None -> None
+    in
+    report (Progress.Tick { completed; needed; injections; elapsed_s = elapsed; rate; eta_s })
+  in
+  let worker () =
+    Mutex.lock mutex;
+    let rec loop () =
+      if Option.is_some !failure then ()
+      else
+        match Scheduler.claim sched with
+        | Scheduler.Done -> ()
+        | Scheduler.Exhausted ->
+          failure :=
+            Some
+              (Detect.Detection_error
+                 (Printf.sprintf "exceeded max_runs = %d injection runs"
+                    config.Config.max_runs));
+          Condition.broadcast cond
+        | Scheduler.Wait ->
+          Condition.wait cond mutex;
+          loop ()
+        | Scheduler.Claimed threshold -> (
+          Mutex.unlock mutex;
+          let outcome =
+            try Ok (Detect.run_once flavor config analyzer ~prepare program ~threshold)
+            with e -> Error e
+          in
+          Mutex.lock mutex;
+          match outcome with
+          | Ok record ->
+            ignore (Scheduler.record sched record);
+            (match writer with Some w -> Journal.append w record | None -> ());
+            tick ();
+            Condition.broadcast cond;
+            loop ()
+          | Error e ->
+            if Option.is_none !failure then failure := Some e;
+            Condition.broadcast cond)
+    in
+    loop ();
+    Mutex.unlock mutex
+  in
+  if not (Scheduler.finished sched) then begin
+    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains
+  end;
+  (match writer with Some w -> Journal.close w | None -> ());
+  (match !failure with Some e -> raise e | None -> ());
+  let runs = Scheduler.runs sched in
+  let stats = Scheduler.stats sched in
+  (* The frontier run is the no-injection probe; its output against the
+     baseline is the paper's transparency check, exactly as in
+     [Detect.run]. *)
+  let probe = List.nth runs (List.length runs - 1) in
+  let transparent = String.equal probe.Marks.output profile.Profile.output in
+  let result =
+    { Detect.flavor;
+      config;
+      analyzer;
+      profile;
+      runs;
+      injections = List.length runs - 1;
+      transparent }
+  in
+  let summary =
+    { Progress.total_runs = List.length runs;
+      injections = result.Detect.injections;
+      executed = stats.Scheduler.executed;
+      reused = stats.Scheduler.reused;
+      discarded = stats.Scheduler.discarded;
+      workers = jobs;
+      wall_clock_s = Unix.gettimeofday () -. t_start;
+      busy_s = cpu_now () -. cpu_start }
+  in
+  report (Progress.Finished summary);
+  (result, summary)

@@ -1,0 +1,46 @@
+(** The parallel, resumable detection-campaign engine.
+
+    Drop-in replacement for {!Detect.run} that executes the
+    injection-threshold runs across OCaml 5 domains with speculative
+    batch scheduling ({!Scheduler}), journals every completed run for
+    resumption ({!Journal}), and reports progress ({!Progress}).  The
+    returned {!Detect.result} is identical to what the sequential loop
+    produces on the same program and flavor. *)
+
+open Failatom_core
+open Failatom_runtime
+open Failatom_minilang
+
+exception Campaign_error of string
+(** User-level misuse: resuming without a journal, or against a journal
+    recorded for a different program or flavor, or a corrupt journal. *)
+
+val default_jobs : unit -> int
+(** One worker per available core minus one, clamped to [1..8]. *)
+
+val program_digest : Ast.program -> string
+(** md5 hex of the pretty-printed program; identifies the program inside
+    a journal header. *)
+
+val run :
+  ?config:Config.t ->
+  ?flavor:Detect.flavor ->
+  ?prepare:(Vm.t -> unit) ->
+  ?jobs:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?report:(Progress.event -> unit) ->
+  Ast.program ->
+  Detect.result * Progress.summary
+(** Runs the complete detection phase in parallel.
+
+    [jobs] worker domains execute the runs (default {!default_jobs}).
+    [journal] appends every completed run to the given path;
+    [resume] additionally adopts the runs already journaled there, so
+    only missing thresholds are executed.  [prepare] is applied to every
+    fresh VM (as in {!Detect.run}) and must be safe to call from
+    multiple domains.  [report] receives progress events.
+
+    @raise Detect.Detection_error as {!Detect.run} would (a genuine
+    failure inside a run, or [max_runs] exceeded).
+    @raise Campaign_error on journal misuse. *)

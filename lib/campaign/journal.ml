@@ -1,0 +1,71 @@
+(* The append-only campaign journal.
+
+   A campaign writes each completed run to disk the moment it is
+   recorded, so a killed campaign resumes from where it left off instead
+   of restarting at threshold 1.  The file is the {!Run_log} line
+   grammar with a campaign header and, per run, an [output] record (the
+   probe run's output feeds the transparency check, and persisting every
+   run's output keeps a resumed result bitwise-identical to an
+   uninterrupted one):
+
+     failjournal 1
+     flavor <name>
+     program <md5-hex of the pretty-printed program>
+     run <injection_point> ... output <escaped> ... endrun   (repeated)
+
+   Run blocks appear in completion order, which under parallel workers
+   is not threshold order; the loader returns them as parsed and the
+   scheduler re-files them by threshold.  A writer killed mid-append
+   leaves a truncated trailing block, which the loader silently drops —
+   that run is simply re-executed on resume. *)
+
+open Failatom_core
+
+type header = {
+  flavor : string;
+  program_digest : string;  (* md5 hex of the pretty-printed program *)
+}
+
+type writer = { oc : out_channel }
+
+let load ~path : (header * Marks.run_record list) option =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let flavor = ref "unknown" in
+    let digest = ref "" in
+    let on_extra lineno = function
+      | [ "failjournal"; "1" ] -> ()
+      | [ "failjournal"; v ] ->
+        raise (Run_log.Bad_log ("unsupported journal version " ^ v, lineno))
+      | [ "flavor"; name ] -> flavor := name
+      | [ "program"; d ] -> digest := d
+      | parts ->
+        raise (Run_log.Bad_log ("unrecognized record: " ^ String.concat " " parts, lineno))
+    in
+    let runs = Run_log.parse_runs ~tolerate_partial_tail:true ~on_extra text in
+    Some ({ flavor = !flavor; program_digest = !digest }, runs)
+  end
+
+let create ~path header =
+  let oc = open_out_bin path in
+  output_string oc "failjournal 1\n";
+  output_string oc (Printf.sprintf "flavor %s\n" header.flavor);
+  output_string oc (Printf.sprintf "program %s\n" header.program_digest);
+  flush oc;
+  { oc }
+
+(* One run block, flushed immediately: the journal must reflect every
+   completed run even if the campaign process is killed right after. *)
+let append w (r : Marks.run_record) =
+  let buf = Buffer.create 256 in
+  Run_log.save_run ~with_output:true buf r;
+  output_string w.oc (Buffer.contents buf);
+  flush w.oc
+
+let close w = close_out w.oc

@@ -1,0 +1,30 @@
+(** The append-only campaign journal: each completed run is persisted
+    the moment it is recorded (in the {!Run_log} line grammar plus a
+    campaign header and per-run [output] records), so a killed campaign
+    resumes instead of restarting.  See the implementation header for
+    the exact grammar. *)
+
+open Failatom_core
+
+type header = {
+  flavor : string;
+  program_digest : string;  (** md5 hex of the pretty-printed program *)
+}
+
+type writer
+
+val load : path:string -> (header * Marks.run_record list) option
+(** [None] when the file does not exist.  Run blocks are returned in
+    file order (completion order, not threshold order); a truncated
+    trailing block — the writer was killed mid-append — is dropped.
+    @raise Run_log.Bad_log on a corrupt journal. *)
+
+val create : path:string -> header -> writer
+(** Truncates [path] and writes a fresh header.  A resuming campaign
+    re-creates the journal and re-appends the adopted runs, which
+    scrubs any truncated trailing block left by a kill mid-append. *)
+
+val append : writer -> Marks.run_record -> unit
+(** Appends one run block and flushes. *)
+
+val close : writer -> unit

@@ -1,0 +1,164 @@
+(* Speculative batch scheduling of injection thresholds.
+
+   The detection loop (paper §4.1) arms InjectionPoint = 1, 2, 3, … and
+   stops at the first run that completes with no injection.  That
+   stopping threshold — the *frontier* — is unknown until it is reached,
+   so a parallel campaign must speculate: it dispatches thresholds past
+   the highest completed one and discards whatever lands beyond the
+   frontier once it is found.  Because every run is deterministic and
+   independent (fresh VM and heap per run), discarding the over-run is
+   enough to make the merged result identical to the sequential loop's.
+
+   Speculation is bounded by a *horizon* that starts at one batch per
+   worker and doubles every time the whole window below it completes
+   without finding the frontier — so a campaign near its (unknown)
+   frontier wastes at most one window of runs, while a campaign far from
+   it quickly reaches full parallelism.
+
+   The scheduler itself is plain single-threaded state; {!Campaign}
+   serialises access with a mutex.  [claim] hands out thresholds,
+   [record] files completed runs (from workers or from a resumed
+   journal), and [runs] extracts the merged, frontier-truncated run
+   list. *)
+
+open Failatom_core
+
+type claim =
+  | Claimed of int  (* execute this threshold *)
+  | Wait  (* nothing useful below the horizon; block until a record *)
+  | Done  (* every needed threshold is claimed or complete *)
+  | Exhausted  (* max_runs runs completed and none was injection-free *)
+
+type stats = {
+  executed : int;  (* runs completed by workers in this invocation *)
+  reused : int;  (* journaled runs adopted without re-execution *)
+  discarded : int;  (* speculative runs recorded past the frontier *)
+}
+
+type t = {
+  max_runs : int;
+  mutable horizon : int;  (* speculation bound while the frontier is unknown *)
+  mutable next : int;  (* smallest never-claimed threshold *)
+  mutable contiguous : int;  (* largest c with runs 1..c all recorded *)
+  claimed : (int, unit) Hashtbl.t;  (* claimed, not yet recorded *)
+  completed : (int, Marks.run_record) Hashtbl.t;
+  from_journal : (int, unit) Hashtbl.t;
+  mutable frontier : int option;  (* least threshold that did not inject *)
+  mutable executed : int;
+  mutable injected_runs : int;  (* recorded runs in which an exception fired *)
+}
+
+let frontier t = t.frontier
+
+let note_frontier t point =
+  match t.frontier with
+  | Some f when f <= point -> ()
+  | Some _ | None -> t.frontier <- Some point
+
+let advance_contiguous t =
+  while Hashtbl.mem t.completed (t.contiguous + 1) do
+    t.contiguous <- t.contiguous + 1
+  done
+
+(* Doubles the horizon whenever the whole current window has completed
+   without revealing the frontier. *)
+let grow_horizon t =
+  while t.frontier = None && t.contiguous >= t.horizon && t.horizon < t.max_runs do
+    t.horizon <- min (2 * t.horizon) t.max_runs
+  done
+
+let file t (r : Marks.run_record) ~journal =
+  let point = r.Marks.injection_point in
+  Hashtbl.remove t.claimed point;
+  if not (Hashtbl.mem t.completed point) then begin
+    Hashtbl.replace t.completed point r;
+    if journal then Hashtbl.replace t.from_journal point ();
+    (match r.Marks.injected with
+     | None -> note_frontier t point
+     | Some _ -> t.injected_runs <- t.injected_runs + 1);
+    advance_contiguous t;
+    grow_horizon t
+  end
+
+let create ?(journaled = []) ~max_runs ~jobs () =
+  let t =
+    { max_runs;
+      horizon = max (2 * jobs) 4;
+      next = 1;
+      contiguous = 0;
+      claimed = Hashtbl.create 64;
+      completed = Hashtbl.create 256;
+      from_journal = Hashtbl.create 64;
+      frontier = None;
+      executed = 0;
+      injected_runs = 0 }
+  in
+  List.iter (fun r -> file t r ~journal:true) journaled;
+  grow_horizon t;
+  t
+
+let record t (r : Marks.run_record) =
+  t.executed <- t.executed + 1;
+  let speculative =
+    match t.frontier with Some f -> r.Marks.injection_point > f | None -> false
+  in
+  file t r ~journal:false;
+  if speculative then `Speculative else `Kept
+
+let taken t point = Hashtbl.mem t.claimed point || Hashtbl.mem t.completed point
+
+let claim t =
+  while taken t t.next do
+    t.next <- t.next + 1
+  done;
+  match t.frontier with
+  | Some f ->
+    if t.next <= f then begin
+      Hashtbl.replace t.claimed t.next ();
+      Claimed t.next
+    end
+    else Done
+  | None ->
+    if t.next > t.max_runs then
+      if t.contiguous >= t.max_runs then Exhausted else Wait
+    else if t.next <= t.horizon then begin
+      Hashtbl.replace t.claimed t.next ();
+      Claimed t.next
+    end
+    else Wait
+
+let finished t =
+  match t.frontier with Some f -> t.contiguous >= f | None -> false
+
+(* The merged campaign result: thresholds 1 .. frontier in order, every
+   speculative record past the frontier dropped.  Only meaningful once
+   [finished]. *)
+let runs t =
+  match t.frontier with
+  | None -> invalid_arg "Scheduler.runs: campaign not finished"
+  | Some f ->
+    List.init f (fun i ->
+        match Hashtbl.find_opt t.completed (i + 1) with
+        | Some r -> r
+        | None -> invalid_arg "Scheduler.runs: campaign not finished")
+
+let stats t =
+  let frontier = match t.frontier with Some f -> f | None -> max_int in
+  let reused =
+    Hashtbl.fold
+      (fun point () acc -> if point <= frontier then acc + 1 else acc)
+      t.from_journal 0
+  in
+  let discarded =
+    Hashtbl.fold
+      (fun point _ acc ->
+        if point > frontier && not (Hashtbl.mem t.from_journal point) then acc + 1
+        else acc)
+      t.completed 0
+  in
+  { executed = t.executed; reused; discarded }
+
+(* Progress snapshot: (recorded runs, runs that injected, needed total
+   once the frontier is known). *)
+let progress t =
+  (Hashtbl.length t.completed, t.injected_runs, t.frontier)

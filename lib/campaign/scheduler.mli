@@ -1,0 +1,52 @@
+(** Speculative batch scheduling of injection thresholds.
+
+    The sequential detection loop stops at the first run that completes
+    with no injection — the {e frontier}.  A parallel campaign cannot
+    know the frontier upfront, so this scheduler speculates: it hands
+    out thresholds up to a doubling {e horizon} and discards completed
+    runs that land past the frontier once it is found.  Runs are
+    deterministic and independent, so the merged, frontier-truncated run
+    list is identical to what the sequential loop produces.
+
+    The scheduler is plain single-threaded state; {!Campaign} serialises
+    access to it with a mutex. *)
+
+open Failatom_core
+
+type claim =
+  | Claimed of int  (** execute this threshold *)
+  | Wait  (** nothing useful below the horizon; block until a record *)
+  | Done  (** every needed threshold is claimed or complete *)
+  | Exhausted  (** [max_runs] runs completed and none was injection-free *)
+
+type stats = {
+  executed : int;  (** runs completed by workers in this invocation *)
+  reused : int;  (** journaled runs adopted without re-execution *)
+  discarded : int;  (** speculative runs recorded past the frontier *)
+}
+
+type t
+
+val create : ?journaled:Marks.run_record list -> max_runs:int -> jobs:int -> unit -> t
+(** [journaled] pre-files runs loaded from a resume journal: their
+    thresholds are never handed out again. *)
+
+val claim : t -> claim
+val record : t -> Marks.run_record -> [ `Kept | `Speculative ]
+
+val frontier : t -> int option
+(** The least recorded threshold whose run did not inject, if any. *)
+
+val finished : t -> bool
+(** Every threshold up to the frontier has been recorded. *)
+
+val runs : t -> Marks.run_record list
+(** The merged result: thresholds [1 .. frontier] in order, speculative
+    over-run discarded.  @raise Invalid_argument unless {!finished}. *)
+
+val stats : t -> stats
+
+val progress : t -> int * int * int option
+(** [(recorded, injected, needed)]: runs recorded so far, how many of
+    them fired an injection, and the total needed once the frontier is
+    known. *)

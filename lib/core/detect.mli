@@ -32,6 +32,14 @@ exception Detection_error of string
 (** A non-MiniLang failure inside a run: a genuine bug in the workload
     or in the instrumentation. *)
 
+val run_once :
+  flavor -> Config.t -> Analyzer.t -> prepare:(Vm.t -> unit) ->
+  Ast.program -> threshold:int -> Marks.run_record
+(** One detection run with the given threshold armed, on a fresh VM and
+    heap.  Runs are independent of each other by construction, which is
+    what lets {!Failatom_campaign.Campaign} execute them in parallel.
+    @raise Detection_error on a non-MiniLang failure inside the run. *)
+
 val run :
   ?config:Config.t -> ?flavor:flavor -> ?prepare:(Vm.t -> unit) ->
   Ast.program -> result

@@ -19,7 +19,14 @@
      escaped <exception>             (* optional *)
      ncalls <count>
      mark <method> atomic|nonatomic <exn-id> [<diff-path>]
+     output <escaped-string>         (* optional; campaign journals *)
      endrun
+
+   The [output] record carries the run's program output as a single
+   space-free token (OCaml string-literal escapes, with spaces encoded
+   as \032).  Plain run logs omit it; campaign journals need it so that
+   a resumed campaign can rebuild a result bitwise-identical to an
+   uninterrupted one (including the probe run's transparency check).
 *)
 
 type t = {
@@ -41,30 +48,39 @@ let method_of_string s =
 (* Saving                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let save_runs buf (runs : Marks.run_record list) =
+(* Program output as a single space-free token: OCaml string-literal
+   escapes via [String.escaped], plus spaces as the decimal escape \032
+   (which [Scanf.unescaped] decodes). *)
+let encode_output s =
+  String.concat "\\032" (String.split_on_char ' ' (String.escaped s))
+
+let decode_output s = Scanf.unescaped s
+
+let save_run ?(with_output = false) buf (r : Marks.run_record) =
+  Buffer.add_string buf (Printf.sprintf "run %d\n" r.Marks.injection_point);
+  (match r.Marks.injected with
+   | Some (site, exn_class) ->
+     Buffer.add_string buf
+       (Printf.sprintf "inject %s %s\n" (Method_id.to_string site) exn_class)
+   | None -> ());
+  (match r.Marks.escaped with
+   | Some exn_class -> Buffer.add_string buf (Printf.sprintf "escaped %s\n" exn_class)
+   | None -> ());
+  Buffer.add_string buf (Printf.sprintf "ncalls %d\n" r.Marks.calls);
   List.iter
-    (fun (r : Marks.run_record) ->
-      Buffer.add_string buf (Printf.sprintf "run %d\n" r.Marks.injection_point);
-      (match r.Marks.injected with
-       | Some (site, exn_class) ->
-         Buffer.add_string buf
-           (Printf.sprintf "inject %s %s\n" (Method_id.to_string site) exn_class)
-       | None -> ());
-      (match r.Marks.escaped with
-       | Some exn_class -> Buffer.add_string buf (Printf.sprintf "escaped %s\n" exn_class)
-       | None -> ());
-      Buffer.add_string buf (Printf.sprintf "ncalls %d\n" r.Marks.calls);
-      List.iter
-        (fun (m : Marks.mark) ->
-          Buffer.add_string buf
-            (Printf.sprintf "mark %s %s %d%s\n"
-               (Method_id.to_string m.Marks.meth)
-               (if m.Marks.atomic then "atomic" else "nonatomic")
-               m.Marks.exn_id
-               (match m.Marks.diff_path with Some p -> " " ^ p | None -> "")))
-        r.Marks.marks;
-      Buffer.add_string buf "endrun\n")
-    runs
+    (fun (m : Marks.mark) ->
+      Buffer.add_string buf
+        (Printf.sprintf "mark %s %s %d%s\n"
+           (Method_id.to_string m.Marks.meth)
+           (if m.Marks.atomic then "atomic" else "nonatomic")
+           m.Marks.exn_id
+           (match m.Marks.diff_path with Some p -> " " ^ p | None -> "")))
+    r.Marks.marks;
+  if with_output then
+    Buffer.add_string buf (Printf.sprintf "output %s\n" (encode_output r.Marks.output));
+  Buffer.add_string buf "endrun\n"
+
+let save_runs buf (runs : Marks.run_record list) = List.iter (save_run buf) runs
 
 let save (result : Detect.result) : string =
   let buf = Buffer.create 4096 in
@@ -96,13 +112,19 @@ type partial_run = {
   mutable escaped : string option;
   mutable ncalls : int;
   mutable marks_rev : Marks.mark list;
+  mutable out : string;
 }
 
-let load (text : string) : t =
+(* Generic parser over the run-record grammar.  Lines that are not part
+   of a [run]…[endrun] block are handed to [on_extra] (which raises
+   {!Bad_log} on lines it does not recognise) — {!load} uses it for the
+   faillog header, {!Failatom_campaign.Journal} for its own header.
+   With [tolerate_partial_tail] a trailing unterminated run is silently
+   dropped instead of raising: an append-only journal whose writer was
+   killed mid-record ends with exactly such a block. *)
+let parse_runs ?(tolerate_partial_tail = false) ~on_extra (text : string) :
+    Marks.run_record list =
   let lines = String.split_on_char '\n' text in
-  let flavor = ref "unknown" in
-  let transparent = ref false in
-  let calls = ref Method_id.Map.empty in
   let runs_rev = ref [] in
   let current : partial_run option ref = ref None in
   let bad lineno msg = raise (Bad_log (msg, lineno)) in
@@ -115,7 +137,7 @@ let load (text : string) : t =
           injected = pr.injected;
           marks = List.rev pr.marks_rev;
           escaped = pr.escaped;
-          output = "";
+          output = pr.out;
           calls = pr.ncalls }
         :: !runs_rev;
       current := None
@@ -128,17 +150,6 @@ let load (text : string) : t =
       let lineno = idx + 1 in
       match String.split_on_char ' ' (String.trim line) with
       | [ "" ] -> ()
-      | [ "faillog"; "1" ] -> ()
-      | [ "faillog"; v ] -> bad lineno ("unsupported log version " ^ v)
-      | [ "flavor"; name ] -> flavor := name
-      | [ "transparent"; b ] -> (
-        match bool_of_string_opt b with
-        | Some b -> transparent := b
-        | None -> bad lineno "bad boolean")
-      | [ "calls"; meth; count ] -> (
-        match int_of_string_opt count with
-        | Some n -> calls := Method_id.Map.add (method_of_string meth) n !calls
-        | None -> bad lineno "bad call count")
       | [ "run"; point ] -> (
         (match !current with
          | Some _ -> bad lineno "nested run"
@@ -146,7 +157,13 @@ let load (text : string) : t =
         match int_of_string_opt point with
         | Some p ->
           current :=
-            Some { point = p; injected = None; escaped = None; ncalls = 0; marks_rev = [] }
+            Some
+              { point = p;
+                injected = None;
+                escaped = None;
+                ncalls = 0;
+                marks_rev = [];
+                out = "" }
         | None -> bad lineno "bad injection point")
       | [ "inject"; meth; exn_class ] ->
         in_run lineno (fun pr -> pr.injected <- Some (method_of_string meth, exn_class))
@@ -175,16 +192,42 @@ let load (text : string) : t =
             pr.marks_rev <-
               { Marks.meth = method_of_string meth; atomic; diff_path; exn_id }
               :: pr.marks_rev)
+      | [ "output" ] -> in_run lineno (fun pr -> pr.out <- "")
+      | [ "output"; enc ] ->
+        in_run lineno (fun pr ->
+            match decode_output enc with
+            | s -> pr.out <- s
+            | exception Scanf.Scan_failure _ -> bad lineno "bad output encoding")
       | [ "endrun" ] -> finish_run lineno
-      | _ -> bad lineno ("unrecognized record: " ^ line))
+      | parts -> on_extra lineno parts)
     lines;
   (match !current with
-   | Some _ -> raise (Bad_log ("unterminated run", List.length lines))
-   | None -> ());
-  { flavor = !flavor;
-    transparent = !transparent;
-    calls = !calls;
-    runs = List.rev !runs_rev }
+   | Some _ when not tolerate_partial_tail ->
+     raise (Bad_log ("unterminated run", List.length lines))
+   | Some _ | None -> ());
+  List.rev !runs_rev
+
+let load (text : string) : t =
+  let flavor = ref "unknown" in
+  let transparent = ref false in
+  let calls = ref Method_id.Map.empty in
+  let bad lineno msg = raise (Bad_log (msg, lineno)) in
+  let on_extra lineno = function
+    | [ "faillog"; "1" ] -> ()
+    | [ "faillog"; v ] -> bad lineno ("unsupported log version " ^ v)
+    | [ "flavor"; name ] -> flavor := name
+    | [ "transparent"; b ] -> (
+      match bool_of_string_opt b with
+      | Some b -> transparent := b
+      | None -> bad lineno "bad boolean")
+    | [ "calls"; meth; count ] -> (
+      match int_of_string_opt count with
+      | Some n -> calls := Method_id.Map.add (method_of_string meth) n !calls
+      | None -> bad lineno "bad call count")
+    | parts -> bad lineno ("unrecognized record: " ^ String.concat " " parts)
+  in
+  let runs = parse_runs ~on_extra text in
+  { flavor = !flavor; transparent = !transparent; calls = !calls; runs }
 
 let load_file path =
   let ic = open_in_bin path in

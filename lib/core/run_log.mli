@@ -23,6 +23,24 @@ exception Bad_log of string * int
 val save : Detect.result -> string
 val save_file : Detect.result -> string -> unit
 
+val save_run : ?with_output:bool -> Buffer.t -> Marks.run_record -> unit
+(** One [run]…[endrun] block in the log grammar.  [with_output]
+    additionally persists the run's program output (as an [output]
+    record), which campaign journals need to rebuild results
+    bitwise-identically on resume. *)
+
+val parse_runs :
+  ?tolerate_partial_tail:bool ->
+  on_extra:(int -> string list -> unit) ->
+  string -> Marks.run_record list
+(** Parses every [run]…[endrun] block of [text]; any other non-blank
+    line is passed (split on spaces, with its 1-based line number) to
+    [on_extra], which should raise {!Bad_log} on lines it does not
+    recognise.  [tolerate_partial_tail] silently drops a trailing
+    unterminated block — an append-only journal whose writer was killed
+    mid-record ends with one.
+    @raise Bad_log on malformed input. *)
+
 val load : string -> t
 (** @raise Bad_log on malformed input. *)
 

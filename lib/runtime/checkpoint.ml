@@ -28,16 +28,24 @@ type t = {
 
 (* The stack of active lazy checkpoints of a heap, innermost first.  The
    single installed barrier dispatches to all of them, so nested wrapped
-   calls each get a correct snapshot. *)
+   calls each get a correct snapshot.
+
+   The table is keyed by heap uid and shared by every domain; the mutex
+   guards its structure (lookup/insert/remove) so campaigns may run VMs
+   in parallel domains.  A given stack ref is only ever pushed/popped by
+   the single domain running that heap's VM, so the contents need no
+   lock. *)
 let lazy_stacks : (int, t list ref) Hashtbl.t = Hashtbl.create 8
+let lazy_stacks_mutex = Mutex.create ()
 
 let stack_of heap =
-  match Hashtbl.find_opt lazy_stacks heap.Heap.uid with
-  | Some r -> r
-  | None ->
-    let r = ref [] in
-    Hashtbl.replace lazy_stacks heap.Heap.uid r;
-    r
+  Mutex.protect lazy_stacks_mutex (fun () ->
+      match Hashtbl.find_opt lazy_stacks heap.Heap.uid with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace lazy_stacks heap.Heap.uid r;
+        r)
 
 let record cp id =
   if cp.active && not (Hashtbl.mem cp.saved id) && Heap.mem cp.heap id then
@@ -91,7 +99,8 @@ let dispose cp =
     stack := List.filter (fun c -> c != cp) !stack;
     if !stack = [] then begin
       cp.heap.Heap.on_write <- None;
-      Hashtbl.remove lazy_stacks cp.heap.Heap.uid
+      Mutex.protect lazy_stacks_mutex (fun () ->
+          Hashtbl.remove lazy_stacks cp.heap.Heap.uid)
     end
 
 (* Rolls every captured object back to its checkpointed payload. *)

@@ -21,11 +21,12 @@ type t = {
 
 exception Dangling_reference of Value.obj_id
 
-let uid_counter = ref 0
+(* Atomic so that heaps may be created concurrently from several
+   domains (the campaign engine runs one detection VM per domain). *)
+let uid_counter = Atomic.make 0
 
 let create () =
-  incr uid_counter;
-  { uid = !uid_counter;
+  { uid = 1 + Atomic.fetch_and_add uid_counter 1;
     store = Hashtbl.create 256;
     next_id = 1;
     allocations = 0;

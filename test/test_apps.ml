@@ -120,7 +120,7 @@ let suite =
        (fun app ->
          Alcotest.test_case ("standalone " ^ app.Registry.name) `Quick
            (run_standalone app))
-       (Registry.all @ [ Registry.linked_list_fixed; Synthetic.app ])
+       Registry.catalog
   @ List.map
       (fun ((name, _) as entry) ->
         Alcotest.test_case ("detect " ^ name) `Slow (detect_and_check entry))

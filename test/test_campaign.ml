@@ -1,0 +1,284 @@
+(* Tests of the parallel, resumable detection-campaign engine
+   (lib/campaign/): determinism against the sequential detector,
+   journal resume, and speculative over-run discard. *)
+
+open Failatom_core
+open Failatom_apps
+module Campaign = Failatom_campaign.Campaign
+module Scheduler = Failatom_campaign.Scheduler
+module Journal = Failatom_campaign.Journal
+module Progress = Failatom_campaign.Progress
+
+let parse = Failatom_minilang.Minilang.parse
+
+(* ------------------------------------------------------------------ *)
+(* (a) determinism: campaign == sequential on every app, both flavors  *)
+(* ------------------------------------------------------------------ *)
+
+(* Determinism is independent of the configuration, so the full
+   app x flavor matrix runs with a slimmed-down injection set (one
+   runtime exception, provably exception-free methods skipped) to keep
+   the suite fast on small machines; the default-config path is still
+   exercised by the resume and probe tests below. *)
+let matrix_config =
+  { Config.default with
+    Config.runtime_exceptions = [ "NullPointerException" ];
+    infer_exception_free = true }
+
+let check_matches_sequential (app : Registry.t) flavor () =
+  let program = parse app.Registry.source in
+  let seq = Detect.run ~config:matrix_config ~flavor program in
+  let par, summary = Campaign.run ~config:matrix_config ~flavor ~jobs:4 program in
+  Alcotest.(check int)
+    "same run count" (List.length seq.Detect.runs) (List.length par.Detect.runs);
+  Alcotest.(check bool) "identical run records" true (seq.Detect.runs = par.Detect.runs);
+  Alcotest.(check int) "same injections" seq.Detect.injections par.Detect.injections;
+  Alcotest.(check bool) "same transparency" seq.Detect.transparent par.Detect.transparent;
+  let cs = Classify.classify seq and cp = Classify.classify par in
+  Alcotest.(check bool)
+    "identical classification" true
+    (Classify.reports cs = Classify.reports cp
+    && cs.Classify.class_verdicts = cp.Classify.class_verdicts);
+  Alcotest.(check int) "nothing reused" 0 summary.Progress.reused
+
+let determinism_cases =
+  List.concat_map
+    (fun (app : Registry.t) ->
+      List.map
+        (fun flavor ->
+          Alcotest.test_case
+            (Printf.sprintf "determinism %s (%s)" app.Registry.name
+               (Detect.flavor_name flavor))
+            `Slow
+            (check_matches_sequential app flavor))
+        [ Detect.Source_weaving; Detect.Load_time_filters ])
+    Registry.catalog
+
+(* The probe run must stay last and unique under parallel execution. *)
+let test_probe_last () =
+  let app = Option.get (Registry.find "LinkedList") in
+  let result, _ = Campaign.run ~jobs:8 (parse app.Registry.source) in
+  let n = List.length result.Detect.runs in
+  List.iteri
+    (fun i (r : Marks.run_record) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "run %d injection status" (i + 1))
+        (i = n - 1)
+        (r.Marks.injected = None))
+    result.Detect.runs
+
+(* ------------------------------------------------------------------ *)
+(* (b) resume: journaled thresholds are not re-executed                *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "failatom_test" ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+(* Truncates a journal to its header plus the first [keep] complete run
+   blocks, plus a torn trailing block as a kill mid-append would leave. *)
+let truncate_journal path ~keep =
+  let lines = String.split_on_char '\n' (read_file path) in
+  let buf = Buffer.create 4096 in
+  let kept = ref 0 in
+  List.iter
+    (fun line ->
+      if !kept < keep then begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        if String.equal line "endrun" then incr kept
+      end)
+    lines;
+  Buffer.add_string buf "run 99999\nncalls 7\n";
+  write_file path (Buffer.contents buf)
+
+let journal_thresholds path =
+  match Journal.load ~path with
+  | None -> []
+  | Some (_, runs) -> List.map (fun (r : Marks.run_record) -> r.Marks.injection_point) runs
+
+let test_resume () =
+  let app = Option.get (Registry.find "LinkedList") in
+  let program = parse app.Registry.source in
+  let uninterrupted, _ = Campaign.run ~jobs:2 program in
+  with_temp_journal (fun journal ->
+      let _, _ = Campaign.run ~jobs:2 ~journal program in
+      let keep = 40 in
+      truncate_journal journal ~keep;
+      let resumed, summary = Campaign.run ~jobs:2 ~journal ~resume:true program in
+      Alcotest.(check bool)
+        "resumed result identical to uninterrupted" true
+        (uninterrupted.Detect.runs = resumed.Detect.runs);
+      Alcotest.(check bool)
+        "same transparency" uninterrupted.Detect.transparent resumed.Detect.transparent;
+      Alcotest.(check int) "adopted the journaled prefix" keep summary.Progress.reused;
+      (* No journaled threshold was re-executed: each appears once. *)
+      let thresholds = List.sort compare (journal_thresholds journal) in
+      let rec no_dup = function
+        | a :: (b :: _ as rest) -> a <> b && no_dup rest
+        | [ _ ] | [] -> true
+      in
+      Alcotest.(check bool) "no threshold executed twice" true (no_dup thresholds);
+      (* Resuming a complete journal executes nothing at all. *)
+      let again, s2 = Campaign.run ~jobs:2 ~journal ~resume:true program in
+      Alcotest.(check int) "complete journal: nothing executed" 0 s2.Progress.executed;
+      Alcotest.(check int)
+        "complete journal: everything reused"
+        (List.length uninterrupted.Detect.runs)
+        s2.Progress.reused;
+      Alcotest.(check bool)
+        "complete journal: identical result" true
+        (uninterrupted.Detect.runs = again.Detect.runs))
+
+let test_journal_guards () =
+  let program = parse Synthetic.source in
+  with_temp_journal (fun journal ->
+      let _ = Campaign.run ~jobs:1 ~journal program in
+      Alcotest.check_raises "flavor mismatch rejected"
+        (Campaign.Campaign_error
+           (Printf.sprintf
+              "journal %s was recorded with flavor source-weaving, not \
+               load-time-filters"
+              journal))
+        (fun () ->
+          ignore
+            (Campaign.run ~flavor:Detect.Load_time_filters ~jobs:1 ~journal
+               ~resume:true program));
+      let other = parse (Option.get (Registry.find "LLMap")).Registry.source in
+      Alcotest.check_raises "program mismatch rejected"
+        (Campaign.Campaign_error
+           (Printf.sprintf "journal %s was recorded for a different program" journal))
+        (fun () -> ignore (Campaign.run ~jobs:1 ~journal ~resume:true other)));
+  Alcotest.check_raises "resume requires a journal"
+    (Campaign.Campaign_error "cannot resume without a journal path")
+    (fun () -> ignore (Campaign.run ~jobs:1 ~resume:true program))
+
+(* Outputs with spaces, newlines and escapes survive the journal. *)
+let test_journal_output_roundtrip () =
+  let mark =
+    { Marks.meth = Method_id.make "C" "m"; atomic = false; diff_path = Some "a.b c"; exn_id = 3 }
+  in
+  let runs =
+    [ { Marks.injection_point = 1;
+        injected = Some (Method_id.make "C" "m", "NullPointerException");
+        marks = [ mark ];
+        escaped = None;
+        output = "line one\nwith spaces  and\ttabs\n\"quotes\" \\backslash\n";
+        calls = 12 };
+      { Marks.injection_point = 2;
+        injected = None;
+        marks = [];
+        escaped = Some "IOException";
+        output = "";
+        calls = 9 } ]
+  in
+  with_temp_journal (fun journal ->
+      let w = Journal.create ~path:journal { Journal.flavor = "source-weaving"; program_digest = "abc" } in
+      List.iter (Journal.append w) runs;
+      Journal.close w;
+      match Journal.load ~path:journal with
+      | None -> Alcotest.fail "journal missing"
+      | Some (header, loaded) ->
+        Alcotest.(check string) "flavor" "source-weaving" header.Journal.flavor;
+        Alcotest.(check string) "digest" "abc" header.Journal.program_digest;
+        Alcotest.(check bool) "runs round-trip" true (loaded = runs))
+
+(* ------------------------------------------------------------------ *)
+(* (c) speculation: over-run past the frontier is discarded            *)
+(* ------------------------------------------------------------------ *)
+
+let mk_run ?injected point =
+  { Marks.injection_point = point;
+    injected;
+    marks = [];
+    escaped = None;
+    output = "";
+    calls = 1 }
+
+let fired = (Method_id.make "C" "m", "NullPointerException")
+
+let claim_exn s =
+  match Scheduler.claim s with
+  | Scheduler.Claimed t -> t
+  | Scheduler.Wait -> Alcotest.fail "unexpected Wait"
+  | Scheduler.Done -> Alcotest.fail "unexpected Done"
+  | Scheduler.Exhausted -> Alcotest.fail "unexpected Exhausted"
+
+let test_speculative_discard () =
+  let s = Scheduler.create ~max_runs:100 ~jobs:3 () in
+  let claimed = List.init 6 (fun _ -> claim_exn s) in
+  Alcotest.(check (list int)) "thresholds in order" [ 1; 2; 3; 4; 5; 6 ] claimed;
+  (* threshold 3 turns out to be the frontier *)
+  Alcotest.(check bool) "frontier run kept" true (Scheduler.record s (mk_run 3) = `Kept);
+  Alcotest.(check (option int)) "frontier detected" (Some 3) (Scheduler.frontier s);
+  Alcotest.(check bool)
+    "speculative run 4 discarded" true
+    (Scheduler.record s (mk_run ~injected:fired 4) = `Speculative);
+  Alcotest.(check bool)
+    "speculative run 5 discarded" true
+    (Scheduler.record s (mk_run ~injected:fired 5) = `Speculative);
+  Alcotest.(check bool) "needed run kept" true (Scheduler.record s (mk_run ~injected:fired 1) = `Kept);
+  Alcotest.(check bool) "not finished while 2 missing" false (Scheduler.finished s);
+  Alcotest.(check bool) "needed run kept" true (Scheduler.record s (mk_run ~injected:fired 2) = `Kept);
+  Alcotest.(check bool) "finished once 1..frontier recorded" true (Scheduler.finished s);
+  (match Scheduler.claim s with
+   | Scheduler.Done -> ()
+   | _ -> Alcotest.fail "claim past a complete campaign must be Done");
+  let points =
+    List.map (fun (r : Marks.run_record) -> r.Marks.injection_point) (Scheduler.runs s)
+  in
+  Alcotest.(check (list int)) "merged runs stop at the frontier" [ 1; 2; 3 ] points;
+  let stats = Scheduler.stats s in
+  Alcotest.(check int) "discarded speculative runs" 2 stats.Scheduler.discarded;
+  Alcotest.(check int) "executed" 5 stats.Scheduler.executed
+
+let test_speculation_horizon () =
+  let s = Scheduler.create ~max_runs:100 ~jobs:1 () in
+  (* initial horizon: max (2*jobs) 4 = 4 *)
+  let first = List.init 4 (fun _ -> claim_exn s) in
+  Alcotest.(check (list int)) "first batch" [ 1; 2; 3; 4 ] first;
+  (match Scheduler.claim s with
+   | Scheduler.Wait -> ()
+   | _ -> Alcotest.fail "claims beyond the horizon must wait");
+  List.iter (fun t -> ignore (Scheduler.record s (mk_run ~injected:fired t))) [ 1; 2; 3; 4 ];
+  (* the completed batch doubles the horizon *)
+  Alcotest.(check int) "next batch opens at 5" 5 (claim_exn s)
+
+let test_resume_skips_journaled () =
+  let journaled = [ mk_run ~injected:fired 1; mk_run ~injected:fired 3 ] in
+  let s = Scheduler.create ~journaled ~max_runs:100 ~jobs:2 () in
+  Alcotest.(check int) "first gap claimed" 2 (claim_exn s);
+  Alcotest.(check int) "journaled threshold 3 skipped" 4 (claim_exn s)
+
+let test_exhaustion () =
+  let s = Scheduler.create ~max_runs:3 ~jobs:2 () in
+  let _ = List.init 3 (fun _ -> claim_exn s) in
+  (match Scheduler.claim s with
+   | Scheduler.Wait -> ()
+   | _ -> Alcotest.fail "must wait while runs are in flight");
+  List.iter (fun t -> ignore (Scheduler.record s (mk_run ~injected:fired t))) [ 1; 2; 3 ];
+  match Scheduler.claim s with
+  | Scheduler.Exhausted -> ()
+  | _ -> Alcotest.fail "max_runs without a frontier must exhaust"
+
+let suite =
+  [ Alcotest.test_case "probe run last (8 workers)" `Quick test_probe_last;
+    Alcotest.test_case "resume from journal" `Quick test_resume;
+    Alcotest.test_case "journal guards" `Quick test_journal_guards;
+    Alcotest.test_case "journal output round-trip" `Quick test_journal_output_roundtrip;
+    Alcotest.test_case "speculative over-run discarded" `Quick test_speculative_discard;
+    Alcotest.test_case "speculation horizon doubles" `Quick test_speculation_horizon;
+    Alcotest.test_case "resume skips journaled thresholds" `Quick test_resume_skips_journaled;
+    Alcotest.test_case "exhaustion at max_runs" `Quick test_exhaustion ]
+  @ determinism_cases

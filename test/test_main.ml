@@ -25,4 +25,5 @@ let () =
       ("coverage", Test_coverage.suite);
       ("report", Test_report.suite);
       ("apps", Test_apps.suite);
-      ("app-behavior", Test_app_behavior.suite) ]
+      ("app-behavior", Test_app_behavior.suite);
+      ("campaign", Test_campaign.suite) ]

@@ -9,7 +9,7 @@ let contains ~needle haystack =
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
   nl = 0 || go 0
 
-let outcome = lazy (Harness.detect_app Synthetic.app)
+let outcome = lazy (Harness.detect_app Registry.synthetic)
 
 let app_result () = (Lazy.force outcome).Harness.report
 
