@@ -17,10 +17,13 @@
 
    Beyond the paper, the campaign section measures the parallel
    detection-campaign engine: wall-clock of the full detection phase at
-   1/2/4/8 worker domains on every bundled application.
+   1/2/4/8 worker domains on every bundled application.  The snapshot
+   section compares eager vs copy-on-write detection snapshots
+   (--snapshot-mode) per application and writes the machine-readable
+   BENCH_detect.json; set BENCH_SHORT=1 for the quick CI subset.
 
    Usage: main.exe [section...] where section is one of
-   table1 fig2 fig3 fig4 fig5 case-study campaign ablation
+   table1 fig2 fig3 fig4 fig5 case-study campaign snapshot ablation
    (default: all). *)
 
 open Bechamel
@@ -146,6 +149,133 @@ let section_campaign () =
   Fmt.pr "%-14s %6s" "total" "";
   Array.iter (fun t -> Fmt.pr "%9.3f" t) totals;
   Fmt.pr "%9.2fx@." (totals.(0) /. totals.(Array.length totals - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot modes: eager vs copy-on-write detection cost               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_short = Sys.getenv_opt "BENCH_SHORT" <> None
+
+(* The quick subset keeps one cheap app per suite plus the large-graph
+   apps whose detection cost the cow mode is built to flatten. *)
+let snapshot_apps () =
+  if bench_short then
+    List.filter_map Registry.find [ "stdQ"; "LinkedList"; "RBTree" ]
+  else Registry.all
+
+let bench_json_file = "BENCH_detect.json"
+
+(* Minimal JSON string escaping — app and flavor names are plain ASCII,
+   but stay correct if that ever changes. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type snapshot_row = {
+  row_app : Registry.t;
+  row_flavor : Detect.flavor;
+  row_runs : int;
+  row_calls : int;  (* dynamic calls across all runs ~ snapshots taken *)
+  row_eager_s : float;
+  row_cow_s : float;
+  row_identical : bool;
+}
+
+let section_snapshot () =
+  Fmt.pr "@.== Snapshot modes: eager vs copy-on-write detection cost ==============@.";
+  Fmt.pr "  (full detection phase per app; cow opens a write-barrier shadow per@.";
+  Fmt.pr "   wrapped call and canonicalizes only on exceptional returns whose@.";
+  Fmt.pr "   dirty set reaches the snapshot; marks verified identical to eager)@.";
+  let apps = snapshot_apps () in
+  let reps = if bench_short then 1 else 3 in
+  let time_detect mode flavor program =
+    let config = { Config.default with Config.snapshot_mode = mode } in
+    let best = ref infinity and result = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = Detect.run ~config ~flavor program in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  Fmt.pr "%-14s %6s %9s %10s %10s %9s %10s@." "Application" "runs" "calls"
+    "eager(s)" "cow(s)" "speedup" "identical";
+  let rows =
+    List.map
+      (fun (app : Registry.t) ->
+        let program = Failatom_minilang.Minilang.parse app.Registry.source in
+        let flavor = Harness.flavor_of_suite app.Registry.suite in
+        let eager_r, eager_s = time_detect Config.Snapshot_eager flavor program in
+        let cow_r, cow_s = time_detect Config.Snapshot_cow flavor program in
+        let identical =
+          eager_r.Detect.runs = cow_r.Detect.runs
+          && eager_r.Detect.transparent = cow_r.Detect.transparent
+        in
+        if not identical then
+          Fmt.epr "  WARNING: %s: cow marks differ from eager!@." app.Registry.name;
+        let row =
+          { row_app = app;
+            row_flavor = flavor;
+            row_runs = List.length eager_r.Detect.runs;
+            row_calls =
+              List.fold_left
+                (fun acc (r : Marks.run_record) -> acc + r.Marks.calls)
+                0 eager_r.Detect.runs;
+            row_eager_s = eager_s;
+            row_cow_s = cow_s;
+            row_identical = identical }
+        in
+        Fmt.pr "%-14s %6d %9d %10.3f %10.3f %8.2fx %10b@." app.Registry.name
+          row.row_runs row.row_calls eager_s cow_s (eager_s /. cow_s) identical;
+        row)
+      apps
+  in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let eager_total = total (fun r -> r.row_eager_s) in
+  let cow_total = total (fun r -> r.row_cow_s) in
+  Fmt.pr "%-14s %6s %9s %10.3f %10.3f %8.2fx@." "total" "" "" eager_total cow_total
+    (eager_total /. cow_total);
+  let oc = open_out bench_json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"snapshot_modes\",\n";
+  out "  \"short\": %b,\n" bench_short;
+  out "  \"reps\": %d,\n" reps;
+  out "  \"apps\": [\n";
+  List.iteri
+    (fun i row ->
+      out
+        "    {\"name\": \"%s\", \"flavor\": \"%s\", \"runs\": %d, \"calls\": %d, \
+         \"eager_s\": %.6f, \"cow_s\": %.6f, \"speedup\": %.3f, \"identical\": %b}%s\n"
+        (json_escape row.row_app.Registry.name)
+        (json_escape (Detect.flavor_name row.row_flavor))
+        row.row_runs row.row_calls row.row_eager_s row.row_cow_s
+        (row.row_eager_s /. row.row_cow_s)
+        row.row_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n";
+  out "  \"total\": {\"eager_s\": %.6f, \"cow_s\": %.6f, \"speedup\": %.3f},\n"
+    eager_total cow_total
+    (eager_total /. cow_total);
+  out "  \"all_identical\": %b\n" (List.for_all (fun r -> r.row_identical) rows);
+  out "}\n";
+  close_out oc;
+  Fmt.pr "  machine-readable results written to %s@." bench_json_file
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5: masking overhead (Bechamel)                               *)
@@ -318,6 +448,7 @@ let sections =
     ("fig4", section_fig4);
     ("case-study", section_case_study);
     ("campaign", section_campaign);
+    ("snapshot", section_snapshot);
     ("fig5", section_fig5);
     ("ablation", section_ablation) ]
 

@@ -104,10 +104,28 @@ let wrap_all_arg =
   in
   Arg.(value & flag & info [ "wrap-all" ] ~doc)
 
-let config_of ~exception_free ~do_not_wrap ~wrap_all =
+let snapshot_mode_arg =
+  let doc =
+    "How detection wrappers capture the entry state: $(b,eager) \
+     canonicalizes the receiver's full object graph at every wrapped call \
+     (paper Listing 1), $(b,cow) opens a copy-on-write shadow and \
+     reconstructs the entry form only on exceptional returns whose dirty \
+     set reaches the snapshot — same marks, cost proportional to \
+     mutations instead of graph size."
+  in
+  let mode_conv =
+    Arg.enum [ ("eager", Config.Snapshot_eager); ("cow", Config.Snapshot_cow) ]
+  in
+  Arg.(
+    value
+    & opt mode_conv Config.default.Config.snapshot_mode
+    & info [ "snapshot-mode" ] ~docv:"MODE" ~doc)
+
+let config_of ~exception_free ~do_not_wrap ~wrap_all ~snapshot_mode =
   { Config.default with
     Config.exception_free;
     do_not_wrap;
+    snapshot_mode;
     wrap_policy = (if wrap_all then Config.Wrap_all_non_atomic else Config.Wrap_pure) }
 
 (* ---------------- commands ---------------- *)
@@ -135,9 +153,11 @@ let coverage_arg =
   Arg.(value & flag & info [ "coverage" ] ~doc)
 
 let detect_cmd =
-  let action spec flavor details exception_free infer log coverage csv =
+  let action spec flavor snapshot_mode details exception_free infer log coverage csv =
     with_program spec (fun program ->
-        let config = { Config.default with Config.infer_exception_free = infer } in
+        let config =
+          { Config.default with Config.infer_exception_free = infer; snapshot_mode }
+        in
         let detection = Detect.run ~config ~flavor program in
         (match log with
          | Some path ->
@@ -179,8 +199,8 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect" ~doc)
     Term.(
-      const action $ program_arg $ flavor_arg $ details_arg $ exception_free_arg
-      $ infer_arg $ log_arg $ coverage_arg $ csv_arg)
+      const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ details_arg
+      $ exception_free_arg $ infer_arg $ log_arg $ coverage_arg $ csv_arg)
 
 let campaign_cmd =
   let jobs_arg =
@@ -201,7 +221,7 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let action spec flavor jobs journal resume details exception_free log csv =
+  let action spec flavor snapshot_mode jobs journal resume details exception_free log csv =
     with_program spec (fun program ->
         if resume && journal = None then begin
           Fmt.epr "failatom: --resume requires --journal@.";
@@ -209,8 +229,10 @@ let campaign_cmd =
         end;
         let jobs = if jobs <= 0 then Failatom_campaign.Campaign.default_jobs () else jobs in
         let report = Failatom_campaign.Progress.reporter Fmt.stderr in
+        let config = { Config.default with Config.snapshot_mode } in
         match
-          Failatom_campaign.Campaign.run ~flavor ~jobs ?journal ~resume ~report program
+          Failatom_campaign.Campaign.run ~config ~flavor ~jobs ?journal ~resume ~report
+            program
         with
         | exception Failatom_campaign.Campaign.Campaign_error msg ->
           Fmt.epr "failatom: %s@." msg;
@@ -255,8 +277,8 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc)
     Term.(
-      const action $ program_arg $ flavor_arg $ jobs_arg $ journal_arg $ resume_arg
-      $ details_arg $ exception_free_arg $ log_arg $ csv_arg)
+      const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ jobs_arg
+      $ journal_arg $ resume_arg $ details_arg $ exception_free_arg $ log_arg $ csv_arg)
 
 let weave_cmd =
   let action spec =
@@ -268,9 +290,10 @@ let weave_cmd =
   Cmd.v (Cmd.info "weave" ~doc) Term.(const action $ program_arg)
 
 let mask_cmd =
-  let action spec flavor exception_free do_not_wrap wrap_all show_source verify =
+  let action spec flavor snapshot_mode exception_free do_not_wrap wrap_all show_source
+      verify =
     with_program spec (fun program ->
-        let config = config_of ~exception_free ~do_not_wrap ~wrap_all in
+        let config = config_of ~exception_free ~do_not_wrap ~wrap_all ~snapshot_mode in
         let outcome = Mask.correct ~config ~flavor program in
         Fmt.epr "wrapped %d method(s):@." (Method_id.Set.cardinal outcome.Mask.wrapped);
         Method_id.Set.iter
@@ -319,8 +342,8 @@ let mask_cmd =
   in
   Cmd.v (Cmd.info "mask" ~doc)
     Term.(
-      const action $ program_arg $ flavor_arg $ exception_free_arg $ do_not_wrap_arg
-      $ wrap_all_arg $ show_source_arg $ verify_arg)
+      const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ exception_free_arg
+      $ do_not_wrap_arg $ wrap_all_arg $ show_source_arg $ verify_arg)
 
 let classify_cmd =
   let log_file_arg =

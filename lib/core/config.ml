@@ -11,6 +11,21 @@ type wrap_policy =
   | Wrap_pure (* wrap only pure failure non-atomic methods (§4.3) *)
   | Wrap_all_non_atomic (* wrap every failure non-atomic method *)
 
+type snapshot_mode =
+  | Snapshot_eager
+      (* canonicalize the receiver's full object graph at every wrapped
+         call entry (paper Listing 1; the oracle the tests compare
+         against) *)
+  | Snapshot_cow
+      (* differential snapshots: open a copy-on-write shadow at entry
+         and reconstruct the entry-time canonical form only on the rare
+         exceptional return — detection cost proportional to mutations,
+         not graph size (paper §6.2 applied to detection) *)
+
+let snapshot_mode_name = function
+  | Snapshot_eager -> "eager"
+  | Snapshot_cow -> "cow"
+
 type t = {
   runtime_exceptions : string list;
       (* generic runtime exceptions injectable into any method, in
@@ -18,6 +33,8 @@ type t = {
   snapshot_args : bool;
       (* include object-valued arguments in snapshots/checkpoints (the
          paper's C++ flavor does; its Java flavor covers [this] only) *)
+  snapshot_mode : snapshot_mode;
+      (* how the detection wrapper captures the entry state *)
   checkpoint_strategy : Checkpoint.strategy;
   wrap_policy : wrap_policy;
   exception_free : Method_id.t list;
@@ -36,6 +53,7 @@ type t = {
 let default =
   { runtime_exceptions = [ "NullPointerException"; "OutOfMemoryError" ];
     snapshot_args = true;
+    snapshot_mode = Snapshot_eager;
     checkpoint_strategy = Checkpoint.Eager;
     wrap_policy = Wrap_pure;
     exception_free = [];

@@ -13,6 +13,20 @@ type wrap_policy =
           become atomic through their callees (paper Definition 3) *)
   | Wrap_all_non_atomic  (** wrap every failure non-atomic method *)
 
+type snapshot_mode =
+  | Snapshot_eager
+      (** canonicalize the receiver's full object graph at every wrapped
+          call entry (paper Listing 1; the oracle the equivalence tests
+          compare against) *)
+  | Snapshot_cow
+      (** differential snapshots: open a copy-on-write {!Shadow} at
+          entry and reconstruct the entry-time canonical form only on
+          the rare exceptional return, after intersecting the dirty set
+          with the snapshot's reachable ids — detection cost
+          proportional to mutations, not graph size *)
+
+val snapshot_mode_name : snapshot_mode -> string
+
 type t = {
   runtime_exceptions : string list;
       (** generic runtime exceptions injectable into any method, in
@@ -20,6 +34,9 @@ type t = {
   snapshot_args : bool;
       (** include reference arguments in snapshots/checkpoints (the
           paper's C++ flavor does; its Java flavor covers [this] only) *)
+  snapshot_mode : snapshot_mode;
+      (** how the detection wrapper captures the entry state (default
+          [Snapshot_eager]; both modes produce identical marks) *)
   checkpoint_strategy : Checkpoint.strategy;
   wrap_policy : wrap_policy;
   exception_free : Method_id.t list;
@@ -37,8 +54,8 @@ type t = {
 
 val default : t
 (** Generic exceptions [NullPointerException] and [OutOfMemoryError],
-    snapshots covering reference arguments, eager checkpointing, the
-    wrap-pure policy, and no user annotations. *)
+    snapshots covering reference arguments, eager snapshots and
+    checkpointing, the wrap-pure policy, and no user annotations. *)
 
 val injectable : t -> declared:string list -> string list
 (** All exception classes injectable into a method with the given

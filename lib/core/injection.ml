@@ -18,6 +18,22 @@
 
 open Failatom_runtime
 
+(* The entry state captured by a wrapped call, per the configured
+   snapshot mode:
+
+   - [Eager_snap]: the canonical form of the receiver's object graph,
+     built at entry (paper Listing 1) — O(graph) per call;
+   - [Cow_snap]: a copy-on-write {!Shadow} plus the snapshot roots.
+     Nothing is traversed at entry; on the rare exceptional return the
+     shadow's dirty set is intersected with the ids reachable from the
+     roots, and only if they overlap is the entry-time canonical form
+     reconstructed (current heap, saved payloads preferred for dirty
+     ids) and compared — so a call's detection cost is proportional to
+     what it mutated, not to the graph it could reach. *)
+type snapshot =
+  | Eager_snap of Object_graph.node
+  | Cow_snap of { shadow : Shadow.t; roots : Value.t list }
+
 type state = {
   config : Config.t;
   analyzer : Analyzer.t;
@@ -25,9 +41,9 @@ type state = {
   mutable point : int; (* the global Point counter *)
   mutable injected : (Method_id.t * string) option;
   mutable marks : Marks.mark list; (* reversed *)
-  mutable snap_stack : (Method_id.t * Object_graph.node) list;
+  mutable snap_stack : (Method_id.t * snapshot) list;
       (* binary flavor: snapshot pushed by pre, popped by post *)
-  snapshots : (int, Object_graph.node) Hashtbl.t;
+  snapshots : (int, snapshot) Hashtbl.t;
       (* source flavor: snapshots held by wrapper-local tokens *)
   mutable next_token : int;
 }
@@ -53,8 +69,20 @@ let snapshot_roots state recv args =
     recv :: List.filter Value.is_ref args
   else [ recv ]
 
+let take_snapshot_of state vm roots =
+  match state.config.Config.snapshot_mode with
+  | Config.Snapshot_eager -> Eager_snap (Object_graph.canonical_many vm.Vm.heap roots)
+  | Config.Snapshot_cow -> Cow_snap { shadow = Shadow.open_ vm.Vm.heap; roots }
+
 let take_snapshot state vm recv args =
-  Object_graph.canonical_many vm.Vm.heap (snapshot_roots state recv args)
+  take_snapshot_of state vm (snapshot_roots state recv args)
+
+(* Discards a snapshot whose call returned normally (or whose mark was
+   dropped): eager forms are garbage, cow shadows must detach from the
+   write barrier. *)
+let release_snapshot = function
+  | Eager_snap _ -> ()
+  | Cow_snap { shadow; _ } -> Shadow.close shadow
 
 (* The injection points of Listing 1, lines 2-5: one potential point per
    injectable exception type.  Returns the exception to inject when the
@@ -95,15 +123,42 @@ let tidy_diff_path path =
     | None -> path
   else path
 
-(* Compares the entry snapshot with the current graph and records the
-   verdict for this injection (Listing 1, lines 10-14). *)
-let check_and_mark state vm id before recv args ~exn_id =
-  let after = take_snapshot state vm recv args in
+let mark_verdict state id ~before ~after ~exn_id =
   if Object_graph.equal before after then
     record_mark state id ~atomic:true ~diff_path:None ~exn_id
   else
     record_mark state id ~atomic:false ~exn_id
       ~diff_path:(Option.map tidy_diff_path (Object_graph.diff before after))
+
+(* Compares the entry snapshot with the current graph and records the
+   verdict for this injection (Listing 1, lines 10-14).  Consumes the
+   snapshot (cow shadows are closed). *)
+let check_and_mark state vm id snapshot roots ~exn_id =
+  match snapshot with
+  | Eager_snap before ->
+    let after = Object_graph.canonical_many vm.Vm.heap roots in
+    mark_verdict state id ~before ~after ~exn_id
+  | Cow_snap { shadow; roots } ->
+    let read = Shadow.read_before shadow in
+    (* Step 1: dirty-set/reachability intersection.  If nothing the
+       snapshot covers was touched, the graphs are identical by
+       construction — atomic, with zero canonicalization. *)
+    let untouched =
+      Shadow.dirty_count shadow = 0
+      || not (Object_graph.reaches_dirty read ~dirty:(Shadow.is_dirty shadow) roots)
+    in
+    (if untouched then record_mark state id ~atomic:true ~diff_path:None ~exn_id
+     else begin
+       (* Step 2: reconstruct the entry-time canonical form from the
+          current heap, preferring saved payloads for dirty ids, and
+          compare it with the exit-time form.  Neither traversal
+          allocates on the program heap, so the comparison itself never
+          feeds the write barrier of enclosing shadows. *)
+       let before = Object_graph.canonical_many_via read roots in
+       let after = Object_graph.canonical_many (Shadow.heap shadow) roots in
+       mark_verdict state id ~before ~after ~exn_id
+     end);
+    Shadow.close shadow
 
 (* ------------------------------------------------------------------ *)
 (* Binary flavor: a pre/post filter                                    *)
@@ -126,12 +181,14 @@ let filter state =
           (* Desynchronized only if a fatal (non-MiniLang) error aborted
              the run; nothing sensible to record. *)
           Vm.Pass
-        | (id, before) :: rest ->
+        | (id, snapshot) :: rest ->
           state.snap_stack <- rest;
           (match result with
-           | Ok _ -> ()
+           | Ok _ -> release_snapshot snapshot
            | Error exn_v ->
-             check_and_mark state vm id before recv args ~exn_id:(exn_identity exn_v));
+             check_and_mark state vm id snapshot
+               (snapshot_roots state recv args)
+               ~exn_id:(exn_identity exn_v));
           Vm.Pass) }
 
 let attach state vm = Vm.attach_filter_everywhere vm (filter state)
@@ -169,10 +226,10 @@ let register_hooks state vm =
   Vm.register_hook vm "__snapshot" (fun vm args ->
       match args with
       | [ recv; args_array ] ->
-        let node = Object_graph.canonical_many vm.Vm.heap (roots_of state vm recv args_array) in
+        let snapshot = take_snapshot_of state vm (roots_of state vm recv args_array) in
         let token = state.next_token in
         state.next_token <- token + 1;
-        Hashtbl.replace state.snapshots token node;
+        Hashtbl.replace state.snapshots token snapshot;
         Value.Int token
       | _ -> hook_error "__snapshot");
   Vm.register_hook vm "__mark" (fun vm args ->
@@ -182,21 +239,20 @@ let register_hooks state vm =
         let exn_id = match exn_obj with Value.Ref i -> i | _ -> 0 in
         (match Hashtbl.find_opt state.snapshots token with
          | None -> hook_error "__mark"
-         | Some before ->
+         | Some snapshot ->
            Hashtbl.remove state.snapshots token;
-           let after =
-             Object_graph.canonical_many vm.Vm.heap (roots_of state vm recv args_array)
-           in
-           if Object_graph.equal before after then
-             record_mark state id ~atomic:true ~diff_path:None ~exn_id
-           else
-             record_mark state id ~atomic:false ~exn_id
-               ~diff_path:(Option.map tidy_diff_path (Object_graph.diff before after)));
+           check_and_mark state vm id snapshot
+             (roots_of state vm recv args_array)
+             ~exn_id);
         Value.Null
       | _ -> hook_error "__mark");
   Vm.register_hook vm "__drop" (fun _vm args ->
       match args with
       | [ Value.Int token ] ->
-        Hashtbl.remove state.snapshots token;
+        (match Hashtbl.find_opt state.snapshots token with
+         | Some snapshot ->
+           release_snapshot snapshot;
+           Hashtbl.remove state.snapshots token
+         | None -> ());
         Value.Null
       | _ -> hook_error "__drop")

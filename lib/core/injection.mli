@@ -15,6 +15,16 @@
 
 open Failatom_runtime
 
+type snapshot =
+  | Eager_snap of Object_graph.node
+      (** canonical form of the entry graph (paper Listing 1) *)
+  | Cow_snap of { shadow : Shadow.t; roots : Value.t list }
+      (** differential snapshot: a copy-on-write shadow opened at entry;
+          the entry-time form is reconstructed only on an exceptional
+          return whose dirty set intersects the reachable ids *)
+(** The entry state captured by a wrapped call, per
+    {!Config.snapshot_mode}.  Both modes yield identical marks. *)
+
 type state = {
   config : Config.t;
   analyzer : Analyzer.t;
@@ -23,8 +33,8 @@ type state = {
   mutable injected : (Method_id.t * string) option;
       (** injection site and exception class, once fired *)
   mutable marks : Marks.mark list;  (** reversed *)
-  mutable snap_stack : (Method_id.t * Object_graph.node) list;
-  snapshots : (int, Object_graph.node) Hashtbl.t;
+  mutable snap_stack : (Method_id.t * snapshot) list;
+  snapshots : (int, snapshot) Hashtbl.t;
   mutable next_token : int;
 }
 

@@ -13,47 +13,17 @@
    - [Eager]: traverse the graph at checkpoint time and copy every
      reachable payload up front (the paper's implementation);
    - [Lazy]: copy-on-write — the optimization suggested in §6.2 of the
-     paper for large objects.  Nothing is copied up front; the heap's
-     write barrier saves an object's payload the first time it is
-     mutated while the checkpoint is active. *)
+     paper for large objects, implemented as a {!Shadow}: nothing is
+     copied up front; the heap's write barrier saves an object's payload
+     the first time it is mutated while the checkpoint is active.
+     Shadows nest, so nested wrapped calls each get a correct
+     snapshot. *)
 
 type strategy = Eager | Lazy
 
-type t = {
-  saved : (Value.obj_id, Heap.payload) Hashtbl.t;
-  heap : Heap.t;
-  strategy : strategy;
-  mutable active : bool; (* lazy checkpoints stop recording once disposed *)
-}
-
-(* The stack of active lazy checkpoints of a heap, innermost first.  The
-   single installed barrier dispatches to all of them, so nested wrapped
-   calls each get a correct snapshot.
-
-   The table is keyed by heap uid and shared by every domain; the mutex
-   guards its structure (lookup/insert/remove) so campaigns may run VMs
-   in parallel domains.  A given stack ref is only ever pushed/popped by
-   the single domain running that heap's VM, so the contents need no
-   lock. *)
-let lazy_stacks : (int, t list ref) Hashtbl.t = Hashtbl.create 8
-let lazy_stacks_mutex = Mutex.create ()
-
-let stack_of heap =
-  Mutex.protect lazy_stacks_mutex (fun () ->
-      match Hashtbl.find_opt lazy_stacks heap.Heap.uid with
-      | Some r -> r
-      | None ->
-        let r = ref [] in
-        Hashtbl.replace lazy_stacks heap.Heap.uid r;
-        r)
-
-let record cp id =
-  if cp.active && not (Hashtbl.mem cp.saved id) && Heap.mem cp.heap id then
-    Hashtbl.replace cp.saved id (Heap.copy_payload (Heap.get cp.heap id))
-
-let install_barrier heap =
-  let stack = stack_of heap in
-  heap.Heap.on_write <- Some (fun id -> List.iter (fun cp -> record cp id) !stack)
+type t =
+  | Eager_cp of { heap : Heap.t; saved : (Value.obj_id, Heap.payload) Hashtbl.t }
+  | Lazy_cp of Shadow.t
 
 let reachable_ids heap roots =
   let visited = Hashtbl.create 64 in
@@ -71,41 +41,34 @@ let reachable_ids heap roots =
 
 (* Takes a checkpoint covering everything reachable from [roots]. *)
 let take ?(strategy = Eager) heap roots =
-  let cp = { saved = Hashtbl.create 64; heap; strategy; active = true } in
-  (match strategy with
-   | Eager ->
-     let ids = reachable_ids heap roots in
-     Hashtbl.iter
-       (fun id () -> Hashtbl.replace cp.saved id (Heap.copy_payload (Heap.get heap id)))
-       ids
-   | Lazy ->
-     install_barrier heap;
-     let stack = stack_of heap in
-     stack := cp :: !stack);
-  cp
+  match strategy with
+  | Eager ->
+    let saved = Hashtbl.create 64 in
+    let ids = reachable_ids heap roots in
+    Hashtbl.iter
+      (fun id () -> Hashtbl.replace saved id (Heap.copy_payload (Heap.get heap id)))
+      ids;
+    Eager_cp { heap; saved }
+  | Lazy -> Lazy_cp (Shadow.open_ heap)
 
 (* Number of payloads captured so far (for lazy checkpoints this grows
    as the wrapped call mutates state). *)
-let size cp = Hashtbl.length cp.saved
+let size = function
+  | Eager_cp { saved; _ } -> Hashtbl.length saved
+  | Lazy_cp shadow -> Shadow.dirty_count shadow
 
 (* Detaches a lazy checkpoint from the write barrier.  Must be called
    exactly once, whether or not the checkpoint was rolled back. *)
-let dispose cp =
-  cp.active <- false;
-  match cp.strategy with
-  | Eager -> ()
-  | Lazy ->
-    let stack = stack_of cp.heap in
-    stack := List.filter (fun c -> c != cp) !stack;
-    if !stack = [] then begin
-      cp.heap.Heap.on_write <- None;
-      Mutex.protect lazy_stacks_mutex (fun () ->
-          Hashtbl.remove lazy_stacks cp.heap.Heap.uid)
-    end
+let dispose = function
+  | Eager_cp _ -> ()
+  | Lazy_cp shadow -> Shadow.close shadow
 
 (* Rolls every captured object back to its checkpointed payload. *)
-let rollback cp =
-  Hashtbl.iter (fun id payload -> Heap.restore_payload cp.heap id payload) cp.saved
+let rollback = function
+  | Eager_cp { heap; saved } ->
+    Hashtbl.iter (fun id payload -> Heap.restore_payload heap id payload) saved
+  | Lazy_cp shadow ->
+    Shadow.iter_saved shadow (Heap.restore_payload (Shadow.heap shadow))
 
 let with_checkpoint ?strategy heap roots f =
   let cp = take ?strategy heap roots in

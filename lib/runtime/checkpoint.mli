@@ -12,10 +12,10 @@ type strategy =
       (** traverse the graph at checkpoint time and copy every reachable
           payload up front (the paper's implementation) *)
   | Lazy
-      (** copy-on-write, the optimization suggested in paper §6.2:
-          nothing is copied up front; the heap's write barrier saves an
-          object's payload on its first mutation while the checkpoint is
-          active *)
+      (** copy-on-write, the optimization suggested in paper §6.2,
+          implemented as a {!Shadow}: nothing is copied up front; the
+          heap's write barrier saves an object's payload on its first
+          mutation while the checkpoint is active *)
 
 type t
 

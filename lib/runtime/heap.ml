@@ -1,21 +1,40 @@
 (* The simulated heap.
 
    Every object and array of the instrumented program lives here, keyed
-   by an integer identity.  The heap exposes a write barrier hook
-   ([on_write]) that fires *before* any mutation of an object's payload;
-   the lazy (copy-on-write) checkpointing strategy of {!Checkpoint}
-   relies on it to snapshot an object's payload the first time it is
-   written inside a wrapped call. *)
+   by an integer identity.  The heap exposes a write barrier that fires
+   *before* any mutation (or removal) of an object's payload.  The
+   barrier feeds two consumers:
+
+   - the heap's own stack of active {e shadows} — copy-on-write
+     dirty-set/saved-payload records underlying both the lazy
+     checkpoint strategy of {!Checkpoint} and the differential
+     detection snapshots of the injector (see {!Shadow});
+   - an optional external hook ([on_write]), kept for tests and tools.
+
+   The shadow stack is per-heap state, so campaigns running one VM per
+   domain need no shared table or lock here. *)
 
 type payload =
   | Obj of { cls : string; fields : (string, Value.t) Hashtbl.t }
   | Arr of Value.t array
+
+(* One copy-on-write shadow: the first time an object is mutated (or
+   freed) while the shadow is active, its pre-write payload is saved
+   under its identity.  The key set is the shadow's dirty set.  The
+   table is allocated on the first write — a shadow is opened per
+   wrapped call and most calls never mutate, so opening must not
+   allocate.  Lifecycle and queries live in {!Shadow}. *)
+type shadow = {
+  mutable shadow_saved : (Value.obj_id, payload) Hashtbl.t option;
+  mutable shadow_active : bool; (* stops recording once closed *)
+}
 
 type t = {
   uid : int; (* distinguishes heaps; usable as a hash key *)
   store : (Value.obj_id, payload) Hashtbl.t;
   mutable next_id : Value.obj_id;
   mutable allocations : int; (* total number of allocations ever made *)
+  mutable shadows : shadow list; (* active shadows, innermost first *)
   mutable on_write : (Value.obj_id -> unit) option;
 }
 
@@ -30,6 +49,7 @@ let create () =
     store = Hashtbl.create 256;
     next_id = 1;
     allocations = 0;
+    shadows = [];
     on_write = None }
 
 let live_count h = Hashtbl.length h.store
@@ -56,9 +76,67 @@ let alloc_object h ~cls fields =
 
 let alloc_array h values = alloc h (Arr (Array.copy values))
 
-let free h id = Hashtbl.remove h.store id
+(* A detached copy of a payload: the field table / element array is
+   duplicated but the values (including references) are kept as-is.
+   Used by checkpoints and shadows, which capture one payload per
+   object. *)
+let copy_payload = function
+  | Obj { cls; fields } -> Obj { cls; fields = Hashtbl.copy fields }
+  | Arr a -> Arr (Array.copy a)
 
-let barrier h id = match h.on_write with None -> () | Some f -> f id
+(* Saved payloads are read-only for their whole life — rollback
+   re-copies before installing ({!restore_payload}) and every query
+   path only traverses them — so when several shadows record the same
+   write, one detached copy is made and shared by all of them (the
+   stack can be deep: one shadow per wrapped call on the stack). *)
+let shadow_record h sh id copy =
+  if sh.shadow_active then begin
+    let saved =
+      match sh.shadow_saved with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 16 in
+        sh.shadow_saved <- Some tbl;
+        tbl
+    in
+    if not (Hashtbl.mem saved id) then begin
+      (match !copy with
+       | None -> copy := Option.map copy_payload (Hashtbl.find_opt h.store id)
+       | Some _ -> ());
+      match !copy with
+      | Some p -> Hashtbl.replace saved id p
+      | None -> ()
+    end
+  end
+
+let barrier h id =
+  (match h.shadows with
+   | [] -> ()
+   | [ sh ] when sh.shadow_active ->
+     (* single active shadow — the common case at shallow call depth *)
+     let saved =
+       match sh.shadow_saved with
+       | Some tbl -> tbl
+       | None ->
+         let tbl = Hashtbl.create 16 in
+         sh.shadow_saved <- Some tbl;
+         tbl
+     in
+     if not (Hashtbl.mem saved id) then (
+       match Hashtbl.find_opt h.store id with
+       | Some p -> Hashtbl.replace saved id (copy_payload p)
+       | None -> ())
+   | shadows ->
+     let copy = ref None in
+     List.iter (fun sh -> shadow_record h sh id copy) shadows);
+  match h.on_write with None -> () | Some f -> f id
+
+(* A free is the terminal mutation: firing the barrier first lets every
+   active shadow keep the payload, so a pre-existing object reclaimed
+   mid-call can still be reconstructed in the shadow's before-state. *)
+let free h id =
+  barrier h id;
+  Hashtbl.remove h.store id
 
 let class_of h id =
   match get h id with Obj { cls; _ } -> Some cls | Arr _ -> None
@@ -101,13 +179,6 @@ let set_elem h id i v =
     end
     else false
   | Obj _ -> invalid_arg "Heap.set_elem: object"
-
-(* A detached copy of a payload: the field table / element array is
-   duplicated but the values (including references) are kept as-is.
-   Used by checkpoints, which capture one payload per reachable object. *)
-let copy_payload = function
-  | Obj { cls; fields } -> Obj { cls; fields = Hashtbl.copy fields }
-  | Arr a -> Arr (Array.copy a)
 
 (* Restores a previously copied payload in place, bypassing the write
    barrier (rollback must not re-trigger checkpointing). *)

@@ -1,23 +1,41 @@
 (** The simulated heap.
 
     Every object and array of the instrumented program lives here, keyed
-    by an integer identity.  The heap exposes a write barrier
-    ({!field-on_write}) that fires before any mutation of an object's
-    payload; the lazy (copy-on-write) checkpoint strategy of
-    {!Checkpoint} relies on it. *)
+    by an integer identity.  The heap exposes a write barrier that fires
+    before any mutation (or {!free}) of an object's payload.  The
+    barrier feeds the heap's own stack of active copy-on-write
+    {!type-shadow}s — the dirty-set/saved-payload layer shared by lazy
+    checkpoints ({!Checkpoint}) and differential detection snapshots
+    ({!Shadow}) — and then an optional external hook
+    ({!field-on_write}). *)
 
 type payload =
   | Obj of { cls : string; fields : (string, Value.t) Hashtbl.t }
   | Arr of Value.t array
+
+type shadow = {
+  mutable shadow_saved : (Value.obj_id, payload) Hashtbl.t option;
+      (** pre-write payload of every object mutated or freed while the
+          shadow was active; the key set is the shadow's dirty set.
+          [None] until the first write — opening a shadow must not
+          allocate *)
+  mutable shadow_active : bool;  (** stops recording once closed *)
+}
+(** One copy-on-write shadow record.  Lifecycle and queries live in
+    {!Shadow}; the representation is here only because the heap owns the
+    stack of active shadows. *)
 
 type t = {
   uid : int;  (** distinguishes heaps; usable as a hash key *)
   store : (Value.obj_id, payload) Hashtbl.t;
   mutable next_id : Value.obj_id;
   mutable allocations : int;  (** total allocations ever made *)
+  mutable shadows : shadow list;
+      (** active shadows, innermost first; maintained by {!Shadow} *)
   mutable on_write : (Value.obj_id -> unit) option;
-      (** write barrier, called with the object's id before each
-          mutation of its payload *)
+      (** external write-barrier hook, called with the object's id
+          before each mutation (or free) of its payload, after the
+          active shadows have recorded it *)
 }
 
 exception Dangling_reference of Value.obj_id
@@ -45,10 +63,14 @@ val alloc_array : t -> Value.t array -> Value.obj_id
 (** Allocates an array initialized with a copy of the given values. *)
 
 val free : t -> Value.obj_id -> unit
-(** Removes an object; used by the collector and by rollback cleanup. *)
+(** Removes an object; used by the collector and by rollback cleanup.
+    Fires the write barrier first, so active shadows retain the freed
+    object's last payload. *)
 
 val barrier : t -> Value.obj_id -> unit
-(** Fires the write barrier for [id], if one is installed. *)
+(** Fires the write barrier for [id]: every active shadow saves the
+    object's current payload on its first write, then the external
+    {!field-on_write} hook (if any) runs. *)
 
 val class_of : t -> Value.obj_id -> string option
 (** Class name of an object; [None] for arrays. *)

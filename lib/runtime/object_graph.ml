@@ -12,15 +12,36 @@
    [Back idx] to the first-visit index.  Two rooted graphs are identical
    in the sense of Definition 1 iff their canonical forms are equal, so
    graph comparison reduces to structural equality of trees — including
-   for cyclic graphs, whose cycles always close through a [Back]. *)
+   for cyclic graphs, whose cycles always close through a [Back].
+
+   Performance of the canonical form matters: the detection phase builds
+   one per wrapped-call comparison, over graphs of thousands of nodes.
+   Three measures keep comparisons cheap:
+   - every interior node carries a structural [hash], computed bottom-up
+     at construction; the field sits before the children in the record,
+     so the polymorphic [=] underlying {!equal} rejects differing
+     subtrees after two int compares instead of walking them;
+   - fields and elements are arrays, not lists (half the allocations,
+     contiguous scans);
+   - multi-root forms ({!canonical_many}) traverse the root list with a
+     shared visit table instead of wrapping the roots in a synthetic
+     heap array — the old trick bumped [Heap.allocations]/[next_id] on
+     the *program* heap at every snapshot, distorting the heap metrics
+     the reports quote.
+
+   Canonicalization is additionally parameterized by the payload lookup
+   ([read]), so a copy-on-write {!Shadow} can rebuild the *entry-time*
+   canonical form from the current heap plus its saved payloads
+   ({!canonical_many_via}, {!reaches_dirty}) — the differential
+   snapshot path of the detection engine. *)
 
 type node =
   | Int of int
   | Bool of bool
   | Str of string
   | Null
-  | Obj of { idx : int; cls : string; fields : (string * node) list }
-  | Arr of { idx : int; elems : node list }
+  | Obj of { idx : int; hash : int; cls : string; fields : (string * node) array }
+  | Arr of { idx : int; hash : int; elems : node array }
   | Back of int
 
 let rec pp_node ppf = function
@@ -29,16 +50,39 @@ let rec pp_node ppf = function
   | Str s -> Fmt.pf ppf "%S" s
   | Null -> Fmt.string ppf "null"
   | Back i -> Fmt.pf ppf "^%d" i
-  | Obj { idx; cls; fields } ->
+  | Obj { idx; cls; fields; _ } ->
     let pp_field ppf (name, n) = Fmt.pf ppf "%s=%a" name pp_node n in
-    Fmt.pf ppf "@[<hv 2>%s@%d{%a}@]" cls idx (Fmt.list ~sep:Fmt.comma pp_field) fields
-  | Arr { idx; elems } ->
-    Fmt.pf ppf "@[<hv 2>arr@%d[%a]@]" idx (Fmt.list ~sep:Fmt.semi pp_node) elems
+    Fmt.pf ppf "@[<hv 2>%s@%d{%a}@]" cls idx
+      (Fmt.array ~sep:Fmt.comma pp_field) fields
+  | Arr { idx; elems; _ } ->
+    Fmt.pf ppf "@[<hv 2>arr@%d[%a]@]" idx (Fmt.array ~sep:Fmt.semi pp_node) elems
 
-(* Canonical form of the object graph rooted at [v]. *)
-let canonical heap v =
-  let visited : (Value.obj_id, int) Hashtbl.t = Hashtbl.create 64 in
-  let counter = ref 0 in
+(* Structural hash of a node; precomputed for interior nodes, so reading
+   it is O(1) everywhere. *)
+let hash = function
+  | Obj { hash; _ } | Arr { hash; _ } -> hash
+  | (Int _ | Bool _ | Str _ | Null | Back _) as leaf -> Hashtbl.hash leaf
+
+(* Deterministic mixing (no seeds, no Random): equal structures always
+   get equal hashes, on any domain, in any process. *)
+let mix h x = (h * 0x01000193) lxor (x land max_int)
+
+let obj_hash ~idx ~cls fields =
+  let h = ref (mix (mix 0x811c9dc5 idx) (Hashtbl.hash cls)) in
+  Array.iter
+    (fun (name, n) -> h := mix (mix !h (Hashtbl.hash name)) (hash n))
+    fields;
+  !h
+
+let arr_hash ~idx elems =
+  let h = ref (mix 0x7ee3623b idx) in
+  Array.iter (fun n -> h := mix !h (hash n)) elems;
+  !h
+
+(* Canonicalization core, parameterized by the payload lookup so the
+   same traversal serves the live heap ([Heap.get]) and a shadow's
+   before-state ([Shadow.read_before]). *)
+let canonicalize ~(read : Value.obj_id -> Heap.payload) ~visited ~counter v =
   let rec node v =
     match (v : Value.t) with
     | Value.Int n -> Int n
@@ -52,33 +96,70 @@ let canonical heap v =
         let idx = !counter in
         incr counter;
         Hashtbl.replace visited id idx;
-        (match Heap.get heap id with
+        (match read id with
          | Heap.Obj { cls; fields } ->
            let names =
              List.sort String.compare
                (Hashtbl.fold (fun k _ acc -> k :: acc) fields [])
            in
-           let entries =
-             List.map (fun name -> (name, node (Hashtbl.find fields name))) names
-           in
-           Obj { idx; cls; fields = entries }
-         | Heap.Arr a -> Arr { idx; elems = Array.to_list (Array.map node a) }))
+           let entries = Array.make (List.length names) ("", Null) in
+           List.iteri
+             (fun i name -> entries.(i) <- (name, node (Hashtbl.find fields name)))
+             names;
+           Obj { idx; hash = obj_hash ~idx ~cls entries; cls; fields = entries }
+         | Heap.Arr a ->
+           let elems = Array.make (Array.length a) Null in
+           Array.iteri (fun i v -> elems.(i) <- node v) a;
+           Arr { idx; hash = arr_hash ~idx elems; elems }))
   in
   node v
 
-(* Canonical form covering several roots at once (the receiver plus the
-   by-reference arguments of a call): sharing *across* roots is captured
-   because the visit table is common to all of them. *)
-let canonical_many heap vs =
-  (* Wrapping the roots in a synthetic array node reuses [canonical]'s
-     single-root traversal while sharing one visit table. *)
-  let id = Heap.alloc heap (Heap.Arr (Array.of_list vs)) in
-  let result = canonical heap (Value.Ref id) in
-  Heap.free heap id;
-  result
+(* Canonical form of the object graph rooted at [v]. *)
+let canonical heap v =
+  canonicalize ~read:(Heap.get heap) ~visited:(Hashtbl.create 64) ~counter:(ref 0) v
 
-let equal (a : node) (b : node) = a = b
-let hash (n : node) = Hashtbl.hash n
+(* Canonical form covering several roots at once (the receiver plus the
+   by-reference arguments of a call), with the given payload lookup.
+   The roots are joined under a synthetic array node at index 0 — the
+   shape snapshots have always had, so diff paths still read
+   [this[k].…] — but the node exists only in the result: nothing is
+   allocated on the heap, and sharing *across* roots is captured because
+   the visit table is common to all of them. *)
+let canonical_many_via read vs =
+  let visited = Hashtbl.create 64 in
+  let counter = ref 1 (* 0 is the synthetic root *) in
+  let elems = Array.make (List.length vs) Null in
+  List.iteri (fun i v -> elems.(i) <- canonicalize ~read ~visited ~counter v) vs;
+  Arr { idx = 0; hash = arr_hash ~idx:0 elems; elems }
+
+let canonical_many heap vs = canonical_many_via (Heap.get heap) vs
+
+(* Does the graph reachable from [roots] — as read through [read] —
+   contain an id satisfying [dirty]?  This is the dirty-set/reachability
+   intersection of the differential snapshot check: reading through a
+   shadow's before-state, it answers "was anything the snapshot covers
+   actually touched?" without building a canonical form. *)
+let reaches_dirty read ~dirty roots =
+  let visited = Hashtbl.create 64 in
+  let exception Found in
+  let rec visit v =
+    match (v : Value.t) with
+    | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Null -> ()
+    | Value.Ref id ->
+      if not (Hashtbl.mem visited id) then begin
+        Hashtbl.replace visited id ();
+        if dirty id then raise Found;
+        match read id with
+        | Heap.Obj { fields; _ } -> Hashtbl.iter (fun _ v -> visit v) fields
+        | Heap.Arr a -> Array.iter visit a
+      end
+  in
+  try
+    List.iter visit roots;
+    false
+  with Found -> true
+
+let equal (a : node) (b : node) = a == b || a = b
 let to_string n = Fmt.str "%a" pp_node n
 
 (* First path (root-to-leaf field trail) at which two canonical forms
@@ -87,33 +168,33 @@ let to_string n = Fmt.str "%a" pp_node n
 let diff a b =
   let exception Found of string in
   let rec walk path a b =
-    match a, b with
-    | Int x, Int y -> if x <> y then raise (Found path)
-    | Bool x, Bool y -> if x <> y then raise (Found path)
-    | Str x, Str y -> if not (String.equal x y) then raise (Found path)
-    | Null, Null -> ()
-    | Back x, Back y -> if x <> y then raise (Found path)
-    | Obj oa, Obj ob ->
-      if not (String.equal oa.cls ob.cls) then raise (Found path)
-      else walk_fields path oa.fields ob.fields
-    | Arr aa, Arr ab ->
-      if List.length aa.elems <> List.length ab.elems then raise (Found path)
-      else
-        List.iteri
-          (fun i (x, y) -> walk (Printf.sprintf "%s[%d]" path i) x y)
-          (List.combine aa.elems ab.elems)
-    | (Int _ | Bool _ | Str _ | Null | Obj _ | Arr _ | Back _), _ ->
-      raise (Found path)
-  and walk_fields path fa fb =
-    match fa, fb with
-    | [], [] -> ()
-    | (na, va) :: ra, (nb, vb) :: rb ->
-      if not (String.equal na nb) then raise (Found path)
-      else begin
-        walk (path ^ "." ^ na) va vb;
-        walk_fields path ra rb
-      end
-    | _ :: _, [] | [], _ :: _ -> raise (Found path)
+    if a != b then
+      match a, b with
+      | Int x, Int y -> if x <> y then raise (Found path)
+      | Bool x, Bool y -> if x <> y then raise (Found path)
+      | Str x, Str y -> if not (String.equal x y) then raise (Found path)
+      | Null, Null -> ()
+      | Back x, Back y -> if x <> y then raise (Found path)
+      | Obj oa, Obj ob ->
+        if not (String.equal oa.cls ob.cls) then raise (Found path)
+        else begin
+          let na = Array.length oa.fields and nb = Array.length ob.fields in
+          for i = 0 to min na nb - 1 do
+            let fa, va = oa.fields.(i) and fb, vb = ob.fields.(i) in
+            if not (String.equal fa fb) then raise (Found path)
+            else walk (path ^ "." ^ fa) va vb
+          done;
+          if na <> nb then raise (Found path)
+        end
+      | Arr aa, Arr ab ->
+        let na = Array.length aa.elems and nb = Array.length ab.elems in
+        if na <> nb then raise (Found (path ^ ".length"))
+        else
+          for i = 0 to na - 1 do
+            walk (Printf.sprintf "%s[%d]" path i) aa.elems.(i) ab.elems.(i)
+          done
+      | (Int _ | Bool _ | Str _ | Null | Obj _ | Arr _ | Back _), _ ->
+        raise (Found path)
   in
   try
     walk "this" a b;

@@ -11,15 +11,23 @@
     back-references to the first-visit index.  Two rooted graphs are
     identical in the sense of Definition 1 iff their canonical forms are
     structurally equal — including cyclic graphs, whose cycles close
-    through a [Back] node. *)
+    through a [Back] node.
+
+    Interior nodes carry a structural hash computed bottom-up at
+    construction time, placed before the children in the record so that
+    the polymorphic equality under {!equal} rejects differing subtrees
+    after two int compares.  Canonicalization never touches the heap it
+    reads (no allocation, no write barrier), and can be pointed at an
+    alternative payload lookup — e.g. {!Shadow.read_before} — to rebuild
+    the canonical form a graph {e had} when a shadow was opened. *)
 
 type node =
   | Int of int
   | Bool of bool
   | Str of string
   | Null
-  | Obj of { idx : int; cls : string; fields : (string * node) list }
-  | Arr of { idx : int; elems : node list }
+  | Obj of { idx : int; hash : int; cls : string; fields : (string * node) array }
+  | Arr of { idx : int; hash : int; elems : node array }
   | Back of int  (** reference to an already-visited object *)
 
 val pp_node : node Fmt.t
@@ -30,20 +38,40 @@ val canonical : Heap.t -> Value.t -> node
 val canonical_many : Heap.t -> Value.t list -> node
 (** Canonical form covering several roots at once (e.g. the receiver
     plus the by-reference arguments of a call); sharing across roots is
-    captured because the visit table is common to all of them. *)
+    captured because the visit table is common to all of them.  The
+    roots are joined under a synthetic array node that exists only in
+    the result — nothing is allocated on the heap. *)
+
+val canonical_many_via : (Value.obj_id -> Heap.payload) -> Value.t list -> node
+(** [canonical_many] with an explicit payload lookup.  Passing
+    {!Shadow.read_before} rebuilds the canonical form the graph had when
+    the shadow was opened — the differential snapshot path of the
+    detection engine. *)
+
+val reaches_dirty :
+  (Value.obj_id -> Heap.payload) -> dirty:(Value.obj_id -> bool) ->
+  Value.t list -> bool
+(** Whether the graph reachable from the roots — as seen through the
+    given payload lookup — contains an id satisfying [dirty].  Used to
+    intersect a shadow's dirty set with the snapshot's reachable ids
+    without building a canonical form; early-exits on the first hit. *)
 
 val equal : node -> node -> bool
-(** Object-graph identity per Definition 1. *)
+(** Object-graph identity per Definition 1.  The precomputed structural
+    hashes make mismatches cheap: differing subtrees are rejected
+    without being walked. *)
 
 val hash : node -> int
+(** Structural hash; O(1) for interior nodes (precomputed). *)
 
 val to_string : node -> string
 
 val diff : node -> node -> string option
 (** First root-to-leaf field path at which two canonical forms differ,
-    e.g. ["this.head.next.value"]; [None] when equal.  Shown in
-    detection reports so users can see {e where} a method left the
-    receiver inconsistent. *)
+    e.g. ["this.head.next.value"]; [None] when equal.  Arrays are
+    compared with a single indexed walk; a length mismatch is reported
+    as [path ^ ".length"].  Shown in detection reports so users can see
+    {e where} a method left the receiver inconsistent. *)
 
 val clone : Heap.t -> Value.t -> Value.t
 (** Deep copy of the graph, preserving sharing and cycles; the result

@@ -1,0 +1,73 @@
+(* Copy-on-write shadows: the differential snapshot engine.
+
+   A shadow opened on a heap records, through the heap's write barrier,
+   the pre-write payload of every object mutated (or freed) while the
+   shadow is active.  Nothing is traversed or copied up front, so
+   opening is O(1) and the cost of a shadow is proportional to the
+   number of objects actually touched — not to the size of any object
+   graph.  This is the paper's §6.2 copy-on-write suggestion promoted to
+   a shared layer:
+
+   - {!Checkpoint} implements its [Lazy] strategy as a shadow whose
+     saved payloads are restored on rollback;
+   - the detection engine ({!Failatom_core.Injection}) opens one shadow
+     per wrapped call instead of canonicalizing the receiver's object
+     graph, and reconstructs the entry-time canonical form on the rare
+     exceptional return only.
+
+   Shadows nest: each wrapped call gets its own record, the heap keeps
+   the active ones innermost-first, and the barrier feeds them all, so a
+   detection shadow and a masking checkpoint taken inside the same call
+   stack each see a correct before-state.  The stack lives on the heap
+   itself ({!Heap.t.shadows}), so there is no cross-domain shared state:
+   campaigns running one VM per domain need no lock here. *)
+
+type t = {
+  heap : Heap.t;
+  s : Heap.shadow;
+}
+
+let open_ heap =
+  (* the saved table is created by the barrier on the first write, so
+     opening a shadow on a call that never mutates costs two words *)
+  let s = { Heap.shadow_saved = None; shadow_active = true } in
+  heap.Heap.shadows <- s :: heap.Heap.shadows;
+  { heap; s }
+
+let close t =
+  t.s.Heap.shadow_active <- false;
+  (* wrapped calls close in LIFO order, so the common case is popping
+     the innermost shadow; the filter handles out-of-order closes
+     (e.g. an eager-mode checkpoint disposed under a cow detector) *)
+  t.heap.Heap.shadows <-
+    (match t.heap.Heap.shadows with
+     | s :: rest when s == t.s -> rest
+     | shadows -> List.filter (fun s -> s != t.s) shadows)
+
+let heap t = t.heap
+
+let dirty_count t =
+  match t.s.Heap.shadow_saved with None -> 0 | Some tbl -> Hashtbl.length tbl
+
+let is_dirty t id =
+  match t.s.Heap.shadow_saved with None -> false | Some tbl -> Hashtbl.mem tbl id
+
+let saved_payload t id =
+  match t.s.Heap.shadow_saved with
+  | None -> None
+  | Some tbl -> Hashtbl.find_opt tbl id
+
+(* The payload [id] had when the shadow was opened: the saved copy if
+   the object has since been written (or freed), its current payload
+   otherwise.  Because [Heap.free] fires the barrier, every object that
+   existed at open time is readable here for as long as the shadow
+   lives. *)
+let read_before t id =
+  match saved_payload t id with Some p -> p | None -> Heap.get t.heap id
+
+let iter_saved t f =
+  match t.s.Heap.shadow_saved with None -> () | Some tbl -> Hashtbl.iter f tbl
+
+let with_shadow heap f =
+  let t = open_ heap in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -26,4 +26,5 @@ let () =
       ("report", Test_report.suite);
       ("apps", Test_apps.suite);
       ("app-behavior", Test_app_behavior.suite);
+      ("snapshot", Test_snapshot.suite);
       ("campaign", Test_campaign.suite) ]

@@ -149,6 +149,36 @@ let test_size () =
   check Alcotest.int "graph size" 4 (Object_graph.size heap (Value.Ref root));
   check Alcotest.int "primitive size" 0 (Object_graph.size heap (Value.Int 1))
 
+let test_array_diff_paths () =
+  let heap = Heap.create () in
+  let short_a = Heap.alloc_array heap [| Value.Int 1; Value.Int 2 |] in
+  let long_a = Heap.alloc_array heap [| Value.Int 1; Value.Int 2; Value.Int 3 |] in
+  (match
+     Object_graph.diff
+       (canon heap (Value.Ref short_a))
+       (canon heap (Value.Ref long_a))
+   with
+  | Some path -> check Alcotest.string "length diff path" "this.length" path
+  | None -> Alcotest.fail "expected a length diff");
+  let other = Heap.alloc_array heap [| Value.Int 1; Value.Int 9 |] in
+  match
+    Object_graph.diff (canon heap (Value.Ref short_a)) (canon heap (Value.Ref other))
+  with
+  | Some path -> check Alcotest.string "element diff path" "this[1]" path
+  | None -> Alcotest.fail "expected an element diff"
+
+(* Snapshots must not perturb the program heap: the metrics the pipeline
+   reports (allocations, live objects) and the allocation stream that
+   exception identities ride on would otherwise differ between an
+   instrumented and a plain run. *)
+let test_canonical_many_does_not_allocate () =
+  let heap, root, shared = fixture () in
+  let allocs = Heap.allocations heap and live = Heap.live_count heap in
+  let c = Object_graph.canonical_many heap [ Value.Ref root; Value.Ref shared ] in
+  ignore (Object_graph.hash c);
+  check Alcotest.int "allocations unchanged" allocs (Heap.allocations heap);
+  check Alcotest.int "live objects unchanged" live (Heap.live_count heap)
+
 let test_canonical_many_shares_table () =
   let heap = Heap.create () in
   let shared = Heap.alloc_object heap ~cls:"L" [ ("v", Value.Int 1) ] in
@@ -226,6 +256,9 @@ let suite =
     Alcotest.test_case "clone keeps sharing" `Quick test_clone_preserves_sharing;
     Alcotest.test_case "clone cyclic" `Quick test_clone_cyclic;
     Alcotest.test_case "graph size" `Quick test_size;
+    Alcotest.test_case "array diff paths" `Quick test_array_diff_paths;
+    Alcotest.test_case "canonical_many allocation-free" `Quick
+      test_canonical_many_does_not_allocate;
     Alcotest.test_case "multi-root sharing" `Quick test_canonical_many_shares_table;
     QCheck_alcotest.to_alcotest prop_clone_equal;
     QCheck_alcotest.to_alcotest prop_canonical_deterministic;
