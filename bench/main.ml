@@ -20,11 +20,15 @@
    1/2/4/8 worker domains on every bundled application.  The snapshot
    section compares eager vs copy-on-write detection snapshots
    (--snapshot-mode) per application and writes the machine-readable
-   BENCH_detect.json; set BENCH_SHORT=1 for the quick CI subset.
+   BENCH_detect.json; set BENCH_SHORT=1 for the quick CI subset.  The
+   interp section measures the staged compiler itself — image build
+   cost, per-run instantiation cost, and runs/second with and without
+   image reuse, against the committed pre-staging baseline — and writes
+   BENCH_interp.json.
 
    Usage: main.exe [section...] where section is one of
    table1 fig2 fig3 fig4 fig5 case-study campaign snapshot ablation
-   (default: all). *)
+   interp (default: all). *)
 
 open Bechamel
 open Failatom_runtime
@@ -125,9 +129,21 @@ let section_campaign () =
   List.iter (fun j -> Fmt.pr "%9s" (Printf.sprintf "j=%d" j)) campaign_jobs;
   Fmt.pr "%10s@." "speedup";
   let totals = Array.make (List.length campaign_jobs) 0.0 in
+  let reuse_saved = ref 0.0 in
   List.iter
     (fun (app : Registry.t) ->
       let sequential = Harness.detect_app app in
+      (* the campaign builds one image, shared by all worker domains;
+         before the staged split every run recompiled, so each campaign
+         paid the image cost [runs] times instead of once *)
+      let program = Failatom_minilang.Minilang.parse app.Registry.source in
+      let flavor = Harness.flavor_of_suite app.Registry.suite in
+      let t0 = Unix.gettimeofday () in
+      ignore (Detect.compile flavor program);
+      let image_s = Unix.gettimeofday () -. t0 in
+      reuse_saved :=
+        !reuse_saved
+        +. (float_of_int sequential.Harness.detection.Detect.injections *. image_s);
       let times =
         List.mapi
           (fun i jobs ->
@@ -148,7 +164,11 @@ let section_campaign () =
     Registry.all;
   Fmt.pr "%-14s %6s" "total" "";
   Array.iter (fun t -> Fmt.pr "%9.3f" t) totals;
-  Fmt.pr "%9.2fx@." (totals.(0) /. totals.(Array.length totals - 1))
+  Fmt.pr "%9.2fx@." (totals.(0) /. totals.(Array.length totals - 1));
+  Fmt.pr
+    "  image reuse: one shared image per campaign (all domains) saves ~%.2fs of@."
+    !reuse_saved;
+  Fmt.pr "  per-run weave+compile per campaign column@."
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot modes: eager vs copy-on-write detection cost               *)
@@ -190,6 +210,7 @@ type snapshot_row = {
   row_calls : int;  (* dynamic calls across all runs ~ snapshots taken *)
   row_eager_s : float;
   row_cow_s : float;
+  row_image_s : float; (* one-time weave+compile, now paid once per detection *)
   row_identical : bool;
 }
 
@@ -212,8 +233,8 @@ let section_snapshot () =
     done;
     (Option.get !result, !best)
   in
-  Fmt.pr "%-14s %6s %9s %10s %10s %9s %10s@." "Application" "runs" "calls"
-    "eager(s)" "cow(s)" "speedup" "identical";
+  Fmt.pr "%-14s %6s %9s %10s %10s %9s %9s %10s@." "Application" "runs" "calls"
+    "eager(s)" "cow(s)" "speedup" "img(ms)" "identical";
   let rows =
     List.map
       (fun (app : Registry.t) ->
@@ -221,6 +242,9 @@ let section_snapshot () =
         let flavor = Harness.flavor_of_suite app.Registry.suite in
         let eager_r, eager_s = time_detect Config.Snapshot_eager flavor program in
         let cow_r, cow_s = time_detect Config.Snapshot_cow flavor program in
+        let t0 = Unix.gettimeofday () in
+        ignore (Detect.compile flavor program);
+        let image_s = Unix.gettimeofday () -. t0 in
         let identical =
           eager_r.Detect.runs = cow_r.Detect.runs
           && eager_r.Detect.transparent = cow_r.Detect.transparent
@@ -237,10 +261,12 @@ let section_snapshot () =
                 0 eager_r.Detect.runs;
             row_eager_s = eager_s;
             row_cow_s = cow_s;
+            row_image_s = image_s;
             row_identical = identical }
         in
-        Fmt.pr "%-14s %6d %9d %10.3f %10.3f %8.2fx %10b@." app.Registry.name
-          row.row_runs row.row_calls eager_s cow_s (eager_s /. cow_s) identical;
+        Fmt.pr "%-14s %6d %9d %10.3f %10.3f %8.2fx %9.3f %10b@." app.Registry.name
+          row.row_runs row.row_calls eager_s cow_s (eager_s /. cow_s)
+          (image_s *. 1e3) identical;
         row)
       apps
   in
@@ -249,6 +275,16 @@ let section_snapshot () =
   let cow_total = total (fun r -> r.row_cow_s) in
   Fmt.pr "%-14s %6s %9s %10.3f %10.3f %8.2fx@." "total" "" "" eager_total cow_total
     (eager_total /. cow_total);
+  (* Each detection now weaves+compiles once; before the staged split it
+     paid the image cost once per run.  runs × image is therefore the
+     wall-clock the shared image saves per detection phase. *)
+  let reuse_saved =
+    total (fun r -> float_of_int (r.row_runs - 1) *. r.row_image_s)
+  in
+  Fmt.pr "  image reuse: weave+compile once per detection saves ~%.2fs across the@."
+    reuse_saved;
+  Fmt.pr "  table (est. %.2fx on cow detection wall-clock)@."
+    ((cow_total +. reuse_saved) /. cow_total);
   let oc = open_out bench_json_file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -260,22 +296,187 @@ let section_snapshot () =
     (fun i row ->
       out
         "    {\"name\": \"%s\", \"flavor\": \"%s\", \"runs\": %d, \"calls\": %d, \
-         \"eager_s\": %.6f, \"cow_s\": %.6f, \"speedup\": %.3f, \"identical\": %b}%s\n"
+         \"eager_s\": %.6f, \"cow_s\": %.6f, \"speedup\": %.3f, \"image_s\": %.6f, \
+         \"identical\": %b}%s\n"
         (json_escape row.row_app.Registry.name)
         (json_escape (Detect.flavor_name row.row_flavor))
         row.row_runs row.row_calls row.row_eager_s row.row_cow_s
         (row.row_eager_s /. row.row_cow_s)
-        row.row_identical
+        row.row_image_s row.row_identical
         (if i = List.length rows - 1 then "" else ","))
     rows;
   out "  ],\n";
-  out "  \"total\": {\"eager_s\": %.6f, \"cow_s\": %.6f, \"speedup\": %.3f},\n"
+  out
+    "  \"total\": {\"eager_s\": %.6f, \"cow_s\": %.6f, \"speedup\": %.3f, \
+     \"image_reuse_saved_s\": %.6f},\n"
     eager_total cow_total
-    (eager_total /. cow_total);
+    (eager_total /. cow_total)
+    reuse_saved;
   out "  \"all_identical\": %b\n" (List.for_all (fun r -> r.row_identical) rows);
   out "}\n";
   close_out oc;
   Fmt.pr "  machine-readable results written to %s@." bench_json_file
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter throughput: staged images vs rebuild-per-run            *)
+(* ------------------------------------------------------------------ *)
+
+let interp_json_file = "BENCH_interp.json"
+
+let interp_apps () =
+  if bench_short then
+    List.filter_map Registry.find [ "stdQ"; "LinkedList"; "RBTree" ]
+  else Registry.all
+
+type interp_row = {
+  ir_app : Registry.t;
+  ir_image_s : float; (* one-time image build (best of 3) *)
+  ir_inst_us : float; (* mean instantiate cost *)
+  ir_reuse_rps : float; (* instantiate + run, one shared image *)
+  ir_rebuild_rps : float; (* image + instantiate + run per run (pre-split) *)
+  ir_prepr_rps : float option; (* committed pre-PR reference, if present *)
+}
+
+(* Reference throughput of the pre-staging interpreter (app name,
+   runs/sec per line; see the file header for how it was measured).
+   Optional: absent on a checkout without the reference, and reference
+   numbers from a different machine are only indicative. *)
+let interp_baseline =
+  lazy
+    (let path = "bench/baseline_interp_runs_per_sec.txt" in
+     match open_in path with
+     | exception Sys_error _ -> None
+     | ic ->
+       let table = Hashtbl.create 16 in
+       (try
+          while true do
+            let line = input_line ic in
+            if String.length line > 0 && line.[0] <> '#' then
+              try Scanf.sscanf line "%s %f" (fun app rps -> Hashtbl.replace table app rps)
+              with Scanf.Scan_failure _ | Failure _ -> ()
+          done
+        with End_of_file -> ());
+       close_in ic;
+       Some table)
+
+let section_interp () =
+  Fmt.pr "@.== Interpreter: shared program images, uninstrumented throughput ======@.";
+  Fmt.pr "  (runs/sec of the plain workload; 'reuse' instantiates a VM from one@.";
+  Fmt.pr "   shared image per run, 'rebuild' recompiles the program every run —@.";
+  Fmt.pr "   the structure every injection run had before the staged split)@.";
+  let apps = interp_apps () in
+  let budget = if bench_short then 0.2 else 0.8 in
+  let now () = Unix.gettimeofday () in
+  let time_runs f =
+    f ();
+    (* warmup *)
+    let t0 = now () in
+    let n = ref 0 in
+    while now () -. t0 < budget do
+      f ();
+      incr n
+    done;
+    float_of_int !n /. (now () -. t0)
+  in
+  let module C = Failatom_minilang.Compile in
+  let baseline = Lazy.force interp_baseline in
+  Fmt.pr "%-14s %10s %10s %11s %11s %9s %9s@." "Application" "image(ms)" "inst(us)"
+    "reuse(r/s)" "rebuild(r/s)" "speedup" "vs-prePR";
+  let rows =
+    List.map
+      (fun (app : Registry.t) ->
+        let program = Failatom_minilang.Minilang.parse app.Registry.source in
+        let image = ref (C.image program) in
+        let image_s = ref infinity in
+        for _ = 1 to 3 do
+          let t0 = now () in
+          image := C.image program;
+          let dt = now () -. t0 in
+          if dt < !image_s then image_s := dt
+        done;
+        let image = !image in
+        let inst_reps = 200 in
+        let t0 = now () in
+        for _ = 1 to inst_reps do
+          ignore (C.instantiate image)
+        done;
+        let inst_us = (now () -. t0) /. float_of_int inst_reps *. 1e6 in
+        let reuse_rps =
+          time_runs (fun () -> ignore (C.run_main (C.instantiate image)))
+        in
+        let rebuild_rps =
+          time_runs (fun () -> ignore (C.run_main (C.program program)))
+        in
+        let prepr_rps =
+          Option.bind baseline (fun tbl -> Hashtbl.find_opt tbl app.Registry.name)
+        in
+        let row =
+          { ir_app = app;
+            ir_image_s = !image_s;
+            ir_inst_us = inst_us;
+            ir_reuse_rps = reuse_rps;
+            ir_rebuild_rps = rebuild_rps;
+            ir_prepr_rps = prepr_rps }
+        in
+        Fmt.pr "%-14s %10.3f %10.1f %11.1f %11.1f %8.2fx" app.Registry.name
+          (!image_s *. 1e3) inst_us reuse_rps rebuild_rps (reuse_rps /. rebuild_rps);
+        (match prepr_rps with
+         | Some p -> Fmt.pr " %8.2fx@." (reuse_rps /. p)
+         | None -> Fmt.pr " %9s@." "-");
+        row)
+      apps
+  in
+  let geomean_of f =
+    match List.filter_map f rows with
+    | [] -> None
+    | sps ->
+      Some
+        (exp
+           (List.fold_left (fun acc sp -> acc +. log sp) 0.0 sps
+           /. float_of_int (List.length sps)))
+  in
+  let geomean =
+    Option.get (geomean_of (fun r -> Some (r.ir_reuse_rps /. r.ir_rebuild_rps)))
+  in
+  let geomean_prepr =
+    geomean_of (fun r ->
+        Option.map (fun p -> r.ir_reuse_rps /. p) r.ir_prepr_rps)
+  in
+  Fmt.pr "%-14s %10s %10s %11s %11s %8.2fx" "geomean" "" "" "" "" geomean;
+  (match geomean_prepr with
+   | Some g -> Fmt.pr " %8.2fx@." g
+   | None -> Fmt.pr " %9s@." "-");
+  let oc = open_out interp_json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"interp_throughput\",\n";
+  out "  \"short\": %b,\n" bench_short;
+  out "  \"apps\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"name\": \"%s\", \"image_s\": %.6f, \"instantiate_s\": %.9f, \
+         \"run_s\": %.9f, \"runs_per_sec\": %.1f, \"rebuild_runs_per_sec\": %.1f, \
+         \"image_reuse_speedup\": %.3f"
+        (json_escape r.ir_app.Registry.name)
+        r.ir_image_s (r.ir_inst_us /. 1e6) (1.0 /. r.ir_reuse_rps) r.ir_reuse_rps
+        r.ir_rebuild_rps
+        (r.ir_reuse_rps /. r.ir_rebuild_rps);
+      (match r.ir_prepr_rps with
+       | Some p ->
+         out ", \"pre_pr_runs_per_sec\": %.1f, \"vs_pre_pr_speedup\": %.3f" p
+           (r.ir_reuse_rps /. p)
+       | None -> ());
+      out "}%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n";
+  out "  \"geomean_speedup\": %.3f" geomean;
+  (match geomean_prepr with
+   | Some g -> out ",\n  \"geomean_vs_pre_pr_speedup\": %.3f\n" g
+   | None -> out "\n");
+  out "}\n";
+  close_out oc;
+  Fmt.pr "  machine-readable results written to %s@." interp_json_file
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5: masking overhead (Bechamel)                               *)
@@ -449,6 +650,7 @@ let sections =
     ("case-study", section_case_study);
     ("campaign", section_campaign);
     ("snapshot", section_snapshot);
+    ("interp", section_interp);
     ("fig5", section_fig5);
     ("ablation", section_ablation) ]
 

@@ -131,18 +131,35 @@ let config_of ~exception_free ~do_not_wrap ~wrap_all ~snapshot_mode =
 (* ---------------- commands ---------------- *)
 
 let run_cmd =
-  let action spec =
+  let times_arg =
+    let doc =
+      "Run the program $(docv) times.  The program is compiled to an image \
+       once; every repetition instantiates a fresh VM from it, so repeated \
+       runs pay only the per-run cost (useful for timing the interpreter)."
+    in
+    Arg.(value & opt int 1 & info [ "times" ] ~docv:"N" ~doc)
+  in
+  let action spec times =
     with_program spec (fun program ->
-        let vm = ML.Minilang.load program in
-        (match ML.Minilang.run vm with
-         | _ -> ()
-         | exception Failatom_runtime.Vm.Mini_raise e ->
-           Fmt.epr "uncaught %s: %s@." e.Failatom_runtime.Vm.exn_class
-             e.Failatom_runtime.Vm.message);
-        print_string (ML.Minilang.output vm))
+        if times < 1 then begin
+          Fmt.epr "failatom: --times must be at least 1@.";
+          exit 1
+        end;
+        let image = ML.Compile.image program in
+        let last_output = ref "" in
+        for _ = 1 to times do
+          let vm = ML.Compile.instantiate image in
+          (match ML.Compile.run_main vm with
+           | _ -> ()
+           | exception Failatom_runtime.Vm.Mini_raise e ->
+             Fmt.epr "uncaught %s: %s@." e.Failatom_runtime.Vm.exn_class
+               e.Failatom_runtime.Vm.message);
+          last_output := ML.Minilang.output vm
+        done;
+        print_string !last_output)
   in
   let doc = "Run a MiniLang program and print its output." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const action $ program_arg)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const action $ program_arg $ times_arg)
 
 let csv_arg =
   let doc = "Write the per-method classification as CSV to $(docv)." in

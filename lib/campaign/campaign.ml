@@ -27,8 +27,10 @@
    Shared state during the parallel phase is the scheduler, the journal
    writer, and the busy-time accumulator, all guarded by one mutex;
    workers only hold it to claim and record, never while executing a
-   run.  The program AST, analyzer and profile are built once on the
-   spawning domain and shared read-only. *)
+   run.  The analyzer, the profile and the compiled program image
+   (weaving and closure compilation happen once per campaign, not once
+   per run) are built on the spawning domain and shared read-only;
+   every claimed threshold instantiates its own VM from the image. *)
 
 open Failatom_core
 open Failatom_runtime
@@ -74,7 +76,14 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let t_start = Unix.gettimeofday () in
   let analyzer = Analyzer.analyze config program in
-  let profile = Profile.run ~prepare program in
+  (* One-time work, done on the spawning domain and shared read-only by
+     every worker: the plain image backs the profile run (and the
+     load-time-filter detection runs), the compiled image is what each
+     claimed threshold instantiates — weaving and compilation happen
+     once per campaign, not once per run. *)
+  let plain = Compile.image program in
+  let profile = Profile.of_image ~prepare plain in
+  let compiled = Detect.compile ~plain flavor program in
   let header =
     { Journal.flavor = Detect.flavor_name flavor; program_digest = program_digest program }
   in
@@ -136,7 +145,7 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
         | Scheduler.Claimed threshold -> (
           Mutex.unlock mutex;
           let outcome =
-            try Ok (Detect.run_once flavor config analyzer ~prepare program ~threshold)
+            try Ok (Detect.run_once compiled config analyzer ~prepare ~threshold)
             with e -> Error e
           in
           Mutex.lock mutex;

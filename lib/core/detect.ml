@@ -39,30 +39,45 @@ type result = {
    in the workload or in the instrumentation. *)
 exception Detection_error of string
 
+(* The per-program×flavor one-time work: the program image, woven for
+   source weaving (weaving happens once here, not once per threshold).
+   Immutable; shared by every injection run, including across campaign
+   domains. *)
+type compiled = {
+  cflavor : flavor;
+  cimage : Compile.image;
+}
+
+let compile ?plain flavor (program : Ast.program) : compiled =
+  let cimage =
+    match flavor with
+    | Load_time_filters -> (
+      (* load-time interposition runs the unmodified program, so the
+         plain image (already built for the profile) is shareable *)
+      match plain with
+      | Some img -> img
+      | None -> Compile.image program)
+    | Source_weaving -> Compile.image (Source_weaver.weave_injection program)
+  in
+  { cflavor = flavor; cimage }
+
+let compiled_flavor c = c.cflavor
+
 (* Builds the instrumented VM for one run and returns it together with
    the armed injection state.  [prepare] registers any extra hooks the
    program needs (e.g. checkpoint hooks of an already-masked program
    being re-validated). *)
-let instrumented_vm flavor config analyzer ~prepare (program : Ast.program) ~threshold =
+let instrumented_vm compiled config analyzer ~prepare ~threshold =
   let state = Injection.make_state config analyzer ~threshold in
-  let vm =
-    match flavor with
-    | Load_time_filters ->
-      let vm = Compile.program program in
-      prepare vm;
-      Injection.attach state vm;
-      vm
-    | Source_weaving ->
-      let woven = Source_weaver.weave_injection program in
-      let vm = Compile.program woven in
-      prepare vm;
-      Injection.register_hooks state vm;
-      vm
-  in
+  let vm = Compile.instantiate compiled.cimage in
+  prepare vm;
+  (match compiled.cflavor with
+   | Load_time_filters -> Injection.attach state vm
+   | Source_weaving -> Injection.register_hooks state vm);
   (vm, state)
 
-let run_once flavor config analyzer ~prepare program ~threshold : Marks.run_record =
-  let vm, state = instrumented_vm flavor config analyzer ~prepare program ~threshold in
+let run_once compiled config analyzer ~prepare ~threshold : Marks.run_record =
+  let vm, state = instrumented_vm compiled config analyzer ~prepare ~threshold in
   let escaped =
     try
       ignore (Compile.run_main vm);
@@ -87,14 +102,16 @@ let run_once flavor config analyzer ~prepare program ~threshold : Marks.run_reco
 let run ?(config = Config.default) ?(flavor = Source_weaving)
     ?(prepare = fun (_ : Vm.t) -> ()) (program : Ast.program) : result =
   let analyzer = Analyzer.analyze config program in
-  let profile = Profile.run ~prepare program in
+  let plain = Compile.image program in
+  let profile = Profile.of_image ~prepare plain in
+  let compiled = compile ~plain flavor program in
   let rec loop threshold acc =
     if threshold > config.Config.max_runs then
       raise
         (Detection_error
            (Printf.sprintf "exceeded max_runs = %d injection runs" config.Config.max_runs))
     else
-      let record = run_once flavor config analyzer ~prepare program ~threshold in
+      let record = run_once compiled config analyzer ~prepare ~threshold in
       match record.Marks.injected with
       | Some _ -> loop (threshold + 1) (record :: acc)
       | None ->

@@ -32,12 +32,29 @@ exception Detection_error of string
 (** A non-MiniLang failure inside a run: a genuine bug in the workload
     or in the instrumentation. *)
 
+type compiled
+(** The one-time work for a program×flavor pair: the compiled
+    {!Compile.image}, woven for {!Source_weaving} (weaving happens once
+    here, not once per threshold).  Immutable — every injection run
+    instantiates its own VM from it, concurrently from several domains
+    in a campaign. *)
+
+val compile : ?plain:Compile.image -> flavor -> Ast.program -> compiled
+(** Compiles [program] for detection under the given flavor.  [plain]
+    is an already-built image of the {e unmodified} program (e.g. the
+    one the profile ran on); {!Load_time_filters} reuses it instead of
+    recompiling, {!Source_weaving} ignores it (it compiles the woven
+    program). *)
+
+val compiled_flavor : compiled -> flavor
+
 val run_once :
-  flavor -> Config.t -> Analyzer.t -> prepare:(Vm.t -> unit) ->
-  Ast.program -> threshold:int -> Marks.run_record
+  compiled -> Config.t -> Analyzer.t -> prepare:(Vm.t -> unit) ->
+  threshold:int -> Marks.run_record
 (** One detection run with the given threshold armed, on a fresh VM and
-    heap.  Runs are independent of each other by construction, which is
-    what lets {!Failatom_campaign.Campaign} execute them in parallel.
+    heap instantiated from the compiled image.  Runs are independent of
+    each other by construction, which is what lets
+    {!Failatom_campaign.Campaign} execute them in parallel.
     @raise Detection_error on a non-MiniLang failure inside the run. *)
 
 val run :

@@ -19,14 +19,15 @@ type t = {
 let used_methods t = List.map fst (Method_id.Map.bindings t.calls)
 let call_count t id = Option.value ~default:0 (Method_id.Map.find_opt id t.calls)
 
-(* Runs [program] once with a counting filter on every method.  The
+(* Runs the program once with a counting filter on every method.  The
    baseline run must complete without an escaping exception: a workload
    that fails on its own would make injection results meaningless.
    [prepare] is applied to the fresh VM before the run; programs that
    were produced by the masking weaver use it to register their
-   checkpoint hooks. *)
-let run ?(prepare = fun (_ : Vm.t) -> ()) (program : Ast.program) : t =
-  let vm = Compile.program program in
+   checkpoint hooks.  Takes a compiled image so the caller can share
+   one image between the profile and the detection runs. *)
+let of_image ?(prepare = fun (_ : Vm.t) -> ()) (image : Compile.image) : t =
+  let vm = Compile.instantiate image in
   prepare vm;
   let counts : (Method_id.t, int) Hashtbl.t = Hashtbl.create 64 in
   let filter =
@@ -45,3 +46,6 @@ let run ?(prepare = fun (_ : Vm.t) -> ()) (program : Ast.program) : t =
     total_calls = Method_id.Map.fold (fun _ n acc -> n + acc) calls 0;
     output = Vm.output vm;
     exit_value }
+
+let run ?prepare (program : Ast.program) : t =
+  of_image ?prepare (Compile.image program)

@@ -17,9 +17,13 @@ type t = {
 val used_methods : t -> Method_id.t list
 val call_count : t -> Method_id.t -> int
 
+val of_image : ?prepare:(Vm.t -> unit) -> Compile.image -> t
+(** Instantiates [image] and runs it once with a counting filter
+    attached everywhere.  The baseline run must complete without an
+    escaping exception.  [prepare] is applied to the fresh VM before
+    the run (used to register checkpoint hooks when profiling an
+    already-masked program).  Taking an image lets the caller share one
+    compilation between the profile and the detection runs. *)
+
 val run : ?prepare:(Vm.t -> unit) -> Ast.program -> t
-(** Runs [program] once with a counting filter attached everywhere.
-    The baseline run must complete without an escaping exception.
-    [prepare] is applied to the fresh VM before the run (used to
-    register checkpoint hooks when profiling an already-masked
-    program). *)
+(** [of_image ?prepare (Compile.image program)]. *)

@@ -1,9 +1,13 @@
-(** Compiles MiniLang programs into a {!Vm.t} and interprets them.
+(** Staged compilation of MiniLang programs.
 
-    Methods compile to closures stored in the VM's class table, so that
-    load-time interposition (attaching filters to method entries) works
-    on compiled programs without source access — the analog of the
-    paper's bytecode-level JWG instrumentation. *)
+    {!image} performs the one-time work for a program — static scope
+    resolution (locals become array slots), flattened per-class
+    dispatch tables and field templates, closure-compiled bodies — and
+    {!instantiate} turns the immutable image into a fresh {!Vm.t}
+    cheaply, with per-run copies of the mutable method entries so that
+    load-time interposition (attaching filters to method entries — the
+    analog of the paper's bytecode-level JWG instrumentation) works on
+    compiled programs without source access. *)
 
 open Failatom_runtime
 
@@ -13,9 +17,23 @@ exception Runtime_error of string * Ast.pos
     exception, which is raised as {!Vm.Mini_raise} and is catchable
     in-language. *)
 
+type image
+(** A compiled program: closure-compiled bodies plus the static class
+    layout.  Immutable — one image may be instantiated any number of
+    times, concurrently from several domains. *)
+
+val image : Ast.program -> image
+(** Compiles the program once.  Class declarations are resolved in two
+    passes so that bodies can reference classes declared later. *)
+
+val instantiate : image -> Vm.t
+(** A fresh VM for one run of the image: new heap, output, globals and
+    counters, and fresh method entries (so filters attached for this
+    run do not leak into other instantiations). *)
+
 val program : Ast.program -> Vm.t
-(** Builds a fresh VM for the program.  Each detection run compiles its
-    own VM, guaranteeing independent heaps across runs. *)
+(** [instantiate (image prog)].  Each detection run compiles its own
+    VM, guaranteeing independent heaps across runs. *)
 
 val run_main : Vm.t -> Value.t
 (** Runs the program's [main] function and returns its value.

@@ -19,8 +19,8 @@ let collect ?(extra_roots = []) (vm : Vm.t) =
         List.iter (fun r -> mark (Value.Ref r)) (Heap.successors heap id)
       end
   in
-  List.iter (fun (_, r) -> mark !r) vm.Vm.globals;
-  List.iter (fun frame -> List.iter mark (frame ())) vm.Vm.frame_roots;
+  Vm.iter_global_roots vm mark;
+  List.iter (fun iter -> iter mark) vm.Vm.frame_roots;
   List.iter mark extra_roots;
   let garbage = ref [] in
   Heap.iter_ids heap (fun id -> if not (Hashtbl.mem marked id) then garbage := id :: !garbage);

@@ -29,10 +29,16 @@ type shadow = {
   mutable shadow_active : bool; (* stops recording once closed *)
 }
 
+(* Identities are dense — [next_id] counts up from 1 and is never
+   reused — so the store is a flat array indexed by identity, not a
+   hash table: every [get] on the interpreter's hot path is one bounds
+   check and one array read, and live payloads read back the [Some]
+   allocated at [alloc] time (no per-access option allocation). *)
 type t = {
   uid : int; (* distinguishes heaps; usable as a hash key *)
-  store : (Value.obj_id, payload) Hashtbl.t;
+  mutable store : payload option array; (* indexed by obj_id; None = freed *)
   mutable next_id : Value.obj_id;
+  mutable live : int; (* number of Some entries *)
   mutable allocations : int; (* total number of allocations ever made *)
   mutable shadows : shadow list; (* active shadows, innermost first *)
   mutable on_write : (Value.obj_id -> unit) option;
@@ -46,27 +52,39 @@ let uid_counter = Atomic.make 0
 
 let create () =
   { uid = 1 + Atomic.fetch_and_add uid_counter 1;
-    store = Hashtbl.create 256;
+    store = Array.make 256 None;
     next_id = 1;
+    live = 0;
     allocations = 0;
     shadows = [];
     on_write = None }
 
-let live_count h = Hashtbl.length h.store
+let live_count h = h.live
 let allocations h = h.allocations
 
+(* The current payload slot of [id], or None when never allocated or
+   already freed.  [id < next_id] implies [id] is within the array. *)
+let payload_opt h id =
+  if id > 0 && id < h.next_id then Array.unsafe_get h.store id else None
+
 let get h id =
-  match Hashtbl.find_opt h.store id with
+  match payload_opt h id with
   | Some p -> p
   | None -> raise (Dangling_reference id)
 
-let mem h id = Hashtbl.mem h.store id
+let mem h id = match payload_opt h id with Some _ -> true | None -> false
 
 let alloc h payload =
   let id = h.next_id in
+  if id >= Array.length h.store then begin
+    let bigger = Array.make (2 * Array.length h.store) None in
+    Array.blit h.store 0 bigger 0 (Array.length h.store);
+    h.store <- bigger
+  end;
   h.next_id <- id + 1;
   h.allocations <- h.allocations + 1;
-  Hashtbl.replace h.store id payload;
+  h.live <- h.live + 1;
+  h.store.(id) <- Some payload;
   id
 
 let alloc_object h ~cls fields =
@@ -101,7 +119,7 @@ let shadow_record h sh id copy =
     in
     if not (Hashtbl.mem saved id) then begin
       (match !copy with
-       | None -> copy := Option.map copy_payload (Hashtbl.find_opt h.store id)
+       | None -> copy := Option.map copy_payload (payload_opt h id)
        | Some _ -> ());
       match !copy with
       | Some p -> Hashtbl.replace saved id p
@@ -123,7 +141,7 @@ let barrier h id =
          tbl
      in
      if not (Hashtbl.mem saved id) then (
-       match Hashtbl.find_opt h.store id with
+       match payload_opt h id with
        | Some p -> Hashtbl.replace saved id (copy_payload p)
        | None -> ())
    | shadows ->
@@ -136,7 +154,11 @@ let barrier h id =
    mid-call can still be reconstructed in the shadow's before-state. *)
 let free h id =
   barrier h id;
-  Hashtbl.remove h.store id
+  match payload_opt h id with
+  | Some _ ->
+    h.store.(id) <- None;
+    h.live <- h.live - 1
+  | None -> ()
 
 let class_of h id =
   match get h id with Obj { cls; _ } -> Some cls | Arr _ -> None
@@ -183,7 +205,7 @@ let set_elem h id i v =
 (* Restores a previously copied payload in place, bypassing the write
    barrier (rollback must not re-trigger checkpointing). *)
 let restore_payload h id payload =
-  if Hashtbl.mem h.store id then Hashtbl.replace h.store id (copy_payload payload)
+  if mem h id then h.store.(id) <- Some (copy_payload payload)
 
 (* Direct successors of an object: every reference stored in it. *)
 let successors h id =
@@ -197,4 +219,7 @@ let successors h id =
       (fun acc v -> match v with Value.Ref r -> r :: acc | _ -> acc)
       [] a
 
-let iter_ids h f = Hashtbl.iter (fun id _ -> f id) h.store
+let iter_ids h f =
+  for id = 1 to h.next_id - 1 do
+    match Array.unsafe_get h.store id with Some _ -> f id | None -> ()
+  done

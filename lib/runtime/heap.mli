@@ -27,8 +27,12 @@ type shadow = {
 
 type t = {
   uid : int;  (** distinguishes heaps; usable as a hash key *)
-  store : (Value.obj_id, payload) Hashtbl.t;
+  mutable store : payload option array;
+      (** indexed by identity — identities are dense and never reused,
+          so a flat array replaces the hash table on the interpreter's
+          hot path; [None] marks a freed slot *)
   mutable next_id : Value.obj_id;
+  mutable live : int;  (** number of live (Some) entries *)
   mutable allocations : int;  (** total allocations ever made *)
   mutable shadows : shadow list;
       (** active shadows, innermost first; maintained by {!Shadow} *)

@@ -26,14 +26,27 @@ type t = {
   hooks : (string, t -> Value.t list -> Value.t) Hashtbl.t;
       (* reflective builtins (__inject, __mark, ...) registered by the
          detection/masking engine; looked up by woven code at runtime *)
-  mutable frame_roots : (unit -> Value.t list) list;
-      (* live interpreter frames, for GC root enumeration *)
+  mutable frame_roots : ((Value.t -> unit) -> unit) list;
+      (* live interpreter frames, for GC root enumeration; each entry
+         applies the marker to every value the frame holds, so slot
+         frames scan in place instead of materialising a list *)
   mutable call_depth : int;
   mutable max_call_depth : int;
   mutable steps : int;
   mutable step_limit : int; (* guards against runaway injected programs *)
   mutable calls : int; (* dynamic count of method + constructor calls *)
-  mutable globals : (string * Value.t ref) list; (* program globals, GC roots *)
+  globals : (string, Value.t ref) Hashtbl.t; (* program globals, by name *)
+  mutable global_roots : Value.t ref list;
+      (* the same refs in (reverse) creation order: GC-root enumeration
+         stays deterministic while reads go through the table *)
+  mutable meth_table : meth array;
+      (* this run's method entries indexed by compile-time slot; filled
+         by Compile.instantiate so compiled call sites dispatch without
+         a class-table walk.  Empty for hand-built VMs. *)
+  exn_fields_cache : (string, string list) Hashtbl.t;
+      (* memoized [all_fields] per exception class — exceptions are
+         allocated on every throw, including the hot injection paths;
+         invalidated whenever a class is (re)defined *)
 }
 
 and cls = {
@@ -115,6 +128,7 @@ let builtin_exception_classes =
 let add_class vm ?super ?(fields = []) name =
   let cls = { cls_name = name; super; decl_fields = fields; cls_methods = Hashtbl.create 8 } in
   Hashtbl.replace vm.classes name cls;
+  Hashtbl.reset vm.exn_fields_cache;
   cls
 
 let create () =
@@ -130,7 +144,10 @@ let create () =
       steps = 0;
       step_limit = 50_000_000;
       calls = 0;
-      globals = [] }
+      globals = Hashtbl.create 16;
+      global_roots = [];
+      meth_table = [||];
+      exn_fields_cache = Hashtbl.create 16 }
   in
   List.iter
     (fun (name, super) -> ignore (add_class vm ?super ~fields:[ "message" ] name))
@@ -199,10 +216,18 @@ let iter_methods vm f =
 (* Allocates the exception object on the simulated heap (exceptions are
    objects, as in Java) and raises it as a MiniLang exception. *)
 let make_exn vm cls_name message =
+  let field_names =
+    match Hashtbl.find_opt vm.exn_fields_cache cls_name with
+    | Some fs -> fs
+    | None ->
+      let fs = all_fields vm cls_name in
+      Hashtbl.replace vm.exn_fields_cache cls_name fs;
+      fs
+  in
   let fields =
     List.map
       (fun f -> (f, if String.equal f "message" then Value.Str message else Value.Null))
-      (all_fields vm cls_name)
+      field_names
   in
   let id = Heap.alloc_object vm.heap ~cls:cls_name fields in
   { exn_class = cls_name; message; exn_obj = Value.Ref id }
@@ -223,6 +248,22 @@ let tick vm =
    method's filter chain (outermost first).  Filters see the MiniLang
    exception as a [result] and may pass it on, swallow it, or replace
    it — exactly the JWG pre/post filter contract described in §5.2. *)
+let rec run_filters vm meth recv args filters =
+  match filters with
+  | [] -> meth.impl vm recv args
+  | f :: rest -> (
+    match f.pre vm meth recv args with
+    | Pre_return v -> v
+    | Pre_raise e -> raise (Mini_raise e)
+    | Proceed -> (
+      let result =
+        try Ok (run_filters vm meth recv args rest) with Mini_raise e -> Error e
+      in
+      match f.post vm meth recv args result with
+      | Pass -> (match result with Ok v -> v | Error e -> raise (Mini_raise e))
+      | Post_return v -> v
+      | Post_raise e -> raise (Mini_raise e)))
+
 let call_filtered vm meth recv args =
   vm.calls <- vm.calls + 1;
   vm.call_depth <- vm.call_depth + 1;
@@ -230,26 +271,16 @@ let call_filtered vm meth recv args =
     vm.call_depth <- vm.call_depth - 1;
     throw vm "StackOverflowError" "call depth exceeded"
   end;
-  let finish v =
+  match
+    (* unfiltered calls (every call of an uninstrumented run) go
+       straight to the implementation *)
+    match meth.filters with
+    | [] -> meth.impl vm recv args
+    | filters -> run_filters vm meth recv args filters
+  with
+  | v ->
     vm.call_depth <- vm.call_depth - 1;
     v
-  in
-  let rec run filters =
-    match filters with
-    | [] -> meth.impl vm recv args
-    | f :: rest -> (
-      match f.pre vm meth recv args with
-      | Pre_return v -> v
-      | Pre_raise e -> raise (Mini_raise e)
-      | Proceed -> (
-        let result = try Ok (run rest) with Mini_raise e -> Error e in
-        match f.post vm meth recv args result with
-        | Pass -> (match result with Ok v -> v | Error e -> raise (Mini_raise e))
-        | Post_return v -> v
-        | Post_raise e -> raise (Mini_raise e)))
-  in
-  match run meth.filters with
-  | v -> finish v
   | exception e ->
     vm.call_depth <- vm.call_depth - 1;
     raise e
@@ -286,8 +317,13 @@ let output vm = Buffer.contents vm.out
 let print_out vm s = Buffer.add_string vm.out s
 
 let set_global vm name v =
-  match List.assoc_opt name vm.globals with
+  match Hashtbl.find_opt vm.globals name with
   | Some r -> r := v
-  | None -> vm.globals <- (name, ref v) :: vm.globals
+  | None ->
+    let r = ref v in
+    Hashtbl.replace vm.globals name r;
+    vm.global_roots <- r :: vm.global_roots
 
-let get_global vm name = Option.map ( ! ) (List.assoc_opt name vm.globals)
+let get_global vm name = Option.map ( ! ) (Hashtbl.find_opt vm.globals name)
+
+let iter_global_roots vm f = List.iter (fun r -> f !r) vm.global_roots

@@ -24,14 +24,24 @@ type t = {
   hooks : (string, t -> Value.t list -> Value.t) Hashtbl.t;
       (** reflective builtins ([__inject], [__mark], ...) registered by
           the detection/masking engine; called by woven code *)
-  mutable frame_roots : (unit -> Value.t list) list;
-      (** live interpreter frames, for GC root enumeration *)
+  mutable frame_roots : ((Value.t -> unit) -> unit) list;
+      (** live interpreter frames, for GC root enumeration; each entry
+          applies the marker to every value the frame holds *)
   mutable call_depth : int;
   mutable max_call_depth : int;
   mutable steps : int;
   mutable step_limit : int;  (** guards against runaway injected programs *)
   mutable calls : int;  (** dynamic count of method + constructor calls *)
-  mutable globals : (string * Value.t ref) list;
+  globals : (string, Value.t ref) Hashtbl.t;
+  mutable global_roots : Value.t ref list;
+      (** the global refs in (reverse) creation order, for deterministic
+          GC-root enumeration *)
+  mutable meth_table : meth array;
+      (** this run's method entries indexed by compile-time slot; filled
+          by [Compile.instantiate], empty for hand-built VMs *)
+  exn_fields_cache : (string, string list) Hashtbl.t;
+      (** memoized per-class field lists for exception allocation;
+          invalidated by [add_class] *)
 }
 
 and cls = {
@@ -169,3 +179,7 @@ val output : t -> string
 val print_out : t -> string -> unit
 val set_global : t -> string -> Value.t -> unit
 val get_global : t -> string -> Value.t option
+
+val iter_global_roots : t -> (Value.t -> unit) -> unit
+(** Applies [f] to every global's current value, in deterministic
+    (reverse-creation) order — the GC root set. *)

@@ -1,0 +1,234 @@
+(* The staged compiler: image/instantiate split.
+
+   Covers what the direct-interpreter tests cannot: that one image can
+   be instantiated many times without sharing any mutable state, that
+   the static scope resolution (slot indices) preserves MiniLang's
+   function-level scoping, and that the compiled interpreter's dynamic
+   behavior — step counts, call counts, allocation counts — is pinned
+   to known-good values so a compilation change that silently alters
+   the execution (and with it every detection digest) fails here first. *)
+
+open Failatom_runtime
+open Failatom_minilang
+
+let parse = Minilang.parse
+
+let run_src src =
+  let vm = Compile.instantiate (Compile.image (parse src)) in
+  ignore (Compile.run_main vm);
+  Vm.output vm
+
+let check_out msg expected src = Alcotest.(check string) msg expected (run_src src)
+
+(* ------------------------------------------------------------------ *)
+(* Instantiate isolation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let counter_src =
+  {|
+class Box {
+  field n;
+  method init(n) { this.n = n; return this; }
+  method get() { return this.n; }
+  method bump() { this.n = this.n + 1; return this.n; }
+}
+function main() {
+  var b = new Box(1);
+  b.bump();
+  println("n=" + b.get());
+  return b.get();
+}
+|}
+
+let test_two_vms_isolated () =
+  let image = Compile.image (parse counter_src) in
+  let vm1 = Compile.instantiate image in
+  let vm2 = Compile.instantiate image in
+  Vm.set_global vm1 "tag" (Value.Int 1);
+  ignore (Compile.run_main vm1);
+  (* vm2 has not run: no output, no allocations, no global *)
+  Alcotest.(check string) "vm1 output" "n=2\n" (Vm.output vm1);
+  Alcotest.(check string) "vm2 untouched output" "" (Vm.output vm2);
+  Alcotest.(check int) "vm2 untouched heap" 0 (Heap.allocations vm2.Vm.heap);
+  Alcotest.(check bool) "vm2 untouched globals" true
+    (Option.is_none (Vm.get_global vm2 "tag"));
+  ignore (Compile.run_main vm2);
+  Alcotest.(check string) "vm2 output after its own run" "n=2\n" (Vm.output vm2);
+  (* both ran the same program on separate heaps *)
+  Alcotest.(check int) "same allocation stream"
+    (Heap.allocations vm1.Vm.heap) (Heap.allocations vm2.Vm.heap)
+
+let test_filters_per_instantiation () =
+  let image = Compile.image (parse counter_src) in
+  let vm1 = Compile.instantiate image in
+  let vm2 = Compile.instantiate image in
+  (* load-time interposition on vm1 only: force get() to return 99 *)
+  let filter =
+    { Vm.filt_name = "test";
+      pre = (fun _ _ _ _ -> Vm.Pre_return (Value.Int 99));
+      post = (fun _ _ _ _ _ -> Vm.Pass) }
+  in
+  Vm.attach_filter (Vm.find_method vm1 "Box" "get") filter;
+  ignore (Compile.run_main vm1);
+  ignore (Compile.run_main vm2);
+  Alcotest.(check string) "vm1 sees the filter" "n=99\n" (Vm.output vm1);
+  Alcotest.(check string) "vm2 does not" "n=2\n" (Vm.output vm2)
+
+(* ------------------------------------------------------------------ *)
+(* Slot resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_shadowing () =
+  (* redeclaration is function-scoped: same name, same slot *)
+  check_out "redeclare overwrites" "2 2\n"
+    {|
+function main() {
+  var x = 1;
+  if (true) { var x = 2; }
+  print(x);
+  var x = x;
+  println(" " + x);
+  return 0;
+}
+|};
+  check_out "param redeclared" "7\n"
+    {|
+function f(x) { var x = x + 2; return x; }
+function main() { println(f(5)); return 0; }
+|}
+
+let test_for_init_scope () =
+  (* the for-init variable lives in the whole function, as before *)
+  check_out "for-init visible after loop" "3\n"
+    {|
+function main() {
+  for (var i = 0; i < 3; i = i + 1) { }
+  println(i);
+  return 0;
+}
+|}
+
+let test_catch_var_slot () =
+  check_out "catch variable carries the exception object" "boom after\n"
+    {|
+function main() {
+  try { throw new IllegalStateException("boom"); }
+  catch (RuntimeException e) { print(e.message); }
+  println(" after");
+  return 0;
+}
+|}
+
+let test_super_dispatch () =
+  check_out "super resolved against the defining class" "base:sub\n"
+    {|
+class A {
+  method init() { return this; }
+  method who() { return "base"; }
+}
+class B extends A {
+  method who() { return "sub"; }
+  method tag() { return super.who() + ":" + this.who(); }
+}
+function main() { println(new B().tag()); return 0; }
+|}
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.equal (String.sub s i m) sub || at (i + 1)) in
+  at 0
+
+let expect_runtime_error msg fragment src =
+  match run_src src with
+  | _ -> Alcotest.failf "%s: expected Runtime_error" msg
+  | exception Compile.Runtime_error (m, _) ->
+    if not (contains m fragment) then
+      Alcotest.failf "%s: error %S does not mention %S" msg m fragment
+
+let test_unbound_variable () =
+  expect_runtime_error "read before declaration" "unknown variable"
+    {|
+function main() {
+  if (false) { var x = 1; }
+  println(x);
+  return 0;
+}
+|};
+  expect_runtime_error "assign before declaration" "unknown variable"
+    {|
+function main() {
+  if (false) { var x = 1; }
+  x = 3;
+  return 0;
+}
+|}
+
+let test_arity_error () =
+  expect_runtime_error "method arity" "expects 1 argument(s), got 2"
+    {|
+class C { method init() { return this; } method m(a) { return a; } }
+function main() { return new C().m(1, 2); }
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Pinned dynamic counts                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The golden program exercises inheritance, super calls, try/catch/
+   finally, arrays, loops and continue.  The expected numbers are the
+   direct AST interpreter's, captured before the staged compiler
+   replaced it; any drift here would shift every detection digest. *)
+let golden_src =
+  {|
+class Counter {
+  field n;
+  method init(n) { this.n = n; return this; }
+  method bump(k) {
+    var i = 0;
+    while (i < k) { this.n = this.n + 1; i = i + 1; }
+    return this.n;
+  }
+  method risky(d) {
+    try { return this.n / d; }
+    catch (ArithmeticException e) { return 0 - 1; }
+    finally { this.n = this.n + 1; }
+  }
+}
+class Loud extends Counter {
+  method bump(k) { var r = super.bump(k * 2); println("bump " + r); return r; }
+}
+function helper(x) { var a = [x, x + 1, x + 2]; return a[1] * 2; }
+function main() {
+  var c = new Loud(5);
+  c.bump(3);
+  println(c.risky(2));
+  println(c.risky(0));
+  println(helper(10));
+  for (var j = 0; j < 3; j = j + 1) { if (j == 1) { continue; } print(j); }
+  println("");
+  return c.n;
+}
+|}
+
+let test_golden_counts () =
+  let vm = Compile.instantiate (Compile.image (parse golden_src)) in
+  let exit_v = Compile.run_main vm in
+  Alcotest.(check string) "output" "bump 11\n5\n-1\n22\n02\n" (Vm.output vm);
+  Alcotest.(check int) "exit" 13
+    (match exit_v with Value.Int n -> n | _ -> -1);
+  Alcotest.(check int) "steps" 220 vm.Vm.steps;
+  Alcotest.(check int) "calls" 5 vm.Vm.calls;
+  Alcotest.(check int) "allocations" 3 (Heap.allocations vm.Vm.heap)
+
+let suite =
+  [ Alcotest.test_case "two VMs from one image are isolated" `Quick
+      test_two_vms_isolated;
+    Alcotest.test_case "filters are per instantiation" `Quick
+      test_filters_per_instantiation;
+    Alcotest.test_case "redeclaration shadows by slot" `Quick test_shadowing;
+    Alcotest.test_case "for-init scope" `Quick test_for_init_scope;
+    Alcotest.test_case "catch variable slot" `Quick test_catch_var_slot;
+    Alcotest.test_case "super dispatch" `Quick test_super_dispatch;
+    Alcotest.test_case "unbound variable errors" `Quick test_unbound_variable;
+    Alcotest.test_case "arity error message" `Quick test_arity_error;
+    Alcotest.test_case "golden dynamic counts" `Quick test_golden_counts ]

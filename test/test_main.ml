@@ -9,6 +9,7 @@ let () =
       ("lexer", Test_lexer.suite);
       ("parser", Test_parser.suite);
       ("interp", Test_interp.suite);
+      ("compile-image", Test_compile_image.suite);
       ("static-check", Test_static_check.suite);
       ("conformance", Test_conformance.suite);
       ("weaver", Test_weaver.suite);
