@@ -121,6 +121,31 @@ let snapshot_mode_arg =
     & opt mode_conv Config.default.Config.snapshot_mode
     & info [ "snapshot-mode" ] ~docv:"MODE" ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Enable the observability layer for this invocation and write the final \
+     metrics snapshot (counters, gauges, span histograms) to $(docv) as \
+     failatom.metrics/1 JSON.  Render it with $(b,failatom stats)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Runs [f] with metrics enabled iff [metrics_out] is set, then writes
+   the snapshot.  The snapshot is taken in a Fun.protect finalizer so a
+   failing detection still leaves its partial metrics on disk. *)
+let with_metrics metrics_out f =
+  match metrics_out with
+  | None -> f ()
+  | Some path ->
+    Failatom_obs.Obs.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        let oc = open_out path in
+        output_string oc (Failatom_obs.Obs.to_json (Failatom_obs.Obs.snapshot ()));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.epr "metrics written to %s@." path)
+      f
+
 let config_of ~exception_free ~do_not_wrap ~wrap_all ~snapshot_mode =
   { Config.default with
     Config.exception_free;
@@ -170,12 +195,15 @@ let coverage_arg =
   Arg.(value & flag & info [ "coverage" ] ~doc)
 
 let detect_cmd =
-  let action spec flavor snapshot_mode details exception_free infer log coverage csv =
+  let action spec flavor snapshot_mode details exception_free infer log coverage csv
+      metrics_out =
     with_program spec (fun program ->
         let config =
           { Config.default with Config.infer_exception_free = infer; snapshot_mode }
         in
-        let detection = Detect.run ~config ~flavor program in
+        let detection =
+          with_metrics metrics_out (fun () -> Detect.run ~config ~flavor program)
+        in
         (match log with
          | Some path ->
            Run_log.save_file detection path;
@@ -217,7 +245,8 @@ let detect_cmd =
     (Cmd.info "detect" ~doc)
     Term.(
       const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ details_arg
-      $ exception_free_arg $ infer_arg $ log_arg $ coverage_arg $ csv_arg)
+      $ exception_free_arg $ infer_arg $ log_arg $ coverage_arg $ csv_arg
+      $ metrics_out_arg)
 
 let campaign_cmd =
   let jobs_arg =
@@ -238,7 +267,8 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let action spec flavor snapshot_mode jobs journal resume details exception_free log csv =
+  let action spec flavor snapshot_mode jobs journal resume details exception_free log csv
+      metrics_out =
     with_program spec (fun program ->
         if resume && journal = None then begin
           Fmt.epr "failatom: --resume requires --journal@.";
@@ -248,8 +278,9 @@ let campaign_cmd =
         let report = Failatom_campaign.Progress.reporter Fmt.stderr in
         let config = { Config.default with Config.snapshot_mode } in
         match
-          Failatom_campaign.Campaign.run ~config ~flavor ~jobs ?journal ~resume ~report
-            program
+          with_metrics metrics_out (fun () ->
+              Failatom_campaign.Campaign.run ~config ~flavor ~jobs ?journal ~resume
+                ~report program)
         with
         | exception Failatom_campaign.Campaign.Campaign_error msg ->
           Fmt.epr "failatom: %s@." msg;
@@ -295,7 +326,8 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc)
     Term.(
       const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ jobs_arg
-      $ journal_arg $ resume_arg $ details_arg $ exception_free_arg $ log_arg $ csv_arg)
+      $ journal_arg $ resume_arg $ details_arg $ exception_free_arg $ log_arg $ csv_arg
+      $ metrics_out_arg)
 
 let weave_cmd =
   let action spec =
@@ -409,6 +441,28 @@ let trace_cmd =
   let doc = "Run a program under call tracing and print the dynamic call tree." in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const action $ program_arg)
 
+let stats_cmd =
+  let metrics_file_arg =
+    let doc = "A metrics snapshot previously written by --metrics-out." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS" ~doc)
+  in
+  let action path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Failatom_obs.Obs.parse_json s with
+    | snap -> Failatom_obs.Obs.pp_table Fmt.stdout snap
+    | exception Failatom_obs.Obs.Parse_error msg ->
+      Fmt.epr "failatom: %s: %s@." path msg;
+      exit 1
+  in
+  let doc =
+    "Render a --metrics-out snapshot as a per-phase table: counters, gauges, \
+     and span timings with count/total/mean/p50/p99/max."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const action $ metrics_file_arg)
+
 let apps_cmd =
   let action () =
     Fmt.pr "%-14s %-5s %s@." "NAME" "SUITE" "DESCRIPTION";
@@ -451,6 +505,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "failatom" ~version:"1.0.0" ~doc)
     [ run_cmd; detect_cmd; campaign_cmd; classify_cmd; weave_cmd; mask_cmd; trace_cmd;
-      apps_cmd; experiments_cmd ]
+      stats_cmd; apps_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -35,8 +35,21 @@
 open Failatom_core
 open Failatom_runtime
 open Failatom_minilang
+module Obs = Failatom_obs.Obs
 
 exception Campaign_error of string
+
+(* Campaign-level observability.  Counters mirror the scheduler stats
+   (added once per campaign, so they aggregate across campaigns in one
+   process); the queue-depth distribution samples how many claimed
+   thresholds are in flight each time a worker claims, and worker_runs
+   records how evenly the speculative scheduler spread work. *)
+let m_executed = Obs.counter "campaign.runs_executed"
+let m_reused = Obs.counter "campaign.runs_reused"
+let m_discarded = Obs.counter "campaign.runs_discarded"
+let g_workers = Obs.gauge "campaign.workers"
+let h_queue_depth = Obs.histogram ~unit_:Obs.Items "campaign.queue_depth"
+let h_worker_runs = Obs.histogram ~unit_:Obs.Items "campaign.worker_runs"
 
 let default_jobs () = min 8 (max 1 (Domain.recommended_domain_count () - 1))
 
@@ -74,6 +87,8 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
     ?(report = Progress.null) (program : Ast.program) :
     Detect.result * Progress.summary =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  Obs.span "campaign.run" ~attrs:[ ("flavor", Detect.flavor_name flavor) ] @@ fun () ->
+  Obs.set_gauge g_workers jobs;
   let t_start = Unix.gettimeofday () in
   let analyzer = Analyzer.analyze config program in
   (* One-time work, done on the spawning domain and shared read-only by
@@ -125,8 +140,12 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
     in
     report (Progress.Tick { completed; needed; injections; elapsed_s = elapsed; rate; eta_s })
   in
+  (* Claimed-but-unrecorded thresholds, i.e. runs in flight.  Guarded by
+     [mutex], like everything the workers share. *)
+  let in_flight = ref 0 in
   let worker () =
     Mutex.lock mutex;
+    let executed_here = ref 0 in
     let rec loop () =
       if Option.is_some !failure then ()
       else
@@ -143,12 +162,16 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
           Condition.wait cond mutex;
           loop ()
         | Scheduler.Claimed threshold -> (
+          incr in_flight;
+          Obs.observe h_queue_depth !in_flight;
           Mutex.unlock mutex;
           let outcome =
             try Ok (Detect.run_once compiled config analyzer ~prepare ~threshold)
             with e -> Error e
           in
           Mutex.lock mutex;
+          decr in_flight;
+          incr executed_here;
           match outcome with
           | Ok record ->
             ignore (Scheduler.record sched record);
@@ -161,6 +184,7 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
             Condition.broadcast cond)
     in
     loop ();
+    Obs.observe h_worker_runs !executed_here;
     Mutex.unlock mutex
   in
   if not (Scheduler.finished sched) then begin
@@ -171,6 +195,9 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
   (match !failure with Some e -> raise e | None -> ());
   let runs = Scheduler.runs sched in
   let stats = Scheduler.stats sched in
+  Obs.add m_executed stats.Scheduler.executed;
+  Obs.add m_reused stats.Scheduler.reused;
+  Obs.add m_discarded stats.Scheduler.discarded;
   (* The frontier run is the no-injection probe; its output against the
      baseline is the paper's transparency check, exactly as in
      [Detect.run]. *)

@@ -12,6 +12,7 @@
 
 open Failatom_runtime
 open Failatom_minilang
+module Obs = Failatom_obs.Obs
 
 type flavor =
   | Source_weaving (* the paper's C++ / AspectC++ implementation *)
@@ -76,31 +77,41 @@ let instrumented_vm compiled config analyzer ~prepare ~threshold =
    | Source_weaving -> Injection.register_hooks state vm);
   (vm, state)
 
+(* One injection run fired an exception (i.e. was not the probe run). *)
+let m_injections_fired = Obs.counter "detect.injections_fired"
+
 let run_once compiled config analyzer ~prepare ~threshold : Marks.run_record =
-  let vm, state = instrumented_vm compiled config analyzer ~prepare ~threshold in
-  let escaped =
-    try
-      ignore (Compile.run_main vm);
-      None
-    with
-    | Vm.Mini_raise e -> Some e.Vm.exn_class
-    | Compile.Runtime_error (msg, pos) ->
-      raise
-        (Detection_error
-           (Fmt.str "run %d aborted: %s at %a" threshold msg Ast.pp_pos pos))
-    | Vm.Step_limit_exceeded ->
-      raise (Detection_error (Fmt.str "run %d exceeded the step limit" threshold))
-  in
-  { Marks.injection_point = threshold;
-    injected = state.Injection.injected;
-    marks = Injection.marks state;
-    escaped;
-    output = Vm.output vm;
-    calls = vm.Vm.calls }
+  Obs.span "detect.run_once"
+    ~attrs:
+      [ ("flavor", flavor_name compiled.cflavor);
+        ("snapshot_mode", Config.snapshot_mode_name config.Config.snapshot_mode) ]
+    (fun () ->
+      let vm, state = instrumented_vm compiled config analyzer ~prepare ~threshold in
+      let escaped =
+        try
+          ignore (Compile.run_main vm);
+          None
+        with
+        | Vm.Mini_raise e -> Some e.Vm.exn_class
+        | Compile.Runtime_error (msg, pos) ->
+          raise
+            (Detection_error
+               (Fmt.str "run %d aborted: %s at %a" threshold msg Ast.pp_pos pos))
+        | Vm.Step_limit_exceeded ->
+          raise (Detection_error (Fmt.str "run %d exceeded the step limit" threshold))
+      in
+      if Option.is_some state.Injection.injected then Obs.incr m_injections_fired;
+      { Marks.injection_point = threshold;
+        injected = state.Injection.injected;
+        marks = Injection.marks state;
+        escaped;
+        output = Vm.output vm;
+        calls = vm.Vm.calls })
 
 (* Runs the complete detection phase on [program]. *)
 let run ?(config = Config.default) ?(flavor = Source_weaving)
     ?(prepare = fun (_ : Vm.t) -> ()) (program : Ast.program) : result =
+  Obs.span "detect.run" ~attrs:[ ("flavor", flavor_name flavor) ] @@ fun () ->
   let analyzer = Analyzer.analyze config program in
   let plain = Compile.image program in
   let profile = Profile.of_image ~prepare plain in

@@ -17,6 +17,14 @@
      weaver spliced into the program text (the C++/AspectC++ path). *)
 
 open Failatom_runtime
+module Obs = Failatom_obs.Obs
+
+(* Observability: snapshot volume, time spent canonicalizing object
+   graphs, and how often the cow dirty-set intersection proves atomicity
+   without any canonicalization at all. *)
+let m_snapshots = Obs.counter "detect.snapshots_taken"
+let m_cow_fast = Obs.counter "detect.cow_fast_path_hits"
+let h_canon = Obs.histogram ~unit_:Obs.Ns "detect.canonicalize"
 
 (* The entry state captured by a wrapped call, per the configured
    snapshot mode:
@@ -70,8 +78,10 @@ let snapshot_roots state recv args =
   else [ recv ]
 
 let take_snapshot_of state vm roots =
+  Obs.incr m_snapshots;
   match state.config.Config.snapshot_mode with
-  | Config.Snapshot_eager -> Eager_snap (Object_graph.canonical_many vm.Vm.heap roots)
+  | Config.Snapshot_eager ->
+    Eager_snap (Obs.timed h_canon (fun () -> Object_graph.canonical_many vm.Vm.heap roots))
   | Config.Snapshot_cow -> Cow_snap { shadow = Shadow.open_ vm.Vm.heap; roots }
 
 let take_snapshot state vm recv args =
@@ -136,7 +146,7 @@ let mark_verdict state id ~before ~after ~exn_id =
 let check_and_mark state vm id snapshot roots ~exn_id =
   match snapshot with
   | Eager_snap before ->
-    let after = Object_graph.canonical_many vm.Vm.heap roots in
+    let after = Obs.timed h_canon (fun () -> Object_graph.canonical_many vm.Vm.heap roots) in
     mark_verdict state id ~before ~after ~exn_id
   | Cow_snap { shadow; roots } ->
     let read = Shadow.read_before shadow in
@@ -147,15 +157,21 @@ let check_and_mark state vm id snapshot roots ~exn_id =
       Shadow.dirty_count shadow = 0
       || not (Object_graph.reaches_dirty read ~dirty:(Shadow.is_dirty shadow) roots)
     in
-    (if untouched then record_mark state id ~atomic:true ~diff_path:None ~exn_id
+    (if untouched then begin
+       Obs.incr m_cow_fast;
+       record_mark state id ~atomic:true ~diff_path:None ~exn_id
+     end
      else begin
        (* Step 2: reconstruct the entry-time canonical form from the
           current heap, preferring saved payloads for dirty ids, and
           compare it with the exit-time form.  Neither traversal
           allocates on the program heap, so the comparison itself never
           feeds the write barrier of enclosing shadows. *)
-       let before = Object_graph.canonical_many_via read roots in
-       let after = Object_graph.canonical_many (Shadow.heap shadow) roots in
+       let before, after =
+         Obs.timed h_canon (fun () ->
+             ( Object_graph.canonical_many_via read roots,
+               Object_graph.canonical_many (Shadow.heap shadow) roots ))
+       in
        mark_verdict state id ~before ~after ~exn_id
      end);
     Shadow.close shadow

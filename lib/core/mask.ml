@@ -15,12 +15,20 @@ open Failatom_runtime
 open Failatom_minilang
 
 (* The methods to wrap: chosen by policy, minus the user's do-not-wrap
-   list (the paper's web-interface exclusions). *)
+   list (the paper's web-interface exclusions).  Mangled methods — the
+   wrappers and renamed originals of an earlier masking pass — are never
+   wrapped again: re-masking an already-corrected program must be a
+   no-op, not wrap the masking machinery itself. *)
 let targets (config : Config.t) (classification : Classify.t) : Method_id.Set.t =
   let base =
     match config.Config.wrap_policy with
     | Config.Wrap_pure -> Classify.pure_methods classification
     | Config.Wrap_all_non_atomic -> Classify.non_atomic_methods classification
+  in
+  let base =
+    List.filter
+      (fun (id : Method_id.t) -> Source_weaver.demangle id.Method_id.name = None)
+      base
   in
   Method_id.Set.diff
     (Method_id.Set.of_list base)

@@ -30,6 +30,7 @@
    not in the image (e.g. added to a VM by hand after compilation). *)
 
 open Failatom_runtime
+module Obs = Failatom_obs.Obs
 
 (* A genuine defect in the interpreted program (unknown variable, bad
    arity, ...) as opposed to a MiniLang-level exception, which is raised
@@ -376,16 +377,20 @@ let rec compile_expr cx (e : Ast.expr) : ecode =
          match Heap.get vm.Vm.heap id with
          | Heap.Obj { cls; _ } ->
            let ccls, cidx = !cache in
-           if cls == ccls then
+           if cls == ccls then begin
+             vm.Vm.ic_hits <- vm.Vm.ic_hits + 1;
              Vm.call_filtered vm (Array.unsafe_get vm.Vm.meth_table cidx) recv vargs
-           else (
+           end
+           else begin
+             vm.Vm.ic_misses <- vm.Vm.ic_misses + 1;
              match resolve_method img cls m with
              | Some idx ->
                cache := (cls, idx);
                Vm.call_filtered vm (Array.unsafe_get vm.Vm.meth_table idx) recv vargs
              | None ->
                (* receiver class or method outside the image *)
-               Vm.call_filtered vm (Vm.find_method vm cls m) recv vargs)
+               Vm.call_filtered vm (Vm.find_method vm cls m) recv vargs
+           end
          | Heap.Arr _ ->
            Vm.throw vm "UnsupportedOperationException" ("method call on array: " ^ m))
        | Value.Null ->
@@ -850,7 +855,7 @@ type skel = {
   sk_user : bool;
 }
 
-let image (prog : Ast.program) : image =
+let build_image (prog : Ast.program) : image =
   (* Pass 1: class skeletons and global method/function indices, so
      that bodies can reference classes and functions declared later. *)
   let skels : (string, skel) Hashtbl.t = Hashtbl.create 64 in
@@ -989,11 +994,14 @@ let image (prog : Ast.program) : image =
     (List.rev !funcs);
   img
 
+let image (prog : Ast.program) : image =
+  Obs.span "compile.image" (fun () -> build_image prog)
+
 (* ------------------------------------------------------------------ *)
 (* Instantiation                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let instantiate (img : image) : Vm.t =
+let instantiate_vm (img : image) : Vm.t =
   let vm = Vm.create () in
   Array.iter
     (fun ic ->
@@ -1014,10 +1022,48 @@ let instantiate (img : image) : Vm.t =
     img.img_functions;
   vm
 
+let instantiate (img : image) : Vm.t =
+  Obs.span "compile.instantiate" (fun () -> instantiate_vm img)
+
 let program (prog : Ast.program) : Vm.t = instantiate (image prog)
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Run-boundary harvest: the interpreter's hot path counts in plain
+   per-VM mutable fields ([steps], [calls], the inline-cache pair) and
+   the heap's own totals; one run's worth is folded into the global
+   registry here, so enabling metrics adds nothing to the per-step or
+   per-call cost. *)
+let m_runs = Obs.counter "vm.runs"
+let m_steps = Obs.counter "vm.steps"
+let m_calls = Obs.counter "vm.calls"
+let m_ic_hits = Obs.counter "vm.inline_cache.hits"
+let m_ic_misses = Obs.counter "vm.inline_cache.misses"
+let m_allocations = Obs.counter "heap.allocations"
+let m_barrier_hits = Obs.counter "heap.barrier_hits"
+let h_live = Obs.histogram ~unit_:Obs.Items "heap.live_at_exit"
+
+let harvest vm =
+  Obs.incr m_runs;
+  Obs.add m_steps vm.Vm.steps;
+  Obs.add m_calls vm.Vm.calls;
+  Obs.add m_ic_hits vm.Vm.ic_hits;
+  Obs.add m_ic_misses vm.Vm.ic_misses;
+  Obs.add m_allocations (Heap.allocations vm.Vm.heap);
+  Obs.add m_barrier_hits (Heap.barrier_hits vm.Vm.heap);
+  Obs.observe h_live (Heap.live_count vm.Vm.heap)
 
 (* Runs the program's [main] function; returns its value. *)
 let run_main vm =
   match Hashtbl.find_opt vm.Vm.functions "main" with
-  | Some fn -> fn.Vm.fn_impl vm []
   | None -> invalid_arg "program has no main function"
+  | Some fn ->
+    if not (Obs.enabled ()) then fn.Vm.fn_impl vm []
+    else
+      (* harvest even when a MiniLang exception escapes main — that is
+         how most injection runs end *)
+      Fun.protect
+        ~finally:(fun () -> harvest vm)
+        (fun () -> Obs.span "vm.run_main" (fun () -> fn.Vm.fn_impl vm []))

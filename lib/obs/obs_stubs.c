@@ -1,0 +1,16 @@
+/* Monotonic clock for span timings.
+ *
+ * Returned as a tagged OCaml int: 2^62 nanoseconds is ~146 years of
+ * monotonic uptime, so the value always fits and the primitive stays
+ * allocation-free ([@@noalloc], no int64 boxing on the span path). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value obs_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -40,6 +40,7 @@ type t = {
   mutable next_id : Value.obj_id;
   mutable live : int; (* number of Some entries *)
   mutable allocations : int; (* total number of allocations ever made *)
+  mutable barrier_hits : int; (* total write-barrier firings ever made *)
   mutable shadows : shadow list; (* active shadows, innermost first *)
   mutable on_write : (Value.obj_id -> unit) option;
 }
@@ -56,11 +57,13 @@ let create () =
     next_id = 1;
     live = 0;
     allocations = 0;
+    barrier_hits = 0;
     shadows = [];
     on_write = None }
 
 let live_count h = h.live
 let allocations h = h.allocations
+let barrier_hits h = h.barrier_hits
 
 (* The current payload slot of [id], or None when never allocated or
    already freed.  [id < next_id] implies [id] is within the array. *)
@@ -128,6 +131,7 @@ let shadow_record h sh id copy =
   end
 
 let barrier h id =
+  h.barrier_hits <- h.barrier_hits + 1;
   (match h.shadows with
    | [] -> ()
    | [ sh ] when sh.shadow_active ->

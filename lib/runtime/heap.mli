@@ -34,6 +34,7 @@ type t = {
   mutable next_id : Value.obj_id;
   mutable live : int;  (** number of live (Some) entries *)
   mutable allocations : int;  (** total allocations ever made *)
+  mutable barrier_hits : int;  (** total write-barrier firings ever made *)
   mutable shadows : shadow list;
       (** active shadows, innermost first; maintained by {!Shadow} *)
   mutable on_write : (Value.obj_id -> unit) option;
@@ -51,6 +52,11 @@ val live_count : t -> int
 (** Number of objects currently on the heap. *)
 
 val allocations : t -> int
+
+val barrier_hits : t -> int
+(** Total number of write-barrier firings (mutations and frees) over
+    the heap's lifetime.  A cheap per-heap count, harvested into the
+    observability registry at run boundaries. *)
 
 val get : t -> Value.obj_id -> payload
 (** @raise Dangling_reference if the object does not exist. *)

@@ -27,6 +27,11 @@ type t = {
   s : Heap.shadow;
 }
 
+(* Distribution of dirty-set sizes over closed shadows: how much the
+   calls covered by cow snapshots / lazy checkpoints actually mutate.
+   Recorded at close time only, so the write barrier stays untouched. *)
+let h_dirty = Failatom_obs.Obs.histogram ~unit_:Failatom_obs.Obs.Items "heap.shadow.dirty_size"
+
 let open_ heap =
   (* the saved table is created by the barrier on the first write, so
      opening a shadow on a call that never mutates costs two words *)
@@ -34,7 +39,11 @@ let open_ heap =
   heap.Heap.shadows <- s :: heap.Heap.shadows;
   { heap; s }
 
+let dirty_count t =
+  match t.s.Heap.shadow_saved with None -> 0 | Some tbl -> Hashtbl.length tbl
+
 let close t =
+  Failatom_obs.Obs.observe h_dirty (dirty_count t);
   t.s.Heap.shadow_active <- false;
   (* wrapped calls close in LIFO order, so the common case is popping
      the innermost shadow; the filter handles out-of-order closes
@@ -45,9 +54,6 @@ let close t =
      | shadows -> List.filter (fun s -> s != t.s) shadows)
 
 let heap t = t.heap
-
-let dirty_count t =
-  match t.s.Heap.shadow_saved with None -> 0 | Some tbl -> Hashtbl.length tbl
 
 let is_dirty t id =
   match t.s.Heap.shadow_saved with None -> false | Some tbl -> Hashtbl.mem tbl id

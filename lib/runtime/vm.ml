@@ -35,6 +35,10 @@ type t = {
   mutable steps : int;
   mutable step_limit : int; (* guards against runaway injected programs *)
   mutable calls : int; (* dynamic count of method + constructor calls *)
+  mutable ic_hits : int;
+      (* compiled call sites whose monomorphic inline cache hit; plain
+         per-VM count (like [calls]), harvested at run boundaries *)
+  mutable ic_misses : int; (* call sites that fell back to table lookup *)
   globals : (string, Value.t ref) Hashtbl.t; (* program globals, by name *)
   mutable global_roots : Value.t ref list;
       (* the same refs in (reverse) creation order: GC-root enumeration
@@ -144,6 +148,8 @@ let create () =
       steps = 0;
       step_limit = 50_000_000;
       calls = 0;
+      ic_hits = 0;
+      ic_misses = 0;
       globals = Hashtbl.create 16;
       global_roots = [];
       meth_table = [||];

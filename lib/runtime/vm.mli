@@ -32,6 +32,10 @@ type t = {
   mutable steps : int;
   mutable step_limit : int;  (** guards against runaway injected programs *)
   mutable calls : int;  (** dynamic count of method + constructor calls *)
+  mutable ic_hits : int;
+      (** compiled call sites whose monomorphic inline cache hit; a
+          plain per-VM count, harvested at run boundaries *)
+  mutable ic_misses : int;  (** call sites that fell back to table lookup *)
   globals : (string, Value.t ref) Hashtbl.t;
   mutable global_roots : Value.t ref list;
       (** the global refs in (reverse) creation order, for deterministic

@@ -28,4 +28,5 @@ let () =
       ("apps", Test_apps.suite);
       ("app-behavior", Test_app_behavior.suite);
       ("snapshot", Test_snapshot.suite);
-      ("campaign", Test_campaign.suite) ]
+      ("campaign", Test_campaign.suite);
+      ("obs", Test_obs.suite) ]
