@@ -760,6 +760,118 @@ let section_ablation () =
     (Lazy.force sweep)
 
 (* ------------------------------------------------------------------ *)
+(* Server: cold vs warm submission latency and client throughput       *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Failatom_server.Server
+module Client = Failatom_server.Client
+module Protocol = Failatom_server.Protocol
+
+let server_json_file = "BENCH_server.json"
+
+(* One full client round trip: connect, greeting, submit, watch to the
+   terminal event, close.  Cold and warm submissions are timed through
+   the identical path, so the ratio isolates what the daemon's
+   content-addressed cache saves (compilation + every detection run). *)
+let submit_round_trip ~socket_path request =
+  Client.with_conn ~socket_path (fun conn ->
+      match Client.submit_wait conn request with
+      | Client.Completed (result, cached) -> (result, cached)
+      | Client.Job_failed msg -> failwith ("bench job failed: " ^ msg)
+      | Client.Job_cancelled | Client.Job_timed_out ->
+        failwith "bench job did not complete")
+
+let section_server () =
+  Fmt.pr "@.== Server: cold vs warm submission latency ============================@.";
+  Fmt.pr "  (failatom serve daemon on a Unix socket; a warm submission hits the@.";
+  Fmt.pr "   content-addressed result cache and re-runs nothing; latencies are@.";
+  Fmt.pr "   full client round trips including connect)@.";
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fa_bench_%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Server.start { (Server.default_config ~socket_path) with Server.workers = 2 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Server.wait server;
+      if Sys.file_exists socket_path then Sys.remove socket_path)
+    (fun () ->
+      let request = Protocol.default_request Protocol.Detect (Protocol.App "RBTree") in
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let (cold_result, cold_cached), cold_s =
+        time (fun () -> submit_round_trip ~socket_path request)
+      in
+      assert (not cold_cached);
+      let warm_iters = if bench_short then 10 else 30 in
+      let warm_s = ref infinity in
+      for _ = 1 to warm_iters do
+        let (result, cached), t = time (fun () -> submit_round_trip ~socket_path request) in
+        if not cached then failwith "warm submission missed the cache";
+        if result.Protocol.r_log <> cold_result.Protocol.r_log then
+          failwith "warm result differs from cold";
+        if t < !warm_s then warm_s := t
+      done;
+      let speedup = cold_s /. !warm_s in
+      let pass = speedup >= 5.0 in
+      Fmt.pr "%-28s %10.2f ms@." "cold (compile + 700 runs)" (cold_s *. 1e3);
+      Fmt.pr "%-28s %10.2f ms   (best of %d)@." "warm (cache hit)" (!warm_s *. 1e3)
+        warm_iters;
+      Fmt.pr "%-28s %10.1fx   (target >= 5x: %s)@." "speedup" speedup
+        (if pass then "pass" else "FAIL");
+      (* throughput: N concurrent clients hammering the warm path *)
+      Fmt.pr "@.== Server: warm throughput vs concurrent clients ======================@.";
+      let jobs_per_client = if bench_short then 20 else 100 in
+      let throughput =
+        List.map
+          (fun clients ->
+            let (), wall_s =
+              time (fun () ->
+                  let threads =
+                    List.init clients (fun _ ->
+                        Thread.create
+                          (fun () ->
+                            for _ = 1 to jobs_per_client do
+                              ignore (submit_round_trip ~socket_path request)
+                            done)
+                          ())
+                  in
+                  List.iter Thread.join threads)
+            in
+            let rate = float_of_int (clients * jobs_per_client) /. wall_s in
+            Fmt.pr "%4d client(s): %8.0f jobs/s  (%d jobs in %.3fs)@." clients rate
+              (clients * jobs_per_client) wall_s;
+            (clients, rate))
+          [ 1; 4; 16 ]
+      in
+      let oc = open_out server_json_file in
+      Printf.fprintf oc
+        "{\"schema\": \"failatom.bench.server/1\",\n\
+        \ \"app\": \"RBTree\",\n\
+        \ \"cold_ms\": %.3f,\n\
+        \ \"warm_ms\": %.3f,\n\
+        \ \"speedup\": %.2f,\n\
+        \ \"pass\": %b,\n\
+        \ \"throughput\": [%s]}\n"
+        (cold_s *. 1e3)
+        (!warm_s *. 1e3)
+        speedup pass
+        (String.concat ", "
+           (List.map
+              (fun (clients, rate) ->
+                Printf.sprintf "{\"clients\": %d, \"jobs_per_sec\": %.1f}" clients rate)
+              throughput));
+      close_out oc;
+      Fmt.pr "  machine-readable results written to %s@." server_json_file)
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -774,7 +886,8 @@ let sections =
     ("interp", section_interp);
     ("obs-overhead", section_obs_overhead);
     ("fig5", section_fig5);
-    ("ablation", section_ablation) ]
+    ("ablation", section_ablation);
+    ("server", section_server) ]
 
 let () =
   let requested =

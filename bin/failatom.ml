@@ -2,12 +2,37 @@
 
    Programs are given either as a path to a MiniLang source file or as
    [app:NAME] to use one of the bundled workload applications (the
-   paper's Table 1 programs); [failatom apps] lists them. *)
+   paper's Table 1 programs); [failatom apps] lists them.
+
+   Exit codes are uniform across subcommands (see [exits] below):
+   0 success, 1 detection found failure non-atomic methods, 2 usage
+   error, 3 internal or server error.  Actions return the code; the
+   final [Cmd.eval_value] match maps cmdliner's own parse errors to 2
+   and uncaught exceptions to 3. *)
 
 open Cmdliner
 open Failatom_core
 open Failatom_apps
 module ML = Failatom_minilang
+module Server = Failatom_server.Server
+module Client = Failatom_server.Client
+module Protocol = Failatom_server.Protocol
+
+(* ---------------- exit codes ---------------- *)
+
+let exit_ok = 0
+let exit_non_atomic = 1
+let exit_usage = 2
+let exit_internal = 3
+
+let exits =
+  [ Cmd.Exit.info exit_ok ~doc:"on success (and, for detection commands, no failure non-atomic method was found).";
+    Cmd.Exit.info exit_non_atomic
+      ~doc:"detection completed and found failure non-atomic methods (or $(b,mask --verify) found residual ones).";
+    Cmd.Exit.info exit_usage
+      ~doc:"usage error: bad command line, unreadable input, malformed program, log or journal.";
+    Cmd.Exit.info exit_internal
+      ~doc:"internal error: a detection run aborted, or a server/protocol failure." ]
 
 (* ---------------- program loading ---------------- *)
 
@@ -43,7 +68,7 @@ let with_program spec f =
   | Ok program -> f program
   | Error msg ->
     Fmt.epr "failatom: %s@." msg;
-    exit 1
+    exit_usage
 
 (* ---------------- common options ---------------- *)
 
@@ -51,16 +76,19 @@ let program_arg =
   let doc = "MiniLang source file, or app:NAME for a bundled application." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
 
+let flavor_conv =
+  Arg.enum [ ("source", Detect.Source_weaving); ("binary", Detect.Load_time_filters) ]
+
+let flavor_doc =
+  "Instrumentation flavor: $(b,source) rewrites the program text (the \
+   paper's AspectC++/C++ path), $(b,binary) attaches load-time filters to \
+   the compiled program (the paper's JWG/Java path)."
+
 let flavor_arg =
-  let doc =
-    "Instrumentation flavor: $(b,source) rewrites the program text (the \
-     paper's AspectC++/C++ path), $(b,binary) attaches load-time filters to \
-     the compiled program (the paper's JWG/Java path)."
-  in
-  let flavor_conv =
-    Arg.enum [ ("source", Detect.Source_weaving); ("binary", Detect.Load_time_filters) ]
-  in
-  Arg.(value & opt flavor_conv Detect.Source_weaving & info [ "flavor" ] ~docv:"FLAVOR" ~doc)
+  Arg.(
+    value
+    & opt flavor_conv Detect.Source_weaving
+    & info [ "flavor" ] ~docv:"FLAVOR" ~doc:flavor_doc)
 
 let details_arg =
   let doc = "Print the per-method verdicts, call counts and diff paths." in
@@ -121,6 +149,14 @@ let snapshot_mode_arg =
     & opt mode_conv Config.default.Config.snapshot_mode
     & info [ "snapshot-mode" ] ~docv:"MODE" ~doc)
 
+let run_timeout_arg =
+  let doc =
+    "Abort any single detection run after $(docv) seconds of wall-clock time \
+     and record it as timed out instead of wedging a worker.  A timed-out \
+     run never ends the detection loop."
+  in
+  Arg.(value & opt (some float) None & info [ "run-timeout" ] ~docv:"SECONDS" ~doc)
+
 let metrics_out_arg =
   let doc =
     "Enable the observability layer for this invocation and write the final \
@@ -153,6 +189,9 @@ let config_of ~exception_free ~do_not_wrap ~wrap_all ~snapshot_mode =
     snapshot_mode;
     wrap_policy = (if wrap_all then Config.Wrap_all_non_atomic else Config.Wrap_pure) }
 
+let classification_code classification =
+  if Classify.non_atomic_methods classification = [] then exit_ok else exit_non_atomic
+
 (* ---------------- commands ---------------- *)
 
 let run_cmd =
@@ -168,23 +207,26 @@ let run_cmd =
     with_program spec (fun program ->
         if times < 1 then begin
           Fmt.epr "failatom: --times must be at least 1@.";
-          exit 1
-        end;
-        let image = ML.Compile.image program in
-        let last_output = ref "" in
-        for _ = 1 to times do
-          let vm = ML.Compile.instantiate image in
-          (match ML.Compile.run_main vm with
-           | _ -> ()
-           | exception Failatom_runtime.Vm.Mini_raise e ->
-             Fmt.epr "uncaught %s: %s@." e.Failatom_runtime.Vm.exn_class
-               e.Failatom_runtime.Vm.message);
-          last_output := ML.Minilang.output vm
-        done;
-        print_string !last_output)
+          exit_usage
+        end
+        else begin
+          let image = ML.Compile.image program in
+          let last_output = ref "" in
+          for _ = 1 to times do
+            let vm = ML.Compile.instantiate image in
+            (match ML.Compile.run_main vm with
+             | _ -> ()
+             | exception Failatom_runtime.Vm.Mini_raise e ->
+               Fmt.epr "uncaught %s: %s@." e.Failatom_runtime.Vm.exn_class
+                 e.Failatom_runtime.Vm.message);
+            last_output := ML.Minilang.output vm
+          done;
+          print_string !last_output;
+          exit_ok
+        end)
   in
   let doc = "Run a MiniLang program and print its output." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const action $ program_arg $ times_arg)
+  Cmd.v (Cmd.info "run" ~doc ~exits) Term.(const action $ program_arg $ times_arg)
 
 let csv_arg =
   let doc = "Write the per-method classification as CSV to $(docv)." in
@@ -194,6 +236,30 @@ let coverage_arg =
   let doc = "Print per-method injection coverage and never-called methods." in
   Arg.(value & flag & info [ "coverage" ] ~doc)
 
+(* The human-readable classification block shared by detect/campaign. *)
+let print_classification ~details classification =
+  let counts = Classify.method_counts classification in
+  Fmt.pr "discarded runs:   %d@." classification.Classify.discarded_runs;
+  Fmt.pr "methods used:     %d (atomic %d, conditional %d, pure %d)@."
+    (Classify.total counts) counts.Classify.atomic counts.Classify.conditional
+    counts.Classify.pure;
+  if details then Report.pp_details Fmt.stdout classification
+  else
+    List.iter
+      (fun id ->
+        let verdict = Option.get (Classify.verdict classification id) in
+        Fmt.pr "  %-36s %s@." (Method_id.to_string id) (Classify.verdict_name verdict))
+      (Classify.non_atomic_methods classification)
+
+let write_csv csv classification =
+  match csv with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Report.classification_to_csv classification);
+    close_out oc;
+    Fmt.epr "classification CSV written to %s@." path
+  | None -> ()
+
 let detect_cmd =
   let action spec flavor snapshot_mode details exception_free infer log coverage csv
       metrics_out =
@@ -201,48 +267,33 @@ let detect_cmd =
         let config =
           { Config.default with Config.infer_exception_free = infer; snapshot_mode }
         in
-        let detection =
+        match
           with_metrics metrics_out (fun () -> Detect.run ~config ~flavor program)
-        in
-        (match log with
-         | Some path ->
-           Run_log.save_file detection path;
-           Fmt.epr "run log written to %s@." path
-         | None -> ());
-        let classification = Classify.classify ~exception_free detection in
-        let counts = Classify.method_counts classification in
-        Fmt.pr "flavor:           %s@." (Detect.flavor_name flavor);
-        Fmt.pr "injections:       %d@." detection.Detect.injections;
-        Fmt.pr "transparent:      %b@." detection.Detect.transparent;
-        Fmt.pr "discarded runs:   %d@." classification.Classify.discarded_runs;
-        Fmt.pr "methods used:     %d (atomic %d, conditional %d, pure %d)@."
-          (Classify.total counts) counts.Classify.atomic counts.Classify.conditional
-          counts.Classify.pure;
-        if details then Report.pp_details Fmt.stdout classification
-        else begin
-          let non_atomic = Classify.non_atomic_methods classification in
-          List.iter
-            (fun id ->
-              let verdict = Option.get (Classify.verdict classification id) in
-              Fmt.pr "  %-36s %s@." (Method_id.to_string id)
-                (Classify.verdict_name verdict))
-            non_atomic
-        end;
-        if coverage then Coverage.pp Fmt.stdout (Coverage.of_detection detection);
-        match csv with
-        | Some path ->
-          let oc = open_out path in
-          output_string oc (Report.classification_to_csv classification);
-          close_out oc;
-          Fmt.epr "classification CSV written to %s@." path
-        | None -> ())
+        with
+        | exception Detect.Detection_error msg ->
+          Fmt.epr "failatom: %s@." msg;
+          exit_internal
+        | detection ->
+          (match log with
+           | Some path ->
+             Run_log.save_file detection path;
+             Fmt.epr "run log written to %s@." path
+           | None -> ());
+          let classification = Classify.classify ~exception_free detection in
+          Fmt.pr "flavor:           %s@." (Detect.flavor_name flavor);
+          Fmt.pr "injections:       %d@." detection.Detect.injections;
+          Fmt.pr "transparent:      %b@." detection.Detect.transparent;
+          print_classification ~details classification;
+          if coverage then Coverage.pp Fmt.stdout (Coverage.of_detection detection);
+          write_csv csv classification;
+          classification_code classification)
   in
   let doc =
     "Detection phase: inject exceptions at every injection point and classify \
      each method as atomic, conditional non-atomic or pure non-atomic."
   in
   Cmd.v
-    (Cmd.info "detect" ~doc)
+    (Cmd.info "detect" ~doc ~exits)
     Term.(
       const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ details_arg
       $ exception_free_arg $ infer_arg $ log_arg $ coverage_arg $ csv_arg
@@ -255,8 +306,8 @@ let campaign_cmd =
   in
   let journal_arg =
     let doc =
-      "Append every completed run to $(docv) as it finishes, so a killed \
-       campaign can be resumed with $(b,--resume)."
+      "Append every completed run to $(docv) as it finishes (each record is \
+       fsynced), so a killed campaign can be resumed with $(b,--resume)."
     in
     Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
   in
@@ -267,55 +318,45 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let action spec flavor snapshot_mode jobs journal resume details exception_free log csv
-      metrics_out =
+  let action spec flavor snapshot_mode jobs journal resume run_timeout_s details
+      exception_free log csv metrics_out =
     with_program spec (fun program ->
         if resume && journal = None then begin
           Fmt.epr "failatom: --resume requires --journal@.";
-          exit 1
-        end;
-        let jobs = if jobs <= 0 then Failatom_campaign.Campaign.default_jobs () else jobs in
-        let report = Failatom_campaign.Progress.reporter Fmt.stderr in
-        let config = { Config.default with Config.snapshot_mode } in
-        match
-          with_metrics metrics_out (fun () ->
-              Failatom_campaign.Campaign.run ~config ~flavor ~jobs ?journal ~resume
-                ~report program)
-        with
-        | exception Failatom_campaign.Campaign.Campaign_error msg ->
-          Fmt.epr "failatom: %s@." msg;
-          exit 1
-        | detection, summary ->
-          (match log with
-           | Some path ->
-             Run_log.save_file detection path;
-             Fmt.epr "run log written to %s@." path
-           | None -> ());
-          let classification = Classify.classify ~exception_free detection in
-          let counts = Classify.method_counts classification in
-          Fmt.pr "flavor:           %s@." (Detect.flavor_name flavor);
-          Fmt.pr "workers:          %d@." summary.Failatom_campaign.Progress.workers;
-          Fmt.pr "injections:       %d@." detection.Detect.injections;
-          Fmt.pr "transparent:      %b@." detection.Detect.transparent;
-          Fmt.pr "discarded runs:   %d@." classification.Classify.discarded_runs;
-          Fmt.pr "methods used:     %d (atomic %d, conditional %d, pure %d)@."
-            (Classify.total counts) counts.Classify.atomic counts.Classify.conditional
-            counts.Classify.pure;
-          if details then Report.pp_details Fmt.stdout classification
-          else
-            List.iter
-              (fun id ->
-                let verdict = Option.get (Classify.verdict classification id) in
-                Fmt.pr "  %-36s %s@." (Method_id.to_string id)
-                  (Classify.verdict_name verdict))
-              (Classify.non_atomic_methods classification);
-          match csv with
-          | Some path ->
-            let oc = open_out path in
-            output_string oc (Report.classification_to_csv classification);
-            close_out oc;
-            Fmt.epr "classification CSV written to %s@." path
-          | None -> ())
+          exit_usage
+        end
+        else begin
+          let jobs =
+            if jobs <= 0 then Failatom_campaign.Campaign.default_jobs () else jobs
+          in
+          let report = Failatom_campaign.Progress.reporter Fmt.stderr in
+          let config = { Config.default with Config.snapshot_mode } in
+          match
+            with_metrics metrics_out (fun () ->
+                Failatom_campaign.Campaign.run ~config ~flavor ?run_timeout_s ~jobs
+                  ?journal ~resume ~report program)
+          with
+          | exception Failatom_campaign.Campaign.Campaign_error msg ->
+            Fmt.epr "failatom: %s@." msg;
+            exit_usage
+          | exception Detect.Detection_error msg ->
+            Fmt.epr "failatom: %s@." msg;
+            exit_internal
+          | detection, summary ->
+            (match log with
+             | Some path ->
+               Run_log.save_file detection path;
+               Fmt.epr "run log written to %s@." path
+             | None -> ());
+            let classification = Classify.classify ~exception_free detection in
+            Fmt.pr "flavor:           %s@." (Detect.flavor_name flavor);
+            Fmt.pr "workers:          %d@." summary.Failatom_campaign.Progress.workers;
+            Fmt.pr "injections:       %d@." detection.Detect.injections;
+            Fmt.pr "transparent:      %b@." detection.Detect.transparent;
+            print_classification ~details classification;
+            write_csv csv classification;
+            classification_code classification
+        end)
   in
   let doc =
     "Detection phase as a parallel, resumable campaign: injection-threshold \
@@ -323,56 +364,63 @@ let campaign_cmd =
      disk, and merged into a classification identical to $(b,detect)'s."
   in
   Cmd.v
-    (Cmd.info "campaign" ~doc)
+    (Cmd.info "campaign" ~doc ~exits)
     Term.(
       const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ jobs_arg
-      $ journal_arg $ resume_arg $ details_arg $ exception_free_arg $ log_arg $ csv_arg
-      $ metrics_out_arg)
+      $ journal_arg $ resume_arg $ run_timeout_arg $ details_arg $ exception_free_arg
+      $ log_arg $ csv_arg $ metrics_out_arg)
 
 let weave_cmd =
   let action spec =
     with_program spec (fun program ->
         print_string
-          (ML.Pretty.program_to_string (Source_weaver.weave_injection program)))
+          (ML.Pretty.program_to_string (Source_weaver.weave_injection program));
+        exit_ok)
   in
   let doc = "Print the exception injector program P_I (woven source)." in
-  Cmd.v (Cmd.info "weave" ~doc) Term.(const action $ program_arg)
+  Cmd.v (Cmd.info "weave" ~doc ~exits) Term.(const action $ program_arg)
 
 let mask_cmd =
   let action spec flavor snapshot_mode exception_free do_not_wrap wrap_all show_source
       verify =
     with_program spec (fun program ->
         let config = config_of ~exception_free ~do_not_wrap ~wrap_all ~snapshot_mode in
-        let outcome = Mask.correct ~config ~flavor program in
-        Fmt.epr "wrapped %d method(s):@." (Method_id.Set.cardinal outcome.Mask.wrapped);
-        Method_id.Set.iter
-          (fun id -> Fmt.epr "  %s@." (Method_id.to_string id))
-          outcome.Mask.wrapped;
-        if show_source then
-          print_string (ML.Pretty.program_to_string outcome.Mask.corrected);
-        if verify then begin
-          (* re-run detection on P_C: no original-name method may remain
-             failure non-atomic *)
-          let d2 =
-            Detect.run ~config ~flavor
-              ~prepare:(Mask.register_hooks config)
-              outcome.Mask.corrected
-          in
-          let residual =
-            List.filter
-              (fun (id : Method_id.t) ->
-                Source_weaver.demangle id.Method_id.name = None)
-              (Classify.non_atomic_methods (Classify.classify d2))
-          in
-          match residual with
-          | [] ->
-            Fmt.epr "verification: %d re-injections, no residual non-atomic method@."
-              d2.Detect.injections
-          | methods ->
-            Fmt.epr "verification FAILED, residual non-atomic methods:@.";
-            List.iter (fun id -> Fmt.epr "  %s@." (Method_id.to_string id)) methods;
-            exit 2
-        end)
+        match Mask.correct ~config ~flavor program with
+        | exception Detect.Detection_error msg ->
+          Fmt.epr "failatom: %s@." msg;
+          exit_internal
+        | outcome ->
+          Fmt.epr "wrapped %d method(s):@." (Method_id.Set.cardinal outcome.Mask.wrapped);
+          Method_id.Set.iter
+            (fun id -> Fmt.epr "  %s@." (Method_id.to_string id))
+            outcome.Mask.wrapped;
+          if show_source then
+            print_string (ML.Pretty.program_to_string outcome.Mask.corrected);
+          if verify then begin
+            (* re-run detection on P_C: no original-name method may remain
+               failure non-atomic *)
+            let d2 =
+              Detect.run ~config ~flavor
+                ~prepare:(Mask.register_hooks config)
+                outcome.Mask.corrected
+            in
+            let residual =
+              List.filter
+                (fun (id : Method_id.t) ->
+                  Source_weaver.demangle id.Method_id.name = None)
+                (Classify.non_atomic_methods (Classify.classify d2))
+            in
+            match residual with
+            | [] ->
+              Fmt.epr "verification: %d re-injections, no residual non-atomic method@."
+                d2.Detect.injections;
+              exit_ok
+            | methods ->
+              Fmt.epr "verification FAILED, residual non-atomic methods:@.";
+              List.iter (fun id -> Fmt.epr "  %s@." (Method_id.to_string id)) methods;
+              exit_non_atomic
+          end
+          else exit_ok)
   in
   let show_source_arg =
     let doc = "Print the corrected program P_C to stdout." in
@@ -389,7 +437,7 @@ let mask_cmd =
     "Full pipeline (Figure 1): detect failure non-atomic methods, then wrap \
      them in atomicity wrappers, producing the corrected program P_C."
   in
-  Cmd.v (Cmd.info "mask" ~doc)
+  Cmd.v (Cmd.info "mask" ~doc ~exits)
     Term.(
       const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ exception_free_arg
       $ do_not_wrap_arg $ wrap_all_arg $ show_source_arg $ verify_arg)
@@ -403,29 +451,23 @@ let classify_cmd =
     match Run_log.load_file path with
     | exception Run_log.Bad_log (msg, line) ->
       Fmt.epr "failatom: %s: line %d: %s@." path line msg;
-      exit 1
+      exit_usage
+    | log when log.Run_log.runs = [] ->
+      (* every real detection log has at least the probe run *)
+      Fmt.epr "failatom: %s: no runs recorded (not a run log?)@." path;
+      exit_usage
     | log ->
       let classification = Run_log.classify ~exception_free log in
-      let counts = Classify.method_counts classification in
       Fmt.pr "flavor:           %s@." log.Run_log.flavor;
       Fmt.pr "runs:             %d@." (List.length log.Run_log.runs);
-      Fmt.pr "discarded runs:   %d@." classification.Classify.discarded_runs;
-      Fmt.pr "methods used:     %d (atomic %d, conditional %d, pure %d)@."
-        (Classify.total counts) counts.Classify.atomic counts.Classify.conditional
-        counts.Classify.pure;
-      if details then Report.pp_details Fmt.stdout classification
-      else
-        List.iter
-          (fun id ->
-            Fmt.pr "  %-36s %s@." (Method_id.to_string id)
-              (Classify.verdict_name (Option.get (Classify.verdict classification id))))
-          (Classify.non_atomic_methods classification)
+      print_classification ~details classification;
+      classification_code classification
   in
   let doc =
     "Offline classification from a run log (the paper's Step 3: wrapper log \
      files processed offline), without re-running any injections."
   in
-  Cmd.v (Cmd.info "classify" ~doc)
+  Cmd.v (Cmd.info "classify" ~doc ~exits)
     Term.(const action $ log_file_arg $ details_arg $ exception_free_arg)
 
 let trace_cmd =
@@ -434,34 +476,342 @@ let trace_cmd =
         let trace, output, escaped = Trace.run_traced program in
         Trace.pp Fmt.stdout trace;
         Fmt.pr "--- output ---@.%s" output;
-        match escaped with
-        | Some exn_class -> Fmt.pr "--- escaped: %s ---@." exn_class
-        | None -> ())
+        (match escaped with
+         | Some exn_class -> Fmt.pr "--- escaped: %s ---@." exn_class
+         | None -> ());
+        exit_ok)
   in
   let doc = "Run a program under call tracing and print the dynamic call tree." in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const action $ program_arg)
+  Cmd.v (Cmd.info "trace" ~doc ~exits) Term.(const action $ program_arg)
+
+(* ---------------- the daemon and its clients ---------------- *)
+
+let socket_arg =
+  let doc = "Path of the daemon's Unix-domain socket." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Executor threads running submitted jobs concurrently." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc = "Reject submissions once $(docv) jobs are queued (admission control)." in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let job_timeout_arg =
+    let doc =
+      "Per-job wall-clock deadline: a job still running after $(docv) seconds \
+       is aborted and reported as timed out."
+    in
+    Arg.(value & opt (some float) None & info [ "job-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let action socket workers max_queue job_timeout_s run_timeout_s =
+    match
+      Fmt.epr "failatom: serving on %s (%d worker(s))@." socket workers;
+      Server.run
+        { (Server.default_config ~socket_path:socket) with
+          Server.workers;
+          max_queue;
+          job_timeout_s;
+          run_timeout_s }
+    with
+    | () ->
+      Fmt.epr "failatom: server drained, exiting@.";
+      exit_ok
+    | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "failatom: cannot serve on %s: %s@." socket (Unix.error_message e);
+      exit_internal
+  in
+  let doc =
+    "Serve detection as a long-running daemon over a Unix-domain socket \
+     (protocol failatom.rpc/1, newline-delimited JSON).  Compiled program \
+     images and finished results are cached content-addressed, so \
+     resubmitting a known job is answered without re-running anything.  \
+     SIGTERM/SIGINT or the $(b,shutdown) subcommand drain gracefully."
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~exits)
+    Term.(
+      const action $ socket_arg $ workers_arg $ max_queue_arg $ job_timeout_arg
+      $ run_timeout_arg)
+
+let job_pos_arg =
+  let doc = "Job id as printed by $(b,submit)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc)
+
+let print_event = function
+  | Protocol.Ev_state s -> Fmt.epr "job: %s@." s
+  | Protocol.Ev_tick { completed; needed; injections } ->
+    let total = match needed with Some n -> string_of_int n | None -> "?" in
+    Fmt.epr "job: %d/%s runs, %d injections@." completed total injections
+  | Protocol.Ev_warning msg -> Fmt.epr "job: warning: %s@." msg
+  | Protocol.Ev_done _ | Protocol.Ev_error _ | Protocol.Ev_cancelled
+  | Protocol.Ev_timeout ->
+    ()
+
+let print_job_result (r : Protocol.job_result) =
+  Fmt.pr "mode:             %s@." (Protocol.mode_name r.Protocol.r_mode);
+  Fmt.pr "flavor:           %s@." r.Protocol.r_flavor;
+  Fmt.pr "injections:       %d@." r.Protocol.r_injections;
+  Fmt.pr "transparent:      %b@." r.Protocol.r_transparent;
+  let c = r.Protocol.r_counts in
+  Fmt.pr "methods used:     %d (atomic %d, conditional %d, pure %d)@."
+    (c.Protocol.atomic + c.Protocol.conditional + c.Protocol.pure)
+    c.Protocol.atomic c.Protocol.conditional c.Protocol.pure;
+  List.iter (fun (m, v) -> Fmt.pr "  %-36s %s@." m v) r.Protocol.r_non_atomic;
+  (match r.Protocol.r_summary with
+   | Some s ->
+     Fmt.pr "campaign:         %d executed, %d reused, %d discarded on %d worker(s) in %.2fs@."
+       s.Protocol.executed s.Protocol.reused s.Protocol.discarded s.Protocol.workers
+       s.Protocol.wall_s
+   | None -> ());
+  if r.Protocol.r_wrapped <> [] then begin
+    Fmt.pr "wrapped:@.";
+    List.iter (fun m -> Fmt.pr "  %s@." m) r.Protocol.r_wrapped
+  end
+
+let job_result_code (r : Protocol.job_result) =
+  if r.Protocol.r_non_atomic = [] then exit_ok else exit_non_atomic
+
+let finish_outcome ~log ~corrected_out outcome =
+  match outcome with
+  | Client.Completed (result, cached) ->
+    if cached then Fmt.epr "(result served from cache)@.";
+    print_job_result result;
+    (match log with
+     | Some path ->
+       let oc = open_out_bin path in
+       output_string oc result.Protocol.r_log;
+       close_out oc;
+       Fmt.epr "run log written to %s@." path
+     | None -> ());
+    (match (corrected_out, result.Protocol.r_corrected) with
+     | Some path, Some src ->
+       let oc = open_out_bin path in
+       output_string oc src;
+       close_out oc;
+       Fmt.epr "corrected program written to %s@." path
+     | Some path, None ->
+       Fmt.epr "failatom: no corrected program to write to %s (not a mask job)@." path
+     | None, _ -> ());
+    job_result_code result
+  | Client.Job_failed msg ->
+    Fmt.epr "failatom: job failed: %s@." msg;
+    exit_internal
+  | Client.Job_cancelled ->
+    Fmt.epr "failatom: job cancelled@.";
+    exit_internal
+  | Client.Job_timed_out ->
+    Fmt.epr "failatom: job timed out@.";
+    exit_internal
+
+let with_client socket f =
+  try f () with
+  | Client.Error msg ->
+    Fmt.epr "failatom: %s@." msg;
+    exit_internal
+  | Unix.Unix_error (e, _, _) ->
+    Fmt.epr "failatom: %s: %s@." socket (Unix.error_message e);
+    exit_internal
+
+let submit_cmd =
+  let mode_arg =
+    let doc =
+      "What to run: $(b,detect) (single worker, result identical to the \
+       $(b,detect) command), $(b,campaign) (parallel workers), or $(b,mask) \
+       (detection plus wrap targets and the corrected program)."
+    in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [ ("detect", Protocol.Detect);
+               ("campaign", Protocol.Campaign);
+               ("mask", Protocol.Mask) ])
+          Protocol.Detect
+      & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let flavor_opt_arg =
+    Arg.(
+      value
+      & opt (some flavor_conv) None
+      & info [ "flavor" ] ~docv:"FLAVOR"
+          ~doc:
+            (flavor_doc
+           ^ "  Defaults to the app's suite flavor, or $(b,source) for files."))
+  in
+  let jobs_arg =
+    let doc = "Worker domains for a campaign-mode job (the server clamps)." in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let detach_arg =
+    let doc =
+      "Print the job id and return immediately instead of watching the job; \
+       follow it later with $(b,failatom watch)."
+    in
+    Arg.(value & flag & info [ "detach" ] ~doc)
+  in
+  let corrected_arg =
+    let doc = "Write the corrected program of a mask-mode job to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "corrected" ] ~docv:"FILE" ~doc)
+  in
+  let snapshot_wire snapshot_mode = snapshot_mode in
+  let action spec socket mode flavor snapshot_mode infer wrap_all exception_free
+      do_not_wrap jobs run_timeout_s detach log corrected_out =
+    let program =
+      if String.length spec > 4 && String.sub spec 0 4 = "app:" then
+        Ok (Protocol.App (String.sub spec 4 (String.length spec - 4)))
+      else
+        (* ship the file's source; the server parses and rejects *)
+        Result.map (fun src -> Protocol.Inline src) (load_source spec)
+    in
+    match program with
+    | Error msg ->
+      Fmt.epr "failatom: %s@." msg;
+      exit_usage
+    | Ok program ->
+      let req =
+        { (Protocol.default_request mode program) with
+          Protocol.flavor;
+          snapshot = snapshot_wire snapshot_mode;
+          infer;
+          wrap_all;
+          exception_free = List.map Method_id.to_string exception_free;
+          do_not_wrap = List.map Method_id.to_string do_not_wrap;
+          jobs;
+          run_timeout_s }
+      in
+      with_client socket (fun () ->
+          Client.with_conn ~socket_path:socket (fun conn ->
+              let id, cached = Client.submit conn req in
+              if detach then begin
+                Fmt.pr "%s@." id;
+                exit_ok
+              end
+              else begin
+                Fmt.epr "job %s submitted%s@." id (if cached then " (cached)" else "");
+                finish_outcome ~log ~corrected_out
+                  (Client.watch ~on_event:print_event conn id)
+              end))
+  in
+  let doc =
+    "Submit a job to a running $(b,failatom serve) daemon and (unless \
+     $(b,--detach)) stream its progress and print the result — equivalent to \
+     running $(b,detect)/$(b,campaign)/$(b,mask) locally, but sharing the \
+     daemon's compiled-image and result caches."
+  in
+  Cmd.v (Cmd.info "submit" ~doc ~exits)
+    Term.(
+      const action $ program_arg $ socket_arg $ mode_arg $ flavor_opt_arg
+      $ snapshot_mode_arg $ infer_arg $ wrap_all_arg $ exception_free_arg
+      $ do_not_wrap_arg $ jobs_arg $ run_timeout_arg $ detach_arg $ log_arg
+      $ corrected_arg)
+
+let status_cmd =
+  let action job socket =
+    with_client socket (fun () ->
+        Client.with_conn ~socket_path:socket (fun conn ->
+            let s = Client.status conn job in
+            Fmt.pr "job:    %s@." job;
+            Fmt.pr "state:  %s@." s.Client.state;
+            (match s.Client.error with
+             | Some msg -> Fmt.pr "error:  %s@." msg
+             | None -> ());
+            match s.Client.result with
+            | Some result ->
+              if s.Client.cached then Fmt.pr "cached: true@.";
+              print_job_result result;
+              job_result_code result
+            | None -> exit_ok))
+  in
+  let doc = "Query the state of a job on a running daemon." in
+  Cmd.v (Cmd.info "status" ~doc ~exits) Term.(const action $ job_pos_arg $ socket_arg)
+
+let watch_cmd =
+  let action job socket log =
+    with_client socket (fun () ->
+        Client.with_conn ~socket_path:socket (fun conn ->
+            finish_outcome ~log ~corrected_out:None
+              (Client.watch ~on_event:print_event conn job)))
+  in
+  let doc =
+    "Stream a job's progress events until it finishes and print its result \
+     (reattaches to jobs submitted with $(b,--detach))."
+  in
+  Cmd.v (Cmd.info "watch" ~doc ~exits)
+    Term.(const action $ job_pos_arg $ socket_arg $ log_arg)
+
+let cancel_cmd =
+  let action job socket =
+    with_client socket (fun () ->
+        Client.with_conn ~socket_path:socket (fun conn ->
+            Client.cancel conn job;
+            Fmt.epr "cancellation requested for %s@." job;
+            exit_ok))
+  in
+  let doc =
+    "Cancel a job: a queued job is dropped immediately, a running one stops \
+     at its next scheduling point."
+  in
+  Cmd.v (Cmd.info "cancel" ~doc ~exits) Term.(const action $ job_pos_arg $ socket_arg)
+
+let shutdown_cmd =
+  let action socket =
+    with_client socket (fun () ->
+        Client.with_conn ~socket_path:socket (fun conn ->
+            Client.shutdown conn;
+            Fmt.epr "shutdown requested@.";
+            exit_ok))
+  in
+  let doc =
+    "Ask a running daemon to drain (queued jobs cancelled, running jobs \
+     finish) and exit."
+  in
+  Cmd.v (Cmd.info "shutdown" ~doc ~exits) Term.(const action $ socket_arg)
 
 let stats_cmd =
   let metrics_file_arg =
     let doc = "A metrics snapshot previously written by --metrics-out." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS" ~doc)
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"METRICS" ~doc)
   in
-  let action path =
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    match Failatom_obs.Obs.parse_json s with
-    | snap -> Failatom_obs.Obs.pp_table Fmt.stdout snap
+  let socket_opt_arg =
+    let doc = "Fetch the live metrics snapshot from a running daemon instead." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let render text ~origin =
+    match Failatom_obs.Obs.parse_json text with
+    | snap ->
+      Failatom_obs.Obs.pp_table Fmt.stdout snap;
+      exit_ok
     | exception Failatom_obs.Obs.Parse_error msg ->
-      Fmt.epr "failatom: %s: %s@." path msg;
-      exit 1
+      Fmt.epr "failatom: %s: %s@." origin msg;
+      exit_usage
+  in
+  let action path socket =
+    match (path, socket) with
+    | None, None ->
+      Fmt.epr "failatom: stats needs a METRICS file or --socket@.";
+      exit_usage
+    | Some _, Some _ ->
+      Fmt.epr "failatom: stats takes either a METRICS file or --socket, not both@.";
+      exit_usage
+    | Some path, None ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      render s ~origin:path
+    | None, Some socket ->
+      with_client socket (fun () ->
+          Client.with_conn ~socket_path:socket (fun conn ->
+              render (Client.stats conn) ~origin:socket))
   in
   let doc =
-    "Render a --metrics-out snapshot as a per-phase table: counters, gauges, \
-     and span timings with count/total/mean/p50/p99/max."
+    "Render a metrics snapshot as a per-phase table: counters, gauges, and \
+     span timings with count/total/mean/p50/p99/max — from a --metrics-out \
+     file or live from a daemon ($(b,--socket))."
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const action $ metrics_file_arg)
+  Cmd.v (Cmd.info "stats" ~doc ~exits) Term.(const action $ metrics_file_arg $ socket_opt_arg)
 
 let apps_cmd =
   let action () =
@@ -471,10 +821,11 @@ let apps_cmd =
         Fmt.pr "%-14s %-5s %s@." a.Registry.name
           (Registry.suite_name a.Registry.suite)
           a.Registry.description)
-      Registry.catalog
+      Registry.catalog;
+    exit_ok
   in
   let doc = "List the bundled workload applications (usable as app:NAME)." in
-  Cmd.v (Cmd.info "apps" ~doc) Term.(const action $ const ())
+  Cmd.v (Cmd.info "apps" ~doc ~exits) Term.(const action $ const ())
 
 let experiments_cmd =
   let action () =
@@ -489,13 +840,14 @@ let experiments_cmd =
     Report.pp_figure_methods Fmt.stdout ~title:"Java apps: % of methods" (of_suite "Java");
     Report.pp_figure_calls Fmt.stdout ~title:"Java apps: % of calls" (of_suite "Java");
     Report.pp_figure_classes Fmt.stdout ~title:"C++ apps: % of classes" (of_suite "C++");
-    Report.pp_figure_classes Fmt.stdout ~title:"Java apps: % of classes" (of_suite "Java")
+    Report.pp_figure_classes Fmt.stdout ~title:"Java apps: % of classes" (of_suite "Java");
+    exit_ok
   in
   let doc =
     "Run the detection sweep over all bundled applications and print Table 1 \
      and Figures 2-4 (use the bench executable for Figure 5)."
   in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const action $ const ())
+  Cmd.v (Cmd.info "experiments" ~doc ~exits) Term.(const action $ const ())
 
 let main_cmd =
   let doc =
@@ -503,8 +855,14 @@ let main_cmd =
      (reproduction of Fetzer, Högstedt & Felber, DSN 2003)"
   in
   Cmd.group
-    (Cmd.info "failatom" ~version:"1.0.0" ~doc)
+    (Cmd.info "failatom" ~version:"1.0.0" ~doc ~exits)
     [ run_cmd; detect_cmd; campaign_cmd; classify_cmd; weave_cmd; mask_cmd; trace_cmd;
+      serve_cmd; submit_cmd; status_cmd; watch_cmd; cancel_cmd; shutdown_cmd;
       stats_cmd; apps_cmd; experiments_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  match Cmd.eval_value main_cmd with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit exit_ok
+  | Error (`Parse | `Term) -> exit exit_usage
+  | Error `Exn -> exit exit_internal

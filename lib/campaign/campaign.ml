@@ -39,6 +39,10 @@ module Obs = Failatom_obs.Obs
 
 exception Campaign_error of string
 
+exception Cancelled
+(* The [cancel] callback returned [true]: workers stopped claiming and
+   the campaign aborted after draining in-flight runs. *)
+
 (* Campaign-level observability.  Counters mirror the scheduler stats
    (added once per campaign, so they aggregate across campaigns in one
    process); the queue-depth distribution samples how many claimed
@@ -55,12 +59,12 @@ let default_jobs () = min 8 (max 1 (Domain.recommended_domain_count () - 1))
 
 (* Identifies the program inside a journal so that a resume against a
    different program or flavor is rejected instead of silently merging
-   unrelated runs. *)
-let program_digest (program : Ast.program) =
-  Digest.to_hex (Digest.string (Pretty.program_to_string program))
+   unrelated runs.  Also the key of the server's content-addressed
+   caches, hence the delegation to the single definition. *)
+let program_digest = Minilang.program_digest
 
-let load_journal ~path ~header:(expected : Journal.header) =
-  match Journal.load ~path with
+let load_journal ~warn ~path ~header:(expected : Journal.header) =
+  match Journal.load ~warn ~path () with
   | None -> ([], Some (Journal.create ~path expected))
   | Some (found, runs) ->
     if not (String.equal found.Journal.flavor expected.Journal.flavor) then
@@ -83,7 +87,8 @@ let load_journal ~path ~header:(expected : Journal.header) =
     raise (Campaign_error (Printf.sprintf "corrupt journal %s: line %d: %s" path line msg))
 
 let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
-    ?(prepare = fun (_ : Vm.t) -> ()) ?jobs ?journal ?(resume = false)
+    ?(prepare = fun (_ : Vm.t) -> ()) ?plain ?compiled ?run_timeout_s
+    ?(cancel = fun () -> false) ?jobs ?journal ?(resume = false)
     ?(report = Progress.null) (program : Ast.program) :
     Detect.result * Progress.summary =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
@@ -95,10 +100,14 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
      every worker: the plain image backs the profile run (and the
      load-time-filter detection runs), the compiled image is what each
      claimed threshold instantiates — weaving and compilation happen
-     once per campaign, not once per run. *)
-  let plain = Compile.image program in
+     once per campaign, not once per run.  Callers that already hold the
+     images (the server's content-addressed cache) pass them in and skip
+     even that. *)
+  let plain = match plain with Some p -> p | None -> Compile.image program in
   let profile = Profile.of_image ~prepare plain in
-  let compiled = Detect.compile ~plain flavor program in
+  let compiled =
+    match compiled with Some c -> c | None -> Detect.compile ~plain flavor program
+  in
   let header =
     { Journal.flavor = Detect.flavor_name flavor; program_digest = program_digest program }
   in
@@ -108,7 +117,8 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
       if resume then raise (Campaign_error "cannot resume without a journal path");
       ([], None)
     | Some path ->
-      if resume then load_journal ~path ~header
+      if resume then
+        load_journal ~warn:(fun msg -> report (Progress.Warning msg)) ~path ~header
       else ([], Some (Journal.create ~path header))
   in
   let sched =
@@ -148,6 +158,13 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
     let executed_here = ref 0 in
     let rec loop () =
       if Option.is_some !failure then ()
+      else if cancel () then begin
+        (* Stop claiming; runs already in flight on other workers drain
+           first (each bounded by [run_timeout_s] if set), so
+           cancellation latency is at most one run. *)
+        failure := Some Cancelled;
+        Condition.broadcast cond
+      end
       else
         match Scheduler.claim sched with
         | Scheduler.Done -> ()
@@ -166,7 +183,7 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
           Obs.observe h_queue_depth !in_flight;
           Mutex.unlock mutex;
           let outcome =
-            try Ok (Detect.run_once compiled config analyzer ~prepare ~threshold)
+            try Ok (Detect.run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold)
             with e -> Error e
           in
           Mutex.lock mutex;

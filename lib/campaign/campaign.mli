@@ -15,6 +15,13 @@ exception Campaign_error of string
 (** User-level misuse: resuming without a journal, or against a journal
     recorded for a different program or flavor, or a corrupt journal. *)
 
+exception Cancelled
+(** The [cancel] callback returned [true]: workers stopped claiming new
+    thresholds and the campaign aborted once in-flight runs drained
+    (each bounded by [run_timeout_s] when set).  The journal, if any,
+    retains every run completed before the abort, so a cancelled
+    campaign can later be resumed. *)
+
 val default_jobs : unit -> int
 (** One worker per available core minus one, clamped to [1..8]. *)
 
@@ -26,6 +33,10 @@ val run :
   ?config:Config.t ->
   ?flavor:Detect.flavor ->
   ?prepare:(Vm.t -> unit) ->
+  ?plain:Compile.image ->
+  ?compiled:Detect.compiled ->
+  ?run_timeout_s:float ->
+  ?cancel:(unit -> bool) ->
   ?jobs:int ->
   ?journal:string ->
   ?resume:bool ->
@@ -41,6 +52,15 @@ val run :
     fresh VM (as in {!Detect.run}) and must be safe to call from
     multiple domains.  [report] receives progress events.
 
+    [plain] and [compiled] reuse already-built images of this very
+    [program] (the server's content-addressed image cache), skipping
+    the per-campaign weaving and compilation.  [run_timeout_s] bounds
+    each run's wall-clock time; a timed-out run is recorded with
+    [Marks.timed_out] and never establishes the frontier.  [cancel] is
+    polled by every worker before claiming a threshold; once it returns
+    [true] the campaign aborts with {!Cancelled}.
+
     @raise Detect.Detection_error as {!Detect.run} would (a genuine
     failure inside a run, or [max_runs] exceeded).
-    @raise Campaign_error on journal misuse. *)
+    @raise Campaign_error on journal misuse.
+    @raise Cancelled when [cancel] fired. *)

@@ -28,7 +28,8 @@ type header = {
 
 type writer = { oc : out_channel }
 
-let load ~path : (header * Marks.run_record list) option =
+let load ?(warn = fun (_ : string) -> ()) ~path () :
+    (header * Marks.run_record list) option =
   if not (Sys.file_exists path) then None
   else begin
     let ic = open_in_bin path in
@@ -36,6 +37,22 @@ let load ~path : (header * Marks.run_record list) option =
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (* A writer killed mid-[output_string] (before the flush+fsync
+       completed) leaves a torn final line — not even a whole record.
+       Truncate back to the last complete line so the parser sees only
+       whole records; [tolerate_partial_tail] below then drops any
+       whole-but-unterminated trailing run block. *)
+    let text =
+      let n = String.length text in
+      if n = 0 || text.[n - 1] = '\n' then text
+      else begin
+        warn
+          (Printf.sprintf "journal %s: torn final line truncated on resume" path);
+        match String.rindex_opt text '\n' with
+        | Some i -> String.sub text 0 (i + 1)
+        | None -> ""
+      end
     in
     let flavor = ref "unknown" in
     let digest = ref "" in
@@ -60,12 +77,15 @@ let create ~path header =
   flush oc;
   { oc }
 
-(* One run block, flushed immediately: the journal must reflect every
-   completed run even if the campaign process is killed right after. *)
+(* One run block, flushed and fsynced immediately: the journal must
+   reflect every completed run even if the campaign process — or the
+   machine — dies right after.  The fsync makes each record durable, not
+   merely handed to the kernel. *)
 let append w (r : Marks.run_record) =
   let buf = Buffer.create 256 in
   Run_log.save_run ~with_output:true buf r;
   output_string w.oc (Buffer.contents buf);
-  flush w.oc
+  flush w.oc;
+  Unix.fsync (Unix.descr_of_out_channel w.oc)
 
 let close w = close_out w.oc

@@ -13,10 +13,13 @@ type header = {
 
 type writer
 
-val load : path:string -> (header * Marks.run_record list) option
+val load :
+  ?warn:(string -> unit) -> path:string -> unit ->
+  (header * Marks.run_record list) option
 (** [None] when the file does not exist.  Run blocks are returned in
-    file order (completion order, not threshold order); a truncated
-    trailing block — the writer was killed mid-append — is dropped.
+    file order (completion order, not threshold order); a torn final
+    line and a truncated trailing block — the writer was killed
+    mid-append — are dropped, each reported through [warn].
     @raise Run_log.Bad_log on a corrupt journal. *)
 
 val create : path:string -> header -> writer
@@ -25,6 +28,7 @@ val create : path:string -> header -> writer
     scrubs any truncated trailing block left by a kill mid-append. *)
 
 val append : writer -> Marks.run_record -> unit
-(** Appends one run block and flushes. *)
+(** Appends one run block, flushes, and fsyncs — each record is durable
+    against a machine crash, not merely handed to the kernel. *)
 
 val close : writer -> unit

@@ -34,6 +34,9 @@ type event =
       rate : float;  (* executed runs per second of wall-clock *)
       eta_s : float option;
     }
+  | Warning of string
+    (* a recoverable anomaly worth surfacing (e.g. a torn journal tail
+       truncated on resume) *)
   | Finished of summary
 
 let null (_ : event) = ()
@@ -68,4 +71,5 @@ let reporter ?(interval_s = 1.0) ppf =
         Fmt.pf ppf "campaign: %d/%s runs, %d injections, %.0f runs/s, ETA %s@."
           t.completed total t.injections t.rate eta
       end
+    | Warning msg -> Fmt.pf ppf "campaign: warning: %s@." msg
     | Finished s -> pp_summary ppf s

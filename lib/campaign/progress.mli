@@ -27,6 +27,9 @@ type event =
       rate : float;  (** executed runs per second of wall-clock *)
       eta_s : float option;
     }
+  | Warning of string
+      (** a recoverable anomaly worth surfacing (e.g. a torn journal
+          tail truncated on resume) *)
   | Finished of summary
 
 val null : event -> unit

@@ -74,7 +74,13 @@ let file t (r : Marks.run_record) ~journal =
     Hashtbl.replace t.completed point r;
     if journal then Hashtbl.replace t.from_journal point ();
     (match r.Marks.injected with
-     | None -> note_frontier t point
+     | None when not r.Marks.timed_out -> note_frontier t point
+     | None ->
+       (* Timed out before any injection fired: the run proves nothing
+          about the frontier — the injection point may simply not have
+          been reached yet.  Keep probing; an all-timeout campaign ends
+          at max_runs with [Exhausted]. *)
+       ()
      | Some _ -> t.injected_runs <- t.injected_runs + 1);
     advance_contiguous t;
     grow_horizon t

@@ -66,3 +66,36 @@ let default =
    of the paper's Listing 1. *)
 let injectable config ~declared =
   declared @ List.filter (fun e -> not (List.mem e declared)) config.runtime_exceptions
+
+(* Content address of a configuration: md5 hex over a canonical
+   rendering of every field that influences detection results.  Two
+   configs with equal fingerprints produce identical run records on the
+   same program — the contract the server's result cache relies on.
+   The leading version tag must change whenever a field is added or its
+   rendering changes, invalidating stale cache entries. *)
+let fingerprint (c : t) =
+  let strategy =
+    match c.checkpoint_strategy with
+    | Checkpoint.Eager -> "eager"
+    | Checkpoint.Lazy -> "lazy"
+  in
+  let policy =
+    match c.wrap_policy with Wrap_pure -> "pure" | Wrap_all_non_atomic -> "all"
+  in
+  let methods ms =
+    String.concat "," (List.sort compare (List.map Method_id.to_string ms))
+  in
+  let canonical =
+    String.concat "|"
+      [ "cfg1";
+        String.concat "," c.runtime_exceptions;
+        string_of_bool c.snapshot_args;
+        snapshot_mode_name c.snapshot_mode;
+        strategy;
+        policy;
+        methods c.exception_free;
+        string_of_bool c.infer_exception_free;
+        methods c.do_not_wrap;
+        string_of_int c.max_runs ]
+  in
+  Digest.to_hex (Digest.string canonical)

@@ -60,3 +60,9 @@ val default : t
 val injectable : t -> declared:string list -> string list
 (** All exception classes injectable into a method with the given
     [throws] clause; declared exceptions first, as in Listing 1. *)
+
+val fingerprint : t -> string
+(** Content address of the configuration: md5 hex over a canonical,
+    versioned rendering of every field that influences detection
+    results.  Equal fingerprints guarantee identical run records on the
+    same program — the keying contract of the server's result cache. *)

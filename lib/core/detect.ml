@@ -80,19 +80,32 @@ let instrumented_vm compiled config analyzer ~prepare ~threshold =
 (* One injection run fired an exception (i.e. was not the probe run). *)
 let m_injections_fired = Obs.counter "detect.injections_fired"
 
-let run_once compiled config analyzer ~prepare ~threshold : Marks.run_record =
+let m_runs_timed_out = Obs.counter "detect.runs_timed_out"
+
+let run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold :
+    Marks.run_record =
   Obs.span "detect.run_once"
     ~attrs:
       [ ("flavor", flavor_name compiled.cflavor);
         ("snapshot_mode", Config.snapshot_mode_name config.Config.snapshot_mode) ]
     (fun () ->
       let vm, state = instrumented_vm compiled config analyzer ~prepare ~threshold in
-      let escaped =
+      (match run_timeout_s with
+       | Some timeout_s -> Vm.arm_deadline vm ~timeout_s
+       | None -> ());
+      let escaped, timed_out =
         try
           ignore (Compile.run_main vm);
-          None
+          (None, false)
         with
-        | Vm.Mini_raise e -> Some e.Vm.exn_class
+        | Vm.Mini_raise e -> (Some e.Vm.exn_class, false)
+        | Vm.Deadline_exceeded ->
+          (* The armed timeout fired: record the observations made so
+             far instead of wedging the worker.  The abort unwinds as an
+             OCaml exception, so no wrapper mistakes it for an
+             exceptional MiniLang return. *)
+          Obs.incr m_runs_timed_out;
+          (None, true)
         | Compile.Runtime_error (msg, pos) ->
           raise
             (Detection_error
@@ -106,25 +119,38 @@ let run_once compiled config analyzer ~prepare ~threshold : Marks.run_record =
         marks = Injection.marks state;
         escaped;
         output = Vm.output vm;
-        calls = vm.Vm.calls })
+        calls = vm.Vm.calls;
+        timed_out })
 
-(* Runs the complete detection phase on [program]. *)
+(* Runs the complete detection phase on [program].  [plain] and
+   [compiled] short-circuit the per-detection compilation when the
+   caller already holds the program's images (the server's
+   content-addressed image cache); they must have been built from this
+   very [program]. *)
 let run ?(config = Config.default) ?(flavor = Source_weaving)
-    ?(prepare = fun (_ : Vm.t) -> ()) (program : Ast.program) : result =
+    ?(prepare = fun (_ : Vm.t) -> ()) ?plain ?compiled ?run_timeout_s
+    (program : Ast.program) : result =
   Obs.span "detect.run" ~attrs:[ ("flavor", flavor_name flavor) ] @@ fun () ->
   let analyzer = Analyzer.analyze config program in
-  let plain = Compile.image program in
+  let plain = match plain with Some p -> p | None -> Compile.image program in
   let profile = Profile.of_image ~prepare plain in
-  let compiled = compile ~plain flavor program in
+  let compiled =
+    match compiled with Some c -> c | None -> compile ~plain flavor program
+  in
   let rec loop threshold acc =
     if threshold > config.Config.max_runs then
       raise
         (Detection_error
            (Printf.sprintf "exceeded max_runs = %d injection runs" config.Config.max_runs))
     else
-      let record = run_once compiled config analyzer ~prepare ~threshold in
+      let record = run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold in
       match record.Marks.injected with
       | Some _ -> loop (threshold + 1) (record :: acc)
+      | None when record.Marks.timed_out ->
+        (* Timed out before any injection fired: the threshold was not
+           proven past the last injection point, so this is not the
+           probe run — keep going. *)
+        loop (threshold + 1) (record :: acc)
       | None ->
         (* The no-injection probe run: instrumentation must be
            transparent w.r.t. the baseline, and its marks capture the

@@ -49,17 +49,25 @@ val compile : ?plain:Compile.image -> flavor -> Ast.program -> compiled
 val compiled_flavor : compiled -> flavor
 
 val run_once :
-  compiled -> Config.t -> Analyzer.t -> prepare:(Vm.t -> unit) ->
-  threshold:int -> Marks.run_record
+  ?run_timeout_s:float -> compiled -> Config.t -> Analyzer.t ->
+  prepare:(Vm.t -> unit) -> threshold:int -> Marks.run_record
 (** One detection run with the given threshold armed, on a fresh VM and
     heap instantiated from the compiled image.  Runs are independent of
     each other by construction, which is what lets
     {!Failatom_campaign.Campaign} execute them in parallel.
+    With [run_timeout_s] the run is aborted once it exceeds that
+    wall-clock budget and its record carries
+    [Marks.timed_out = true] (marks observed so far are kept).
     @raise Detection_error on a non-MiniLang failure inside the run. *)
 
 val run :
   ?config:Config.t -> ?flavor:flavor -> ?prepare:(Vm.t -> unit) ->
+  ?plain:Compile.image -> ?compiled:compiled -> ?run_timeout_s:float ->
   Ast.program -> result
 (** Runs the complete detection phase.  [prepare] registers extra hooks
     on every VM created (e.g. {!Mask.register_hooks} when re-validating
-    an already-masked program). *)
+    an already-masked program).  [plain] and [compiled] reuse
+    already-built images of this very [program] (skipping compilation —
+    the server's image cache); [run_timeout_s] bounds each run's
+    wall-clock time, and a timed-out run never ends the detection loop
+    even when no injection fired. *)

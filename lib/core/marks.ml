@@ -28,6 +28,11 @@ type run_record = {
   escaped : string option; (* exception class escaping [main], if any *)
   output : string; (* program output of this run *)
   calls : int; (* dynamic method+constructor calls in this run *)
+  timed_out : bool;
+      (* the run was aborted by the per-run wall-clock timeout; its marks
+         are the (valid) observations made before the abort, but a
+         timed-out run never establishes the detection frontier even
+         when no injection fired *)
 }
 
 let pp_mark ppf { meth; atomic; diff_path; _ } =
@@ -37,12 +42,13 @@ let pp_mark ppf { meth; atomic; diff_path; _ } =
     diff_path
 
 let pp_run ppf r =
+  let timed ppf r = if r.timed_out then Fmt.pf ppf " (timed out)" in
   match r.injected with
-  | None -> Fmt.pf ppf "run[%d]: no injection" r.injection_point
+  | None -> Fmt.pf ppf "run[%d]: no injection%a" r.injection_point timed r
   | Some (site, exn_class) ->
-    Fmt.pf ppf "run[%d]: %s @@ %a -> [%a]%a" r.injection_point exn_class
+    Fmt.pf ppf "run[%d]: %s @@ %a -> [%a]%a%a" r.injection_point exn_class
       Method_id.pp site
       Fmt.(list ~sep:comma pp_mark)
       r.marks
       Fmt.(option (fun ppf e -> pf ppf " escaped:%s" e))
-      r.escaped
+      r.escaped timed r

@@ -27,6 +27,10 @@ type run_record = {
   escaped : string option;  (** exception class escaping [main], if any *)
   output : string;  (** program output of this run *)
   calls : int;  (** dynamic method+constructor calls in this run *)
+  timed_out : bool;
+      (** the run was aborted by the per-run wall-clock timeout
+          ([--run-timeout]); a timed-out run never establishes the
+          detection frontier, even when no injection fired *)
 }
 
 val pp_mark : mark Fmt.t

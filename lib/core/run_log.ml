@@ -18,6 +18,7 @@
      inject <method> <exception>     (* absent for the probe run *)
      escaped <exception>             (* optional *)
      ncalls <count>
+     timedout                        (* optional; --run-timeout abort *)
      mark <method> atomic|nonatomic <exn-id> [<diff-path>]
      output <escaped-string>         (* optional; campaign journals *)
      endrun
@@ -67,6 +68,7 @@ let save_run ?(with_output = false) buf (r : Marks.run_record) =
    | Some exn_class -> Buffer.add_string buf (Printf.sprintf "escaped %s\n" exn_class)
    | None -> ());
   Buffer.add_string buf (Printf.sprintf "ncalls %d\n" r.Marks.calls);
+  if r.Marks.timed_out then Buffer.add_string buf "timedout\n";
   List.iter
     (fun (m : Marks.mark) ->
       Buffer.add_string buf
@@ -113,6 +115,7 @@ type partial_run = {
   mutable ncalls : int;
   mutable marks_rev : Marks.mark list;
   mutable out : string;
+  mutable timed : bool;
 }
 
 (* Generic parser over the run-record grammar.  Lines that are not part
@@ -138,7 +141,8 @@ let parse_runs ?(tolerate_partial_tail = false) ~on_extra (text : string) :
           marks = List.rev pr.marks_rev;
           escaped = pr.escaped;
           output = pr.out;
-          calls = pr.ncalls }
+          calls = pr.ncalls;
+          timed_out = pr.timed }
         :: !runs_rev;
       current := None
   in
@@ -163,7 +167,8 @@ let parse_runs ?(tolerate_partial_tail = false) ~on_extra (text : string) :
                 escaped = None;
                 ncalls = 0;
                 marks_rev = [];
-                out = "" }
+                out = "";
+                timed = false }
         | None -> bad lineno "bad injection point")
       | [ "inject"; meth; exn_class ] ->
         in_run lineno (fun pr -> pr.injected <- Some (method_of_string meth, exn_class))
@@ -192,6 +197,7 @@ let parse_runs ?(tolerate_partial_tail = false) ~on_extra (text : string) :
             pr.marks_rev <-
               { Marks.meth = method_of_string meth; atomic; diff_path; exn_id }
               :: pr.marks_rev)
+      | [ "timedout" ] -> in_run lineno (fun pr -> pr.timed <- true)
       | [ "output" ] -> in_run lineno (fun pr -> pr.out <- "")
       | [ "output"; enc ] ->
         in_run lineno (fun pr ->

@@ -32,3 +32,9 @@ let run_string ?allow_reserved src =
   let vm = load_string ?allow_reserved src in
   ignore (run vm);
   output vm
+
+(* Content address of a program: md5 hex of its pretty-printed text.
+   Pretty-printing canonicalises whitespace and comments, so two sources
+   that parse to the same AST share a digest. *)
+let program_digest (program : Ast.program) =
+  Digest.to_hex (Digest.string (Pretty.program_to_string program))

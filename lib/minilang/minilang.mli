@@ -25,3 +25,8 @@ val output : Vm.t -> string
 
 val run_string : ?allow_reserved:bool -> string -> string
 (** Runs a source text and returns its printed output. *)
+
+val program_digest : Ast.program -> string
+(** Content address of a program: md5 hex of its pretty-printed text.
+    Two sources that parse to the same AST share a digest (whitespace
+    and comments are canonicalised away). *)

@@ -540,7 +540,7 @@ let phase_of name =
 
 (* Pipeline order, so the table reads top-to-bottom the way a campaign
    runs; unknown phases sort after these, alphabetically. *)
-let phase_rank = [ "compile"; "vm"; "heap"; "detect"; "campaign" ]
+let phase_rank = [ "compile"; "vm"; "heap"; "detect"; "campaign"; "server" ]
 
 let compare_phase a b =
   let rank p =

@@ -34,6 +34,10 @@ type t = {
   mutable max_call_depth : int;
   mutable steps : int;
   mutable step_limit : int; (* guards against runaway injected programs *)
+  mutable deadline_ns : int;
+      (* absolute monotonic deadline for this run, 0 = none; checked
+         every few thousand steps so a divergent injected run aborts
+         with Deadline_exceeded instead of wedging its worker *)
   mutable calls : int; (* dynamic count of method + constructor calls *)
   mutable ic_hits : int;
       (* compiled call sites whose monomorphic inline cache hit; plain
@@ -91,6 +95,7 @@ and post_action = Pass | Post_return of Value.t | Post_raise of exn_value
 exception Unknown_class of string
 exception Unknown_method of string * string (* class, method *)
 exception Step_limit_exceeded
+exception Deadline_exceeded
 
 (* ------------------------------------------------------------------ *)
 (* Built-in exception class hierarchy                                  *)
@@ -147,6 +152,7 @@ let create () =
       max_call_depth = 2_000;
       steps = 0;
       step_limit = 50_000_000;
+      deadline_ns = 0;
       calls = 0;
       ic_hits = 0;
       ic_misses = 0;
@@ -246,9 +252,23 @@ let exn_matches vm exn_v handler_class = is_subclass vm exn_v.exn_class handler_
 (* Dispatch with filter interposition                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* How many steps pass between deadline-clock reads.  The mask keeps the
+   per-tick cost of an armed deadline to one load and one branch; the
+   clock itself is only read every [deadline_check_mask + 1] steps. *)
+let deadline_check_mask = 0xfff
+
 let tick vm =
   vm.steps <- vm.steps + 1;
-  if vm.steps > vm.step_limit then raise Step_limit_exceeded
+  if vm.steps > vm.step_limit then raise Step_limit_exceeded;
+  if
+    vm.deadline_ns > 0
+    && vm.steps land deadline_check_mask = 0
+    && Failatom_obs.Obs.now_ns () > vm.deadline_ns
+  then raise Deadline_exceeded
+
+let arm_deadline vm ~timeout_s =
+  vm.deadline_ns <-
+    Failatom_obs.Obs.now_ns () + int_of_float (timeout_s *. 1e9)
 
 (* Runs [meth] on [recv] with [args], threading the call through the
    method's filter chain (outermost first).  Filters see the MiniLang

@@ -31,6 +31,9 @@ type t = {
   mutable max_call_depth : int;
   mutable steps : int;
   mutable step_limit : int;  (** guards against runaway injected programs *)
+  mutable deadline_ns : int;
+      (** absolute monotonic deadline for this run (0 = none); see
+          {!arm_deadline} *)
   mutable calls : int;  (** dynamic count of method + constructor calls *)
   mutable ic_hits : int;
       (** compiled call sites whose monomorphic inline cache hit; a
@@ -90,6 +93,13 @@ and post_action = Pass | Post_return of Value.t | Post_raise of exn_value
 exception Unknown_class of string
 exception Unknown_method of string * string
 exception Step_limit_exceeded
+
+exception Deadline_exceeded
+(** The run exceeded its armed wall-clock deadline ({!arm_deadline}).
+    An OCaml-level exception, like {!Step_limit_exceeded}: it is not
+    catchable in-language, so it unwinds through MiniLang handlers and
+    detection wrappers without being recorded as an exceptional
+    return. *)
 
 (** {1 Built-in exception hierarchy} *)
 
@@ -155,7 +165,14 @@ val exn_matches : t -> exn_value -> string -> bool
 
 val tick : t -> unit
 (** Accounts one interpreter step.
-    @raise Step_limit_exceeded past the budget. *)
+    @raise Step_limit_exceeded past the budget.
+    @raise Deadline_exceeded past an armed wall-clock deadline (checked
+    every few thousand steps). *)
+
+val arm_deadline : t -> timeout_s:float -> unit
+(** Arms the run's wall-clock deadline [timeout_s] seconds from now.
+    A divergent or hung run then aborts with {!Deadline_exceeded}
+    instead of running to the step limit. *)
 
 val call_filtered : t -> meth -> Value.t -> Value.t list -> Value.t
 (** Runs a resolved method, threading the call through its filter chain

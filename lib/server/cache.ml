@@ -1,0 +1,128 @@
+(* The daemon's content-addressed caches.
+
+   Two layers, both keyed by content, never by name:
+
+   - The {b image cache} maps (program digest, flavor) to the compiled
+     program images — the plain {!Compile.image} plus the
+     flavor-specific {!Detect.compiled} (woven for source weaving).
+     Compilation and weaving are the per-submission fixed cost; a warm
+     hit makes resubmission skip them entirely.
+
+   - The {b result cache} maps a full job fingerprint — program digest
+     plus everything that influences the outcome (mode, flavor,
+     config fingerprint, run timeout, protocol revision) — to the
+     finished {!Protocol.job_result}.  A warm hit answers a
+     resubmission in O(1) with a byte-identical result: the cached
+     value carries the very {!Run_log} text the original job produced.
+
+   Keying by [Config.fingerprint] rather than by the request object
+   means two requests that spell the same configuration differently
+   (field order, defaulted fields) still share an entry, and that a
+   future config field automatically splits the key space.
+
+   Both maps are guarded by one mutex and bounded by FIFO eviction —
+   insertion order approximates recency well enough for a daemon whose
+   working set is "the programs this user keeps poking at", and it
+   keeps eviction O(1) with no per-hit bookkeeping. *)
+
+open Failatom_core
+open Failatom_minilang
+module Obs = Failatom_obs.Obs
+
+let m_image_hits = Obs.counter "server.cache_image_hits"
+let m_image_misses = Obs.counter "server.cache_image_misses"
+let m_result_hits = Obs.counter "server.cache_result_hits"
+let m_result_misses = Obs.counter "server.cache_result_misses"
+
+type images = {
+  plain : Compile.image;
+  compiled : Detect.compiled;
+}
+
+type 'a bounded = {
+  capacity : int;
+  table : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, oldest first *)
+}
+
+let bounded capacity =
+  { capacity; table = Hashtbl.create 64; order = Queue.create () }
+
+let bounded_add b key value =
+  if not (Hashtbl.mem b.table key) then begin
+    if Hashtbl.length b.table >= b.capacity then begin
+      let oldest = Queue.pop b.order in
+      Hashtbl.remove b.table oldest
+    end;
+    Hashtbl.replace b.table key value;
+    Queue.push key b.order
+  end
+
+type t = {
+  mutex : Mutex.t;
+  images : images bounded;
+  results : Protocol.job_result bounded;
+}
+
+let create ?(image_capacity = 128) ?(result_capacity = 1024) () =
+  { mutex = Mutex.create ();
+    images = bounded image_capacity;
+    results = bounded result_capacity }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let image_key ~program_digest ~flavor =
+  program_digest ^ "/" ^ Protocol.flavor_wire_name flavor
+
+(* The full job fingerprint.  The protocol revision is part of it so an
+   upgraded daemon never serves results serialized under an older
+   result shape. *)
+let result_key ~program_digest ~mode ~flavor ~config ~run_timeout_s =
+  let canonical =
+    String.concat "|"
+      [ Protocol.version;
+        program_digest;
+        Protocol.mode_name mode;
+        Protocol.flavor_wire_name flavor;
+        Config.fingerprint config;
+        (match run_timeout_s with None -> "none" | Some s -> Printf.sprintf "%.6f" s) ]
+  in
+  Digest.to_hex (Digest.string canonical)
+
+(* Returns the cached images for the program, compiling (and weaving,
+   for source weaving) them on a miss.  The compile runs inside the
+   lock: blocking a concurrent submission of the same program until the
+   image exists is precisely the deduplication we want, and compilation
+   is milliseconds. *)
+let images t ~program_digest ~flavor (program : Ast.program) =
+  let key = image_key ~program_digest ~flavor in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.images.table key with
+      | Some images ->
+        Obs.incr m_image_hits;
+        images
+      | None ->
+        Obs.incr m_image_misses;
+        let plain = Compile.image program in
+        let compiled = Detect.compile ~plain flavor program in
+        let images = { plain; compiled } in
+        bounded_add t.images key images;
+        images)
+
+let find_result t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.results.table key with
+      | Some r ->
+        Obs.incr m_result_hits;
+        Some r
+      | None ->
+        Obs.incr m_result_misses;
+        None)
+
+let store_result t key result = locked t (fun () -> bounded_add t.results key result)
+
+let stats t =
+  locked t (fun () ->
+      (Hashtbl.length t.images.table, Hashtbl.length t.results.table))

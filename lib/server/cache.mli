@@ -1,0 +1,37 @@
+(** The daemon's content-addressed caches: compiled program images
+    keyed by (program digest, flavor), and finished job results keyed
+    by the full job fingerprint (program digest, mode, flavor,
+    {!Config.fingerprint}, run timeout, protocol revision).  A warm
+    result hit answers a resubmission in O(1) with a byte-identical
+    {!Protocol.job_result}.  Thread-safe; bounded by FIFO eviction. *)
+
+open Failatom_core
+open Failatom_minilang
+
+type images = {
+  plain : Compile.image;  (** the unmodified program's image *)
+  compiled : Detect.compiled;  (** the flavor-specific detection image *)
+}
+
+type t
+
+val create : ?image_capacity:int -> ?result_capacity:int -> unit -> t
+(** Defaults: 128 image entries, 1024 result entries. *)
+
+val result_key :
+  program_digest:string -> mode:Protocol.mode -> flavor:Detect.flavor ->
+  config:Config.t -> run_timeout_s:float option -> string
+(** The full job fingerprint.  Equal keys guarantee byte-identical
+    results (detection is deterministic given program + config). *)
+
+val images :
+  t -> program_digest:string -> flavor:Detect.flavor -> Ast.program -> images
+(** The cached images for the program, compiled (and woven) on a miss.
+    Compilation happens under the cache lock, deduplicating concurrent
+    submissions of the same program. *)
+
+val find_result : t -> string -> Protocol.job_result option
+val store_result : t -> string -> Protocol.job_result -> unit
+
+val stats : t -> int * int
+(** (cached images, cached results). *)

@@ -1,0 +1,263 @@
+(* A minimal JSON tree, printer and parser for the server's wire
+   protocol.
+
+   Deliberately tiny: the protocol uses flat objects with string, bool,
+   number and shallow-array fields, so a full-featured JSON library
+   would be dead weight (and the container bakes in no such dependency
+   anyway).  The one sharp edge worth documenting: strings are treated
+   as byte sequences.  Bytes below 0x20 are escaped as \u00XX on output
+   and both escape forms are decoded on input, while bytes >= 0x80 pass
+   through raw — so any OCaml string round-trips byte-identically,
+   which is what the bitwise result-equality guarantee of the result
+   cache needs.  \uXXXX escapes above 0xFF are rejected rather than
+   UTF-8-encoded; the protocol never produces them. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    (* %.17g round-trips any float; trim is not worth the bother here *)
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | Str s -> escape_to buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { text : string; mutable pos : int }
+
+let fail msg = raise (Parse_error msg)
+
+let peek p = if p.pos < String.length p.text then Some p.text.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance p;
+    skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | Some c' -> fail (Printf.sprintf "expected '%c', found '%c' at %d" c c' p.pos)
+  | None -> fail (Printf.sprintf "expected '%c', found end of input" c)
+
+let literal p word value =
+  let n = String.length word in
+  if p.pos + n <= String.length p.text && String.sub p.text p.pos n = word then begin
+    p.pos <- p.pos + n;
+    value
+  end
+  else fail (Printf.sprintf "bad literal at %d" p.pos)
+
+let hex_digit = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> fail "bad hex digit in \\u escape"
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek p with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' ->
+      advance p;
+      (match peek p with
+       | Some '"' -> Buffer.add_char buf '"'; advance p
+       | Some '\\' -> Buffer.add_char buf '\\'; advance p
+       | Some '/' -> Buffer.add_char buf '/'; advance p
+       | Some 'n' -> Buffer.add_char buf '\n'; advance p
+       | Some 'r' -> Buffer.add_char buf '\r'; advance p
+       | Some 't' -> Buffer.add_char buf '\t'; advance p
+       | Some 'b' -> Buffer.add_char buf '\b'; advance p
+       | Some 'f' -> Buffer.add_char buf '\012'; advance p
+       | Some 'u' ->
+         advance p;
+         if p.pos + 4 > String.length p.text then fail "truncated \\u escape";
+         let code =
+           (hex_digit p.text.[p.pos] lsl 12)
+           lor (hex_digit p.text.[p.pos + 1] lsl 8)
+           lor (hex_digit p.text.[p.pos + 2] lsl 4)
+           lor hex_digit p.text.[p.pos + 3]
+         in
+         p.pos <- p.pos + 4;
+         if code > 0xFF then fail "\\u escape beyond latin-1 unsupported"
+         else Buffer.add_char buf (Char.chr code)
+       | _ -> fail "bad escape");
+      loop ()
+    | Some c ->
+      advance p;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c -> is_num_char c | None -> false) do
+    advance p
+  done;
+  let s = String.sub p.text start (p.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail (Printf.sprintf "bad number %S at %d" s start))
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail "unexpected end of input"
+  | Some '"' -> Str (parse_string p)
+  | Some 'n' -> literal p "null" Null
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some '[' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some ']' then begin
+      advance p;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value p ] in
+      skip_ws p;
+      while peek p = Some ',' do
+        advance p;
+        items := parse_value p :: !items;
+        skip_ws p
+      done;
+      expect p ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance p;
+    skip_ws p;
+    if peek p = Some '}' then begin
+      advance p;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws p;
+        let k = parse_string p in
+        skip_ws p;
+        expect p ':';
+        let v = parse_value p in
+        (k, v)
+      in
+      let fields = ref [ field () ] in
+      skip_ws p;
+      while peek p = Some ',' do
+        advance p;
+        fields := field () :: !fields;
+        skip_ws p
+      done;
+      expect p '}';
+      Obj (List.rev !fields)
+    end
+  | Some c -> if c = '-' || (c >= '0' && c <= '9') then parse_number p else
+      fail (Printf.sprintf "unexpected '%c' at %d" c p.pos)
+
+let of_string text =
+  let p = { text; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length text then fail "trailing garbage after JSON value";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_int = function Int n -> Some n | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+
+let str_member key j = Option.bind (member key j) to_str
+let int_member key j = Option.bind (member key j) to_int
+let bool_member key j = Option.bind (member key j) to_bool
+let float_member key j = Option.bind (member key j) to_float
+let list_member key j = Option.bind (member key j) to_list

@@ -1,0 +1,39 @@
+(** A minimal JSON tree, printer and parser for the wire protocol.
+
+    Strings are byte sequences: control bytes are escaped as \u00XX,
+    bytes >= 0x80 pass through raw, and every OCaml string round-trips
+    byte-identically — the property the result cache's bitwise
+    equality guarantee rests on.  \uXXXX escapes above 0xFF are
+    rejected (the protocol never produces them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact single-line rendering (never contains a raw newline, so a
+    value is always one NDJSON frame). *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch *)
+
+val member : string -> t -> t option
+val to_str : t -> string option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_float : t -> float option
+val to_list : t -> t list option
+val str_member : string -> t -> string option
+val int_member : string -> t -> int option
+val bool_member : string -> t -> bool option
+val float_member : string -> t -> float option
+val list_member : string -> t -> t list option

@@ -1,0 +1,654 @@
+(* The failatom daemon: a long-running detection service over a
+   Unix-domain socket.
+
+   Layout:
+
+   - One {b accept thread} owns the listening socket.  It polls with a
+     short [select] timeout so a stop request is honoured promptly
+     (closing a socket does not reliably wake a blocked [accept]), and
+     spawns one connection thread per client.
+
+   - {b Connection threads} speak the NDJSON protocol ({!Protocol}):
+     read a request line, write a response line.  [watch] turns the
+     connection into an event stream until the watched job reaches a
+     terminal state.  Connection threads never execute detection work;
+     they only enqueue jobs and observe them.
+
+   - {b Executor threads} ([workers] of them) pop jobs off a FIFO queue
+     and run them.  Detection and campaign jobs go through
+     {!Campaign.run} (a detect job is a campaign with one worker, which
+     produces a result bitwise-identical to {!Detect.run}); mask jobs
+     additionally compute the wrap targets and the corrected program
+     from the same detection result.  Compiled images come from the
+     content-addressed {!Cache}, so resubmitting a known program skips
+     compilation and weaving; a finished job's result is stored back
+     under its full fingerprint, so resubmitting a whole known job is
+     answered at submit time without touching the queue at all.
+
+   - {b Admission control}: a full queue rejects new submissions
+     instead of accepting unbounded work; a per-job wall-clock deadline
+     ([job_timeout_s]) and per-run timeout ([run_timeout_s]) bound how
+     long any single job can hold an executor.  [shutdown] (the request
+     or SIGTERM/SIGINT) drains gracefully: new work is rejected, queued
+     jobs are cancelled, running jobs finish — and every completed run
+     they journalled is already fsynced by {!Journal.append}.
+
+   All shared state — the job table, the queue, each job's event
+   buffer — is guarded by one mutex; one condition variable wakes both
+   executors (queue non-empty, drain) and watchers (new events).  The
+   executors call {!Campaign.run}, which spawns its own worker domains;
+   the server threads themselves are systhreads, interleaved on the
+   main domain, which is fine because they only block on I/O and the
+   condition variable. *)
+
+open Failatom_core
+open Failatom_minilang
+open Failatom_apps
+module Campaign = Failatom_campaign.Campaign
+module Progress = Failatom_campaign.Progress
+module Obs = Failatom_obs.Obs
+
+let m_accepted = Obs.counter "server.jobs_accepted"
+let m_rejected = Obs.counter "server.jobs_rejected"
+let m_completed = Obs.counter "server.jobs_completed"
+let m_failed = Obs.counter "server.jobs_failed"
+let m_cancelled = Obs.counter "server.jobs_cancelled"
+let m_timed_out = Obs.counter "server.jobs_timed_out"
+let g_queue_depth = Obs.gauge "server.queue_depth"
+let h_job_wall = Obs.histogram "server.job_wall_ns"
+
+type config = {
+  socket_path : string;
+  workers : int;  (* executor threads *)
+  max_queue : int;  (* admission bound on queued jobs *)
+  job_timeout_s : float option;  (* per-job wall-clock deadline *)
+  run_timeout_s : float option;  (* default per-run timeout *)
+  jobs_per_job : int;  (* clamp on a campaign request's worker domains *)
+}
+
+let default_config ~socket_path =
+  { socket_path;
+    workers = 2;
+    max_queue = 64;
+    job_timeout_s = None;
+    run_timeout_s = None;
+    jobs_per_job = Campaign.default_jobs () }
+
+(* A validated submission: everything resolved at submit time, so an
+   executor never discovers a bad request. *)
+type prepared = {
+  p_mode : Protocol.mode;
+  p_program : Ast.program;
+  p_digest : string;
+  p_flavor : Detect.flavor;
+  p_config : Config.t;
+  p_jobs : int;
+  p_run_timeout_s : float option;
+  p_key : string;  (* result-cache fingerprint *)
+}
+
+type job_state =
+  | Queued
+  | Running
+  | Done of Protocol.job_result * bool  (* result, served from cache *)
+  | Failed of string
+  | Cancelled
+  | Timed_out
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done _ -> "done"
+  | Failed _ -> "failed"
+  | Cancelled -> "cancelled"
+  | Timed_out -> "timed_out"
+
+type job = {
+  id : string;
+  prepared : prepared;
+  mutable state : job_state;
+  mutable events_rev : Protocol.event list;  (* newest first *)
+  mutable n_events : int;
+  mutable cancel_requested : bool;
+      (* read by campaign workers without the server mutex: a benign
+         single-word race, the poll just sees it one run later *)
+  mutable deadline_ns : int;  (* 0 = none; armed when the job starts *)
+  mutable last_tick_ns : int;  (* tick-event throttle *)
+}
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+      (* one condition for everything: executors wait for queue/drain,
+         watchers wait for job events; every state change broadcasts *)
+  jobs : (string, job) Hashtbl.t;
+  queue : job Queue.t;
+  mutable next_id : int;
+  mutable draining : bool;
+  stop : bool Atomic.t;  (* polled by the accept loop *)
+  stop_signal : bool Atomic.t;  (* set from signal handlers only *)
+  mutable threads : Thread.t list;  (* accept + executors *)
+  obs_was_enabled : bool;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Mutex held. *)
+let append_event_locked t job ev =
+  job.events_rev <- ev :: job.events_rev;
+  job.n_events <- job.n_events + 1;
+  Condition.broadcast t.cond
+
+let is_terminal_event = function
+  | Protocol.Ev_done _ | Protocol.Ev_error _ | Protocol.Ev_cancelled
+  | Protocol.Ev_timeout ->
+    true
+  | Protocol.Ev_state _ | Protocol.Ev_tick _ | Protocol.Ev_warning _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Request validation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let method_ids what names =
+  let rec all acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match String.index_opt name '.' with
+      | Some i when i > 0 && i < String.length name - 1 ->
+        all
+          (Method_id.make (String.sub name 0 i)
+             (String.sub name (i + 1) (String.length name - i - 1))
+           :: acc)
+          rest
+      | _ -> Error (Printf.sprintf "%s: %S is not a Class.method id" what name))
+  in
+  all [] names
+
+let prepare_request t (r : Protocol.job_request) : (prepared, string) result =
+  let parse_src what src =
+    (* liberal: accept already-woven/corrected programs too *)
+    try Ok (Minilang.parse ~allow_reserved:true src)
+    with e -> Error (Printf.sprintf "%s: %s" what (Printexc.to_string e))
+  in
+  let* program, default_flavor =
+    match r.Protocol.program with
+    | Protocol.App name -> (
+      match Registry.find name with
+      | None ->
+        Error (Printf.sprintf "unknown application %S (see `failatom apps`)" name)
+      | Some app ->
+        let* program = parse_src ("app " ^ name) app.Registry.source in
+        Ok (program, Harness.flavor_of_suite app.Registry.suite))
+    | Protocol.Inline src ->
+      let* program = parse_src "inline program" src in
+      Ok (program, Detect.Source_weaving)
+  in
+  let* exception_free = method_ids "exception_free" r.Protocol.exception_free in
+  let* do_not_wrap = method_ids "do_not_wrap" r.Protocol.do_not_wrap in
+  let flavor = Option.value ~default:default_flavor r.Protocol.flavor in
+  let config =
+    { Config.default with
+      Config.snapshot_mode = r.Protocol.snapshot;
+      infer_exception_free = r.Protocol.infer;
+      wrap_policy =
+        (if r.Protocol.wrap_all then Config.Wrap_all_non_atomic else Config.Wrap_pure);
+      exception_free;
+      do_not_wrap }
+  in
+  let jobs =
+    match r.Protocol.mode with
+    | Protocol.Detect | Protocol.Mask -> 1
+    | Protocol.Campaign ->
+      let requested = Option.value ~default:t.config.jobs_per_job r.Protocol.jobs in
+      max 1 (min requested t.config.jobs_per_job)
+  in
+  let run_timeout_s =
+    match r.Protocol.run_timeout_s with
+    | Some _ as s -> s
+    | None -> t.config.run_timeout_s
+  in
+  let digest = Minilang.program_digest program in
+  Ok
+    { p_mode = r.Protocol.mode;
+      p_program = program;
+      p_digest = digest;
+      p_flavor = flavor;
+      p_config = config;
+      p_jobs = jobs;
+      p_run_timeout_s = run_timeout_s;
+      p_key =
+        Cache.result_key ~program_digest:digest ~mode:r.Protocol.mode ~flavor
+          ~config ~run_timeout_s }
+
+(* ------------------------------------------------------------------ *)
+(* Job execution                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let build_result ~mode ~flavor ~cfg (res : Detect.result)
+    (summary : Progress.summary) : Protocol.job_result =
+  let cls = Classify.classify ~exception_free:cfg.Config.exception_free res in
+  let counts = Classify.method_counts cls in
+  let non_atomic =
+    List.filter_map
+      (fun (rep : Classify.method_report) ->
+        match rep.Classify.verdict with
+        | Classify.Atomic -> None
+        | v -> Some (Method_id.to_string rep.Classify.id, Classify.verdict_name v))
+      (Classify.reports cls)
+  in
+  { Protocol.r_mode = mode;
+    r_flavor = Protocol.flavor_wire_name flavor;
+    r_injections = res.Detect.injections;
+    r_transparent = res.Detect.transparent;
+    r_non_atomic = non_atomic;
+    r_counts =
+      { Protocol.atomic = counts.Classify.atomic;
+        conditional = counts.Classify.conditional;
+        pure = counts.Classify.pure };
+    r_log = Run_log.save res;
+    r_wrapped = [];
+    r_corrected = None;
+    r_summary =
+      Some
+        { Protocol.workers = summary.Progress.workers;
+          executed = summary.Progress.executed;
+          reused = summary.Progress.reused;
+          discarded = summary.Progress.discarded;
+          wall_s = summary.Progress.wall_clock_s } }
+
+let execute t (job : job) =
+  let p = job.prepared in
+  let report = function
+    | Progress.Tick { completed; needed; injections; _ } ->
+      let now = Obs.now_ns () in
+      locked t (fun () ->
+          if now - job.last_tick_ns >= 50_000_000 then begin
+            job.last_tick_ns <- now;
+            append_event_locked t job
+              (Protocol.Ev_tick { completed; needed; injections })
+          end)
+    | Progress.Warning msg ->
+      locked t (fun () -> append_event_locked t job (Protocol.Ev_warning msg))
+    | Progress.Started _ | Progress.Finished _ -> ()
+  in
+  let cancel () =
+    job.cancel_requested
+    || (job.deadline_ns > 0 && Obs.now_ns () > job.deadline_ns)
+  in
+  let t0 = Obs.now_ns () in
+  let outcome =
+    try
+      if cancel () then raise Campaign.Cancelled;
+      let images =
+        Cache.images t.cache ~program_digest:p.p_digest ~flavor:p.p_flavor
+          p.p_program
+      in
+      let res, summary =
+        Campaign.run ~config:p.p_config ~flavor:p.p_flavor
+          ~plain:images.Cache.plain ~compiled:images.Cache.compiled
+          ?run_timeout_s:p.p_run_timeout_s ~cancel ~jobs:p.p_jobs ~report
+          p.p_program
+      in
+      let base = build_result ~mode:p.p_mode ~flavor:p.p_flavor ~cfg:p.p_config res summary in
+      let result =
+        match p.p_mode with
+        | Protocol.Mask ->
+          (* Same detection result, extended with the masking step:
+             wrap targets by the configured policy, and the corrected
+             program P_C. *)
+          let cls =
+            Classify.classify ~exception_free:p.p_config.Config.exception_free res
+          in
+          let targets = Mask.targets p.p_config cls in
+          let corrected = Mask.corrected_program ~targets p.p_program in
+          { base with
+            Protocol.r_wrapped =
+              List.map Method_id.to_string (Method_id.Set.elements targets);
+            r_corrected = Some (Pretty.program_to_string corrected) }
+        | Protocol.Detect | Protocol.Campaign -> base
+      in
+      Ok result
+    with
+    | Campaign.Cancelled ->
+      if job.deadline_ns > 0 && Obs.now_ns () > job.deadline_ns then Error `Timeout
+      else Error `Cancelled
+    | Detect.Detection_error msg -> Error (`Failed msg)
+    | Campaign.Campaign_error msg -> Error (`Failed msg)
+    | e -> Error (`Failed (Printexc.to_string e))
+  in
+  Obs.observe h_job_wall (Obs.now_ns () - t0);
+  locked t (fun () ->
+      match outcome with
+      | Ok result ->
+        Cache.store_result t.cache p.p_key result;
+        job.state <- Done (result, false);
+        Obs.incr m_completed;
+        append_event_locked t job (Protocol.Ev_done { result; cached = false })
+      | Error `Cancelled ->
+        job.state <- Cancelled;
+        Obs.incr m_cancelled;
+        append_event_locked t job Protocol.Ev_cancelled
+      | Error `Timeout ->
+        job.state <- Timed_out;
+        Obs.incr m_timed_out;
+        append_event_locked t job Protocol.Ev_timeout
+      | Error (`Failed msg) ->
+        job.state <- Failed msg;
+        Obs.incr m_failed;
+        append_event_locked t job (Protocol.Ev_error msg))
+
+let executor t () =
+  let rec loop () =
+    let job =
+      locked t (fun () ->
+          let rec take () =
+            match Queue.take_opt t.queue with
+            | Some job -> (
+              Obs.set_gauge g_queue_depth (Queue.length t.queue);
+              match job.state with
+              | Queued ->
+                job.state <- Running;
+                (match t.config.job_timeout_s with
+                 | Some s ->
+                   job.deadline_ns <- Obs.now_ns () + int_of_float (s *. 1e9)
+                 | None -> ());
+                append_event_locked t job (Protocol.Ev_state "running");
+                Some job
+              | _ -> take () (* cancelled while queued *))
+            | None ->
+              if t.draining then None
+              else begin
+                Condition.wait t.cond t.mutex;
+                take ()
+              end
+          in
+          take ())
+    in
+    match job with
+    | Some job ->
+      execute t job;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let new_job t prepared =
+  t.next_id <- t.next_id + 1;
+  let job =
+    { id = Printf.sprintf "j%d" t.next_id;
+      prepared;
+      state = Queued;
+      events_rev = [];
+      n_events = 0;
+      cancel_requested = false;
+      deadline_ns = 0;
+      last_tick_ns = 0 }
+  in
+  Hashtbl.replace t.jobs job.id job;
+  job
+
+let handle_submit t req =
+  match prepare_request t req with
+  | Error msg ->
+    Obs.incr m_rejected;
+    Protocol.error msg
+  | Ok p ->
+    locked t (fun () ->
+        if t.draining then begin
+          Obs.incr m_rejected;
+          Protocol.error "server is shutting down"
+        end
+        else
+          match Cache.find_result t.cache p.p_key with
+          | Some result ->
+            (* Warm hit: the job is born finished — no queue, no
+               compile, no runs.  The result bytes are the original
+               job's, so the [log] text is bitwise-identical. *)
+            let job = new_job t p in
+            job.state <- Done (result, true);
+            append_event_locked t job (Protocol.Ev_done { result; cached = true });
+            Obs.incr m_accepted;
+            Protocol.ok
+              [ ("job", Json.Str job.id);
+                ("state", Json.Str "done");
+                ("cached", Json.Bool true) ]
+          | None ->
+            if Queue.length t.queue >= t.config.max_queue then begin
+              Obs.incr m_rejected;
+              Protocol.error
+                (Printf.sprintf "queue full (%d jobs queued)" t.config.max_queue)
+            end
+            else begin
+              let job = new_job t p in
+              append_event_locked t job (Protocol.Ev_state "queued");
+              Queue.push job t.queue;
+              Obs.set_gauge g_queue_depth (Queue.length t.queue);
+              Obs.incr m_accepted;
+              Condition.broadcast t.cond;
+              Protocol.ok
+                [ ("job", Json.Str job.id);
+                  ("state", Json.Str "queued");
+                  ("cached", Json.Bool false) ]
+            end)
+
+let handle_status t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | None -> Protocol.error ("unknown job " ^ id)
+      | Some job -> (
+        let base =
+          [ ("job", Json.Str job.id); ("state", Json.Str (state_name job.state)) ]
+        in
+        match job.state with
+        | Done (result, cached) ->
+          Protocol.ok
+            (base
+            @ [ ("cached", Json.Bool cached);
+                ("result", Protocol.result_to_json result) ])
+        | Failed msg -> Protocol.ok (base @ [ ("error", Json.Str msg) ])
+        | Queued | Running | Cancelled | Timed_out -> Protocol.ok base))
+
+let handle_cancel t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | None -> Protocol.error ("unknown job " ^ id)
+      | Some job ->
+        (match job.state with
+         | Queued ->
+           (* The executor skips non-Queued entries when it pops. *)
+           job.cancel_requested <- true;
+           job.state <- Cancelled;
+           Obs.incr m_cancelled;
+           append_event_locked t job Protocol.Ev_cancelled
+         | Running -> job.cancel_requested <- true
+         | Done _ | Failed _ | Cancelled | Timed_out -> () (* idempotent *));
+        Protocol.ok [ ("job", Json.Str id) ])
+
+let handle_stats t =
+  let images, results = Cache.stats t.cache in
+  Protocol.ok
+    [ ("metrics", Json.Str (Obs.to_json (Obs.snapshot ())));
+      ("cached_images", Json.Int images);
+      ("cached_results", Json.Int results) ]
+
+let initiate_drain t =
+  Atomic.set t.stop true;
+  locked t (fun () ->
+      if not t.draining then begin
+        t.draining <- true;
+        Queue.iter
+          (fun job ->
+            match job.state with
+            | Queued ->
+              job.state <- Cancelled;
+              Obs.incr m_cancelled;
+              append_event_locked t job Protocol.Ev_cancelled
+            | _ -> ())
+          t.queue;
+        Queue.clear t.queue;
+        Obs.set_gauge g_queue_depth 0;
+        Condition.broadcast t.cond
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* The protocol loop of one connection                                 *)
+(* ------------------------------------------------------------------ *)
+
+let send oc json =
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  flush oc
+
+let event_frame ev =
+  match Protocol.event_to_json ev with
+  | Json.Obj fields -> Json.Obj (("ok", Json.Bool true) :: fields)
+  | _ -> assert false
+
+let handle_watch t oc id =
+  let job = locked t (fun () -> Hashtbl.find_opt t.jobs id) in
+  match job with
+  | None -> send oc (Protocol.error ("unknown job " ^ id))
+  | Some job ->
+    let cursor = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      let batch =
+        locked t (fun () ->
+            while job.n_events <= !cursor do
+              Condition.wait t.cond t.mutex
+            done;
+            let fresh = job.n_events - !cursor in
+            cursor := job.n_events;
+            List.rev (List.filteri (fun i _ -> i < fresh) job.events_rev))
+      in
+      List.iter
+        (fun ev ->
+          send oc (event_frame ev);
+          if is_terminal_event ev then finished := true)
+        batch
+    done
+
+let handle_connection t fd =
+  (* The reader and writer each own a descriptor: closing a channel
+     closes its fd, and a shared fd closed twice can take down an
+     unrelated connection that reused the number in between. *)
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr (Unix.dup fd) in
+  (try
+     send oc Protocol.greeting;
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line ->
+         (match
+            try Ok (Json.of_string line)
+            with Json.Parse_error msg -> Error ("bad JSON: " ^ msg)
+          with
+          | Error msg -> send oc (Protocol.error msg)
+          | Ok j -> (
+            match Protocol.request_of_json j with
+            | Error msg -> send oc (Protocol.error msg)
+            | Ok (Protocol.Submit req) -> send oc (handle_submit t req)
+            | Ok (Protocol.Status id) -> send oc (handle_status t id)
+            | Ok (Protocol.Watch id) -> handle_watch t oc id
+            | Ok (Protocol.Cancel id) -> send oc (handle_cancel t id)
+            | Ok Protocol.Stats -> send oc (handle_stats t)
+            | Ok Protocol.Shutdown ->
+              send oc (Protocol.ok []);
+              initiate_drain t));
+         loop ()
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  close_out_noerr oc;
+  close_in_noerr ic
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let accept_loop t fd () =
+  let rec loop () =
+    if Atomic.get t.stop_signal then initiate_drain t;
+    if Atomic.get t.stop then ()
+    else begin
+      (match Unix.select [ fd ] [] [] 0.2 with
+       | [ _ ], _, _ -> (
+         match Unix.accept fd with
+         | conn, _ ->
+           ignore (Thread.create (fun () -> handle_connection t conn) ())
+         | exception Unix.Unix_error _ -> ())
+       | _ -> ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let start config =
+  let obs_was_enabled = Obs.enabled () in
+  Obs.set_enabled true;
+  (* A client that disconnects mid-write must surface as EPIPE, not
+     kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists config.socket_path then Unix.unlink config.socket_path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX config.socket_path);
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    { config;
+      cache = Cache.create ();
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      jobs = Hashtbl.create 64;
+      queue = Queue.create ();
+      next_id = 0;
+      draining = false;
+      stop = Atomic.make false;
+      stop_signal = Atomic.make false;
+      threads = [];
+      obs_was_enabled }
+  in
+  let accept_thread = Thread.create (accept_loop t fd) () in
+  let executors =
+    List.init (max 1 config.workers) (fun _ -> Thread.create (executor t) ())
+  in
+  t.threads <- accept_thread :: executors;
+  t
+
+let shutdown t = initiate_drain t
+
+let wait t =
+  List.iter Thread.join t.threads;
+  (try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  Obs.set_enabled t.obs_was_enabled
+
+(* CLI entry: serve until a shutdown request or a termination signal.
+   Signal handlers only flip an atomic — the accept loop (which polls
+   it every 200ms) performs the actual drain, so no lock is ever taken
+   from a signal-handler context. *)
+let run config =
+  let t = start config in
+  let request_stop _ = Atomic.set t.stop_signal true in
+  let install signal =
+    try ignore (Sys.signal signal (Sys.Signal_handle request_stop))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  install Sys.sigterm;
+  install Sys.sigint;
+  wait t

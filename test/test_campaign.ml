@@ -104,7 +104,7 @@ let truncate_journal path ~keep =
   write_file path (Buffer.contents buf)
 
 let journal_thresholds path =
-  match Journal.load ~path with
+  match Journal.load ~path () with
   | None -> []
   | Some (_, runs) -> List.map (fun (r : Marks.run_record) -> r.Marks.injection_point) runs
 
@@ -175,19 +175,21 @@ let test_journal_output_roundtrip () =
         marks = [ mark ];
         escaped = None;
         output = "line one\nwith spaces  and\ttabs\n\"quotes\" \\backslash\n";
-        calls = 12 };
+        calls = 12;
+        timed_out = false };
       { Marks.injection_point = 2;
         injected = None;
         marks = [];
         escaped = Some "IOException";
         output = "";
-        calls = 9 } ]
+        calls = 9;
+        timed_out = false } ]
   in
   with_temp_journal (fun journal ->
       let w = Journal.create ~path:journal { Journal.flavor = "source-weaving"; program_digest = "abc" } in
       List.iter (Journal.append w) runs;
       Journal.close w;
-      match Journal.load ~path:journal with
+      match Journal.load ~path:journal () with
       | None -> Alcotest.fail "journal missing"
       | Some (header, loaded) ->
         Alcotest.(check string) "flavor" "source-weaving" header.Journal.flavor;
@@ -198,13 +200,14 @@ let test_journal_output_roundtrip () =
 (* (c) speculation: over-run past the frontier is discarded            *)
 (* ------------------------------------------------------------------ *)
 
-let mk_run ?injected point =
+let mk_run ?injected ?(timed_out = false) point =
   { Marks.injection_point = point;
     injected;
     marks = [];
     escaped = None;
     output = "";
-    calls = 1 }
+    calls = 1;
+    timed_out }
 
 let fired = (Method_id.make "C" "m", "NullPointerException")
 
@@ -272,8 +275,125 @@ let test_exhaustion () =
   | Scheduler.Exhausted -> ()
   | _ -> Alcotest.fail "max_runs without a frontier must exhaust"
 
+(* ------------------------------------------------------------------ *)
+(* (d) per-run timeouts and cooperative cancellation                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The catch handler spins ~2M VM steps, so with a 5ms budget every
+   injected run is cut off and recorded as timed out, while the
+   baseline run and the final probe (which never enter the handler)
+   complete normally — the timed-out no-injection case must NOT
+   terminate the detection loop early. *)
+let slow_catch_source =
+  {|
+class Box {
+  field v;
+  method init() { this.v = 0; }
+  method poke() throws IllegalStateException {
+    this.v = this.v + 1;
+    return this.v;
+  }
+}
+function main() {
+  var b = new Box();
+  for (var i = 0; i < 5; i = i + 1) {
+    try {
+      b.poke();
+    } catch (IllegalStateException e) {
+      var j = 0;
+      while (j < 2000000) { j = j + 1; }
+      println("recovered");
+    }
+  }
+  println(b.v);
+}
+|}
+
+let test_run_timeout () =
+  let program = parse slow_catch_source in
+  let result, _ = Campaign.run ~run_timeout_s:0.005 ~jobs:2 program in
+  let timed_out =
+    List.filter (fun (r : Marks.run_record) -> r.Marks.timed_out) result.Detect.runs
+  in
+  Alcotest.(check bool) "some runs timed out" true (timed_out <> []);
+  (* every timed-out run had fired its injection (the handler is the
+     slow part), and the probe run terminated cleanly *)
+  let probe = List.nth result.Detect.runs (List.length result.Detect.runs - 1) in
+  Alcotest.(check bool) "probe run completed" false probe.Marks.timed_out;
+  Alcotest.(check bool) "probe run is the no-injection run" true
+    (probe.Marks.injected = None);
+  (* the sequential detector agrees run for run *)
+  let seq = Detect.run ~run_timeout_s:0.005 program in
+  Alcotest.(check int) "same run count as sequential"
+    (List.length seq.Detect.runs)
+    (List.length result.Detect.runs)
+
+(* A timed-out run must not poison the run-log round trip. *)
+let test_timed_out_run_log_roundtrip () =
+  let program = parse slow_catch_source in
+  let result = Detect.run ~run_timeout_s:0.005 program in
+  let reloaded = Failatom_core.Run_log.load (Failatom_core.Run_log.save result) in
+  Alcotest.(check bool) "timed-out flags survive the log" true
+    (List.map (fun (r : Marks.run_record) -> r.Marks.timed_out) result.Detect.runs
+    = List.map
+        (fun (r : Marks.run_record) -> r.Marks.timed_out)
+        reloaded.Failatom_core.Run_log.runs)
+
+let test_cancel () =
+  let program = parse Synthetic.source in
+  Alcotest.check_raises "immediate cancel raises" Campaign.Cancelled (fun () ->
+      ignore (Campaign.run ~cancel:(fun () -> true) ~jobs:2 program));
+  (* cancelling after N runs stops promptly and keeps the journal *)
+  with_temp_journal (fun journal ->
+      let enough = Atomic.make false in
+      (try
+         ignore
+           (Campaign.run
+              ~cancel:(fun () -> Atomic.get enough)
+              ~report:(fun ev ->
+                match ev with
+                | Progress.Tick { completed; _ } when completed >= 3 ->
+                  Atomic.set enough true
+                | _ -> ())
+              ~jobs:2 ~journal program)
+       with Campaign.Cancelled -> ());
+      match Journal.load ~path:journal () with
+      | None -> Alcotest.fail "cancelled campaign left no journal"
+      | Some (_, runs) ->
+        Alcotest.(check bool) "journaled runs survive the cancel" true (runs <> []))
+
+(* A torn final journal line (kill mid-append) is tolerated with a
+   warning, not an error. *)
+let test_journal_torn_tail_warning () =
+  let program = parse Synthetic.source in
+  with_temp_journal (fun journal ->
+      let _ = Campaign.run ~jobs:1 ~journal program in
+      (* chop the last line mid-record, no trailing newline *)
+      let text = read_file journal in
+      write_file journal (String.sub text 0 (String.length text - 9));
+      let warned = ref [] in
+      (match Journal.load ~warn:(fun msg -> warned := msg :: !warned) ~path:journal () with
+       | None -> Alcotest.fail "torn journal must still load"
+       | Some (_, runs) -> Alcotest.(check bool) "prefix recovered" true (runs <> []));
+      Alcotest.(check bool) "warning emitted" true (!warned <> []);
+      (* resuming such a journal surfaces the warning as a progress event *)
+      let events = ref [] in
+      let _ =
+        Campaign.run ~jobs:1 ~journal ~resume:true
+          ~report:(fun ev -> events := ev :: !events)
+          program
+      in
+      Alcotest.(check bool) "Progress.Warning reported" true
+        (List.exists (function Progress.Warning _ -> true | _ -> false) !events))
+
 let suite =
   [ Alcotest.test_case "probe run last (8 workers)" `Quick test_probe_last;
+    Alcotest.test_case "per-run timeout" `Quick test_run_timeout;
+    Alcotest.test_case "timed-out runs survive the run log" `Quick
+      test_timed_out_run_log_roundtrip;
+    Alcotest.test_case "cooperative cancellation" `Quick test_cancel;
+    Alcotest.test_case "torn journal tail tolerated with warning" `Quick
+      test_journal_torn_tail_warning;
     Alcotest.test_case "resume from journal" `Quick test_resume;
     Alcotest.test_case "journal guards" `Quick test_journal_guards;
     Alcotest.test_case "journal output round-trip" `Quick test_journal_output_roundtrip;

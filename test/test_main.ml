@@ -29,4 +29,5 @@ let () =
       ("app-behavior", Test_app_behavior.suite);
       ("snapshot", Test_snapshot.suite);
       ("campaign", Test_campaign.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("server", Test_server.suite) ]

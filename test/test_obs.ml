@@ -145,7 +145,7 @@ let test_campaign_consistency () =
           let detection, _summary =
             Failatom_campaign.Campaign.run ~jobs:2 ~journal program
           in
-          let _, runs = Option.get (Failatom_campaign.Journal.load ~path:journal) in
+          let _, runs = Option.get (Failatom_campaign.Journal.load ~path:journal ()) in
           let injected =
             List.length
               (List.filter
