@@ -872,6 +872,362 @@ let section_server () =
       Fmt.pr "  machine-readable results written to %s@." server_json_file)
 
 (* ------------------------------------------------------------------ *)
+(* Cluster: warm throughput scaling, shards x clients                  *)
+(* ------------------------------------------------------------------ *)
+
+module Store = Failatom_cluster.Store
+module Shard_map = Failatom_cluster.Shard_map
+module Supervisor = Failatom_cluster.Supervisor
+module Json = Failatom_server.Json
+
+(* The workload is a mix of apps, not one program: digest affinity
+   sends each program to one home shard, so a single-app load would
+   exercise exactly one shard regardless of fleet size. *)
+let cluster_apps =
+  [ "RBTree"; "stdQ"; "HashedMap"; "LinkedList"; "Dynarray"; "adaptorChain";
+    "CircularList"; "LLMap" ]
+
+let cluster_requests =
+  lazy
+    (Array.of_list
+       (List.map
+          (fun name ->
+            { (Protocol.default_request Protocol.Detect (Protocol.App name)) with
+              Protocol.infer = true })
+          cluster_apps))
+
+module Net = Failatom_server.Net
+
+(* Pre-rendered submit frames: the load generators write these bytes
+   verbatim and never JSON-parse the (large) replies, so client-side
+   decode cost cannot mask the fleet's serving capacity. *)
+let submit_lines =
+  lazy
+    (Array.map
+       (fun req ->
+         Json.to_string (Protocol.request_to_json (Protocol.Submit req)))
+       (Lazy.force cluster_requests))
+
+let reply_head = "{\"ok\":true,\"job\":\""
+let done_mark = "\",\"state\":\"done\""
+
+(* The hidden [cluster-worker] mode, run as a separate *process* per
+   slice of the client population: neither the bench runtime's thread
+   lock nor the fleet under test ever serialises the load generators.
+   Each of [conns] threads opens a raw socket and pumps [jobs] warm
+   submissions round-robin over the app mix.  Replies are checked
+   byte-wise: the head yields the job id (whose [s<i>-] prefix
+   attributes the job to a shard) and the state, and a warm done
+   reply's tail — everything after the id — must be byte-identical to
+   the first tail seen for that app, which checks the cluster-wide
+   determinism guarantee at full speed.  One summary line goes to
+   stdout for the parent. *)
+let run_cluster_worker ~socket_path ~conns ~jobs ~offset =
+  let lines = Lazy.force submit_lines in
+  let napps = Array.length lines in
+  let nshards = 16 in
+  let per_shard = Array.make nshards 0 in
+  let errors = ref 0 in
+  let tally = Mutex.create () in
+  let expected = Array.make napps None in
+  let head_len = String.length reply_head in
+  let worker c () =
+    let mine = Array.make nshards 0 in
+    let mistakes = ref 0 in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    let r = Net.reader fd in
+    ignore (Net.read_line r);
+    (* greeting *)
+    for j = 0 to jobs - 1 do
+      let a = (offset + c + j) mod napps in
+      Net.write_line fd lines.(a);
+      match Net.read_line r with
+      | None -> incr mistakes
+      | Some reply ->
+        if
+          String.length reply <= head_len
+          || not (String.equal (String.sub reply 0 head_len) reply_head)
+        then incr mistakes
+        else begin
+          let id_end =
+            match String.index_from_opt reply head_len '"' with
+            | Some i -> i
+            | None -> head_len
+          in
+          let id = String.sub reply head_len (id_end - head_len) in
+          (match Shard_map.parse_job_id id with
+           | Some (s, _) when s < nshards -> mine.(s) <- mine.(s) + 1
+           | _ -> mine.(0) <- mine.(0) + 1);
+          let tail = String.sub reply id_end (String.length reply - id_end) in
+          let dlen = String.length done_mark in
+          if
+            String.length tail >= dlen
+            && String.equal (String.sub tail 0 dlen) done_mark
+          then begin
+            Mutex.lock tally;
+            (match expected.(a) with
+             | None -> expected.(a) <- Some tail
+             | Some t -> if not (String.equal t tail) then incr mistakes);
+            Mutex.unlock tally
+          end
+          else begin
+            (* cold job (first touch after a steal, say): drain its
+               watch stream to the terminal frame *)
+            Net.write_line fd
+              (Json.to_string (Protocol.request_to_json (Protocol.Watch id)));
+            let rec drain () =
+              match Net.read_line r with
+              | None -> incr mistakes
+              | Some frame -> (
+                match Json.str_member "event" (Json.of_string frame) with
+                | Some ("done" | "error" | "cancelled" | "timeout") -> ()
+                | Some _ | None -> drain ()
+                | exception Json.Parse_error _ -> incr mistakes)
+            in
+            drain ()
+          end
+        end
+    done;
+    Net.close_noerr fd;
+    Mutex.lock tally;
+    Array.iteri (fun i n -> per_shard.(i) <- per_shard.(i) + n) mine;
+    errors := !errors + !mistakes;
+    Mutex.unlock tally
+  in
+  let threads = List.init conns (fun c -> Thread.create (worker c) ()) in
+  List.iter Thread.join threads;
+  Printf.printf "per_shard=%s errors=%d\n"
+    (String.concat "," (Array.to_list (Array.map string_of_int per_shard)))
+    !errors
+
+(* Spawns [clients] connections split over up to 8 worker processes
+   and returns (jobs/s, per-shard counts). *)
+let measure_workers ~socket_path ~clients ~jobs_per_client ~shards =
+  let self = Sys.executable_name in
+  let procs = min clients 8 in
+  let conns = max 1 (clients / procs) in
+  let spawn p =
+    let rd, wr = Unix.pipe () in
+    let argv =
+      [| self; "cluster-worker"; socket_path; string_of_int conns;
+         string_of_int jobs_per_client; string_of_int (p * conns) |]
+    in
+    let pid = Unix.create_process self argv Unix.stdin wr Unix.stderr in
+    Unix.close wr;
+    (pid, rd)
+  in
+  let t0 = Unix.gettimeofday () in
+  let workers = List.init procs spawn in
+  let outputs =
+    List.map
+      (fun (pid, rd) ->
+        let ic = Unix.in_channel_of_descr rd in
+        let line = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        ignore (Unix.waitpid [] pid);
+        line)
+      workers
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let per_shard = Array.make (max shards 1) 0 in
+  let errors = ref 0 in
+  List.iter
+    (fun line ->
+      try
+        Scanf.sscanf line "per_shard=%s@ errors=%d" (fun counts e ->
+            List.iteri
+              (fun i c ->
+                let n = int_of_string c in
+                if i < Array.length per_shard then
+                  per_shard.(i) <- per_shard.(i) + n
+                else per_shard.(0) <- per_shard.(0) + n)
+              (String.split_on_char ',' counts);
+            errors := !errors + e)
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> incr errors)
+    outputs;
+  if !errors > 0 then
+    failwith
+      (Printf.sprintf "cluster bench: %d reply error(s)/byte mismatch(es)"
+         !errors);
+  (float_of_int (procs * conns * jobs_per_client) /. wall_s, per_shard)
+
+(* Warm every home shard (and the store).  Two rounds: the first
+   computes each app (cached=false), the second pins every warm reply
+   to its stable cached=true form so the workers' byte checks hold. *)
+let cluster_warm ~socket_path =
+  for _round = 1 to 2 do
+    Array.iter
+      (fun req ->
+        Client.with_conn ~retries:10 ~socket_path (fun conn ->
+            match Client.submit_wait conn req with
+            | Client.Completed _ -> ()
+            | _ -> failwith "cluster warm-up job did not complete"))
+      (Lazy.force cluster_requests)
+  done
+
+let failatom_exe () =
+  match Sys.getenv_opt "FAILATOM_EXE" with
+  | Some exe when Sys.file_exists exe -> Some exe
+  | _ ->
+    let candidate =
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        (Filename.concat ".." (Filename.concat "bin" "failatom.exe"))
+    in
+    if Sys.file_exists candidate then Some candidate else None
+
+let rec rm_rf p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> rm_rf (Filename.concat p n)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+
+(* Folds the cluster results into BENCH_server.json next to the
+   single-server figures (which [section_server] writes first). *)
+let write_cluster_json ~baseline_16 ~results ~ratio ~pass =
+  let existing =
+    if Sys.file_exists server_json_file then begin
+      let ic = open_in_bin server_json_file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string s with
+      | Json.Obj fields -> List.remove_assoc "cluster" fields
+      | _ | (exception Json.Parse_error _) -> []
+    end
+    else []
+  in
+  let grid =
+    Json.List
+      (List.map
+         (fun (shards, clients, rate, per_shard) ->
+           Json.Obj
+             [ ("shards", Json.Int shards);
+               ("clients", Json.Int clients);
+               ("jobs_per_sec", Json.Float (Float.round (rate *. 10.) /. 10.));
+               ( "per_shard_jobs",
+                 Json.List
+                   (Array.to_list (Array.map (fun n -> Json.Int n) per_shard)) ) ])
+         results)
+  in
+  let cluster =
+    Json.Obj
+      [ ("apps", Json.List (List.map (fun a -> Json.Str a) cluster_apps));
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("single_16_jobs_per_sec", Json.Float (Float.round (baseline_16 *. 10.) /. 10.));
+        ("grid", grid);
+        ("ratio_4x64_vs_single16", Json.Float (Float.round (ratio *. 100.) /. 100.));
+        ("pass_3x", Json.Bool pass) ]
+  in
+  let oc = open_out server_json_file in
+  output_string oc (Json.to_string (Json.Obj (existing @ [ ("cluster", cluster) ])));
+  output_char oc '\n';
+  close_out oc
+
+(* The fleet under test runs as real child processes — [failatom
+   serve] for the single-server baseline, [failatom cluster] for the
+   grid — so the bench process itself contributes nothing to either
+   side of the comparison. *)
+let with_child_fleet ~argv ~socket_path f =
+  let exe = argv.(0) in
+  let pid = Unix.create_process exe argv Unix.stdin Unix.stdout Unix.stderr in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Client.with_conn ~retries:3 ~socket_path Client.shutdown
+       with _ -> (
+         try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()));
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      if Sys.file_exists socket_path then Sys.remove socket_path)
+    (fun () ->
+      (* wait until the fleet greets on the public socket *)
+      Client.with_conn ~retries:30 ~socket_path (fun _ -> ());
+      f ())
+
+let section_cluster () =
+  Fmt.pr "@.== Cluster: warm throughput, shards x clients ========================@.";
+  Fmt.pr "  (real child processes throughout: [failatom serve] as the single-@.";
+  Fmt.pr "   server baseline, [failatom cluster] fleets for the grid, raw-socket@.";
+  Fmt.pr "   load generators split over worker processes; every warm reply is@.";
+  Fmt.pr "   byte-checked against the first one seen for its app)@.";
+  match failatom_exe () with
+  | None ->
+    Fmt.pr "  SKIPPED: failatom binary not found (set FAILATOM_EXE)@."
+  | Some exe ->
+    let jobs_per_client = if bench_short then 10 else 40 in
+    let shard_counts = if bench_short then [ 2 ] else [ 1; 2; 4 ] in
+    let client_counts = if bench_short then [ 1; 8 ] else [ 1; 4; 16; 64 ] in
+    let tmp name =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fa_bench_%s_%d" name (Unix.getpid ()))
+    in
+    (* baseline: one [failatom serve] daemon, 16 clients, same workload *)
+    let baseline_16 =
+      let socket_path = tmp "base.sock" in
+      with_child_fleet
+        ~argv:[| exe; "serve"; "--socket"; socket_path; "--workers"; "2" |]
+        ~socket_path
+        (fun () ->
+          cluster_warm ~socket_path;
+          fst
+            (measure_workers ~socket_path ~clients:16 ~jobs_per_client
+               ~shards:1))
+    in
+    Fmt.pr "%-24s %8.0f jobs/s@." "single server, 16 clients" baseline_16;
+    let results = ref [] in
+    List.iter
+      (fun shards ->
+        let base = tmp (Printf.sprintf "c%d.sock" shards) in
+        let store_dir = base ^ ".store" in
+        with_child_fleet
+          ~argv:
+            [| exe; "cluster"; "--socket"; base;
+               "--shards"; string_of_int shards; "--workers"; "2";
+               "--store"; store_dir |]
+          ~socket_path:base
+          (fun () ->
+            cluster_warm ~socket_path:base;
+            List.iter
+              (fun clients ->
+                let rate, per_shard =
+                  measure_workers ~socket_path:base ~clients ~jobs_per_client
+                    ~shards
+                in
+                Fmt.pr
+                  "%d shard(s), %2d client(s): %8.0f jobs/s  (per shard: %s)@."
+                  shards clients rate
+                  (String.concat " "
+                     (Array.to_list (Array.map string_of_int per_shard)));
+                results := (shards, clients, rate, per_shard) :: !results)
+              client_counts);
+        rm_rf store_dir)
+      shard_counts;
+    let results = List.rev !results in
+    let rate_of shards clients =
+      List.find_map
+        (fun (s, c, r, _) -> if s = shards && c = clients then Some r else None)
+        results
+    in
+    let top =
+      match rate_of 4 64 with
+      | Some r -> r
+      | None -> (
+        (* BENCH_SHORT: fall back to the largest measured cell *)
+        match List.rev results with
+        | (_, _, r, _) :: _ -> r
+        | [] -> 0.)
+    in
+    let ratio = if baseline_16 > 0. then top /. baseline_16 else 0. in
+    let pass = ratio >= 3.0 in
+    Fmt.pr "%-24s %10.2fx   (target >= 3x vs single-16: %s)@." "cluster scaling"
+      ratio
+      (if pass then "pass" else "FAIL");
+    write_cluster_json ~baseline_16 ~results ~ratio ~pass;
+    Fmt.pr "  machine-readable results merged into %s@." server_json_file
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -887,9 +1243,16 @@ let sections =
     ("obs-overhead", section_obs_overhead);
     ("fig5", section_fig5);
     ("ablation", section_ablation);
-    ("server", section_server) ]
+    ("server", section_server);
+    ("cluster", section_cluster) ]
 
 let () =
+  (* hidden re-invocation as a cluster load-generator process *)
+  match Array.to_list Sys.argv with
+  | [ _; "cluster-worker"; socket; conns; jobs; offset ] ->
+    run_cluster_worker ~socket_path:socket ~conns:(int_of_string conns)
+      ~jobs:(int_of_string jobs) ~offset:(int_of_string offset)
+  | _ ->
   let requested =
     match List.tl (Array.to_list Sys.argv) with
     | [] -> List.map fst sections

@@ -17,6 +17,10 @@ module ML = Failatom_minilang
 module Server = Failatom_server.Server
 module Client = Failatom_server.Client
 module Protocol = Failatom_server.Protocol
+module Store = Failatom_cluster.Store
+module Persist = Failatom_cluster.Persist
+module Shard_map = Failatom_cluster.Shard_map
+module Supervisor = Failatom_cluster.Supervisor
 
 (* ---------------- exit codes ---------------- *)
 
@@ -490,26 +494,62 @@ let socket_arg =
   let doc = "Path of the daemon's Unix-domain socket." in
   Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
 
+let workers_arg =
+  let doc = "Executor threads running submitted jobs concurrently." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+
+let max_queue_arg =
+  let doc = "Reject submissions once $(docv) jobs are queued (admission control)." in
+  Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let job_timeout_arg =
+  let doc =
+    "Per-job wall-clock deadline: a job still running after $(docv) seconds \
+     is aborted and reported as timed out."
+  in
+  Arg.(value & opt (some float) None & info [ "job-timeout" ] ~docv:"SECONDS" ~doc)
+
+let store_arg =
+  let doc =
+    "Directory of the persistent content-addressed cache tier: finished \
+     results and compiled-image metadata spill there keyed by program digest \
+     and configuration fingerprint, survive restarts, and are shared by every \
+     daemon pointed at the same directory."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let store_max_bytes_arg =
+  let doc =
+    "Evict least-recently-used store entries once the tier exceeds $(docv) \
+     bytes on disk."
+  in
+  Arg.(
+    value
+    & opt int (256 * 1024 * 1024)
+    & info [ "store-max-bytes" ] ~docv:"BYTES" ~doc)
+
+let open_store_cache ~dir ~max_bytes =
+  (* recording is normally enabled by Server.start; turn it on early so
+     the store-open gauge and prewarm counters are not dropped *)
+  Failatom_obs.Obs.set_enabled true;
+  let store = Store.open_ ~dir ~max_bytes in
+  let cache = Persist.cache store in
+  let warmed = Persist.prewarm store cache in
+  if warmed > 0 then
+    Fmt.epr "failatom: prewarmed %d image(s) from %s@." warmed dir;
+  cache
+
 let serve_cmd =
-  let workers_arg =
-    let doc = "Executor threads running submitted jobs concurrently." in
-    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
-  in
-  let max_queue_arg =
-    let doc = "Reject submissions once $(docv) jobs are queued (admission control)." in
-    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
-  in
-  let job_timeout_arg =
-    let doc =
-      "Per-job wall-clock deadline: a job still running after $(docv) seconds \
-       is aborted and reported as timed out."
-    in
-    Arg.(value & opt (some float) None & info [ "job-timeout" ] ~docv:"SECONDS" ~doc)
-  in
-  let action socket workers max_queue job_timeout_s run_timeout_s =
+  let action socket workers max_queue job_timeout_s run_timeout_s store
+      store_max_bytes =
     match
       Fmt.epr "failatom: serving on %s (%d worker(s))@." socket workers;
-      Server.run
+      let cache =
+        Option.map
+          (fun dir -> open_store_cache ~dir ~max_bytes:store_max_bytes)
+          store
+      in
+      Server.run ?cache
         { (Server.default_config ~socket_path:socket) with
           Server.workers;
           max_queue;
@@ -527,13 +567,87 @@ let serve_cmd =
     "Serve detection as a long-running daemon over a Unix-domain socket \
      (protocol failatom.rpc/1, newline-delimited JSON).  Compiled program \
      images and finished results are cached content-addressed, so \
-     resubmitting a known job is answered without re-running anything.  \
+     resubmitting a known job is answered without re-running anything; with \
+     $(b,--store) the caches also persist to disk across restarts.  \
      SIGTERM/SIGINT or the $(b,shutdown) subcommand drain gracefully."
   in
   Cmd.v (Cmd.info "serve" ~doc ~exits)
     Term.(
       const action $ socket_arg $ workers_arg $ max_queue_arg $ job_timeout_arg
-      $ run_timeout_arg)
+      $ run_timeout_arg $ store_arg $ store_max_bytes_arg)
+
+let cluster_cmd =
+  let shards_arg =
+    let doc = "Number of shard daemons to spawn." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let steal_arg =
+    let doc =
+      "Steal a job to the idlest live shard once its digest-selected home \
+       shard has $(docv) more jobs in flight than that shard."
+    in
+    Arg.(value & opt int 4 & info [ "steal-threshold" ] ~docv:"N" ~doc)
+  in
+  let action socket shards workers max_queue job_timeout_s run_timeout_s store
+      store_max_bytes steal_threshold =
+    let config =
+      { (Supervisor.default_config ~base_socket:socket ~exe:Sys.executable_name) with
+        Supervisor.shards;
+        workers;
+        max_queue;
+        job_timeout_s;
+        run_timeout_s;
+        store_dir = store;
+        store_max_bytes;
+        steal_threshold;
+        on_event =
+          (fun e -> Fmt.epr "failatom: cluster: %s@." (Supervisor.event_name e)) }
+    in
+    match Supervisor.run config with
+    | () ->
+      Fmt.epr "failatom: cluster drained, exiting@.";
+      exit_ok
+    | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "failatom: cannot run cluster on %s: %s@." socket
+        (Unix.error_message e);
+      exit_internal
+  in
+  let doc =
+    "Run a sharded detection cluster: a router on $(i,PATH) in front of \
+     $(b,--shards) supervised $(b,serve) daemons."
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Spawns $(b,--shards) $(b,failatom serve) daemons on private sockets \
+         ($(i,PATH).shard0, $(i,PATH).shard1, ...) plus a router on the \
+         public socket $(i,PATH).  Every client subcommand ($(b,submit), \
+         $(b,watch), $(b,status), $(b,cancel), $(b,stats), $(b,shutdown)) \
+         works against the router unchanged.";
+      `P
+        "Jobs are routed by program digest, so resubmissions of the same \
+         program land on the shard whose caches are already warm.  When the \
+         home shard is overloaded ($(b,--steal-threshold)) or dead, the job \
+         is stolen to the idlest live shard.  A shard that exits is \
+         respawned (with backoff for crash loops) and watched jobs it was \
+         running are re-dispatched transparently.";
+      `P
+        "With $(b,--store) all shards share one persistent content-addressed \
+         cache directory, LRU-bounded by $(b,--store-max-bytes): results and \
+         compiled-image metadata computed by any shard — in any earlier \
+         cluster run — are served without re-running.";
+      `P
+        "The fleet topology (router socket, shard sockets, shard pids) is \
+         maintained in $(i,PATH).map so clients can fall back to direct \
+         shard access while the router is down.  SIGTERM/SIGINT or \
+         $(b,failatom shutdown) drain in order: the router first, then the \
+         shards (SIGTERM, escalating to SIGKILL)." ]
+  in
+  Cmd.v (Cmd.info "cluster" ~doc ~man ~exits)
+    Term.(
+      const action $ socket_arg $ shards_arg $ workers_arg $ max_queue_arg
+      $ job_timeout_arg $ run_timeout_arg $ store_arg $ store_max_bytes_arg
+      $ steal_arg)
 
 let job_pos_arg =
   let doc = "Job id as printed by $(b,submit)." in
@@ -614,6 +728,52 @@ let with_client socket f =
     Fmt.epr "failatom: %s: %s@." socket (Unix.error_message e);
     exit_internal
 
+let connect_retries_arg =
+  let doc =
+    "Retry a refused or missing socket up to $(docv) times with capped \
+     exponential backoff before giving up (useful while a daemon or cluster \
+     is still starting)."
+  in
+  Arg.(value & opt int 0 & info [ "connect-retries" ] ~docv:"N" ~doc)
+
+(* Degraded-mode cluster access: when the public socket is dead but the
+   supervisor's [<socket>.map] survives, [pick] chooses a shard socket
+   from the map (and optionally the shard-local job id to use there),
+   and the command runs against the shard directly. *)
+let with_cluster_fallback ~retries ~socket ~pick f =
+  try Client.with_conn ~retries ~socket_path:socket (fun conn -> f conn None)
+  with (Client.Error _ | Unix.Unix_error _) as exn -> (
+    match Option.bind (Shard_map.read_map ~base:socket) pick with
+    | None -> raise exn
+    | Some (shard_socket, local) ->
+      Fmt.epr "failatom: router unreachable, falling back to shard socket %s@."
+        shard_socket;
+      Client.with_conn ~retries ~socket_path:shard_socket (fun conn ->
+          f conn local))
+
+(* The shard a job id belongs to, per the map file. *)
+let pick_shard_of_job job map =
+  match Shard_map.parse_job_id job with
+  | None -> None
+  | Some (shard, local) ->
+    Option.map
+      (fun e -> (e.Shard_map.e_socket, Some local))
+      (List.nth_opt map.Shard_map.m_shards shard)
+
+(* The home shard of a program spec, for submitting router-less. *)
+let pick_home_of_program program map =
+  let shards = List.length map.Shard_map.m_shards in
+  if shards = 0 then None
+  else
+    let home =
+      match Shard_map.digest_of_spec program with
+      | Some digest -> Shard_map.shard_of_digest ~shards digest
+      | None -> 0
+    in
+    Option.map
+      (fun e -> (e.Shard_map.e_socket, None))
+      (List.nth_opt map.Shard_map.m_shards home)
+
 let submit_cmd =
   let mode_arg =
     let doc =
@@ -656,8 +816,8 @@ let submit_cmd =
     Arg.(value & opt (some string) None & info [ "corrected" ] ~docv:"FILE" ~doc)
   in
   let snapshot_wire snapshot_mode = snapshot_mode in
-  let action spec socket mode flavor snapshot_mode infer wrap_all exception_free
-      do_not_wrap jobs run_timeout_s detach log corrected_out =
+  let action spec socket retries mode flavor snapshot_mode infer wrap_all
+      exception_free do_not_wrap jobs run_timeout_s detach log corrected_out =
     let program =
       if String.length spec > 4 && String.sub spec 0 4 = "app:" then
         Ok (Protocol.App (String.sub spec 4 (String.length spec - 4)))
@@ -682,7 +842,9 @@ let submit_cmd =
           run_timeout_s }
       in
       with_client socket (fun () ->
-          Client.with_conn ~socket_path:socket (fun conn ->
+          with_cluster_fallback ~retries ~socket
+            ~pick:(pick_home_of_program program)
+            (fun conn _ ->
               let id, cached = Client.submit conn req in
               if detach then begin
                 Fmt.pr "%s@." id;
@@ -702,15 +864,17 @@ let submit_cmd =
   in
   Cmd.v (Cmd.info "submit" ~doc ~exits)
     Term.(
-      const action $ program_arg $ socket_arg $ mode_arg $ flavor_opt_arg
-      $ snapshot_mode_arg $ infer_arg $ wrap_all_arg $ exception_free_arg
-      $ do_not_wrap_arg $ jobs_arg $ run_timeout_arg $ detach_arg $ log_arg
-      $ corrected_arg)
+      const action $ program_arg $ socket_arg $ connect_retries_arg $ mode_arg
+      $ flavor_opt_arg $ snapshot_mode_arg $ infer_arg $ wrap_all_arg
+      $ exception_free_arg $ do_not_wrap_arg $ jobs_arg $ run_timeout_arg
+      $ detach_arg $ log_arg $ corrected_arg)
 
 let status_cmd =
-  let action job socket =
+  let action job socket retries =
     with_client socket (fun () ->
-        Client.with_conn ~socket_path:socket (fun conn ->
+        with_cluster_fallback ~retries ~socket ~pick:(pick_shard_of_job job)
+          (fun conn local ->
+            let job = Option.value local ~default:job in
             let s = Client.status conn job in
             Fmt.pr "job:    %s@." job;
             Fmt.pr "state:  %s@." s.Client.state;
@@ -725,12 +889,15 @@ let status_cmd =
             | None -> exit_ok))
   in
   let doc = "Query the state of a job on a running daemon." in
-  Cmd.v (Cmd.info "status" ~doc ~exits) Term.(const action $ job_pos_arg $ socket_arg)
+  Cmd.v (Cmd.info "status" ~doc ~exits)
+    Term.(const action $ job_pos_arg $ socket_arg $ connect_retries_arg)
 
 let watch_cmd =
-  let action job socket log =
+  let action job socket retries log =
     with_client socket (fun () ->
-        Client.with_conn ~socket_path:socket (fun conn ->
+        with_cluster_fallback ~retries ~socket ~pick:(pick_shard_of_job job)
+          (fun conn local ->
+            let job = Option.value local ~default:job in
             finish_outcome ~log ~corrected_out:None
               (Client.watch ~on_event:print_event conn job)))
   in
@@ -739,12 +906,14 @@ let watch_cmd =
      (reattaches to jobs submitted with $(b,--detach))."
   in
   Cmd.v (Cmd.info "watch" ~doc ~exits)
-    Term.(const action $ job_pos_arg $ socket_arg $ log_arg)
+    Term.(const action $ job_pos_arg $ socket_arg $ connect_retries_arg $ log_arg)
 
 let cancel_cmd =
-  let action job socket =
+  let action job socket retries =
     with_client socket (fun () ->
-        Client.with_conn ~socket_path:socket (fun conn ->
+        with_cluster_fallback ~retries ~socket ~pick:(pick_shard_of_job job)
+          (fun conn local ->
+            let job = Option.value local ~default:job in
             Client.cancel conn job;
             Fmt.epr "cancellation requested for %s@." job;
             exit_ok))
@@ -753,21 +922,38 @@ let cancel_cmd =
     "Cancel a job: a queued job is dropped immediately, a running one stops \
      at its next scheduling point."
   in
-  Cmd.v (Cmd.info "cancel" ~doc ~exits) Term.(const action $ job_pos_arg $ socket_arg)
+  Cmd.v (Cmd.info "cancel" ~doc ~exits)
+    Term.(const action $ job_pos_arg $ socket_arg $ connect_retries_arg)
 
 let shutdown_cmd =
-  let action socket =
+  let action socket retries =
     with_client socket (fun () ->
-        Client.with_conn ~socket_path:socket (fun conn ->
-            Client.shutdown conn;
-            Fmt.epr "shutdown requested@.";
+        try
+          Client.with_conn ~retries ~socket_path:socket (fun conn ->
+              Client.shutdown conn;
+              Fmt.epr "shutdown requested@.";
+              exit_ok)
+        with (Client.Error _ | Unix.Unix_error _) as exn -> (
+          (* router-less cluster: ask every shard in the map directly *)
+          match Shard_map.read_map ~base:socket with
+          | None -> raise exn
+          | Some map ->
+            List.iter
+              (fun e ->
+                try
+                  Client.with_conn ~socket_path:e.Shard_map.e_socket
+                    Client.shutdown
+                with Client.Error _ | Unix.Unix_error _ | Sys_error _ -> ())
+              map.Shard_map.m_shards;
+            Fmt.epr "shutdown requested (shard by shard; router unreachable)@.";
             exit_ok))
   in
   let doc =
-    "Ask a running daemon to drain (queued jobs cancelled, running jobs \
-     finish) and exit."
+    "Ask a running daemon (or every shard of a cluster) to drain — queued \
+     jobs cancelled, running jobs finish — and exit."
   in
-  Cmd.v (Cmd.info "shutdown" ~doc ~exits) Term.(const action $ socket_arg)
+  Cmd.v (Cmd.info "shutdown" ~doc ~exits)
+    Term.(const action $ socket_arg $ connect_retries_arg)
 
 let stats_cmd =
   let metrics_file_arg =
@@ -787,7 +973,7 @@ let stats_cmd =
       Fmt.epr "failatom: %s: %s@." origin msg;
       exit_usage
   in
-  let action path socket =
+  let action path socket retries =
     match (path, socket) with
     | None, None ->
       Fmt.epr "failatom: stats needs a METRICS file or --socket@.";
@@ -803,15 +989,43 @@ let stats_cmd =
       render s ~origin:path
     | None, Some socket ->
       with_client socket (fun () ->
-          Client.with_conn ~socket_path:socket (fun conn ->
-              render (Client.stats conn) ~origin:socket))
+          try
+            Client.with_conn ~retries ~socket_path:socket (fun conn ->
+                render (Client.stats conn) ~origin:socket)
+          with (Client.Error _ | Unix.Unix_error _) as exn -> (
+            (* router-less cluster: merge the shards' own snapshots *)
+            match Shard_map.read_map ~base:socket with
+            | None -> raise exn
+            | Some map ->
+              let snaps =
+                List.filter_map
+                  (fun e ->
+                    try
+                      Some
+                        (Client.with_conn ~socket_path:e.Shard_map.e_socket
+                           (fun conn ->
+                             Failatom_obs.Obs.parse_json (Client.stats conn)))
+                    with
+                    | Client.Error _ | Unix.Unix_error _ | Sys_error _
+                    | Failatom_obs.Obs.Parse_error _ ->
+                      None)
+                  map.Shard_map.m_shards
+              in
+              if snaps = [] then raise exn
+              else begin
+                Failatom_obs.Obs.pp_table Fmt.stdout
+                  (Failatom_obs.Obs.merge snaps);
+                exit_ok
+              end))
   in
   let doc =
     "Render a metrics snapshot as a per-phase table: counters, gauges, and \
      span timings with count/total/mean/p50/p99/max — from a --metrics-out \
-     file or live from a daemon ($(b,--socket))."
+     file or live from a daemon ($(b,--socket); a cluster router answers \
+     with its shards' metrics merged)."
   in
-  Cmd.v (Cmd.info "stats" ~doc ~exits) Term.(const action $ metrics_file_arg $ socket_opt_arg)
+  Cmd.v (Cmd.info "stats" ~doc ~exits)
+    Term.(const action $ metrics_file_arg $ socket_opt_arg $ connect_retries_arg)
 
 let apps_cmd =
   let action () =
@@ -857,8 +1071,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "failatom" ~version:"1.0.0" ~doc ~exits)
     [ run_cmd; detect_cmd; campaign_cmd; classify_cmd; weave_cmd; mask_cmd; trace_cmd;
-      serve_cmd; submit_cmd; status_cmd; watch_cmd; cancel_cmd; shutdown_cmd;
-      stats_cmd; apps_cmd; experiments_cmd ]
+      serve_cmd; cluster_cmd; submit_cmd; status_cmd; watch_cmd; cancel_cmd;
+      shutdown_cmd; stats_cmd; apps_cmd; experiments_cmd ]
 
 let () =
   match Cmd.eval_value main_cmd with

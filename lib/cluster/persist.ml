@@ -1,0 +1,70 @@
+(* Glue between the generic blob {!Store} and the server's in-memory
+   {!Cache}: builds the cache's persist hooks from a store, and
+   prewarms a fresh cache from the store's image metadata so a
+   restarted shard recompiles its hot programs before serving.
+
+   The hook payloads:
+
+   - [results/<fingerprint>]: the exact rendered NDJSON text of the
+     finished {!Protocol.job_result}.  Byte-identity end to end — what
+     the original job rendered is what a revived cache serves.
+
+   - [images/<digest>.<flavor>]: [failatom.image-meta/1] metadata
+     ({digest, flavor, source}), where [source] is the canonical
+     pretty-printing whose md5 {e is} the digest.  Enough to recompile
+     the image after a restart; the compiled form itself is
+     process-local and cheap relative to detection runs. *)
+
+open Failatom_minilang
+module Cache = Failatom_server.Cache
+module Json = Failatom_server.Json
+module Protocol = Failatom_server.Protocol
+module Obs = Failatom_obs.Obs
+
+let m_prewarmed = Obs.counter "cluster.images_prewarmed"
+
+let hooks store =
+  { Cache.find_blob = (fun ~ns ~key -> Store.find store ~ns ~key);
+    Cache.store_blob = (fun ~ns ~key payload -> Store.store store ~ns ~key payload) }
+
+let cache ?image_capacity ?result_capacity store =
+  Cache.create ?image_capacity ?result_capacity ~persist:(hooks store) ()
+
+(* Recompiles up to [limit] images recorded in the store, most recently
+   used first.  Corrupt or stale metadata is skipped silently — prewarm
+   is best-effort by definition. *)
+let prewarm ?(limit = 64) store cache =
+  let keys = Store.list store ~ns:Cache.ns_images in
+  let rec go n = function
+    | [] -> n
+    | _ when n >= limit -> n
+    | key :: rest ->
+      let warmed =
+        match Store.find store ~ns:Cache.ns_images ~key with
+        | None -> false
+        | Some payload -> (
+          match
+            try Some (Json.of_string payload) with Json.Parse_error _ -> None
+          with
+          | None -> false
+          | Some j -> (
+            match
+              ( Json.str_member "digest" j,
+                Json.str_member "flavor" j,
+                Json.str_member "source" j )
+            with
+            | Some digest, Some flavor_name, Some source -> (
+              match Protocol.flavor_of_name flavor_name with
+              | None -> false
+              | Some flavor -> (
+                try
+                  let program = Minilang.parse ~allow_reserved:true source in
+                  ignore (Cache.images cache ~program_digest:digest ~flavor program);
+                  Obs.incr m_prewarmed;
+                  true
+                with _ -> false))
+            | _ -> false))
+      in
+      go (if warmed then n + 1 else n) rest
+  in
+  go 0 keys

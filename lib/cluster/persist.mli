@@ -1,0 +1,18 @@
+(** Glue between the blob {!Store} and the server's {!Cache}: persist
+    hooks (results spill as their exact rendered bytes, images as
+    [failatom.image-meta/1] metadata) and best-effort prewarming of a
+    fresh cache from stored image metadata. *)
+
+val hooks : Store.t -> Failatom_server.Cache.persist
+
+val cache :
+  ?image_capacity:int ->
+  ?result_capacity:int ->
+  Store.t ->
+  Failatom_server.Cache.t
+(** A cache wired to the store. *)
+
+val prewarm : ?limit:int -> Store.t -> Failatom_server.Cache.t -> int
+(** Recompiles up to [limit] (default 64) stored images, most recently
+    used first; returns how many were warmed.  Best-effort: corrupt
+    metadata is skipped. *)

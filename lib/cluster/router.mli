@@ -1,0 +1,47 @@
+(** The cluster router: owns the public socket, forwards each job to a
+    shard daemon selected by program digest (cache affinity), steals to
+    the idlest shard when the home shard is overloaded or dead,
+    re-dispatches watched jobs when a shard dies mid-stream, and
+    aggregates per-shard metrics for [failatom stats].
+
+    Speaks plain [failatom.rpc/1] on both sides, so any client works
+    unchanged; watch event frames are relayed as raw bytes. *)
+
+type config = {
+  socket_path : string;  (** the public socket *)
+  shard_sockets : string array;
+  steal_threshold : int;
+      (** min in-flight imbalance (home minus idlest) before a job
+          leaves its home shard; default 4 *)
+  connect_retries : int;
+      (** backoff retries per shard connect, so a respawning shard is
+          waited for rather than failed over; default 4 *)
+}
+
+val default_config :
+  socket_path:string -> shard_sockets:string array -> config
+
+type t
+
+val start : config -> t
+(** Binds the public socket and spawns the accept thread.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val shutdown : t -> unit
+(** Stops accepting new connections.  In-flight connection threads
+    finish their current streams. *)
+
+val request_stop : t -> unit
+(** Signal-handler-safe shutdown request (flips an atomic polled by the
+    accept loop). *)
+
+val stopped : t -> bool
+(** True once a shutdown (request, signal, or client [shutdown]
+    command, which also broadcasts to the shards) has been observed —
+    the supervisor polls this to begin its drain. *)
+
+val wait : t -> unit
+(** Joins the accept thread and removes the public socket file. *)
+
+val loads : t -> int array
+(** In-flight jobs per shard, as the router currently believes. *)

@@ -1,0 +1,138 @@
+(* The cluster's placement geometry: which shard owns a program digest,
+   how shard sockets and job ids are named, and the on-disk map file
+   that makes the topology discoverable by clients.
+
+   Placement is pure and stable — [shard_of_digest] hashes the digest's
+   leading hex into [0, shards) — so every submission of a program
+   lands on the same shard and cache affinity costs nothing.  The
+   router namespaces shard-local job ids as ["s<shard>-<local>"], which
+   doubles as the fallback routing hint: a client that finds the router
+   gone can parse the prefix and talk to the shard directly.
+
+   The map file [<base>.map] (schema [failatom.cluster.map/1]) is
+   written by the supervisor and rewritten on every respawn: it lists
+   the router socket and each shard's socket + pid, which is what the
+   CI smoke test uses to find a victim to [kill -9]. *)
+
+open Failatom_apps
+module Json = Failatom_server.Json
+module Protocol = Failatom_server.Protocol
+module Minilang = Failatom_minilang.Minilang
+
+let schema = "failatom.cluster.map/1"
+let shard_socket ~base i = Printf.sprintf "%s.shard%d" base i
+let map_path ~base = base ^ ".map"
+
+let shard_of_digest ~shards digest =
+  if shards <= 1 then 0
+  else begin
+    (* the digest is hex; its leading 60 bits are plenty of entropy *)
+    let take = min 15 (String.length digest) in
+    let v =
+      try int_of_string ("0x" ^ String.sub digest 0 take)
+      with Failure _ ->
+        (* not hex (defensive): fall back to a string hash *)
+        Hashtbl.hash digest
+    in
+    abs v mod shards
+  end
+
+(* The program digest a request would be cached under, when it can be
+   computed without the shard's help: a registry app parses locally, as
+   does inline source.  [None] for unknown apps or unparsable source —
+   the caller routes those anywhere and lets the shard produce the
+   canonical error. *)
+let digest_of_spec = function
+  | Protocol.App name -> (
+    match Registry.find name with
+    | None -> None
+    | Some app -> (
+      try
+        Some
+          (Minilang.program_digest
+             (Minilang.parse ~allow_reserved:true app.Registry.source))
+      with _ -> None))
+  | Protocol.Inline src -> (
+    try Some (Minilang.program_digest (Minilang.parse ~allow_reserved:true src))
+    with _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Job-id namespacing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let global_job_id ~shard local = Printf.sprintf "s%d-%s" shard local
+
+let parse_job_id id =
+  if String.length id < 4 || id.[0] <> 's' then None
+  else
+    match String.index_opt id '-' with
+    | None -> None
+    | Some i -> (
+      match int_of_string_opt (String.sub id 1 (i - 1)) with
+      | Some shard when shard >= 0 && i + 1 < String.length id ->
+        Some (shard, String.sub id (i + 1) (String.length id - i - 1))
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* The map file                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_socket : string;
+  e_pid : int;
+}
+
+type map = {
+  m_router : string;
+  m_shards : entry list;
+}
+
+let map_to_json m =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("router", Json.Str m.m_router);
+      ( "shards",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [ ("socket", Json.Str e.e_socket); ("pid", Json.Int e.e_pid) ])
+             m.m_shards) ) ]
+
+let write_map ~base m =
+  let path = map_path ~base in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Json.to_string (map_to_json m));
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+let read_map ~base =
+  let path = map_path ~base in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    close_in_noerr ic;
+    (match try Some (Json.of_string line) with Json.Parse_error _ -> None with
+     | None -> None
+     | Some j ->
+       (match (Json.str_member "schema" j, Json.str_member "router" j) with
+        | Some s, Some router when String.equal s schema ->
+          let shards =
+            match Json.list_member "shards" j with
+            | None -> []
+            | Some entries ->
+              List.filter_map
+                (fun e ->
+                  match (Json.str_member "socket" e, Json.int_member "pid" e) with
+                  | Some socket, Some pid -> Some { e_socket = socket; e_pid = pid }
+                  | _ -> None)
+                entries
+          in
+          Some { m_router = router; m_shards = shards }
+        | _ -> None))
+
+let remove_map ~base =
+  try Sys.remove (map_path ~base) with Sys_error _ -> ()

@@ -1,0 +1,41 @@
+(** Cluster placement geometry: stable digest → shard mapping, shard
+    socket and job-id naming, and the [<base>.map] topology file
+    (schema [failatom.cluster.map/1]) that the supervisor maintains and
+    fallback clients read. *)
+
+val schema : string
+
+val shard_socket : base:string -> int -> string
+(** ["<base>.shard<i>"] — the private socket of shard [i]. *)
+
+val map_path : base:string -> string
+(** ["<base>.map"]. *)
+
+val shard_of_digest : shards:int -> string -> int
+(** The home shard of a program digest: pure, stable, uniform over
+    [0, shards). *)
+
+val digest_of_spec : Failatom_server.Protocol.program_spec -> string option
+(** The program digest a request would be cached under, computed
+    client-side; [None] when the app is unknown or the source does not
+    parse (route anywhere, let the shard report the error). *)
+
+val global_job_id : shard:int -> string -> string
+(** ["s<shard>-<local>"] — the client-visible id of a shard-local job. *)
+
+val parse_job_id : string -> (int * string) option
+(** Inverse of {!global_job_id}. *)
+
+type entry = {
+  e_socket : string;
+  e_pid : int;
+}
+
+type map = {
+  m_router : string;
+  m_shards : entry list;
+}
+
+val write_map : base:string -> map -> unit
+val read_map : base:string -> map option
+val remove_map : base:string -> unit

@@ -1,0 +1,43 @@
+(* Work-stealing placement: pure policy, no I/O, so it is trivially
+   unit-testable and the router stays the only owner of live state.
+
+   Digest affinity is worth real money (a shard's warm cache answers a
+   resubmission without running anything), so the policy only overrides
+   the home shard when the imbalance clearly pays for the lost
+   affinity: the home shard must be at least [threshold] jobs deeper
+   than the idlest sibling — or dead.  A steal is reported as such so
+   the router can count it ([router.jobs_stolen]).
+
+   Loads are the router's in-flight counters; a dead shard is one whose
+   socket the router could not reach on its last attempt. *)
+
+type decision = {
+  target : int;
+  stolen : bool;  (* true when the job left its home shard *)
+}
+
+let least_loaded ~load ~alive =
+  let best = ref (-1) in
+  Array.iteri
+    (fun i a ->
+      if a && (!best < 0 || load.(i) < load.(!best)) then best := i)
+    alive;
+  !best
+
+let place ~home ~load ~alive ~threshold =
+  let n = Array.length load in
+  if n = 0 then { target = 0; stolen = false }
+  else
+    let home = if home >= 0 && home < n then home else 0 in
+    if not alive.(home) then begin
+      match least_loaded ~load ~alive with
+      | -1 -> { target = home; stolen = false } (* nobody alive: try home anyway *)
+      | i -> { target = i; stolen = i <> home }
+    end
+    else
+      match least_loaded ~load ~alive with
+      | -1 -> { target = home; stolen = false }
+      | idlest ->
+        if idlest <> home && load.(home) - load.(idlest) >= threshold then
+          { target = idlest; stolen = true }
+        else { target = home; stolen = false }

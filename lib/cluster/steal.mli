@@ -1,0 +1,14 @@
+(** Work-stealing placement policy: pure, stateless, unit-testable.
+    Digest affinity wins unless the home shard is dead or at least
+    [threshold] jobs deeper than the idlest live sibling. *)
+
+type decision = {
+  target : int;  (** the shard to dispatch to *)
+  stolen : bool;  (** the job left its home shard *)
+}
+
+val place :
+  home:int -> load:int array -> alive:bool array -> threshold:int -> decision
+(** [load] is in-flight jobs per shard, [alive] the router's last-known
+    reachability.  Total ([load] and [alive] must have equal length);
+    a dead home diverts to the least-loaded live shard. *)

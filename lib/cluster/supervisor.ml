@@ -1,0 +1,319 @@
+(* The cluster supervisor: the process behind [failatom cluster].
+
+   It spawns N shard daemons ([failatom serve] child processes, each on
+   its private socket, all sharing one persistent store directory),
+   runs the {!Router} in-process on the public socket, and then
+   babysits the fleet:
+
+   - {b Respawn.}  A shard that exits — crash, OOM kill, [kill -9] — is
+     respawned on the same socket; a shard that dies within a second of
+     starting respawns with doubling backoff (capped at 5s) so a
+     persistently-crashing configuration cannot fork-bomb the host.
+     The map file is rewritten after every respawn, so its pids are
+     always current.
+
+   - {b Health checks.}  Every ~2s each shard gets a greeting ping on
+     its socket; three consecutive failures mean the process is wedged
+     (alive but not serving) and it is killed, which routes into the
+     same respawn path.
+
+   - {b Ordered drain.}  SIGTERM/SIGINT (or a client [shutdown] through
+     the router) drains the router {e first} — stop accepting, let
+     in-flight streams finish — and only then SIGTERMs the shards and
+     waits for them, escalating to SIGKILL after a grace period.
+     Router before shards means no client ever sees a connection
+     accepted by a router whose shards are already gone.
+
+   The supervisor's observable lifecycle is reported through
+   [on_event], which is how the drain-ordering test pins the sequence
+   without scraping logs. *)
+
+module Client = Failatom_server.Client
+module Obs = Failatom_obs.Obs
+
+let m_respawns = Obs.counter "cluster.shard_respawns"
+let m_health_kills = Obs.counter "cluster.shard_health_kills"
+
+type event =
+  | Shard_started of int * int  (* shard index, pid *)
+  | Shard_exited of int * int
+  | Shard_respawned of int * int
+  | Router_started
+  | Draining
+  | Router_drained
+  | Shard_terminated of int
+
+let event_name = function
+  | Shard_started (i, pid) -> Printf.sprintf "shard %d started (pid %d)" i pid
+  | Shard_exited (i, pid) -> Printf.sprintf "shard %d exited (pid %d)" i pid
+  | Shard_respawned (i, pid) -> Printf.sprintf "shard %d respawned (pid %d)" i pid
+  | Router_started -> "router started"
+  | Draining -> "draining"
+  | Router_drained -> "router drained"
+  | Shard_terminated i -> Printf.sprintf "shard %d terminated" i
+
+type config = {
+  base_socket : string;  (* public socket; shards use <base>.shard<i> *)
+  shards : int;
+  workers : int;  (* executor threads per shard *)
+  max_queue : int;
+  job_timeout_s : float option;
+  run_timeout_s : float option;
+  store_dir : string option;  (* shared persistent cache tier *)
+  store_max_bytes : int;
+  steal_threshold : int;
+  exe : string;  (* the failatom binary to spawn shards from *)
+  on_event : event -> unit;
+}
+
+let default_config ~base_socket ~exe =
+  { base_socket;
+    shards = 2;
+    workers = 2;
+    max_queue = 64;
+    job_timeout_s = None;
+    run_timeout_s = None;
+    store_dir = None;
+    store_max_bytes = 256 * 1024 * 1024;
+    steal_threshold = 4;
+    exe;
+    on_event = ignore }
+
+type t = {
+  config : config;
+  router : Router.t;
+  pids : int array;
+  spawned_at : float array;
+  backoff : float array;  (* respawn backoff per shard *)
+  ping_fails : int array;  (* consecutive health-check failures *)
+  mutex : Mutex.t;
+  mutable draining : bool;
+  stop_signal : bool Atomic.t;
+  mutable monitor : Thread.t option;
+}
+
+let shard_socket t i = Shard_map.shard_socket ~base:t.config.base_socket i
+
+(* ------------------------------------------------------------------ *)
+(* Spawning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let shard_argv config i =
+  let socket = Shard_map.shard_socket ~base:config.base_socket i in
+  let opt name = function
+    | None -> []
+    | Some v -> [ name; Printf.sprintf "%g" v ]
+  in
+  let store =
+    match config.store_dir with
+    | None -> []
+    | Some dir ->
+      [ "--store"; dir; "--store-max-bytes"; string_of_int config.store_max_bytes ]
+  in
+  [ config.exe; "serve"; "--socket"; socket;
+    "--workers"; string_of_int config.workers;
+    "--max-queue"; string_of_int config.max_queue ]
+  @ opt "--job-timeout" config.job_timeout_s
+  @ opt "--run-timeout" config.run_timeout_s
+  @ store
+
+let spawn_shard config i =
+  let argv = Array.of_list (shard_argv config i) in
+  Unix.create_process config.exe argv Unix.stdin Unix.stdout Unix.stderr
+
+(* Greeting ping: connects, verifies the protocol greeting, hangs up. *)
+let ping socket_path =
+  match Client.with_conn ~socket_path (fun _ -> ()) with
+  | () -> true
+  | exception _ -> false
+
+let wait_serving ~timeout_s socket_path =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if ping socket_path then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let write_map t =
+  Shard_map.write_map ~base:t.config.base_socket
+    { Shard_map.m_router = t.config.base_socket;
+      m_shards =
+        List.init t.config.shards (fun i ->
+            { Shard_map.e_socket = shard_socket t i; e_pid = t.pids.(i) }) }
+
+(* ------------------------------------------------------------------ *)
+(* Monitoring                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let reap_nohang pid =
+  match Unix.waitpid [ Unix.WNOHANG ] pid with
+  | 0, _ -> `Running
+  | _, _ -> `Exited
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> `Exited
+  | exception Unix.Unix_error _ -> `Running
+
+let respawn t i =
+  let old = t.pids.(i) in
+  t.config.on_event (Shard_exited (i, old));
+  let now = Unix.gettimeofday () in
+  (* a shard that died young gets a growing pause before its respawn *)
+  if now -. t.spawned_at.(i) < 1.0 then begin
+    t.backoff.(i) <- Float.min 5.0 (Float.max 0.1 (t.backoff.(i) *. 2.));
+    Thread.delay t.backoff.(i)
+  end
+  else t.backoff.(i) <- 0.05;
+  let pid = spawn_shard t.config i in
+  t.pids.(i) <- pid;
+  t.spawned_at.(i) <- Unix.gettimeofday ();
+  t.ping_fails.(i) <- 0;
+  ignore (wait_serving ~timeout_s:10.0 (shard_socket t i));
+  write_map t;
+  Obs.incr m_respawns;
+  t.config.on_event (Shard_respawned (i, pid))
+
+let term_then_kill t i ~grace_s =
+  let pid = t.pids.(i) in
+  if pid > 0 then begin
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let deadline = Unix.gettimeofday () +. grace_s in
+    let rec wait_exit () =
+      match reap_nohang pid with
+      | `Exited -> ()
+      | `Running ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid)
+           with Unix.Unix_error _ -> ())
+        end
+        else begin
+          Thread.delay 0.05;
+          wait_exit ()
+        end
+    in
+    wait_exit ();
+    t.pids.(i) <- 0;
+    (try Unix.unlink (shard_socket t i) with Unix.Unix_error _ | Sys_error _ -> ());
+    t.config.on_event (Shard_terminated i)
+  end
+
+let drain t =
+  let proceed =
+    Mutex.lock t.mutex;
+    let p = not t.draining in
+    if p then t.draining <- true;
+    Mutex.unlock t.mutex;
+    p
+  in
+  if proceed then begin
+    t.config.on_event Draining;
+    (* router first: no new clients, in-flight streams finish *)
+    Router.shutdown t.router;
+    Router.wait t.router;
+    t.config.on_event Router_drained;
+    (* then the shards, gracefully *)
+    for i = 0 to t.config.shards - 1 do
+      term_then_kill t i ~grace_s:10.0
+    done;
+    Shard_map.remove_map ~base:t.config.base_socket
+  end
+
+let monitor t () =
+  let tick = ref 0 in
+  let rec loop () =
+    if Atomic.get t.stop_signal || Router.stopped t.router then drain t
+    else begin
+      for i = 0 to t.config.shards - 1 do
+        if t.pids.(i) > 0 && reap_nohang t.pids.(i) = `Exited then respawn t i
+      done;
+      incr tick;
+      if !tick mod 20 = 0 then
+        (* ~2s cadence: a wedged shard (alive, not serving) is killed
+           into the respawn path after three consecutive failed pings *)
+        for i = 0 to t.config.shards - 1 do
+          if t.pids.(i) > 0 then
+            if ping (shard_socket t i) then t.ping_fails.(i) <- 0
+            else begin
+              t.ping_fails.(i) <- t.ping_fails.(i) + 1;
+              if t.ping_fails.(i) >= 3 then begin
+                Obs.incr m_health_kills;
+                (try Unix.kill t.pids.(i) Sys.sigkill
+                 with Unix.Unix_error _ -> ())
+                (* the reap loop respawns it *)
+              end
+            end
+        done;
+      Thread.delay 0.1;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start config =
+  let config = { config with shards = max 1 config.shards } in
+  let t_pids = Array.make config.shards 0 in
+  let now = Unix.gettimeofday () in
+  for i = 0 to config.shards - 1 do
+    t_pids.(i) <- spawn_shard config i;
+    config.on_event (Shard_started (i, t_pids.(i)))
+  done;
+  (* every shard must greet before the router opens for business *)
+  for i = 0 to config.shards - 1 do
+    ignore
+      (wait_serving ~timeout_s:15.0
+         (Shard_map.shard_socket ~base:config.base_socket i))
+  done;
+  let router =
+    Router.start
+      { Router.socket_path = config.base_socket;
+        shard_sockets =
+          Array.init config.shards
+            (Shard_map.shard_socket ~base:config.base_socket);
+        steal_threshold = config.steal_threshold;
+        connect_retries = 4 }
+  in
+  config.on_event Router_started;
+  let t =
+    { config;
+      router;
+      pids = t_pids;
+      spawned_at = Array.make config.shards now;
+      backoff = Array.make config.shards 0.05;
+      ping_fails = Array.make config.shards 0;
+      mutex = Mutex.create ();
+      draining = false;
+      stop_signal = Atomic.make false;
+      monitor = None }
+  in
+  write_map t;
+  t.monitor <- Some (Thread.create (monitor t) ());
+  t
+
+let stop t = Atomic.set t.stop_signal true
+
+let wait t =
+  (match t.monitor with Some th -> Thread.join th | None -> ());
+  (* safety net: if the monitor died without draining *)
+  drain t
+
+let shard_pids t = Array.copy t.pids
+let router t = t.router
+
+let run config =
+  let t = start config in
+  let request_stop _ = Atomic.set t.stop_signal true in
+  let install signal =
+    try ignore (Sys.signal signal (Sys.Signal_handle request_stop))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  install Sys.sigterm;
+  install Sys.sigint;
+  wait t

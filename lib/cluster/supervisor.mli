@@ -1,0 +1,56 @@
+(** The cluster supervisor behind [failatom cluster]: spawns N
+    [failatom serve] shard processes on private sockets (sharing one
+    persistent store), runs the {!Router} in-process on the public
+    socket, respawns dead or wedged shards (greeting health checks,
+    backoff for crash loops), maintains the [<base>.map] topology file,
+    and drains in order — router first, then SIGTERM to the shards with
+    a SIGKILL escalation. *)
+
+type event =
+  | Shard_started of int * int  (** shard index, pid *)
+  | Shard_exited of int * int
+  | Shard_respawned of int * int
+  | Router_started
+  | Draining
+  | Router_drained
+  | Shard_terminated of int
+
+val event_name : event -> string
+
+type config = {
+  base_socket : string;  (** public socket; shard [i] uses [<base>.shard<i>] *)
+  shards : int;
+  workers : int;  (** executor threads per shard *)
+  max_queue : int;
+  job_timeout_s : float option;
+  run_timeout_s : float option;
+  store_dir : string option;  (** shared persistent cache tier *)
+  store_max_bytes : int;
+  steal_threshold : int;
+  exe : string;  (** the failatom binary to spawn shards from *)
+  on_event : event -> unit;  (** lifecycle notifications (monitor thread) *)
+}
+
+val default_config : base_socket:string -> exe:string -> config
+(** 2 shards × 2 workers, queue 64, no timeouts, no store (pass
+    [store_dir] to enable the persistent tier, bounded at 256MB),
+    steal threshold 4, silent events. *)
+
+type t
+
+val start : config -> t
+(** Spawns the shards, waits for each to greet, writes the map file,
+    starts the router, and begins monitoring. *)
+
+val stop : t -> unit
+(** Requests the ordered drain (signal-handler safe). *)
+
+val wait : t -> unit
+(** Blocks until the fleet is drained and every child is reaped. *)
+
+val run : config -> unit
+(** [start] + SIGTERM/SIGINT handlers + [wait]: the body of
+    [failatom cluster]. *)
+
+val shard_pids : t -> int array
+val router : t -> Router.t

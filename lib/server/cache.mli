@@ -3,7 +3,12 @@
     by the full job fingerprint (program digest, mode, flavor,
     {!Config.fingerprint}, run timeout, protocol revision).  A warm
     result hit answers a resubmission in O(1) with a byte-identical
-    {!Protocol.job_result}.  Thread-safe; bounded by FIFO eviction. *)
+    {!Protocol.job_result} plus its pre-rendered NDJSON text.
+
+    Thread-safe; bounded by FIFO eviction.  The internal mutex guards
+    table mutation only — compilation, rendering, and durable-tier
+    deserialization run outside it (concurrent compiles of the same
+    digest are still deduplicated via a per-key promise). *)
 
 open Failatom_core
 open Failatom_minilang
@@ -13,10 +18,31 @@ type images = {
   compiled : Detect.compiled;  (** the flavor-specific detection image *)
 }
 
+type entry = {
+  e_result : Protocol.job_result;
+  e_rendered : string;
+      (** [Json.to_string (Protocol.result_to_json e_result)] — exact
+          bytes, safe to splice into reply frames *)
+}
+
+type persist = {
+  find_blob : ns:string -> key:string -> string option;
+  store_blob : ns:string -> key:string -> string -> unit;
+}
+(** Hooks into a durable tier (the cluster's on-disk store).  Finished
+    results are spilled as their rendered text under {!ns_results};
+    compiled-image metadata under {!ns_images}.  Memory misses consult
+    [find_blob].  Hook exceptions are swallowed — the durable tier is
+    an accelerator, never a correctness dependency. *)
+
+val ns_results : string
+val ns_images : string
+
 type t
 
-val create : ?image_capacity:int -> ?result_capacity:int -> unit -> t
-(** Defaults: 128 image entries, 1024 result entries. *)
+val create :
+  ?image_capacity:int -> ?result_capacity:int -> ?persist:persist -> unit -> t
+(** Defaults: 128 image entries, 1024 result entries, no durable tier. *)
 
 val result_key :
   program_digest:string -> mode:Protocol.mode -> flavor:Detect.flavor ->
@@ -24,14 +50,23 @@ val result_key :
 (** The full job fingerprint.  Equal keys guarantee byte-identical
     results (detection is deterministic given program + config). *)
 
+val image_blob_key : program_digest:string -> flavor:string -> string
+(** The durable-tier key for an image metadata blob. *)
+
 val images :
   t -> program_digest:string -> flavor:Detect.flavor -> Ast.program -> images
 (** The cached images for the program, compiled (and woven) on a miss.
-    Compilation happens under the cache lock, deduplicating concurrent
-    submissions of the same program. *)
+    Compilation happens outside the cache mutex; concurrent submitters
+    of the same digest wait on a per-key promise instead. *)
 
-val find_result : t -> string -> Protocol.job_result option
-val store_result : t -> string -> Protocol.job_result -> unit
+val find_result : t -> string -> entry option
+val store_result : t -> string -> Protocol.job_result -> entry
+
+val digest_find : t -> source_key:string -> string option
+(** Memoized program digest for a source key (["app:<name>"] or
+    ["src:<md5 of source>"]); lets a warm resubmission skip the parse. *)
+
+val digest_learn : t -> source_key:string -> string -> unit
 
 val stats : t -> int * int
 (** (cached images, cached results). *)

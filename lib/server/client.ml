@@ -22,12 +22,30 @@ let read_json conn =
     try Json.of_string line
     with Json.Parse_error msg -> fail "bad server reply (%s): %s" msg line)
 
-let connect ~socket_path =
+(* Internal marker for connect failures that a retry can cure: a
+   daemon (or cluster shard) that is restarting briefly leaves no
+   socket file (ENOENT) or a socket nobody accepts on (ECONNREFUSED),
+   and a process dying mid-greeting shows as ECONNRESET or a truncated
+   stream.  Protocol-revision mismatches are never retried. *)
+exception Transient of string
+
+let close conn =
+  close_out_noerr conn.oc;
+  close_in_noerr conn.ic
+
+let connect_once ~socket_path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
    with Unix.Unix_error (err, _, _) ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
-     fail "cannot connect to %s: %s" socket_path (Unix.error_message err));
+     let msg =
+       Printf.sprintf "cannot connect to %s: %s" socket_path
+         (Unix.error_message err)
+     in
+     (match err with
+      | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET ->
+        raise (Transient msg)
+      | _ -> raise (Error msg)));
   (* Each channel owns its own descriptor (see the matching note in
      Server.handle_connection): closing both channels of a shared fd
      double-closes it, racing with fd-number reuse in other threads. *)
@@ -36,19 +54,39 @@ let connect ~socket_path =
       ic = Unix.in_channel_of_descr fd;
       oc = Unix.out_channel_of_descr (Unix.dup fd) }
   in
-  let greeting = read_json conn in
-  (match Json.str_member "rpc" greeting with
-   | Some v when String.equal v Protocol.version -> ()
-   | Some v -> fail "server speaks %s, this client %s" v Protocol.version
-   | None -> fail "not a failatom server (no greeting)");
-  conn
+  match read_json conn with
+  | exception e ->
+    close conn;
+    (match e with
+     | Error _ | Sys_error _ ->
+       raise (Transient "server closed the connection mid-greeting")
+     | e -> raise e)
+  | greeting ->
+    (match Json.str_member "rpc" greeting with
+     | Some v when String.equal v Protocol.version -> conn
+     | Some v ->
+       close conn;
+       fail "server speaks %s, this client %s" v Protocol.version
+     | None ->
+       close conn;
+       fail "not a failatom server (no greeting)")
 
-let close conn =
-  close_out_noerr conn.oc;
-  close_in_noerr conn.ic
+let connect ?(retries = 0) ~socket_path () =
+  let rec attempt n delay =
+    match connect_once ~socket_path with
+    | conn -> conn
+    | exception Transient msg ->
+      if n >= retries then raise (Error msg)
+      else begin
+        (* capped exponential backoff: 50ms, 100ms, ... capped at 1s *)
+        Thread.delay delay;
+        attempt (n + 1) (Float.min 1.0 (delay *. 2.))
+      end
+  in
+  attempt 0 0.05
 
-let with_conn ~socket_path f =
-  let conn = connect ~socket_path in
+let with_conn ?retries ~socket_path f =
+  let conn = connect ?retries ~socket_path () in
   Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)
 
 let send conn req =
@@ -135,5 +173,18 @@ let stats conn =
 let shutdown conn = ignore (request conn Protocol.Shutdown)
 
 let submit_wait ?on_event conn job_request =
-  let id, _cached = submit conn job_request in
-  watch ?on_event conn id
+  let j = request conn (Protocol.Submit job_request) in
+  match (Json.str_member "job" j, Json.str_member "state" j) with
+  | None, _ -> fail "malformed submit reply: %s" (Json.to_string j)
+  | Some _, Some "done" when Json.member "result" j <> None -> (
+    (* a cache hit is born finished: the submit reply already carries
+       the result, so skip the watch round trip *)
+    match Protocol.result_of_json (Option.get (Json.member "result" j)) with
+    | Error msg -> fail "malformed result in submit reply: %s" msg
+    | Ok result ->
+      let cached = Option.value ~default:false (Json.bool_member "cached" j) in
+      (match on_event with
+       | Some f -> f (Protocol.Ev_done { result; cached })
+       | None -> ());
+      Completed (result, cached))
+  | Some id, _ -> watch ?on_event conn id

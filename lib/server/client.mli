@@ -7,12 +7,17 @@ exception Error of string
 
 type conn
 
-val connect : socket_path:string -> conn
-(** Connects and verifies the server's greeting (protocol revision). *)
+val connect : ?retries:int -> socket_path:string -> unit -> conn
+(** Connects and verifies the server's greeting (protocol revision).
+    [retries] (default 0) retries transient connect failures —
+    [ECONNREFUSED], [ENOENT], [ECONNRESET], or a connection cut
+    mid-greeting — with capped exponential backoff (50ms doubling,
+    capped at 1s), so clients tolerate a daemon or shard respawning
+    underneath them.  Protocol mismatches are never retried. *)
 
 val close : conn -> unit
 
-val with_conn : socket_path:string -> (conn -> 'a) -> 'a
+val with_conn : ?retries:int -> socket_path:string -> (conn -> 'a) -> 'a
 (** [connect], run, [close] (also on exceptions). *)
 
 val submit : conn -> Protocol.job_request -> string * bool
@@ -50,4 +55,6 @@ val shutdown : conn -> unit
 
 val submit_wait :
   ?on_event:(Protocol.event -> unit) -> conn -> Protocol.job_request -> outcome
-(** [submit] followed by [watch]. *)
+(** [submit] followed by [watch] — except that a cache hit, whose
+    submit reply already embeds the finished result, returns without
+    the watch round trip ([on_event] still sees its [Ev_done]). *)

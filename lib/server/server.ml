@@ -3,10 +3,9 @@
 
    Layout:
 
-   - One {b accept thread} owns the listening socket.  It polls with a
-     short [select] timeout so a stop request is honoured promptly
-     (closing a socket does not reliably wake a blocked [accept]), and
-     spawns one connection thread per client.
+   - One {b accept thread} owns the listening socket; the loop itself
+     lives in {!Net} (shared with the cluster router) and polls with a
+     short [select] timeout so a stop request is honoured promptly.
 
    - {b Connection threads} speak the NDJSON protocol ({!Protocol}):
      read a request line, write a response line.  [watch] turns the
@@ -25,6 +24,14 @@
      under its full fingerprint, so resubmitting a whole known job is
      answered at submit time without touching the queue at all.
 
+   - {b The warm path is allocation-light}: the submit handler resolves
+     the program digest through the cache's source-key memo (no parse
+     for a known source), and finished results carry their rendered
+     NDJSON text, so a cache hit splices pre-rendered bytes into the
+     reply and the done event instead of re-serializing a ~100KB result
+     per hit.  Event frames are rendered once when appended, not once
+     per watcher.
+
    - {b Admission control}: a full queue rejects new submissions
      instead of accepting unbounded work; a per-job wall-clock deadline
      ([job_timeout_s]) and per-run timeout ([run_timeout_s]) bound how
@@ -36,10 +43,11 @@
    All shared state — the job table, the queue, each job's event
    buffer — is guarded by one mutex; one condition variable wakes both
    executors (queue non-empty, drain) and watchers (new events).  The
-   executors call {!Campaign.run}, which spawns its own worker domains;
-   the server threads themselves are systhreads, interleaved on the
-   main domain, which is fine because they only block on I/O and the
-   condition variable. *)
+   cache has its own finer-grained locking and is never touched while
+   the server mutex is held.  The executors call {!Campaign.run}, which
+   spawns its own worker domains; the server threads themselves are
+   systhreads, interleaved on the main domain, which is fine because
+   they only block on I/O and the condition variable. *)
 
 open Failatom_core
 open Failatom_minilang
@@ -74,11 +82,13 @@ let default_config ~socket_path =
     run_timeout_s = None;
     jobs_per_job = Campaign.default_jobs () }
 
-(* A validated submission: everything resolved at submit time, so an
-   executor never discovers a bad request. *)
+(* A validated submission: everything except the parse resolved at
+   submit time.  [p_program] is a memoized thunk — when the digest came
+   from the cache's source memo the parse is deferred to the executor,
+   so a warm cache hit never parses at all. *)
 type prepared = {
   p_mode : Protocol.mode;
-  p_program : Ast.program;
+  p_program : unit -> Ast.program;
   p_digest : string;
   p_flavor : Detect.flavor;
   p_config : Config.t;
@@ -90,7 +100,7 @@ type prepared = {
 type job_state =
   | Queued
   | Running
-  | Done of Protocol.job_result * bool  (* result, served from cache *)
+  | Done of Cache.entry * bool  (* result, served from cache *)
   | Failed of string
   | Cancelled
   | Timed_out
@@ -107,8 +117,11 @@ type job = {
   id : string;
   prepared : prepared;
   mutable state : job_state;
-  mutable events_rev : Protocol.event list;  (* newest first *)
-  mutable n_events : int;
+  mutable frames_rev : string list;
+      (* pre-rendered event frames, newest first: rendered once at
+         append time, written verbatim by every watcher *)
+  mutable n_frames : int;
+  mutable terminal : bool;  (* a terminal frame has been appended *)
   mutable cancel_requested : bool;
       (* read by campaign workers without the server mutex: a benign
          single-word race, the poll just sees it one run later *)
@@ -137,17 +150,36 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-(* Mutex held. *)
-let append_event_locked t job ev =
-  job.events_rev <- ev :: job.events_rev;
-  job.n_events <- job.n_events + 1;
-  Condition.broadcast t.cond
+let event_frame ev =
+  match Protocol.event_to_json ev with
+  | Json.Obj fields -> Json.Obj (("ok", Json.Bool true) :: fields)
+  | _ -> assert false
 
 let is_terminal_event = function
   | Protocol.Ev_done _ | Protocol.Ev_error _ | Protocol.Ev_cancelled
   | Protocol.Ev_timeout ->
     true
   | Protocol.Ev_state _ | Protocol.Ev_tick _ | Protocol.Ev_warning _ -> false
+
+(* Mutex held. *)
+let append_frame_locked t job ~terminal frame =
+  job.frames_rev <- frame :: job.frames_rev;
+  job.n_frames <- job.n_frames + 1;
+  if terminal then job.terminal <- true;
+  Condition.broadcast t.cond
+
+(* Mutex held. *)
+let append_event_locked t job ev =
+  append_frame_locked t job ~terminal:(is_terminal_event ev)
+    (Json.to_string (event_frame ev))
+
+(* The done frame splices the pre-rendered result text.  Field order
+   matches [event_frame (Ev_done _)] exactly, and {!Json.to_string} is
+   compositional (no whitespace), so the spliced frame is byte-for-byte
+   what full rendering would produce. *)
+let done_frame ~cached (entry : Cache.entry) =
+  Printf.sprintf "{\"ok\":true,\"event\":\"done\",\"cached\":%b,\"result\":%s}"
+    cached entry.Cache.e_rendered
 
 (* ------------------------------------------------------------------ *)
 (* Request validation                                                  *)
@@ -171,23 +203,48 @@ let method_ids what names =
   all [] names
 
 let prepare_request t (r : Protocol.job_request) : (prepared, string) result =
-  let parse_src what src =
-    (* liberal: accept already-woven/corrected programs too *)
-    try Ok (Minilang.parse ~allow_reserved:true src)
-    with e -> Error (Printf.sprintf "%s: %s" what (Printexc.to_string e))
-  in
-  let* program, default_flavor =
+  let* source, source_key, default_flavor, what =
     match r.Protocol.program with
     | Protocol.App name -> (
       match Registry.find name with
       | None ->
         Error (Printf.sprintf "unknown application %S (see `failatom apps`)" name)
       | Some app ->
-        let* program = parse_src ("app " ^ name) app.Registry.source in
-        Ok (program, Harness.flavor_of_suite app.Registry.suite))
+        Ok
+          ( app.Registry.source,
+            "app:" ^ name,
+            Harness.flavor_of_suite app.Registry.suite,
+            "app " ^ name ))
     | Protocol.Inline src ->
-      let* program = parse_src "inline program" src in
-      Ok (program, Detect.Source_weaving)
+      Ok
+        ( src,
+          "src:" ^ Digest.to_hex (Digest.string src),
+          Detect.Source_weaving,
+          "inline program" )
+  in
+  (* Memoized parse: at most one parse per request, none for a source
+     the cache has already digested. *)
+  let parsed = ref None in
+  let parse_now () =
+    match !parsed with
+    | Some program -> program
+    | None ->
+      (* liberal: accept already-woven/corrected programs too *)
+      let program = Minilang.parse ~allow_reserved:true source in
+      parsed := Some program;
+      program
+  in
+  let* digest =
+    match Cache.digest_find t.cache ~source_key with
+    | Some d -> Ok d
+    | None -> (
+      match parse_now () with
+      | program ->
+        let d = Minilang.program_digest program in
+        Cache.digest_learn t.cache ~source_key d;
+        Ok d
+      | exception e ->
+        Error (Printf.sprintf "%s: %s" what (Printexc.to_string e)))
   in
   let* exception_free = method_ids "exception_free" r.Protocol.exception_free in
   let* do_not_wrap = method_ids "do_not_wrap" r.Protocol.do_not_wrap in
@@ -213,10 +270,9 @@ let prepare_request t (r : Protocol.job_request) : (prepared, string) result =
     | Some _ as s -> s
     | None -> t.config.run_timeout_s
   in
-  let digest = Minilang.program_digest program in
   Ok
     { p_mode = r.Protocol.mode;
-      p_program = program;
+      p_program = parse_now;
       p_digest = digest;
       p_flavor = flavor;
       p_config = config;
@@ -285,15 +341,16 @@ let execute t (job : job) =
   let outcome =
     try
       if cancel () then raise Campaign.Cancelled;
+      let program = p.p_program () in
       let images =
         Cache.images t.cache ~program_digest:p.p_digest ~flavor:p.p_flavor
-          p.p_program
+          program
       in
       let res, summary =
         Campaign.run ~config:p.p_config ~flavor:p.p_flavor
           ~plain:images.Cache.plain ~compiled:images.Cache.compiled
           ?run_timeout_s:p.p_run_timeout_s ~cancel ~jobs:p.p_jobs ~report
-          p.p_program
+          program
       in
       let base = build_result ~mode:p.p_mode ~flavor:p.p_flavor ~cfg:p.p_config res summary in
       let result =
@@ -306,7 +363,7 @@ let execute t (job : job) =
             Classify.classify ~exception_free:p.p_config.Config.exception_free res
           in
           let targets = Mask.targets p.p_config cls in
-          let corrected = Mask.corrected_program ~targets p.p_program in
+          let corrected = Mask.corrected_program ~targets program in
           { base with
             Protocol.r_wrapped =
               List.map Method_id.to_string (Method_id.Set.elements targets);
@@ -323,22 +380,27 @@ let execute t (job : job) =
     | e -> Error (`Failed (Printexc.to_string e))
   in
   Obs.observe h_job_wall (Obs.now_ns () - t0);
-  locked t (fun () ->
-      match outcome with
-      | Ok result ->
-        Cache.store_result t.cache p.p_key result;
-        job.state <- Done (result, false);
+  match outcome with
+  | Ok result ->
+    (* Render + spill outside the server mutex; only the table insert
+       and the event append happen under it. *)
+    let entry = Cache.store_result t.cache p.p_key result in
+    locked t (fun () ->
+        job.state <- Done (entry, false);
         Obs.incr m_completed;
-        append_event_locked t job (Protocol.Ev_done { result; cached = false })
-      | Error `Cancelled ->
+        append_frame_locked t job ~terminal:true (done_frame ~cached:false entry))
+  | Error `Cancelled ->
+    locked t (fun () ->
         job.state <- Cancelled;
         Obs.incr m_cancelled;
-        append_event_locked t job Protocol.Ev_cancelled
-      | Error `Timeout ->
+        append_event_locked t job Protocol.Ev_cancelled)
+  | Error `Timeout ->
+    locked t (fun () ->
         job.state <- Timed_out;
         Obs.incr m_timed_out;
-        append_event_locked t job Protocol.Ev_timeout
-      | Error (`Failed msg) ->
+        append_event_locked t job Protocol.Ev_timeout)
+  | Error (`Failed msg) ->
+    locked t (fun () ->
         job.state <- Failed msg;
         Obs.incr m_failed;
         append_event_locked t job (Protocol.Ev_error msg))
@@ -388,8 +450,9 @@ let new_job t prepared =
     { id = Printf.sprintf "j%d" t.next_id;
       prepared;
       state = Queued;
-      events_rev = [];
-      n_events = 0;
+      frames_rev = [];
+      n_frames = 0;
+      terminal = false;
       cancel_requested = false;
       deadline_ns = 0;
       last_tick_ns = 0 }
@@ -397,66 +460,83 @@ let new_job t prepared =
   Hashtbl.replace t.jobs job.id job;
   job
 
+let render = Json.to_string
+
+(* Replies that embed a finished result are spliced from the cached
+   rendering (same field order as the [Json] path, byte-identical). *)
+let done_reply ~job_id ~cached (entry : Cache.entry) =
+  Printf.sprintf
+    "{\"ok\":true,\"job\":%s,\"state\":\"done\",\"cached\":%b,\"result\":%s}"
+    (Json.to_string (Json.Str job_id))
+    cached entry.Cache.e_rendered
+
 let handle_submit t req =
   match prepare_request t req with
   | Error msg ->
     Obs.incr m_rejected;
-    Protocol.error msg
-  | Ok p ->
-    locked t (fun () ->
-        if t.draining then begin
-          Obs.incr m_rejected;
-          Protocol.error "server is shutting down"
-        end
-        else
-          match Cache.find_result t.cache p.p_key with
-          | Some result ->
+    render (Protocol.error msg)
+  | Ok p -> (
+    (* The result lookup may deserialize from the durable tier — never
+       under the server mutex. *)
+    match Cache.find_result t.cache p.p_key with
+    | Some entry ->
+      locked t (fun () ->
+          if t.draining then begin
+            Obs.incr m_rejected;
+            render (Protocol.error "server is shutting down")
+          end
+          else begin
             (* Warm hit: the job is born finished — no queue, no
                compile, no runs.  The result bytes are the original
                job's, so the [log] text is bitwise-identical. *)
             let job = new_job t p in
-            job.state <- Done (result, true);
-            append_event_locked t job (Protocol.Ev_done { result; cached = true });
+            job.state <- Done (entry, true);
+            append_frame_locked t job ~terminal:true (done_frame ~cached:true entry);
             Obs.incr m_accepted;
-            Protocol.ok
-              [ ("job", Json.Str job.id);
-                ("state", Json.Str "done");
-                ("cached", Json.Bool true) ]
-          | None ->
-            if Queue.length t.queue >= t.config.max_queue then begin
-              Obs.incr m_rejected;
-              Protocol.error
-                (Printf.sprintf "queue full (%d jobs queued)" t.config.max_queue)
-            end
-            else begin
-              let job = new_job t p in
-              append_event_locked t job (Protocol.Ev_state "queued");
-              Queue.push job t.queue;
-              Obs.set_gauge g_queue_depth (Queue.length t.queue);
-              Obs.incr m_accepted;
-              Condition.broadcast t.cond;
-              Protocol.ok
-                [ ("job", Json.Str job.id);
-                  ("state", Json.Str "queued");
-                  ("cached", Json.Bool false) ]
-            end)
+            render
+              (Protocol.ok
+                 [ ("job", Json.Str job.id);
+                   ("state", Json.Str "done");
+                   ("cached", Json.Bool true) ])
+          end)
+    | None ->
+      locked t (fun () ->
+          if t.draining then begin
+            Obs.incr m_rejected;
+            render (Protocol.error "server is shutting down")
+          end
+          else if Queue.length t.queue >= t.config.max_queue then begin
+            Obs.incr m_rejected;
+            render
+              (Protocol.error
+                 (Printf.sprintf "queue full (%d jobs queued)" t.config.max_queue))
+          end
+          else begin
+            let job = new_job t p in
+            append_event_locked t job (Protocol.Ev_state "queued");
+            Queue.push job t.queue;
+            Obs.set_gauge g_queue_depth (Queue.length t.queue);
+            Obs.incr m_accepted;
+            Condition.broadcast t.cond;
+            render
+              (Protocol.ok
+                 [ ("job", Json.Str job.id);
+                   ("state", Json.Str "queued");
+                   ("cached", Json.Bool false) ])
+          end))
 
 let handle_status t id =
   locked t (fun () ->
       match Hashtbl.find_opt t.jobs id with
-      | None -> Protocol.error ("unknown job " ^ id)
+      | None -> render (Protocol.error ("unknown job " ^ id))
       | Some job -> (
         let base =
           [ ("job", Json.Str job.id); ("state", Json.Str (state_name job.state)) ]
         in
         match job.state with
-        | Done (result, cached) ->
-          Protocol.ok
-            (base
-            @ [ ("cached", Json.Bool cached);
-                ("result", Protocol.result_to_json result) ])
-        | Failed msg -> Protocol.ok (base @ [ ("error", Json.Str msg) ])
-        | Queued | Running | Cancelled | Timed_out -> Protocol.ok base))
+        | Done (entry, cached) -> done_reply ~job_id:job.id ~cached entry
+        | Failed msg -> render (Protocol.ok (base @ [ ("error", Json.Str msg) ]))
+        | Queued | Running | Cancelled | Timed_out -> render (Protocol.ok base)))
 
 let handle_cancel t id =
   locked t (fun () ->
@@ -504,115 +584,73 @@ let initiate_drain t =
 (* The protocol loop of one connection                                 *)
 (* ------------------------------------------------------------------ *)
 
-let send oc json =
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  flush oc
-
-let event_frame ev =
-  match Protocol.event_to_json ev with
-  | Json.Obj fields -> Json.Obj (("ok", Json.Bool true) :: fields)
-  | _ -> assert false
-
-let handle_watch t oc id =
+let handle_watch t fd id =
   let job = locked t (fun () -> Hashtbl.find_opt t.jobs id) in
   match job with
-  | None -> send oc (Protocol.error ("unknown job " ^ id))
+  | None -> Net.write_line fd (render (Protocol.error ("unknown job " ^ id)))
   | Some job ->
     let cursor = ref 0 in
     let finished = ref false in
     while not !finished do
       let batch =
         locked t (fun () ->
-            while job.n_events <= !cursor do
+            while job.n_frames <= !cursor do
               Condition.wait t.cond t.mutex
             done;
-            let fresh = job.n_events - !cursor in
-            cursor := job.n_events;
-            List.rev (List.filteri (fun i _ -> i < fresh) job.events_rev))
+            let fresh = job.n_frames - !cursor in
+            cursor := job.n_frames;
+            if job.terminal && !cursor = job.n_frames then finished := true;
+            List.rev (List.filteri (fun i _ -> i < fresh) job.frames_rev))
       in
-      List.iter
-        (fun ev ->
-          send oc (event_frame ev);
-          if is_terminal_event ev then finished := true)
-        batch
+      List.iter (Net.write_line fd) batch
     done
 
 let handle_connection t fd =
-  (* The reader and writer each own a descriptor: closing a channel
-     closes its fd, and a shared fd closed twice can take down an
-     unrelated connection that reused the number in between. *)
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr (Unix.dup fd) in
+  let send_raw line = Net.write_line fd line in
+  let send j = send_raw (render j) in
   (try
-     send oc Protocol.greeting;
+     send Protocol.greeting;
+     let reader = Net.reader fd in
      let rec loop () =
-       match input_line ic with
-       | exception End_of_file -> ()
-       | line ->
+       match Net.read_line reader with
+       | None -> ()
+       | Some line ->
          (match
             try Ok (Json.of_string line)
             with Json.Parse_error msg -> Error ("bad JSON: " ^ msg)
           with
-          | Error msg -> send oc (Protocol.error msg)
+          | Error msg -> send (Protocol.error msg)
           | Ok j -> (
             match Protocol.request_of_json j with
-            | Error msg -> send oc (Protocol.error msg)
-            | Ok (Protocol.Submit req) -> send oc (handle_submit t req)
-            | Ok (Protocol.Status id) -> send oc (handle_status t id)
-            | Ok (Protocol.Watch id) -> handle_watch t oc id
-            | Ok (Protocol.Cancel id) -> send oc (handle_cancel t id)
-            | Ok Protocol.Stats -> send oc (handle_stats t)
+            | Error msg -> send (Protocol.error msg)
+            | Ok (Protocol.Submit req) -> send_raw (handle_submit t req)
+            | Ok (Protocol.Status id) -> send_raw (handle_status t id)
+            | Ok (Protocol.Watch id) -> handle_watch t fd id
+            | Ok (Protocol.Cancel id) -> send (handle_cancel t id)
+            | Ok Protocol.Stats -> send (handle_stats t)
             | Ok Protocol.Shutdown ->
-              send oc (Protocol.ok []);
+              send (Protocol.ok []);
               initiate_drain t));
          loop ()
      in
      loop ()
    with Sys_error _ | Unix.Unix_error _ -> ());
-  close_out_noerr oc;
-  close_in_noerr ic
+  Net.close_noerr fd
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let accept_loop t fd () =
-  let rec loop () =
-    if Atomic.get t.stop_signal then initiate_drain t;
-    if Atomic.get t.stop then ()
-    else begin
-      (match Unix.select [ fd ] [] [] 0.2 with
-       | [ _ ], _, _ -> (
-         match Unix.accept fd with
-         | conn, _ ->
-           ignore (Thread.create (fun () -> handle_connection t conn) ())
-         | exception Unix.Unix_error _ -> ())
-       | _ -> ()
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      loop ()
-    end
-  in
-  loop ();
-  (try Unix.close fd with Unix.Unix_error _ -> ())
-
-let start config =
+let start ?cache config =
   let obs_was_enabled = Obs.enabled () in
   Obs.set_enabled true;
   (* A client that disconnects mid-write must surface as EPIPE, not
      kill the daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  if Sys.file_exists config.socket_path then Unix.unlink config.socket_path;
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind fd (Unix.ADDR_UNIX config.socket_path);
-     Unix.listen fd 16
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
+  let fd = Net.listen ~socket_path:config.socket_path in
   let t =
     { config;
-      cache = Cache.create ();
+      cache = (match cache with Some c -> c | None -> Cache.create ());
       mutex = Mutex.create ();
       cond = Condition.create ();
       jobs = Hashtbl.create 64;
@@ -624,13 +662,22 @@ let start config =
       threads = [];
       obs_was_enabled }
   in
-  let accept_thread = Thread.create (accept_loop t fd) () in
+  let accept_thread =
+    Thread.create
+      (fun () ->
+        Net.accept_loop
+          ~stop:(fun () -> Atomic.get t.stop)
+          ~tick:(fun () -> if Atomic.get t.stop_signal then initiate_drain t)
+          fd (handle_connection t))
+      ()
+  in
   let executors =
     List.init (max 1 config.workers) (fun _ -> Thread.create (executor t) ())
   in
   t.threads <- accept_thread :: executors;
   t
 
+let cache t = t.cache
 let shutdown t = initiate_drain t
 
 let wait t =
@@ -642,8 +689,8 @@ let wait t =
    Signal handlers only flip an atomic — the accept loop (which polls
    it every 200ms) performs the actual drain, so no lock is ever taken
    from a signal-handler context. *)
-let run config =
-  let t = start config in
+let run ?cache config =
+  let t = start ?cache config in
   let request_stop _ = Atomic.set t.stop_signal true in
   let install signal =
     try ignore (Sys.signal signal (Sys.Signal_handle request_stop))

@@ -31,10 +31,14 @@ val default_config : socket_path:string -> config
 
 type t
 
-val start : config -> t
+val start : ?cache:Cache.t -> config -> t
 (** Binds the socket (replacing a stale file), spawns the accept and
     executor threads, enables metrics, and returns immediately.
+    [?cache] lets the caller supply a pre-built (e.g. store-backed or
+    prewarmed) cache; by default a fresh in-memory one is created.
     @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val cache : t -> Cache.t
 
 val shutdown : t -> unit
 (** Initiates the graceful drain: stop accepting, cancel queued jobs,
@@ -45,6 +49,6 @@ val wait : t -> unit
 (** Joins the server threads, removes the socket file, and restores the
     metrics enablement state. *)
 
-val run : config -> unit
+val run : ?cache:Cache.t -> config -> unit
 (** [start] + SIGTERM/SIGINT handlers (which trigger {!shutdown}) +
     {!wait}: the body of [failatom serve]. *)

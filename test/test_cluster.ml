@@ -1,0 +1,544 @@
+(* Tests of the sharded detection cluster (lib/cluster/): placement and
+   work-stealing decisions, the persistent content-addressed store
+   (round trip, crash hygiene, LRU byte-bound eviction), client connect
+   backoff, the router against in-process shard servers (digest
+   affinity, byte-identical results vs a single server, dead-shard
+   failover), warm-store restarts, and — when the failatom binary is
+   available via FAILATOM_EXE — the supervisor's respawn/redispatch and
+   drain ordering with real shard processes. *)
+
+open Failatom_apps
+module Server = Failatom_server.Server
+module Client = Failatom_server.Client
+module Protocol = Failatom_server.Protocol
+module Store = Failatom_cluster.Store
+module Shard_map = Failatom_cluster.Shard_map
+module Steal = Failatom_cluster.Steal
+module Persist = Failatom_cluster.Persist
+module Router = Failatom_cluster.Router
+module Supervisor = Failatom_cluster.Supervisor
+
+(* Unix sockets live in sun_path (~104 bytes), so build short names
+   under the system temp dir rather than a nested dune sandbox path. *)
+let fresh_name =
+  let counter = ref 0 in
+  fun suffix ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fa_clu_%d_%d%s" (Unix.getpid ()) !counter suffix)
+
+let rm_rf dir =
+  let rec go p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> go (Filename.concat p n)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists dir then go dir
+
+let detect_request app =
+  { (Protocol.default_request Protocol.Detect (Protocol.App app.Registry.name)) with
+    Protocol.infer = true }
+
+let completed = function
+  | Client.Completed (result, cached) -> (result, cached)
+  | Client.Job_failed msg -> Alcotest.failf "job failed: %s" msg
+  | Client.Job_cancelled -> Alcotest.fail "job unexpectedly cancelled"
+  | Client.Job_timed_out -> Alcotest.fail "job unexpectedly timed out"
+
+(* ------------------------------------------------------------------ *)
+(* Placement: shard map and steal decisions                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_map () =
+  (* stable *)
+  let d = String.make 32 'a' in
+  Alcotest.(check int)
+    "same digest, same shard"
+    (Shard_map.shard_of_digest ~shards:4 d)
+    (Shard_map.shard_of_digest ~shards:4 d);
+  (* in range, and every shard is somebody's home *)
+  let hit = Array.make 4 false in
+  for i = 0 to 199 do
+    let digest = Digest.to_hex (Digest.string (string_of_int i)) in
+    let s = Shard_map.shard_of_digest ~shards:4 digest in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 4);
+    hit.(s) <- true
+  done;
+  Alcotest.(check bool) "uniform enough" true (Array.for_all Fun.id hit);
+  (* job ids *)
+  Alcotest.(check string) "global id" "s2-j7" (Shard_map.global_job_id ~shard:2 "j7");
+  Alcotest.(check (option (pair int string)))
+    "parse inverse"
+    (Some (2, "j7"))
+    (Shard_map.parse_job_id "s2-j7");
+  Alcotest.(check (option (pair int string)))
+    "non-cluster id" None (Shard_map.parse_job_id "j7");
+  (* the client-side digest matches what the server caches under *)
+  let app = List.hd Registry.catalog in
+  (match Shard_map.digest_of_spec (Protocol.App app.Registry.name) with
+   | None -> Alcotest.fail "no digest for a bundled app"
+   | Some digest ->
+     let program = Failatom_minilang.Minilang.parse app.Registry.source in
+     Alcotest.(check string)
+       "digest is the program digest"
+       (Failatom_minilang.Minilang.program_digest program)
+       digest);
+  Alcotest.(check (option string))
+    "unknown app has no digest" None
+    (Shard_map.digest_of_spec (Protocol.App "no-such-app"))
+
+let test_map_file () =
+  let base = fresh_name ".sock" in
+  let map =
+    { Shard_map.m_router = base;
+      m_shards =
+        [ { Shard_map.e_socket = base ^ ".shard0"; e_pid = 41 };
+          { Shard_map.e_socket = base ^ ".shard1"; e_pid = 42 } ] }
+  in
+  Shard_map.write_map ~base map;
+  (match Shard_map.read_map ~base with
+   | None -> Alcotest.fail "map did not read back"
+   | Some m ->
+     Alcotest.(check string) "router" base m.Shard_map.m_router;
+     Alcotest.(check (list (pair string int)))
+       "shards"
+       [ (base ^ ".shard0", 41); (base ^ ".shard1", 42) ]
+       (List.map
+          (fun e -> (e.Shard_map.e_socket, e.Shard_map.e_pid))
+          m.Shard_map.m_shards));
+  Shard_map.remove_map ~base;
+  Alcotest.(check bool)
+    "map removed" true
+    (Shard_map.read_map ~base = None)
+
+let test_steal_decisions () =
+  let check name expected decision =
+    Alcotest.(check (pair int bool))
+      name expected
+      (decision.Steal.target, decision.Steal.stolen)
+  in
+  let alive = [| true; true; true |] in
+  check "idle home stays home" (1, false)
+    (Steal.place ~home:1 ~load:[| 0; 0; 0 |] ~alive ~threshold:4);
+  check "small imbalance stays home" (1, false)
+    (Steal.place ~home:1 ~load:[| 0; 3; 0 |] ~alive ~threshold:4);
+  check "big imbalance steals to idlest" (2, true)
+    (Steal.place ~home:1 ~load:[| 2; 6; 1 |] ~alive ~threshold:4);
+  check "dead home fails over to least-loaded live shard" (2, true)
+    (Steal.place ~home:0 ~load:[| 0; 5; 1 |]
+       ~alive:[| false; true; true |] ~threshold:4);
+  check "all dead still yields a target" (0, false)
+    (Steal.place ~home:0 ~load:[| 1; 1 |] ~alive:[| false; false |] ~threshold:4)
+
+(* ------------------------------------------------------------------ *)
+(* The persistent store                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_round_trip () =
+  let dir = fresh_name ".store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Store.open_ ~dir ~max_bytes:(1024 * 1024) in
+  Alcotest.(check (option string))
+    "miss before store" None
+    (Store.find store ~ns:"results" ~key:"k1");
+  Store.store store ~ns:"results" ~key:"k1" "payload-one";
+  Store.store store ~ns:"images" ~key:"k1" "payload-two";
+  Alcotest.(check (option string))
+    "hit" (Some "payload-one")
+    (Store.find store ~ns:"results" ~key:"k1");
+  Alcotest.(check (option string))
+    "namespaces are disjoint" (Some "payload-two")
+    (Store.find store ~ns:"images" ~key:"k1");
+  (* a second open (a restart) sees the same data *)
+  let store' = Store.open_ ~dir ~max_bytes:(1024 * 1024) in
+  Alcotest.(check (option string))
+    "survives reopen" (Some "payload-one")
+    (Store.find store' ~ns:"results" ~key:"k1");
+  (* hostile keys neither crash nor escape the directory *)
+  List.iter
+    (fun key ->
+      Store.store store ~ns:"results" ~key "x";
+      Alcotest.(check (option string))
+        "hostile key rejected" None
+        (Store.find store ~ns:"results" ~key))
+    [ "../escape"; "a/b"; ""; "."; ".." ];
+  (* tmp droppings from a crashed writer are swept at open *)
+  let dropping = Filename.concat (Filename.concat dir "results") "k9.tmp.1.0" in
+  let oc = open_out_bin dropping in
+  output_string oc "junk";
+  close_out oc;
+  ignore (Store.open_ ~dir ~max_bytes:(1024 * 1024));
+  Alcotest.(check bool) "tmp swept" false (Sys.file_exists dropping)
+
+let test_store_lru_eviction () =
+  let dir = fresh_name ".store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Store.open_ ~dir ~max_bytes:(10 * 1024) in
+  let blob = String.make (4 * 1024) 'x' in
+  List.iter
+    (fun key ->
+      Store.store store ~ns:"results" ~key blob;
+      (* distinct mtimes order the LRU deterministically *)
+      Thread.delay 0.05)
+    [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check (option string))
+    "oldest evicted" None
+    (Store.find store ~ns:"results" ~key:"a");
+  Alcotest.(check (option string))
+    "second oldest evicted" None
+    (Store.find store ~ns:"results" ~key:"b");
+  Alcotest.(check bool)
+    "recent entries survive" true
+    (Store.find store ~ns:"results" ~key:"c" <> None
+    && Store.find store ~ns:"results" ~key:"d" <> None);
+  let count, bytes = Store.stats store in
+  Alcotest.(check int) "two entries left" 2 count;
+  Alcotest.(check bool) "under budget" true (bytes <= 10 * 1024);
+  (* a find touches the entry: [c] is now more recent than [d] *)
+  ignore (Store.find store ~ns:"results" ~key:"c");
+  Thread.delay 0.05;
+  Store.store store ~ns:"results" ~key:"e" blob;
+  Alcotest.(check bool)
+    "LRU victim is the untouched entry" true
+    (Store.find store ~ns:"results" ~key:"d" = None
+    && Store.find store ~ns:"results" ~key:"c" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Client connect backoff                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_backoff () =
+  let socket_path = fresh_name ".sock" in
+  (* no retries: a missing socket fails immediately *)
+  (match Client.with_conn ~socket_path (fun _ -> ()) with
+   | () -> Alcotest.fail "connected to nothing"
+   | exception (Client.Error _ | Unix.Unix_error _) -> ());
+  (* with retries: a server that appears late is waited for *)
+  let starter =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.3;
+        let server = Server.start (Server.default_config ~socket_path) in
+        Server.wait server)
+      ()
+  in
+  Client.with_conn ~retries:10 ~socket_path Client.shutdown;
+  Thread.join starter;
+  if Sys.file_exists socket_path then Sys.remove socket_path
+
+(* ------------------------------------------------------------------ *)
+(* Router over in-process shard servers                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Starts [shards] in-process servers on shard sockets plus a router on
+   the base socket — the full cluster data plane without child
+   processes (the supervisor tests below cover real processes). *)
+let with_router ?(shards = 2) ?(dead = []) f =
+  let base = fresh_name ".sock" in
+  let servers =
+    List.init shards (fun i ->
+        if List.mem i dead then None
+        else
+          Some
+            (Server.start
+               (Server.default_config
+                  ~socket_path:(Shard_map.shard_socket ~base i))))
+  in
+  let router =
+    Router.start
+      (Router.default_config ~socket_path:base
+         ~shard_sockets:(Array.init shards (Shard_map.shard_socket ~base)))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.shutdown router;
+      Router.wait router;
+      List.iter
+        (Option.iter (fun s ->
+             Server.shutdown s;
+             Server.wait s))
+        servers;
+      List.iteri
+        (fun i _ ->
+          let p = Shard_map.shard_socket ~base i in
+          if Sys.file_exists p then Sys.remove p)
+        servers)
+    (fun () -> f base)
+
+let test_router_affinity () =
+  with_router (fun base ->
+      let app = List.hd Registry.catalog in
+      let submit () =
+        Client.with_conn ~socket_path:base (fun conn ->
+            let id, cached = Client.submit conn (detect_request app) in
+            (match completed (Client.watch conn id) with
+             | _ -> ());
+            (id, cached))
+      in
+      let id1, cached1 = submit () in
+      let id2, cached2 = submit () in
+      Alcotest.(check bool) "first run computes" false cached1;
+      Alcotest.(check bool) "resubmission is a cache hit" true cached2;
+      let shard_of id =
+        match Shard_map.parse_job_id id with
+        | Some (s, _) -> s
+        | None -> Alcotest.failf "job id %S is not shard-qualified" id
+      in
+      Alcotest.(check int)
+        "same program lands on the same shard (affinity)" (shard_of id1)
+        (shard_of id2);
+      (* and it is the digest-selected home shard *)
+      match Shard_map.digest_of_spec (Protocol.App app.Registry.name) with
+      | None -> Alcotest.fail "app digest"
+      | Some digest ->
+        Alcotest.(check int)
+          "affinity shard is the digest home"
+          (Shard_map.shard_of_digest ~shards:2 digest)
+          (shard_of id1))
+
+(* Every bundled app, detect mode, routed through a 2-shard cluster:
+   the result must be byte-identical (run log included) to what one
+   standalone server computes. *)
+let test_router_matches_single_server () =
+  let single_socket = fresh_name ".sock" in
+  let single = Server.start (Server.default_config ~socket_path:single_socket) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown single;
+      Server.wait single)
+    (fun () ->
+      with_router (fun base ->
+          List.iter
+            (fun (app : Registry.t) ->
+              let req = detect_request app in
+              let via_cluster, _ =
+                Client.with_conn ~socket_path:base (fun conn ->
+                    completed (Client.submit_wait conn req))
+              in
+              let via_single, _ =
+                Client.with_conn ~socket_path:single_socket (fun conn ->
+                    completed (Client.submit_wait conn req))
+              in
+              Alcotest.(check string)
+                (app.Registry.name ^ ": identical run log")
+                via_single.Protocol.r_log via_cluster.Protocol.r_log;
+              Alcotest.(check (list (pair string string)))
+                (app.Registry.name ^ ": identical verdicts")
+                via_single.Protocol.r_non_atomic via_cluster.Protocol.r_non_atomic;
+              Alcotest.(check int)
+                (app.Registry.name ^ ": identical injections")
+                via_single.Protocol.r_injections via_cluster.Protocol.r_injections)
+            Registry.catalog))
+
+(* A job whose digest-selected home shard is dead must fail over to a
+   live shard and still complete. *)
+let test_router_dead_shard_failover () =
+  let app = List.hd Registry.catalog in
+  let home =
+    match Shard_map.digest_of_spec (Protocol.App app.Registry.name) with
+    | Some digest -> Shard_map.shard_of_digest ~shards:2 digest
+    | None -> Alcotest.fail "app digest"
+  in
+  with_router ~dead:[ home ] (fun base ->
+      let result, _ =
+        Client.with_conn ~socket_path:base (fun conn ->
+            completed (Client.submit_wait conn (detect_request app)))
+      in
+      Alcotest.(check bool)
+        "job completed on the surviving shard" true
+        (String.length result.Protocol.r_log > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Warm store across restarts                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_store_restart () =
+  let dir = fresh_name ".store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let app = List.hd Registry.catalog in
+  let req = detect_request app in
+  let run_once () =
+    let socket_path = fresh_name ".sock" in
+    let store = Store.open_ ~dir ~max_bytes:(64 * 1024 * 1024) in
+    let cache = Persist.cache store in
+    ignore (Persist.prewarm store cache);
+    let server =
+      Server.start ~cache (Server.default_config ~socket_path)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.shutdown server;
+        Server.wait server)
+      (fun () ->
+        Client.with_conn ~socket_path (fun conn ->
+            let id, cached = Client.submit conn req in
+            let result, _ = completed (Client.watch conn id) in
+            (result, cached)))
+  in
+  let first, cached1 = run_once () in
+  (* a brand-new server process-equivalent: fresh cache, same store *)
+  let second, cached2 = run_once () in
+  Alcotest.(check bool) "first run computes" false cached1;
+  Alcotest.(check bool)
+    "restarted server answers from the store without re-running" true cached2;
+  Alcotest.(check string)
+    "byte-identical run log across restart" first.Protocol.r_log
+    second.Protocol.r_log;
+  Alcotest.(check (list (pair string string)))
+    "identical verdicts across restart" first.Protocol.r_non_atomic
+    second.Protocol.r_non_atomic
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor with real shard processes (needs the failatom binary)    *)
+(* ------------------------------------------------------------------ *)
+
+let failatom_exe () =
+  match Sys.getenv_opt "FAILATOM_EXE" with
+  | Some exe when Sys.file_exists exe -> Some exe
+  | _ -> None
+
+let with_supervisor ?(shards = 2) ~exe f =
+  let events = ref [] in
+  let events_mutex = Mutex.create () in
+  let record e =
+    Mutex.lock events_mutex;
+    events := e :: !events;
+    Mutex.unlock events_mutex
+  in
+  let base = fresh_name ".sock" in
+  let config =
+    { (Supervisor.default_config ~base_socket:base ~exe) with
+      Supervisor.on_event = record }
+  in
+  let sup = Supervisor.start config in
+  let finish () =
+    Supervisor.stop sup;
+    Supervisor.wait sup
+  in
+  Fun.protect ~finally:finish (fun () -> f base sup);
+  ignore shards;
+  List.rev !events
+
+let test_supervisor_kill_respawn_redispatch () =
+  match failatom_exe () with
+  | None -> ()  (* binary not wired in; covered by the CI smoke job *)
+  | Some exe ->
+    let app =
+      List.find (fun a -> a.Registry.name = "xml2Cviasc2") Registry.catalog
+    in
+    let req =
+      { (Protocol.default_request Protocol.Campaign
+           (Protocol.App app.Registry.name)) with
+        Protocol.infer = true }
+    in
+    let events =
+      with_supervisor ~exe (fun base sup ->
+          let result, _ =
+            Client.with_conn ~retries:10 ~socket_path:base (fun conn ->
+                let id, _cached = Client.submit conn req in
+                (* kill the job's home shard while it runs *)
+                (match Shard_map.parse_job_id id with
+                 | Some (shard, _) ->
+                   Unix.kill (Supervisor.shard_pids sup).(shard) Sys.sigkill
+                 | None -> Alcotest.failf "unqualified cluster job id %S" id);
+                completed (Client.watch conn id))
+          in
+          Alcotest.(check bool)
+            "job survived its shard" true
+            (String.length result.Protocol.r_log > 0);
+          (* the supervisor must notice and respawn within its poll loop *)
+          let deadline = Unix.gettimeofday () +. 15.0 in
+          let rec wait_respawn () =
+            let alive =
+              Array.for_all
+                (fun pid ->
+                  pid > 0
+                  && match Unix.kill pid 0 with
+                     | () -> true
+                     | exception Unix.Unix_error _ -> false)
+                (Supervisor.shard_pids sup)
+            in
+            if alive then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "shard was not respawned"
+            else begin
+              Thread.delay 0.1;
+              wait_respawn ()
+            end
+          in
+          wait_respawn ())
+    in
+    Alcotest.(check bool)
+      "a respawn was reported" true
+      (List.exists
+         (function Supervisor.Shard_respawned _ -> true | _ -> false)
+         events)
+
+let test_supervisor_drain_ordering () =
+  match failatom_exe () with
+  | None -> ()
+  | Some exe ->
+    let events = with_supervisor ~exe (fun _base _sup -> Thread.delay 0.2) in
+    let index p =
+      let rec go i = function
+        | [] -> None
+        | e :: _ when p e -> Some i
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 0 events
+    in
+    let get name = function
+      | Some i -> i
+      | None -> Alcotest.failf "event %s never happened" name
+    in
+    let started i =
+      get "shard started"
+        (index (function Supervisor.Shard_started (j, _) -> j = i | _ -> false))
+    in
+    let router_started =
+      get "router started" (index (( = ) Supervisor.Router_started))
+    in
+    let draining = get "draining" (index (( = ) Supervisor.Draining)) in
+    let router_drained =
+      get "router drained" (index (( = ) Supervisor.Router_drained))
+    in
+    let terminated i =
+      get "shard terminated"
+        (index (function Supervisor.Shard_terminated j -> j = i | _ -> false))
+    in
+    (* startup: every shard serves before the router opens *)
+    Alcotest.(check bool)
+      "shards start before the router" true
+      (started 0 < router_started && started 1 < router_started);
+    (* drain: router first, shards after *)
+    Alcotest.(check bool) "drain begins" true (draining < router_drained);
+    Alcotest.(check bool)
+      "router drains before any shard is terminated" true
+      (router_drained < terminated 0 && router_drained < terminated 1)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "shard map: digests, homes, job ids" `Quick test_shard_map;
+    Alcotest.test_case "map file round trip" `Quick test_map_file;
+    Alcotest.test_case "steal decisions" `Quick test_steal_decisions;
+    Alcotest.test_case "store round trip and crash hygiene" `Quick
+      test_store_round_trip;
+    Alcotest.test_case "store LRU byte-bound eviction" `Quick
+      test_store_lru_eviction;
+    Alcotest.test_case "client connect backoff" `Quick test_client_backoff;
+    Alcotest.test_case "router: digest affinity and cache hits" `Quick
+      test_router_affinity;
+    Alcotest.test_case "router: byte-identical to a single server (all apps)"
+      `Slow test_router_matches_single_server;
+    Alcotest.test_case "router: dead home shard fails over" `Quick
+      test_router_dead_shard_failover;
+    Alcotest.test_case "warm store restart answers without re-running" `Quick
+      test_warm_store_restart;
+    Alcotest.test_case "supervisor: kill -9 mid-job, respawn + redispatch"
+      `Slow test_supervisor_kill_respawn_redispatch;
+    Alcotest.test_case "supervisor: drain ordering" `Slow
+      test_supervisor_drain_ordering ]

@@ -30,4 +30,5 @@ let () =
       ("snapshot", Test_snapshot.suite);
       ("campaign", Test_campaign.suite);
       ("obs", Test_obs.suite);
-      ("server", Test_server.suite) ]
+      ("server", Test_server.suite);
+      ("cluster", Test_cluster.suite) ]
