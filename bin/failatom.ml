@@ -98,6 +98,27 @@ let details_arg =
   let doc = "Print the per-method verdicts, call counts and diff paths." in
   Arg.(value & flag & info [ "details" ] ~doc)
 
+let engine_arg =
+  let doc =
+    "Execution engine for interpreted programs: $(b,bytecode) (flat bytecode \
+     with superinstructions and monomorphic inline caches — the default) or \
+     $(b,closures) (the original closure-tree evaluator, kept for \
+     differential testing).  The engines are observably identical: same \
+     output, step counts, marks and run logs."
+  in
+  let engine_conv =
+    Arg.enum [ ("closures", ML.Compile.Closures); ("bytecode", ML.Compile.Bytecode) ]
+  in
+  Arg.(
+    value
+    & opt engine_conv !ML.Compile.default_engine
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+(* The engine choice is a process-wide default ([Compile.image] honors
+   it at every compilation, including re-weaves inside detection), set
+   once before the action body runs. *)
+let set_engine e = ML.Compile.default_engine := e
+
 let method_list_conv =
   let parse s =
     match String.index_opt s '.' with
@@ -207,7 +228,8 @@ let run_cmd =
     in
     Arg.(value & opt int 1 & info [ "times" ] ~docv:"N" ~doc)
   in
-  let action spec times =
+  let action spec engine times =
+    set_engine engine;
     with_program spec (fun program ->
         if times < 1 then begin
           Fmt.epr "failatom: --times must be at least 1@.";
@@ -230,7 +252,8 @@ let run_cmd =
         end)
   in
   let doc = "Run a MiniLang program and print its output." in
-  Cmd.v (Cmd.info "run" ~doc ~exits) Term.(const action $ program_arg $ times_arg)
+  Cmd.v (Cmd.info "run" ~doc ~exits)
+    Term.(const action $ program_arg $ engine_arg $ times_arg)
 
 let csv_arg =
   let doc = "Write the per-method classification as CSV to $(docv)." in
@@ -265,8 +288,9 @@ let write_csv csv classification =
   | None -> ()
 
 let detect_cmd =
-  let action spec flavor snapshot_mode details exception_free infer log coverage csv
-      metrics_out =
+  let action spec engine flavor snapshot_mode details exception_free infer log
+      coverage csv metrics_out =
+    set_engine engine;
     with_program spec (fun program ->
         let config =
           { Config.default with Config.infer_exception_free = infer; snapshot_mode }
@@ -299,9 +323,9 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect" ~doc ~exits)
     Term.(
-      const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ details_arg
-      $ exception_free_arg $ infer_arg $ log_arg $ coverage_arg $ csv_arg
-      $ metrics_out_arg)
+      const action $ program_arg $ engine_arg $ flavor_arg $ snapshot_mode_arg
+      $ details_arg $ exception_free_arg $ infer_arg $ log_arg $ coverage_arg
+      $ csv_arg $ metrics_out_arg)
 
 let campaign_cmd =
   let jobs_arg =
@@ -322,8 +346,9 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let action spec flavor snapshot_mode jobs journal resume run_timeout_s details
-      exception_free log csv metrics_out =
+  let action spec engine flavor snapshot_mode jobs journal resume run_timeout_s
+      details exception_free log csv metrics_out =
+    set_engine engine;
     with_program spec (fun program ->
         if resume && journal = None then begin
           Fmt.epr "failatom: --resume requires --journal@.";
@@ -370,9 +395,9 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc ~exits)
     Term.(
-      const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ jobs_arg
-      $ journal_arg $ resume_arg $ run_timeout_arg $ details_arg $ exception_free_arg
-      $ log_arg $ csv_arg $ metrics_out_arg)
+      const action $ program_arg $ engine_arg $ flavor_arg $ snapshot_mode_arg
+      $ jobs_arg $ journal_arg $ resume_arg $ run_timeout_arg $ details_arg
+      $ exception_free_arg $ log_arg $ csv_arg $ metrics_out_arg)
 
 let weave_cmd =
   let action spec =
@@ -385,8 +410,9 @@ let weave_cmd =
   Cmd.v (Cmd.info "weave" ~doc ~exits) Term.(const action $ program_arg)
 
 let mask_cmd =
-  let action spec flavor snapshot_mode exception_free do_not_wrap wrap_all show_source
-      verify =
+  let action spec engine flavor snapshot_mode exception_free do_not_wrap wrap_all
+      show_source verify =
+    set_engine engine;
     with_program spec (fun program ->
         let config = config_of ~exception_free ~do_not_wrap ~wrap_all ~snapshot_mode in
         match Mask.correct ~config ~flavor program with
@@ -443,8 +469,9 @@ let mask_cmd =
   in
   Cmd.v (Cmd.info "mask" ~doc ~exits)
     Term.(
-      const action $ program_arg $ flavor_arg $ snapshot_mode_arg $ exception_free_arg
-      $ do_not_wrap_arg $ wrap_all_arg $ show_source_arg $ verify_arg)
+      const action $ program_arg $ engine_arg $ flavor_arg $ snapshot_mode_arg
+      $ exception_free_arg $ do_not_wrap_arg $ wrap_all_arg $ show_source_arg
+      $ verify_arg)
 
 let classify_cmd =
   let log_file_arg =
@@ -473,6 +500,77 @@ let classify_cmd =
   in
   Cmd.v (Cmd.info "classify" ~doc ~exits)
     Term.(const action $ log_file_arg $ details_arg $ exception_free_arg)
+
+let profile_cmd =
+  let times_arg =
+    let doc = "Run the program $(docv) times to accumulate counts." in
+    Arg.(value & opt int 1 & info [ "times" ] ~docv:"N" ~doc)
+  in
+  let flame_arg =
+    let doc =
+      "Write the profile to $(docv) in folded-stack format (one \
+       $(i,frame;frame value) line per stack — flamegraph.pl / speedscope \
+       input).  Opcode lines carry dispatch counts under an $(b,interp) \
+       root; span lines carry total nanoseconds per observability span."
+    in
+    Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"FILE" ~doc)
+  in
+  let action spec times flame =
+    (* per-opcode counts only exist in the bytecode engine *)
+    set_engine ML.Compile.Bytecode;
+    with_program spec (fun program ->
+        let module Exec = Failatom_runtime.Exec in
+        let module Obs = Failatom_obs.Obs in
+        if times < 1 then begin
+          Fmt.epr "failatom: --times must be at least 1@.";
+          exit_usage
+        end
+        else begin
+          Obs.set_enabled true;
+          Exec.reset_profile ();
+          Exec.profiling := true;
+          let image = Obs.span "compile.image" (fun () -> ML.Compile.image program) in
+          for _ = 1 to times do
+            let vm = ML.Compile.instantiate image in
+            Obs.span "vm.run" (fun () ->
+                match ML.Compile.run_main vm with
+                | _ -> ()
+                | exception Failatom_runtime.Vm.Mini_raise e ->
+                  Fmt.epr "uncaught %s: %s@." e.Failatom_runtime.Vm.exn_class
+                    e.Failatom_runtime.Vm.message)
+          done;
+          Exec.profiling := false;
+          let total = Array.fold_left ( + ) 0 Exec.op_counts in
+          Fmt.pr "dispatches:       %d (%d run(s))@." total times;
+          let ranked =
+            List.sort
+              (fun (_, a) (_, b) -> compare b a)
+              (List.init Exec.n_ops (fun i ->
+                   (Exec.op_names.(i), Exec.op_counts.(i))))
+          in
+          List.iteri
+            (fun rank (name, count) ->
+              if rank < 20 && count > 0 then
+                Fmt.pr "  %-12s %9d  %5.1f%%@." name count
+                  (100.0 *. float_of_int count /. float_of_int (max 1 total)))
+            ranked;
+          (match flame with
+           | Some path ->
+             let oc = open_out path in
+             output_string oc (Exec.folded_profile (Obs.snapshot ()));
+             close_out oc;
+             Fmt.epr "folded profile written to %s@." path
+           | None -> ());
+          exit_ok
+        end)
+  in
+  let doc =
+    "Run a program under the bytecode engine with opcode profiling and print \
+     the hottest instructions; $(b,--flame) also writes a folded-stack file \
+     combining per-opcode dispatch counts with per-phase span timings."
+  in
+  Cmd.v (Cmd.info "profile" ~doc ~exits)
+    Term.(const action $ program_arg $ times_arg $ flame_arg)
 
 let trace_cmd =
   let action spec =
@@ -1071,8 +1169,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "failatom" ~version:"1.0.0" ~doc ~exits)
     [ run_cmd; detect_cmd; campaign_cmd; classify_cmd; weave_cmd; mask_cmd; trace_cmd;
-      serve_cmd; cluster_cmd; submit_cmd; status_cmd; watch_cmd; cancel_cmd;
-      shutdown_cmd; stats_cmd; apps_cmd; experiments_cmd ]
+      profile_cmd; serve_cmd; cluster_cmd; submit_cmd; status_cmd; watch_cmd;
+      cancel_cmd; shutdown_cmd; stats_cmd; apps_cmd; experiments_cmd ]
 
 let () =
   match Cmd.eval_value main_cmd with

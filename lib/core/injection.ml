@@ -25,6 +25,8 @@ module Obs = Failatom_obs.Obs
 let m_snapshots = Obs.counter "detect.snapshots_taken"
 let m_cow_fast = Obs.counter "detect.cow_fast_path_hits"
 let h_canon = Obs.histogram ~unit_:Obs.Ns "detect.canonicalize"
+let m_memo_hits = Obs.counter "detect.canon_memo_hits"
+let m_memo_misses = Obs.counter "detect.canon_memo_misses"
 
 (* The entry state captured by a wrapped call, per the configured
    snapshot mode:
@@ -45,6 +47,11 @@ type snapshot =
 type state = {
   config : Config.t;
   analyzer : Analyzer.t;
+  memo : Object_graph.Memo.t;
+      (* incremental canonicalization: live-heap forms are served from
+         this cache, revalidated against the heap's write stamps (see
+         [Object_graph.Memo]); before-state reconstructions through a
+         shadow's saved payloads are never memoized *)
   threshold : int; (* this run's InjectionPoint *)
   mutable point : int; (* the global Point counter *)
   mutable injected : (Method_id.t * string) option;
@@ -59,6 +66,7 @@ type state = {
 let make_state config analyzer ~threshold =
   { config;
     analyzer;
+    memo = Object_graph.Memo.create ();
     threshold;
     point = 0;
     injected = None;
@@ -77,11 +85,24 @@ let snapshot_roots state recv args =
     recv :: List.filter Value.is_ref args
   else [ recv ]
 
+(* Canonical form of the current heap graph, through the memo; the
+   timing histogram covers hits too, so it keeps measuring what a
+   snapshot costs rather than what canonicalization would cost. *)
+let memo_canon state heap roots =
+  let before_hits = Object_graph.Memo.hits state.memo in
+  let form =
+    Obs.timed h_canon (fun () ->
+        Object_graph.Memo.canonical_many state.memo heap roots)
+  in
+  if Object_graph.Memo.hits state.memo > before_hits then
+    Obs.incr m_memo_hits
+  else Obs.incr m_memo_misses;
+  form
+
 let take_snapshot_of state vm roots =
   Obs.incr m_snapshots;
   match state.config.Config.snapshot_mode with
-  | Config.Snapshot_eager ->
-    Eager_snap (Obs.timed h_canon (fun () -> Object_graph.canonical_many vm.Vm.heap roots))
+  | Config.Snapshot_eager -> Eager_snap (memo_canon state vm.Vm.heap roots)
   | Config.Snapshot_cow -> Cow_snap { shadow = Shadow.open_ vm.Vm.heap; roots }
 
 let take_snapshot state vm recv args =
@@ -146,7 +167,7 @@ let mark_verdict state id ~before ~after ~exn_id =
 let check_and_mark state vm id snapshot roots ~exn_id =
   match snapshot with
   | Eager_snap before ->
-    let after = Obs.timed h_canon (fun () -> Object_graph.canonical_many vm.Vm.heap roots) in
+    let after = memo_canon state vm.Vm.heap roots in
     mark_verdict state id ~before ~after ~exn_id
   | Cow_snap { shadow; roots } ->
     let read = Shadow.read_before shadow in
@@ -167,11 +188,10 @@ let check_and_mark state vm id snapshot roots ~exn_id =
           compare it with the exit-time form.  Neither traversal
           allocates on the program heap, so the comparison itself never
           feeds the write barrier of enclosing shadows. *)
-       let before, after =
-         Obs.timed h_canon (fun () ->
-             ( Object_graph.canonical_many_via read roots,
-               Object_graph.canonical_many (Shadow.heap shadow) roots ))
+       let before =
+         Obs.timed h_canon (fun () -> Object_graph.canonical_many_via read roots)
        in
+       let after = memo_canon state (Shadow.heap shadow) roots in
        mark_verdict state id ~before ~after ~exn_id
      end);
     Shadow.close shadow

@@ -43,6 +43,12 @@ type t = {
   mutable barrier_hits : int; (* total write-barrier firings ever made *)
   mutable shadows : shadow list; (* active shadows, innermost first *)
   mutable on_write : (Value.obj_id -> unit) option;
+  mutable write_gen : int; (* bumped once per payload mutation *)
+  mutable wstamp : int array;
+      (* [write_gen] value of each object's latest mutation, indexed by
+         identity like [store]; the incremental-canonicalization memo
+         ([Object_graph.Memo]) compares these stamps against the
+         generation a cached form was validated at *)
 }
 
 exception Dangling_reference of Value.obj_id
@@ -59,11 +65,28 @@ let create () =
     allocations = 0;
     barrier_hits = 0;
     shadows = [];
-    on_write = None }
+    on_write = None;
+    write_gen = 0;
+    wstamp = Array.make 256 0 }
 
 let live_count h = h.live
 let allocations h = h.allocations
 let barrier_hits h = h.barrier_hits
+let write_gen h = h.write_gen
+
+let write_stamp h id =
+  if id > 0 && id < Array.length h.wstamp then Array.unsafe_get h.wstamp id
+  else 0
+
+(* Stamps [id] as mutated at a fresh generation.  Not in [barrier]
+   directly so [restore_payload] (which bypasses the barrier) can stamp
+   too: rollback must not re-trigger checkpointing, but it *does*
+   change payloads, and a stale memoized canonical form would be a
+   correctness bug, not a missed optimization. *)
+let stamp h id =
+  let g = h.write_gen + 1 in
+  h.write_gen <- g;
+  if id > 0 && id < Array.length h.wstamp then Array.unsafe_set h.wstamp id g
 
 (* The current payload slot of [id], or None when never allocated or
    already freed.  [id < next_id] implies [id] is within the array. *)
@@ -82,7 +105,10 @@ let alloc h payload =
   if id >= Array.length h.store then begin
     let bigger = Array.make (2 * Array.length h.store) None in
     Array.blit h.store 0 bigger 0 (Array.length h.store);
-    h.store <- bigger
+    h.store <- bigger;
+    let wider = Array.make (Array.length bigger) 0 in
+    Array.blit h.wstamp 0 wider 0 (Array.length h.wstamp);
+    h.wstamp <- wider
   end;
   h.next_id <- id + 1;
   h.allocations <- h.allocations + 1;
@@ -132,6 +158,7 @@ let shadow_record h sh id copy =
 
 let barrier h id =
   h.barrier_hits <- h.barrier_hits + 1;
+  stamp h id;
   (match h.shadows with
    | [] -> ()
    | [ sh ] when sh.shadow_active ->
@@ -209,7 +236,10 @@ let set_elem h id i v =
 (* Restores a previously copied payload in place, bypassing the write
    barrier (rollback must not re-trigger checkpointing). *)
 let restore_payload h id payload =
-  if mem h id then h.store.(id) <- Some (copy_payload payload)
+  if mem h id then begin
+    h.store.(id) <- Some (copy_payload payload);
+    stamp h id
+  end
 
 (* Direct successors of an object: every reference stored in it. *)
 let successors h id =

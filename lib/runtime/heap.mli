@@ -41,6 +41,13 @@ type t = {
       (** external write-barrier hook, called with the object's id
           before each mutation (or free) of its payload, after the
           active shadows have recorded it *)
+  mutable write_gen : int;  (** bumped once per payload mutation *)
+  mutable wstamp : int array;
+      (** per-identity stamp: the {!field-write_gen} value of the
+          object's latest mutation (or rollback restore).  Read through
+          {!write_stamp} by the incremental-canonicalization memo
+          ({!Object_graph.Memo}) to revalidate cached canonical forms
+          without traversing payloads *)
 }
 
 exception Dangling_reference of Value.obj_id
@@ -57,6 +64,17 @@ val barrier_hits : t -> int
 (** Total number of write-barrier firings (mutations and frees) over
     the heap's lifetime.  A cheap per-heap count, harvested into the
     observability registry at run boundaries. *)
+
+val write_gen : t -> int
+(** Monotonic mutation generation: bumped once per payload mutation,
+    free, or rollback restore.  Equal generations imply an unchanged
+    heap, so a memoized canonical form is revalidated with one integer
+    compare when nothing was written since it was built. *)
+
+val write_stamp : t -> Value.obj_id -> int
+(** Generation of [id]'s latest mutation; [0] if never mutated since
+    allocation.  [write_stamp h id <= g] for every object in a graph
+    means the graph is unchanged since generation [g]. *)
 
 val get : t -> Value.obj_id -> payload
 (** @raise Dangling_reference if the object does not exist. *)

@@ -48,6 +48,32 @@ val canonical_many_via : (Value.obj_id -> Heap.payload) -> Value.t list -> node
     the shadow was opened — the differential snapshot path of the
     detection engine. *)
 
+(** Incremental canonicalization: a per-run cache of canonical forms,
+    keyed by the first root's object identity and revalidated against
+    the heap's write stamps ({!Heap.write_stamp}) instead of being
+    rebuilt.  The detection phase snapshots the same receiver graph at
+    every wrapped call; when nothing covered by a cached form was
+    mutated since — the common case — the memo answers with one integer
+    compare (heap generation unchanged) or one stamp read per covered
+    object, never traversing payloads.  Any mutation of a covered
+    object, including through the copy-on-write barrier or rollback's
+    [restore_payload], forces a rebuild, so a cached form is never
+    stale; memoized results are structurally identical to freshly built
+    ones (canonicalization is deterministic). *)
+module Memo : sig
+  type t
+
+  val create : unit -> t
+
+  val canonical_many : t -> Heap.t -> Value.t list -> node
+  (** Like {!val-canonical_many}, through the cache.  Physically equal
+      results for repeat calls over an unmutated graph, so a subsequent
+      {!equal} is O(1). *)
+
+  val hits : t -> int
+  val misses : t -> int
+end
+
 val reaches_dirty :
   (Value.obj_id -> Heap.payload) -> dirty:(Value.obj_id -> bool) ->
   Value.t list -> bool

@@ -10,6 +10,7 @@ let () =
       ("parser", Test_parser.suite);
       ("interp", Test_interp.suite);
       ("compile-image", Test_compile_image.suite);
+      ("bytecode", Test_bytecode.suite);
       ("static-check", Test_static_check.suite);
       ("conformance", Test_conformance.suite);
       ("weaver", Test_weaver.suite);
