@@ -31,11 +31,15 @@
    Beyond the paper still, the obs-overhead section proves the
    observability layer (lib/obs/) keeps detection marks bitwise
    identical with metrics enabled and costs the interpreter < 2%
-   throughput, writing BENCH_obs.json.
+   throughput, writing BENCH_obs.json.  The prune section measures the
+   static exception-flow pruner (--prune coalesce) against the unpruned
+   campaign per application — run census, wall clock, and a bitwise
+   identity check — gating RBTree at >= 30% runs eliminated and the
+   geomean speedup at >= 1.3x, writing BENCH_prune.json.
 
    Usage: main.exe [section...] where section is one of
    table1 fig2 fig3 fig4 fig5 case-study campaign snapshot ablation
-   interp obs-overhead (default: all). *)
+   prune interp obs-overhead server cluster (default: all). *)
 
 open Bechamel
 open Failatom_runtime
@@ -831,6 +835,167 @@ let section_ablation () =
     (Lazy.force sweep)
 
 (* ------------------------------------------------------------------ *)
+(* Exception-flow pruning: run census and off-vs-coalesce wall clock   *)
+(* ------------------------------------------------------------------ *)
+
+let prune_json_file = "BENCH_prune.json"
+
+let prune_apps () =
+  if bench_short then
+    List.filter_map Registry.find [ "stdQ"; "LinkedList"; "RBTree" ]
+  else Registry.all
+
+type prune_row = {
+  pr_app : Registry.t;
+  pr_flavor : Detect.flavor;
+  pr_points : int;  (* P: runs of the unpruned campaign minus the probe *)
+  pr_groups : int;  (* representative runs coalesce executes *)
+  pr_coalesced : int;  (* synthesized (not executed) runs *)
+  pr_dropped : int;  (* generic injections --prune drop would remove *)
+  pr_off_s : float;
+  pr_co_s : float;
+  pr_identical : bool;  (* coalesce runs == off runs, structurally *)
+}
+
+let section_prune () =
+  Fmt.pr "@.== Exception-flow pruning: unpruned vs coalesced campaigns =============@.";
+  Fmt.pr "  (coalesce executes one run per handler-blindness group and synthesizes@.";
+  Fmt.pr "   the rest from a threshold-0 trace-run plan; its runs list is verified@.";
+  Fmt.pr "   bitwise-identical to the unpruned campaign's.  dropped counts what@.";
+  Fmt.pr "   --prune drop's may-raise filter would remove instead)@.";
+  let apps = prune_apps () in
+  let reps = if bench_short then 1 else 3 in
+  let time_detect prune flavor program =
+    let config = { Config.default with Config.prune } in
+    let best = ref infinity and result = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = Detect.run ~config ~flavor program in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  Fmt.pr "%-14s %7s %7s %10s %8s %9s %9s %8s %10s@." "Application" "points"
+    "groups" "coalesced" "dropped" "off(s)" "co(s)" "speedup" "identical";
+  let rows =
+    List.map
+      (fun (app : Registry.t) ->
+        let program = Failatom_minilang.Minilang.parse app.Registry.source in
+        let flavor = Harness.flavor_of_suite app.Registry.suite in
+        let flow =
+          Exnflow.analyze (Failatom_minilang.Compile.image program) program
+        in
+        (* plan census from a trace run, exactly as Detect builds it *)
+        let config = Config.default in
+        let analyzer = Analyzer.analyze config program in
+        let compiled = Detect.compile flavor program in
+        let _, extras =
+          Detect.run_once_ext ~trace:true compiled config analyzer
+            ~prepare:(fun _ -> ())
+            ~threshold:0
+        in
+        let plan = Prune.build flow ~entries:extras.Detect.entries in
+        let dropped =
+          let filtered = Analyzer.analyze ~flow config program in
+          List.fold_left
+            (fun acc id ->
+              acc
+              + List.length (Analyzer.injectable_for analyzer id)
+              - List.length (Analyzer.injectable_for filtered id))
+            0 (Analyzer.method_ids analyzer)
+        in
+        let off_r, off_s = time_detect Config.Prune_off flavor program in
+        let co_r, co_s = time_detect Config.Prune_coalesce flavor program in
+        let identical =
+          off_r.Detect.runs = co_r.Detect.runs
+          && off_r.Detect.transparent = co_r.Detect.transparent
+        in
+        if not identical then
+          Fmt.epr "  WARNING: %s: coalesced runs differ from unpruned!@."
+            app.Registry.name;
+        let row =
+          { pr_app = app;
+            pr_flavor = flavor;
+            pr_points = plan.Prune.total_points;
+            pr_groups = Prune.group_count plan;
+            pr_coalesced = Prune.coalesced_away plan;
+            pr_dropped = dropped;
+            pr_off_s = off_s;
+            pr_co_s = co_s;
+            pr_identical = identical }
+        in
+        Fmt.pr "%-14s %7d %7d %10d %8d %9.3f %9.3f %7.2fx %10b@."
+          app.Registry.name row.pr_points row.pr_groups row.pr_coalesced
+          row.pr_dropped off_s co_s (off_s /. co_s) identical;
+        row)
+      apps
+  in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let off_total = total (fun r -> r.pr_off_s) in
+  let co_total = total (fun r -> r.pr_co_s) in
+  let geomean =
+    exp
+      (total (fun r -> log (r.pr_off_s /. r.pr_co_s))
+      /. float_of_int (List.length rows))
+  in
+  Fmt.pr "%-14s %7s %7s %10s %8s %9.3f %9.3f %7.2fx@." "total" "" "" "" ""
+    off_total co_total (off_total /. co_total);
+  let eliminated_pct r =
+    100.0 *. float_of_int r.pr_coalesced /. float_of_int (r.pr_points + 1)
+  in
+  let all_identical = List.for_all (fun r -> r.pr_identical) rows in
+  (* The two committed gates: RBTree must shed >= 30% of its runs, and
+     coalescing must be a real wall-clock win across the table. *)
+  let pass_rbtree =
+    match List.find_opt (fun r -> r.pr_app.Registry.name = "RBTree") rows with
+    | None -> true (* subset without RBTree: nothing to gate *)
+    | Some r -> eliminated_pct r >= 30.0
+  in
+  let pass_speedup = geomean >= 1.3 in
+  Fmt.pr "  runs eliminated: RBTree %s; geomean speedup %.2fx (>= 1.3x: %b); \
+          all identical: %b@."
+    (match List.find_opt (fun r -> r.pr_app.Registry.name = "RBTree") rows with
+     | Some r -> Printf.sprintf "%.1f%% (>= 30%%: %b)" (eliminated_pct r) pass_rbtree
+     | None -> "not measured")
+    geomean pass_speedup all_identical;
+  let oc = open_out prune_json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"exnflow_prune\",\n";
+  out "  \"short\": %b,\n" bench_short;
+  out "  \"reps\": %d,\n" reps;
+  out "  \"apps\": [\n";
+  List.iteri
+    (fun i row ->
+      out
+        "    {\"name\": \"%s\", \"flavor\": \"%s\", \"points\": %d, \
+         \"groups\": %d, \"coalesced\": %d, \"dropped\": %d, \
+         \"eliminated_pct\": %.1f, \"off_s\": %.6f, \"coalesce_s\": %.6f, \
+         \"speedup\": %.3f, \"identical\": %b}%s\n"
+        (json_escape row.pr_app.Registry.name)
+        (json_escape (Detect.flavor_name row.pr_flavor))
+        row.pr_points row.pr_groups row.pr_coalesced row.pr_dropped
+        (eliminated_pct row) row.pr_off_s row.pr_co_s
+        (row.pr_off_s /. row.pr_co_s)
+        row.pr_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n";
+  out
+    "  \"total\": {\"off_s\": %.6f, \"coalesce_s\": %.6f, \"speedup\": %.3f, \
+     \"geomean_speedup\": %.3f},\n"
+    off_total co_total (off_total /. co_total) geomean;
+  out "  \"all_identical\": %b,\n" all_identical;
+  out "  \"pass_rbtree_elimination\": %b,\n" pass_rbtree;
+  out "  \"pass_geomean_speedup\": %b,\n" pass_speedup;
+  out "  \"pass\": %b\n" (all_identical && pass_rbtree && pass_speedup);
+  out "}\n";
+  close_out oc;
+  Fmt.pr "  machine-readable results written to %s@." prune_json_file
+
+(* ------------------------------------------------------------------ *)
 (* Server: cold vs warm submission latency and client throughput       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1314,6 +1479,7 @@ let sections =
     ("obs-overhead", section_obs_overhead);
     ("fig5", section_fig5);
     ("ablation", section_ablation);
+    ("prune", section_prune);
     ("server", section_server);
     ("cluster", section_cluster) ]
 

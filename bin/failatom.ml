@@ -182,6 +182,27 @@ let run_timeout_arg =
   in
   Arg.(value & opt (some float) None & info [ "run-timeout" ] ~docv:"SECONDS" ~doc)
 
+let prune_conv =
+  Arg.enum
+    [ ("off", Config.Prune_off);
+      ("drop", Config.Prune_drop);
+      ("coalesce", Config.Prune_coalesce) ]
+
+(* The CLI defaults to coalesce — it is mark-for-mark identical to off,
+   just cheaper — while Config.default stays off so library callers and
+   the wire protocol only prune on request. *)
+let prune_arg =
+  let doc =
+    "Static exception-flow pruning of the injection campaign: $(b,off) runs \
+     every injection point; $(b,coalesce) (the default) runs one \
+     representative per group of points every possibly-active handler is \
+     blind to and synthesizes the rest — marks are bitwise-identical to \
+     $(b,off); $(b,drop) additionally removes points whose exception the \
+     method provably cannot raise, which renumbers the remaining points \
+     (a semantic mode, like $(b,--infer))."
+  in
+  Arg.(value & opt prune_conv Config.Prune_coalesce & info [ "prune" ] ~docv:"MODE" ~doc)
+
 let metrics_out_arg =
   let doc =
     "Enable the observability layer for this invocation and write the final \
@@ -288,12 +309,15 @@ let write_csv csv classification =
   | None -> ()
 
 let detect_cmd =
-  let action spec engine flavor snapshot_mode details exception_free infer log
-      coverage csv metrics_out =
+  let action spec engine flavor snapshot_mode prune details exception_free infer
+      log coverage csv metrics_out =
     set_engine engine;
     with_program spec (fun program ->
         let config =
-          { Config.default with Config.infer_exception_free = infer; snapshot_mode }
+          { Config.default with
+            Config.infer_exception_free = infer;
+            snapshot_mode;
+            prune }
         in
         match
           with_metrics metrics_out (fun () -> Detect.run ~config ~flavor program)
@@ -324,8 +348,8 @@ let detect_cmd =
     (Cmd.info "detect" ~doc ~exits)
     Term.(
       const action $ program_arg $ engine_arg $ flavor_arg $ snapshot_mode_arg
-      $ details_arg $ exception_free_arg $ infer_arg $ log_arg $ coverage_arg
-      $ csv_arg $ metrics_out_arg)
+      $ prune_arg $ details_arg $ exception_free_arg $ infer_arg $ log_arg
+      $ coverage_arg $ csv_arg $ metrics_out_arg)
 
 let campaign_cmd =
   let jobs_arg =
@@ -346,8 +370,8 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let action spec engine flavor snapshot_mode jobs journal resume run_timeout_s
-      details exception_free log csv metrics_out =
+  let action spec engine flavor snapshot_mode prune jobs journal resume
+      run_timeout_s details exception_free log csv metrics_out =
     set_engine engine;
     with_program spec (fun program ->
         if resume && journal = None then begin
@@ -359,7 +383,7 @@ let campaign_cmd =
             if jobs <= 0 then Failatom_campaign.Campaign.default_jobs () else jobs
           in
           let report = Failatom_campaign.Progress.reporter Fmt.stderr in
-          let config = { Config.default with Config.snapshot_mode } in
+          let config = { Config.default with Config.snapshot_mode; prune } in
           match
             with_metrics metrics_out (fun () ->
                 Failatom_campaign.Campaign.run ~config ~flavor ?run_timeout_s ~jobs
@@ -396,8 +420,8 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc ~exits)
     Term.(
       const action $ program_arg $ engine_arg $ flavor_arg $ snapshot_mode_arg
-      $ jobs_arg $ journal_arg $ resume_arg $ run_timeout_arg $ details_arg
-      $ exception_free_arg $ log_arg $ csv_arg $ metrics_out_arg)
+      $ prune_arg $ jobs_arg $ journal_arg $ resume_arg $ run_timeout_arg
+      $ details_arg $ exception_free_arg $ log_arg $ csv_arg $ metrics_out_arg)
 
 let weave_cmd =
   let action spec =
@@ -773,9 +797,12 @@ let print_job_result (r : Protocol.job_result) =
   List.iter (fun (m, v) -> Fmt.pr "  %-36s %s@." m v) r.Protocol.r_non_atomic;
   (match r.Protocol.r_summary with
    | Some s ->
-     Fmt.pr "campaign:         %d executed, %d reused, %d discarded on %d worker(s) in %.2fs@."
-       s.Protocol.executed s.Protocol.reused s.Protocol.discarded s.Protocol.workers
-       s.Protocol.wall_s
+     Fmt.pr "campaign:         %d executed, %d reused, %d discarded%s on %d worker(s) in %.2fs@."
+       s.Protocol.executed s.Protocol.reused s.Protocol.discarded
+       (if s.Protocol.synthesized > 0 then
+          Printf.sprintf ", %d synthesized" s.Protocol.synthesized
+        else "")
+       s.Protocol.workers s.Protocol.wall_s
    | None -> ());
   if r.Protocol.r_wrapped <> [] then begin
     Fmt.pr "wrapped:@.";
@@ -914,7 +941,7 @@ let submit_cmd =
     Arg.(value & opt (some string) None & info [ "corrected" ] ~docv:"FILE" ~doc)
   in
   let snapshot_wire snapshot_mode = snapshot_mode in
-  let action spec socket retries mode flavor snapshot_mode infer wrap_all
+  let action spec socket retries mode flavor snapshot_mode prune infer wrap_all
       exception_free do_not_wrap jobs run_timeout_s detach log corrected_out =
     let program =
       if String.length spec > 4 && String.sub spec 0 4 = "app:" then
@@ -932,6 +959,7 @@ let submit_cmd =
         { (Protocol.default_request mode program) with
           Protocol.flavor;
           snapshot = snapshot_wire snapshot_mode;
+          prune;
           infer;
           wrap_all;
           exception_free = List.map Method_id.to_string exception_free;
@@ -963,9 +991,9 @@ let submit_cmd =
   Cmd.v (Cmd.info "submit" ~doc ~exits)
     Term.(
       const action $ program_arg $ socket_arg $ connect_retries_arg $ mode_arg
-      $ flavor_opt_arg $ snapshot_mode_arg $ infer_arg $ wrap_all_arg
-      $ exception_free_arg $ do_not_wrap_arg $ jobs_arg $ run_timeout_arg
-      $ detach_arg $ log_arg $ corrected_arg)
+      $ flavor_opt_arg $ snapshot_mode_arg $ prune_arg $ infer_arg
+      $ wrap_all_arg $ exception_free_arg $ do_not_wrap_arg $ jobs_arg
+      $ run_timeout_arg $ detach_arg $ log_arg $ corrected_arg)
 
 let status_cmd =
   let action job socket retries =
@@ -1161,6 +1189,75 @@ let experiments_cmd =
   in
   Cmd.v (Cmd.info "experiments" ~doc ~exits) Term.(const action $ const ())
 
+let analyze_cmd =
+  let action spec engine flavor =
+    set_engine engine;
+    with_program spec (fun program ->
+        let img = ML.Compile.image program in
+        let flow = Exnflow.analyze img program in
+        let config = Config.default in
+        let never = Exnflow.never_throws flow in
+        Fmt.pr "exception universe:  %d classes@."
+          (List.length (Exnflow.universe flow));
+        Fmt.pr "methods analyzed:    %d (%d provably never throw)@."
+          (List.length (Exnflow.methods flow))
+          (Method_id.Set.cardinal never);
+        Fmt.pr "@.may-raise sets (call-graph closed; H = possibly-active catch clauses):@.";
+        List.iter
+          (fun id ->
+            let set = Exnflow.may_raise flow id in
+            Fmt.pr "  %-36s H=%-3d %s@." (Method_id.to_string id)
+              (Exnflow.handler_clause_count flow id)
+              (if set = [] then "(never throws)" else String.concat ", " set))
+          (Exnflow.methods flow);
+        (* The dynamic census: one threshold-0 trace run per analyzer
+           (no injection ever fires at threshold 0). *)
+        let unfiltered = Analyzer.analyze config program in
+        let compiled = Detect.compile ~plain:img flavor program in
+        let prepare (_ : Failatom_runtime.Vm.t) = () in
+        match
+          Detect.run_once_ext ~trace:true compiled config unfiltered ~prepare
+            ~threshold:0
+        with
+        | exception Detect.Detection_error msg ->
+          Fmt.epr "failatom: %s@." msg;
+          exit_internal
+        | _, ex_off ->
+          let plan = Prune.build flow ~entries:ex_off.Detect.entries in
+          let p_off = plan.Prune.total_points in
+          let filtered = Analyzer.analyze ~flow config program in
+          let _, ex_drop =
+            Detect.run_once_ext ~trace:true compiled config filtered ~prepare
+              ~threshold:0
+          in
+          let p_drop =
+            List.fold_left
+              (fun acc (_, classes) -> acc + List.length classes)
+              0 ex_drop.Detect.entries
+          in
+          Fmt.pr "@.pruning report (%s flavor):@." (Detect.flavor_name flavor);
+          Fmt.pr "  injection points:      %d (%d runs unpruned, incl. probe)@."
+            p_off (p_off + 1);
+          Fmt.pr "  --prune drop:          %d points kept, %d dropped@." p_drop
+            (p_off - p_drop);
+          Fmt.pr
+            "  --prune coalesce:      %d representative runs, %d synthesized \
+             (%.1f%% of runs eliminated)@."
+            (Prune.group_count plan)
+            (Prune.coalesced_away plan)
+            (100.
+            *. float_of_int (Prune.coalesced_away plan)
+            /. float_of_int (max 1 (p_off + 1)));
+          exit_ok)
+  in
+  let doc =
+    "Static exception-flow analysis report: per-method may-raise sets (closed \
+     over the call graph), active-handler summaries, and what each \
+     $(b,--prune) mode would save on this program's injection campaign."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc ~exits)
+    Term.(const action $ program_arg $ engine_arg $ flavor_arg)
+
 let main_cmd =
   let doc =
     "Automatic detection and masking of non-atomic exception handling \
@@ -1168,9 +1265,10 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "failatom" ~version:"1.0.0" ~doc ~exits)
-    [ run_cmd; detect_cmd; campaign_cmd; classify_cmd; weave_cmd; mask_cmd; trace_cmd;
-      profile_cmd; serve_cmd; cluster_cmd; submit_cmd; status_cmd; watch_cmd;
-      cancel_cmd; shutdown_cmd; stats_cmd; apps_cmd; experiments_cmd ]
+    [ run_cmd; detect_cmd; campaign_cmd; analyze_cmd; classify_cmd; weave_cmd;
+      mask_cmd; trace_cmd; profile_cmd; serve_cmd; cluster_cmd; submit_cmd;
+      status_cmd; watch_cmd; cancel_cmd; shutdown_cmd; stats_cmd; apps_cmd;
+      experiments_cmd ]
 
 let () =
   match Cmd.eval_value main_cmd with

@@ -51,6 +51,20 @@ exception Cancelled
 let m_executed = Obs.counter "campaign.runs_executed"
 let m_reused = Obs.counter "campaign.runs_reused"
 let m_discarded = Obs.counter "campaign.runs_discarded"
+
+(* How often the plan's yield seeding paid off: first-visit
+   representatives whose run produced at least one non-atomic mark.
+   Those are exactly the runs the seeded order moves to the front, so a
+   high hit count means a time-bounded campaign reaches its verdicts
+   sooner. *)
+let m_seed_order_hits = Obs.counter "campaign.seed_order_hits"
+
+(* The campaign-side view of the same pruning census {!Detect.run}
+   publishes; [Obs.counter] dedups by name, so both paths feed one
+   counter. *)
+let m_points_total = Obs.counter "detect.points_total"
+let m_points_coalesced = Obs.counter "detect.points_coalesced"
+let m_points_dropped = Obs.counter "detect.points_dropped"
 let g_workers = Obs.gauge "campaign.workers"
 let h_queue_depth = Obs.histogram ~unit_:Obs.Items "campaign.queue_depth"
 let h_worker_runs = Obs.histogram ~unit_:Obs.Items "campaign.worker_runs"
@@ -95,7 +109,6 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
   Obs.span "campaign.run" ~attrs:[ ("flavor", Detect.flavor_name flavor) ] @@ fun () ->
   Obs.set_gauge g_workers jobs;
   let t_start = Unix.gettimeofday () in
-  let analyzer = Analyzer.analyze config program in
   (* One-time work, done on the spawning domain and shared read-only by
      every worker: the plain image backs the profile run (and the
      load-time-filter detection runs), the compiled image is what each
@@ -104,9 +117,60 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
      images (the server's content-addressed cache) pass them in and skip
      even that. *)
   let plain = match plain with Some p -> p | None -> Compile.image program in
+  (* Pruning setup mirrors {!Detect.run}: the exception-flow analysis
+     runs over the plain program; only drop filters the injectable
+     sets (coalesce must keep the unpruned numbering). *)
+  let flow =
+    match config.Config.prune with
+    | Config.Prune_off -> None
+    | Config.Prune_drop | Config.Prune_coalesce ->
+      Some (Exnflow.analyze plain program)
+  in
+  let analyzer =
+    match config.Config.prune with
+    | Config.Prune_drop -> Analyzer.analyze ?flow config program
+    | Config.Prune_off | Config.Prune_coalesce -> Analyzer.analyze config program
+  in
+  (match config.Config.prune with
+   | Config.Prune_drop ->
+     let unfiltered = Analyzer.analyze config program in
+     let dropped =
+       List.fold_left
+         (fun acc id ->
+           acc
+           + List.length (Analyzer.injectable_for unfiltered id)
+           - List.length (Analyzer.injectable_for analyzer id))
+         0 (Analyzer.method_ids unfiltered)
+     in
+     Obs.add m_points_dropped dropped
+   | Config.Prune_off | Config.Prune_coalesce -> ());
   let profile = Profile.of_image ~prepare plain in
   let compiled =
     match compiled with Some c -> c | None -> Detect.compile ~plain flavor program
+  in
+  (* The coalesce trace run (threshold 0, never fires) takes the point
+     census on the spawning domain; it doubles as the probe record.  A
+     timed-out trace falls back to the exact speculative schedule. *)
+  let plan_and_probe =
+    match (config.Config.prune, flow) with
+    | Config.Prune_coalesce, Some flow -> (
+      let trace_rec, extras =
+        Detect.run_once_ext ?run_timeout_s ~trace:true compiled config analyzer
+          ~prepare ~threshold:0
+      in
+      if trace_rec.Marks.timed_out then None
+      else
+        let plan = Prune.build flow ~entries:extras.Detect.entries in
+        if plan.Prune.frontier > config.Config.max_runs then
+          raise
+            (Detect.Detection_error
+               (Printf.sprintf "exceeded max_runs = %d injection runs"
+                  config.Config.max_runs));
+        Obs.add m_points_total plan.Prune.total_points;
+        Obs.add m_points_coalesced (Prune.coalesced_away plan);
+        Some
+          (plan, { trace_rec with Marks.injection_point = plan.Prune.frontier }))
+    | _ -> None
   in
   let header =
     { Journal.flavor = Detect.flavor_name flavor; program_digest = program_digest program }
@@ -122,8 +186,25 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
       else ([], Some (Journal.create ~path header))
   in
   let sched =
-    Scheduler.create ~journaled ~max_runs:config.Config.max_runs ~jobs ()
+    Scheduler.create ~journaled
+      ?plan:(Option.map fst plan_and_probe)
+      ~max_runs:config.Config.max_runs ~jobs ()
   in
+  (match plan_and_probe with
+   | Some (_, probe) ->
+     (* The trace run is the probe run (neither fires, and a
+        never-firing run's behaviour does not depend on the armed
+        threshold), so no worker ever claims the frontier. *)
+     Scheduler.adopt sched probe;
+     let already =
+       List.exists
+         (fun r -> r.Marks.injection_point = probe.Marks.injection_point)
+         journaled
+     in
+     (match writer with
+      | Some w when not already -> Journal.append w probe
+      | Some _ | None -> ())
+   | None -> ());
   report (Progress.Started { workers = jobs; reused = List.length journaled });
   let mutex = Mutex.create () in
   let cond = Condition.create () in
@@ -199,6 +280,68 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
           | Error e ->
             if Option.is_none !failure then failure := Some e;
             Condition.broadcast cond)
+        | Scheduler.Claimed_group g -> (
+          incr in_flight;
+          Obs.observe h_queue_depth !in_flight;
+          Mutex.unlock mutex;
+          let outcome =
+            try
+              let rep_t, _ = Prune.rep g in
+              let rep_record, ex =
+                Detect.run_once_ext ?run_timeout_s compiled config analyzer
+                  ~prepare ~threshold:rep_t
+              in
+              let members =
+                if rep_record.Marks.timed_out then
+                  (* Wall-clock aborts are not bisimilar across class
+                     tags: execute the members for real. *)
+                  List.map
+                    (fun (t, _) ->
+                      `Executed
+                        (Detect.run_once ?run_timeout_s compiled config
+                           analyzer ~prepare ~threshold:t))
+                    (List.tl g.Prune.members)
+                else
+                  List.map
+                    (fun r -> `Synthesized r)
+                    (Prune.synthesize g ~rep_record
+                       ~injected_escaped:ex.Detect.injected_escaped)
+              in
+              Ok (rep_record, members)
+            with e -> Error e
+          in
+          Mutex.lock mutex;
+          decr in_flight;
+          incr executed_here;
+          match outcome with
+          | Ok (rep_record, members) ->
+            ignore (Scheduler.record sched rep_record);
+            (match writer with Some w -> Journal.append w rep_record | None -> ());
+            if
+              g.Prune.first_visit
+              && List.exists
+                   (fun (m : Marks.mark) -> not m.Marks.atomic)
+                   rep_record.Marks.marks
+            then Obs.incr m_seed_order_hits;
+            List.iter
+              (fun m ->
+                let r =
+                  match m with
+                  | `Executed r ->
+                    ignore (Scheduler.record sched r);
+                    r
+                  | `Synthesized r ->
+                    Scheduler.adopt sched r;
+                    r
+                in
+                match writer with Some w -> Journal.append w r | None -> ())
+              members;
+            tick ();
+            Condition.broadcast cond;
+            loop ()
+          | Error e ->
+            if Option.is_none !failure then failure := Some e;
+            Condition.broadcast cond)
     in
     loop ();
     Obs.observe h_worker_runs !executed_here;
@@ -215,6 +358,11 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
   Obs.add m_executed stats.Scheduler.executed;
   Obs.add m_reused stats.Scheduler.reused;
   Obs.add m_discarded stats.Scheduler.discarded;
+  (* Without a plan (off, drop, or the timed-out-trace fallback) every
+     reached point got its own run; the coalesce path published the
+     plan's census upfront. *)
+  if Option.is_none plan_and_probe then
+    Obs.add m_points_total (List.length runs - 1);
   (* The frontier run is the no-injection probe; its output against the
      baseline is the paper's transparency check, exactly as in
      [Detect.run]. *)
@@ -235,6 +383,7 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
       executed = stats.Scheduler.executed;
       reused = stats.Scheduler.reused;
       discarded = stats.Scheduler.discarded;
+      synthesized = stats.Scheduler.synthesized;
       workers = jobs;
       wall_clock_s = Unix.gettimeofday () -. t_start;
       busy_s = cpu_now () -. cpu_start }

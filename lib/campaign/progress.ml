@@ -13,6 +13,7 @@ type summary = {
   executed : int;  (* runs executed by workers in this invocation *)
   reused : int;  (* journaled runs adopted without re-execution *)
   discarded : int;  (* speculative runs discarded past the frontier *)
+  synthesized : int;  (* coalesced records adopted without execution *)
   workers : int;
   wall_clock_s : float;
   busy_s : float;  (* CPU seconds consumed over the campaign *)
@@ -46,6 +47,9 @@ let pp_summary ppf s =
     s.total_runs s.injections s.wall_clock_s s.workers;
   Fmt.pf ppf "campaign: %d executed, %d reused from journal, %d speculative discarded@."
     s.executed s.reused s.discarded;
+  if s.synthesized > 0 then
+    Fmt.pf ppf "campaign: %d synthesized from blindness-group representatives@."
+      s.synthesized;
   Fmt.pf ppf "campaign: estimated speedup vs 1 worker: %.2fx@." (est_speedup s)
 
 let reporter ?(interval_s = 1.0) ppf =

@@ -7,6 +7,10 @@ type summary = {
   executed : int;  (** runs executed by workers in this invocation *)
   reused : int;  (** journaled runs adopted without re-execution *)
   discarded : int;  (** speculative runs discarded past the frontier *)
+  synthesized : int;
+      (** coalesced records adopted without execution (`--prune
+          coalesce`); [executed + reused + synthesized - discarded]
+          covers [total_runs] *)
   workers : int;
   wall_clock_s : float;
   busy_s : float;  (** CPU seconds consumed over the campaign *)

@@ -25,6 +25,8 @@ open Failatom_core
 
 type claim =
   | Claimed of int  (* execute this threshold *)
+  | Claimed_group of Prune.group
+      (* coalesce: execute the representative, synthesize the members *)
   | Wait  (* nothing useful below the horizon; block until a record *)
   | Done  (* every needed threshold is claimed or complete *)
   | Exhausted  (* max_runs runs completed and none was injection-free *)
@@ -33,6 +35,7 @@ type stats = {
   executed : int;  (* runs completed by workers in this invocation *)
   reused : int;  (* journaled runs adopted without re-execution *)
   discarded : int;  (* speculative runs recorded past the frontier *)
+  synthesized : int;  (* adopted runs no worker executed (coalesce) *)
 }
 
 type t = {
@@ -45,7 +48,10 @@ type t = {
   from_journal : (int, unit) Hashtbl.t;
   mutable frontier : int option;  (* least threshold that did not inject *)
   mutable executed : int;
+  mutable adopted : int;  (* newly filed by adopt, not executed/reused *)
   mutable injected_runs : int;  (* recorded runs in which an exception fired *)
+  plan : Prune.plan option;  (* coalesce plan; frontier known upfront *)
+  mutable plan_queue : Prune.group list;  (* groups not yet handed out *)
 }
 
 let frontier t = t.frontier
@@ -86,7 +92,7 @@ let file t (r : Marks.run_record) ~journal =
     grow_horizon t
   end
 
-let create ?(journaled = []) ~max_runs ~jobs () =
+let create ?(journaled = []) ?plan ~max_runs ~jobs () =
   let t =
     { max_runs;
       horizon = max (2 * jobs) 4;
@@ -97,11 +103,22 @@ let create ?(journaled = []) ~max_runs ~jobs () =
       from_journal = Hashtbl.create 64;
       frontier = None;
       executed = 0;
-      injected_runs = 0 }
+      adopted = 0;
+      injected_runs = 0;
+      plan;
+      plan_queue = (match plan with Some p -> p.Prune.order | None -> []) }
   in
+  (* With a coalesce plan the trace run already proved the frontier:
+     no speculation, no horizon. *)
+  (match plan with Some p -> t.frontier <- Some p.Prune.frontier | None -> ());
   List.iter (fun r -> file t r ~journal:true) journaled;
   grow_horizon t;
   t
+
+let adopt t (r : Marks.run_record) =
+  let fresh = not (Hashtbl.mem t.completed r.Marks.injection_point) in
+  file t r ~journal:false;
+  if fresh then t.adopted <- t.adopted + 1
 
 let record t (r : Marks.run_record) =
   t.executed <- t.executed + 1;
@@ -113,7 +130,36 @@ let record t (r : Marks.run_record) =
 
 let taken t point = Hashtbl.mem t.claimed point || Hashtbl.mem t.completed point
 
+let group_complete t (g : Prune.group) =
+  List.for_all (fun (th, _) -> Hashtbl.mem t.completed th) g.Prune.members
+
+(* Plan-driven claiming: hand out whole blindness groups in the plan's
+   seeded order, skipping groups every member of which is already on
+   file (a resumed journal).  A group with *any* missing member is
+   re-claimed wholesale — the representative must be (re-)executed to
+   synthesize members, and runs are deterministic, so a re-executed
+   representative files an identical record. *)
+let claim_from_plan t =
+  let rec pop () =
+    match t.plan_queue with
+    | g :: rest ->
+      t.plan_queue <- rest;
+      if group_complete t g then pop ()
+      else begin
+        Hashtbl.replace t.claimed (fst (Prune.rep g)) ();
+        Claimed_group g
+      end
+    | [] ->
+      let done_ =
+        match t.frontier with Some f -> t.contiguous >= f | None -> false
+      in
+      if done_ || Hashtbl.length t.claimed = 0 then Done else Wait
+  in
+  pop ()
+
 let claim t =
+  if Option.is_some t.plan then claim_from_plan t
+  else begin
   while taken t t.next do
     t.next <- t.next + 1
   done;
@@ -132,6 +178,7 @@ let claim t =
       Claimed t.next
     end
     else Wait
+  end
 
 let finished t =
   match t.frontier with Some f -> t.contiguous >= f | None -> false
@@ -162,7 +209,7 @@ let stats t =
         else acc)
       t.completed 0
   in
-  { executed = t.executed; reused; discarded }
+  { executed = t.executed; reused; discarded; synthesized = t.adopted }
 
 (* Progress snapshot: (recorded runs, runs that injected, needed total
    once the frontier is known). *)

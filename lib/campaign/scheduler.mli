@@ -15,6 +15,9 @@ open Failatom_core
 
 type claim =
   | Claimed of int  (** execute this threshold *)
+  | Claimed_group of Prune.group
+      (** coalesce plan: execute the group's representative threshold,
+          then synthesize (or, on a timeout, execute) the members *)
   | Wait  (** nothing useful below the horizon; block until a record *)
   | Done  (** every needed threshold is claimed or complete *)
   | Exhausted  (** [max_runs] runs completed and none was injection-free *)
@@ -23,16 +26,32 @@ type stats = {
   executed : int;  (** runs completed by workers in this invocation *)
   reused : int;  (** journaled runs adopted without re-execution *)
   discarded : int;  (** speculative runs recorded past the frontier *)
+  synthesized : int;
+      (** records filed by {!adopt} that no worker executed: coalesced
+          group members and the trace run's probe *)
 }
 
 type t
 
-val create : ?journaled:Marks.run_record list -> max_runs:int -> jobs:int -> unit -> t
+val create :
+  ?journaled:Marks.run_record list -> ?plan:Prune.plan -> max_runs:int ->
+  jobs:int -> unit -> t
 (** [journaled] pre-files runs loaded from a resume journal: their
-    thresholds are never handed out again. *)
+    thresholds are never handed out again.  With [plan] (the coalesce
+    pruning plan) the frontier is known upfront and {!claim} hands out
+    whole blindness groups in the plan's seeded order instead of
+    speculating on individual thresholds; a group is skipped only when
+    {e every} member is already on file, so a resumed campaign with a
+    partially-synthesized group re-executes its representative. *)
 
 val claim : t -> claim
 val record : t -> Marks.run_record -> [ `Kept | `Speculative ]
+
+val adopt : t -> Marks.run_record -> unit
+(** Files a record that no worker executed — a synthesized coalesce
+    member or the retagged probe of the trace run.  No
+    executed/reused/discarded accounting, no effect if the threshold is
+    already on file. *)
 
 val frontier : t -> int option
 (** The least recorded threshold whose run did not inject, if any. *)

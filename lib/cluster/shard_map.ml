@@ -23,18 +23,37 @@ let schema = "failatom.cluster.map/1"
 let shard_socket ~base i = Printf.sprintf "%s.shard%d" base i
 let map_path ~base = base ^ ".map"
 
+(* Rendezvous (highest-random-weight) hashing: every (digest, shard)
+   pair gets an independent md5-derived score and the digest lives on
+   the highest-scoring shard.  Taking [leading-hex mod shards] instead
+   left real shard sets badly skewed — the bundled apps are a small key
+   population and the low bits of their digests are not independent
+   enough, which showed up as one shard owning nothing in the cluster
+   bench — while per-pair scores mix every digest against every shard
+   index.  Still pure and stable, so cache affinity survives router and
+   supervisor restarts. *)
 let shard_of_digest ~shards digest =
   if shards <= 1 then 0
   else begin
-    (* the digest is hex; its leading 60 bits are plenty of entropy *)
-    let take = min 15 (String.length digest) in
-    let v =
-      try int_of_string ("0x" ^ String.sub digest 0 take)
-      with Failure _ ->
-        (* not hex (defensive): fall back to a string hash *)
-        Hashtbl.hash digest
+    let score i =
+      let h = Digest.string (Printf.sprintf "%s/%d" digest i) in
+      (* leading 7 bytes: a 56-bit non-negative score fits any int *)
+      let v = ref 0 in
+      for k = 0 to 6 do
+        v := (!v lsl 8) lor Char.code h.[k]
+      done;
+      !v
     in
-    abs v mod shards
+    let best = ref 0 in
+    let best_score = ref (score 0) in
+    for i = 1 to shards - 1 do
+      let s = score i in
+      if s > !best_score then begin
+        best_score := s;
+        best := i
+      end
+    done;
+    !best
   end
 
 (* The program digest a request would be cached under, when it can be

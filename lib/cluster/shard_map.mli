@@ -12,8 +12,9 @@ val map_path : base:string -> string
 (** ["<base>.map"]. *)
 
 val shard_of_digest : shards:int -> string -> int
-(** The home shard of a program digest: pure, stable, uniform over
-    [0, shards). *)
+(** The home shard of a program digest, by rendezvous (highest-random-
+    weight) hashing: pure, stable across restarts, and uniform over
+    [0, shards) even for small key populations. *)
 
 val digest_of_spec : Failatom_server.Protocol.program_spec -> string option
 (** The program digest a request would be cached under, computed

@@ -28,13 +28,26 @@ type t = {
   program : Ast.program;
 }
 
-let analyze (config : Config.t) (program : Ast.program) : t =
+let analyze ?flow (config : Config.t) (program : Ast.program) : t =
   (* With inference on, methods that provably cannot raise get no
      injection points at all: testing an impossible exception would only
      produce the conservative false positives of paper §4.3. *)
   let never =
     if config.Config.infer_exception_free then Purity.never_throws program
     else Method_id.Set.empty
+  in
+  (* Under [--prune drop] an exception-flow analysis is supplied and
+     generic runtime exceptions the method provably cannot raise are
+     filtered from its injectable set — the per-class refinement of the
+     all-or-nothing inference above.  Declared [throws] classes always
+     keep their points: the user asserted those faults are possible. *)
+  let filter_injectable id declared classes =
+    match flow with
+    | None -> classes
+    | Some flow ->
+      List.filter
+        (fun e -> List.mem e declared || Exnflow.can_raise flow id e)
+        classes
   in
   let analyze_method cls (m : Ast.meth_decl) =
     let id = Method_id.make cls m.Ast.m_name in
@@ -43,7 +56,9 @@ let analyze (config : Config.t) (program : Ast.program) : t =
       declared_throws = m.Ast.m_throws;
       injectable =
         (if Method_id.Set.mem id never then []
-         else Config.injectable config ~declared:m.Ast.m_throws) }
+         else
+           filter_injectable id m.Ast.m_throws
+             (Config.injectable config ~declared:m.Ast.m_throws)) }
   in
   let classes =
     List.filter_map

@@ -26,6 +26,28 @@ let snapshot_mode_name = function
   | Snapshot_eager -> "eager"
   | Snapshot_cow -> "cow"
 
+type prune =
+  | Prune_off (* run every injection point, the paper's campaign *)
+  | Prune_drop
+      (* drop generic injections whose class the static exception-flow
+         analysis proves the method cannot raise (changes the point
+         numbering: a semantic mode, like infer_exception_free) *)
+  | Prune_coalesce
+      (* keep every point but run one representative per handler-blind
+         class group and synthesize the members' records — marks are
+         bitwise-identical to Prune_off *)
+
+let prune_name = function
+  | Prune_off -> "off"
+  | Prune_drop -> "drop"
+  | Prune_coalesce -> "coalesce"
+
+let prune_of_string = function
+  | "off" -> Some Prune_off
+  | "drop" -> Some Prune_drop
+  | "coalesce" -> Some Prune_coalesce
+  | _ -> None
+
 type t = {
   runtime_exceptions : string list;
       (* generic runtime exceptions injectable into any method, in
@@ -48,6 +70,10 @@ type t = {
   do_not_wrap : Method_id.t list;
       (* methods excluded from masking even if failure non-atomic *)
   max_runs : int; (* safety bound on the number of injection runs *)
+  prune : prune;
+      (* static exception-flow pruning of the injection campaign
+         (Exnflow): off = paper behavior; drop = skip unraisable
+         classes; coalesce = drop + one run per handler-blind group *)
 }
 
 let default =
@@ -59,7 +85,8 @@ let default =
     exception_free = [];
     infer_exception_free = false;
     do_not_wrap = [];
-    max_runs = 200_000 }
+    max_runs = 200_000;
+    prune = Prune_off }
 
 (* All exception classes injectable into a method declaring [throws].
    Declared exceptions come first, mirroring the injection-point order
@@ -87,7 +114,7 @@ let fingerprint (c : t) =
   in
   let canonical =
     String.concat "|"
-      [ "cfg1";
+      [ "cfg2";
         String.concat "," c.runtime_exceptions;
         string_of_bool c.snapshot_args;
         snapshot_mode_name c.snapshot_mode;
@@ -96,6 +123,7 @@ let fingerprint (c : t) =
         methods c.exception_free;
         string_of_bool c.infer_exception_free;
         methods c.do_not_wrap;
-        string_of_int c.max_runs ]
+        string_of_int c.max_runs;
+        prune_name c.prune ]
   in
   Digest.to_hex (Digest.string canonical)

@@ -27,6 +27,23 @@ type snapshot_mode =
 
 val snapshot_mode_name : snapshot_mode -> string
 
+type prune =
+  | Prune_off  (** run every injection point — the paper's campaign *)
+  | Prune_drop
+      (** drop generic injections whose class the static exception-flow
+          analysis ({!Exnflow}) proves the method cannot raise.  Like
+          [infer_exception_free], this changes the injection-point
+          numbering: a semantic mode, not a pure optimization. *)
+  | Prune_coalesce
+      (** handler-state coalescing: every injection point is kept, but
+          injected classes that every possibly-active handler is blind
+          to share one representative run, whose record is expanded to
+          the whole group.  Marks and classification are
+          bitwise-identical to [Prune_off]. *)
+
+val prune_name : prune -> string
+val prune_of_string : string -> prune option
+
 type t = {
   runtime_exceptions : string list;
       (** generic runtime exceptions injectable into any method, in
@@ -50,6 +67,10 @@ type t = {
   do_not_wrap : Method_id.t list;
       (** methods excluded from masking even if failure non-atomic *)
   max_runs : int;  (** safety bound on the number of injection runs *)
+  prune : prune;
+      (** static exception-flow pruning of the injection campaign
+          (default [Prune_off], the paper's behavior; the CLI defaults
+          to [coalesce], which is observationally identical) *)
 }
 
 val default : t

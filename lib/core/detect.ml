@@ -68,8 +68,8 @@ let compiled_flavor c = c.cflavor
    the armed injection state.  [prepare] registers any extra hooks the
    program needs (e.g. checkpoint hooks of an already-masked program
    being re-validated). *)
-let instrumented_vm compiled config analyzer ~prepare ~threshold =
-  let state = Injection.make_state config analyzer ~threshold in
+let instrumented_vm ?(trace = false) compiled config analyzer ~prepare ~threshold =
+  let state = Injection.make_state ~trace config analyzer ~threshold in
   let vm = Compile.instantiate compiled.cimage in
   prepare vm;
   (match compiled.cflavor with
@@ -82,30 +82,55 @@ let m_injections_fired = Obs.counter "detect.injections_fired"
 
 let m_runs_timed_out = Obs.counter "detect.runs_timed_out"
 
-let run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold :
-    Marks.run_record =
+(* Pruning observability: how many injection points the campaign had,
+   and how many of them were never run because the static analysis
+   removed them (drop) or folded them into a representative
+   (coalesce). *)
+let m_points_total = Obs.counter "detect.points_total"
+let m_points_dropped = Obs.counter "detect.points_dropped"
+let m_points_coalesced = Obs.counter "detect.points_coalesced"
+
+type run_extras = {
+  injected_escaped : bool;
+  entries : (Method_id.t * string list) list;
+}
+
+let run_once_ext ?run_timeout_s ?(trace = false) compiled config analyzer
+    ~prepare ~threshold : Marks.run_record * run_extras =
   Obs.span "detect.run_once"
     ~attrs:
       [ ("flavor", flavor_name compiled.cflavor);
         ("snapshot_mode", Config.snapshot_mode_name config.Config.snapshot_mode) ]
     (fun () ->
-      let vm, state = instrumented_vm compiled config analyzer ~prepare ~threshold in
+      let vm, state =
+        instrumented_vm ~trace compiled config analyzer ~prepare ~threshold
+      in
       (match run_timeout_s with
        | Some timeout_s -> Vm.arm_deadline vm ~timeout_s
        | None -> ());
-      let escaped, timed_out =
+      let escaped, injected_escaped, timed_out =
         try
           ignore (Compile.run_main vm);
-          (None, false)
+          (None, false, false)
         with
-        | Vm.Mini_raise e -> (Some e.Vm.exn_class, false)
+        | Vm.Mini_raise e ->
+          (* Identity, not class, decides whether the escaping
+             exception is the injected one: a natural exception of the
+             injected class must not be re-tagged by coalescing. *)
+          let same =
+            state.Injection.injected_exn_id <> 0
+            && (match e.Vm.exn_obj with
+               | Value.Ref i -> i = state.Injection.injected_exn_id
+               | _ -> false)
+          in
+          (Some e.Vm.exn_class, same, false)
         | Vm.Deadline_exceeded ->
           (* The armed timeout fired: record the observations made so
              far instead of wedging the worker.  The abort unwinds as an
              OCaml exception, so no wrapper mistakes it for an
              exceptional MiniLang return. *)
           Obs.incr m_runs_timed_out;
-          (None, true)
+          (None, false, true)
         | Compile.Runtime_error (msg, pos) ->
           raise
             (Detection_error
@@ -114,34 +139,33 @@ let run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold :
           raise (Detection_error (Fmt.str "run %d exceeded the step limit" threshold))
       in
       if Option.is_some state.Injection.injected then Obs.incr m_injections_fired;
-      { Marks.injection_point = threshold;
-        injected = state.Injection.injected;
-        marks = Injection.marks state;
-        escaped;
-        output = Vm.output vm;
-        calls = vm.Vm.calls;
-        timed_out })
+      ( { Marks.injection_point = threshold;
+          injected = state.Injection.injected;
+          marks = Injection.marks state;
+          escaped;
+          output = Vm.output vm;
+          calls = vm.Vm.calls;
+          timed_out },
+        { injected_escaped; entries = Injection.trace_entries state } ))
+
+let run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold :
+    Marks.run_record =
+  fst (run_once_ext ?run_timeout_s compiled config analyzer ~prepare ~threshold)
 
 (* Runs the complete detection phase on [program].  [plain] and
    [compiled] short-circuit the per-detection compilation when the
    caller already holds the program's images (the server's
    content-addressed image cache); they must have been built from this
    very [program]. *)
-let run ?(config = Config.default) ?(flavor = Source_weaving)
-    ?(prepare = fun (_ : Vm.t) -> ()) ?plain ?compiled ?run_timeout_s
-    (program : Ast.program) : result =
-  Obs.span "detect.run" ~attrs:[ ("flavor", flavor_name flavor) ] @@ fun () ->
-  let analyzer = Analyzer.analyze config program in
-  let plain = match plain with Some p -> p | None -> Compile.image program in
-  let profile = Profile.of_image ~prepare plain in
-  let compiled =
-    match compiled with Some c -> c | None -> compile ~plain flavor program
-  in
+let max_runs_error config =
+  Detection_error
+    (Printf.sprintf "exceeded max_runs = %d injection runs" config.Config.max_runs)
+
+(* The exact (unpruned) detection loop: threshold 1, 2, 3, ... until the
+   first run in which no injection fires. *)
+let unpruned_loop ?run_timeout_s compiled config analyzer ~prepare ~profile =
   let rec loop threshold acc =
-    if threshold > config.Config.max_runs then
-      raise
-        (Detection_error
-           (Printf.sprintf "exceeded max_runs = %d injection runs" config.Config.max_runs))
+    if threshold > config.Config.max_runs then raise (max_runs_error config)
     else
       let record = run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold in
       match record.Marks.injected with
@@ -158,7 +182,121 @@ let run ?(config = Config.default) ?(flavor = Source_weaving)
         let transparent = String.equal record.Marks.output profile.Profile.output in
         (List.rev (record :: acc), transparent)
   in
-  let runs, transparent = loop 1 [] in
+  loop 1 []
+
+(* The coalescing detection loop ([--prune coalesce]): a threshold-0
+   trace run takes the campaign census (it never fires, so it is a
+   faithful stand-in for the probe run), the points are partitioned
+   into handler-blindness groups, one representative per group is
+   executed, and the members' records are synthesized from it.  The
+   resulting run list is bitwise-identical to the unpruned loop's. *)
+let coalesced_loop ?run_timeout_s compiled config analyzer flow ~prepare ~profile =
+  let trace_rec, extras =
+    run_once_ext ?run_timeout_s ~trace:true compiled config analyzer ~prepare
+      ~threshold:0
+  in
+  if trace_rec.Marks.timed_out then
+    (* The census is incomplete; fall back to the exact loop rather
+       than prune against a truncated point list. *)
+    unpruned_loop ?run_timeout_s compiled config analyzer ~prepare ~profile
+  else begin
+    let plan = Prune.build flow ~entries:extras.entries in
+    (* The unpruned loop would abort at the probe run's threshold. *)
+    if plan.Prune.frontier > config.Config.max_runs then
+      raise (max_runs_error config);
+    Obs.add m_points_total plan.Prune.total_points;
+    Obs.add m_points_coalesced (Prune.coalesced_away plan);
+    (* Threshold 0 and threshold P+1 never fire, and a never-firing
+       run's behaviour does not depend on the armed threshold: the
+       trace run *is* the probe run, modulo its recorded threshold. *)
+    let probe = { trace_rec with Marks.injection_point = plan.Prune.frontier } in
+    let records =
+      List.concat_map
+        (fun g ->
+          let rep_t, _ = Prune.rep g in
+          let rep_record, ex =
+            run_once_ext ?run_timeout_s compiled config analyzer ~prepare
+              ~threshold:rep_t
+          in
+          if rep_record.Marks.timed_out then
+            (* A wall-clock abort is not bisimilar across class tags:
+               run the members for real instead of synthesizing. *)
+            rep_record
+            :: List.map
+                 (fun (t, _) ->
+                   run_once ?run_timeout_s compiled config analyzer ~prepare
+                     ~threshold:t)
+                 (List.tl g.Prune.members)
+          else
+            rep_record
+            :: Prune.synthesize g ~rep_record
+                 ~injected_escaped:ex.injected_escaped)
+        plan.Prune.groups
+    in
+    let records =
+      List.sort
+        (fun a b -> compare a.Marks.injection_point b.Marks.injection_point)
+        records
+    in
+    let transparent = String.equal trace_rec.Marks.output profile.Profile.output in
+    (records @ [ probe ], transparent)
+  end
+
+(* Runs the complete detection phase (see .mli). *)
+let run ?(config = Config.default) ?(flavor = Source_weaving)
+    ?(prepare = fun (_ : Vm.t) -> ()) ?plain ?compiled ?run_timeout_s
+    (program : Ast.program) : result =
+  Obs.span "detect.run" ~attrs:[ ("flavor", flavor_name flavor) ] @@ fun () ->
+  let plain = match plain with Some p -> p | None -> Compile.image program in
+  (* The exception-flow analysis always runs over the *plain* program,
+     even for source weaving: the woven wrapper clauses are
+     catch-everything/rethrow and never discriminate on the class, so
+     the plain program's handler structure is the one that matters. *)
+  let flow =
+    match config.Config.prune with
+    | Config.Prune_off -> None
+    | Config.Prune_drop | Config.Prune_coalesce ->
+      Some (Exnflow.analyze plain program)
+  in
+  let analyzer =
+    match config.Config.prune with
+    | Config.Prune_drop -> Analyzer.analyze ?flow config program
+    | Config.Prune_off | Config.Prune_coalesce ->
+      (* Coalescing keeps every point (numbering must match the
+         unpruned campaign exactly); only drop filters the sets. *)
+      Analyzer.analyze config program
+  in
+  (match config.Config.prune with
+   | Config.Prune_drop ->
+     (* Static census: points removed per method relative to the
+        unfiltered analysis. *)
+     let unfiltered = Analyzer.analyze config program in
+     let dropped =
+       List.fold_left
+         (fun acc id ->
+           acc
+           + List.length (Analyzer.injectable_for unfiltered id)
+           - List.length (Analyzer.injectable_for analyzer id))
+         0 (Analyzer.method_ids unfiltered)
+     in
+     Obs.add m_points_dropped dropped
+   | Config.Prune_off | Config.Prune_coalesce -> ());
+  let profile = Profile.of_image ~prepare plain in
+  let compiled =
+    match compiled with Some c -> c | None -> compile ~plain flavor program
+  in
+  let runs, transparent =
+    match (config.Config.prune, flow) with
+    | Config.Prune_coalesce, Some flow ->
+      coalesced_loop ?run_timeout_s compiled config analyzer flow ~prepare ~profile
+    | _ -> unpruned_loop ?run_timeout_s compiled config analyzer ~prepare ~profile
+  in
+  (match config.Config.prune with
+   | Config.Prune_off | Config.Prune_drop ->
+     (* Every reached point got its own run; the probe is the odd one
+        out.  Coalesce reports the plan's count instead. *)
+     Obs.add m_points_total (List.length runs - 1)
+   | Config.Prune_coalesce -> ());
   { flavor;
     config;
     analyzer;

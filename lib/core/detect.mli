@@ -60,6 +60,24 @@ val run_once :
     [Marks.timed_out = true] (marks observed so far are kept).
     @raise Detection_error on a non-MiniLang failure inside the run. *)
 
+type run_extras = {
+  injected_escaped : bool;
+      (** the exception that escaped [main] was the injected object
+          itself, by heap identity (always [false] when nothing escaped
+          or nothing was injected) *)
+  entries : (Method_id.t * string list) list;
+      (** trace of wrapped-entry visits, empty unless [trace] was set *)
+}
+(** Side observations of a run that {!Marks.run_record} does not carry;
+    consumed by the coalescing pruner. *)
+
+val run_once_ext :
+  ?run_timeout_s:float -> ?trace:bool -> compiled -> Config.t -> Analyzer.t ->
+  prepare:(Vm.t -> unit) -> threshold:int -> Marks.run_record * run_extras
+(** {!run_once} plus its {!run_extras}.  [trace] (default [false])
+    records every injection-point visit; with [threshold:0] — which
+    never fires — the trace is the campaign's exact point census. *)
+
 val run :
   ?config:Config.t -> ?flavor:flavor -> ?prepare:(Vm.t -> unit) ->
   ?plain:Compile.image -> ?compiled:compiled -> ?run_timeout_s:float ->
@@ -70,4 +88,11 @@ val run :
     already-built images of this very [program] (skipping compilation —
     the server's image cache); [run_timeout_s] bounds each run's
     wall-clock time, and a timed-out run never ends the detection loop
-    even when no injection fired. *)
+    even when no injection fired.
+
+    [config.prune] selects the campaign-pruning mode.  [Prune_drop]
+    filters provably-impossible generic exceptions out of the
+    injectable sets (changing point numbering); [Prune_coalesce] runs
+    one representative per handler-blindness group and synthesizes the
+    other members' records, producing a [runs] list bitwise-identical
+    to [Prune_off]'s (see doc/exnflow.md). *)

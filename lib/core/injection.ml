@@ -53,8 +53,16 @@ type state = {
          [Object_graph.Memo]); before-state reconstructions through a
          shadow's saved payloads are never memoized *)
   threshold : int; (* this run's InjectionPoint *)
+  tracing : bool;
+      (* record every injection-point visit (the pruning pre-pass: a
+         threshold-0 run never fires, so tracing is free and exact) *)
   mutable point : int; (* the global Point counter *)
   mutable injected : (Method_id.t * string) option;
+  mutable injected_exn_id : int;
+      (* heap id of the injected exception object (0 before injection):
+         lets the driver distinguish "the injected exception escaped"
+         from "a natural exception escaped" by identity, not class *)
+  mutable trace_entries : (Method_id.t * string list) list; (* reversed *)
   mutable marks : Marks.mark list; (* reversed *)
   mutable snap_stack : (Method_id.t * snapshot) list;
       (* binary flavor: snapshot pushed by pre, popped by post *)
@@ -63,19 +71,24 @@ type state = {
   mutable next_token : int;
 }
 
-let make_state config analyzer ~threshold =
+let make_state ?(trace = false) config analyzer ~threshold =
   { config;
     analyzer;
     memo = Object_graph.Memo.create ();
     threshold;
+    tracing = trace;
     point = 0;
     injected = None;
+    injected_exn_id = 0;
+    trace_entries = [];
     marks = [];
     snap_stack = [];
     snapshots = Hashtbl.create 32;
     next_token = 0 }
 
 let marks state = List.rev state.marks
+
+let trace_entries state = List.rev state.trace_entries
 
 (* Roots of a snapshot: the receiver plus, per configuration, every
    argument passed by reference (paper: "all arguments that are passed
@@ -119,17 +132,24 @@ let release_snapshot = function
    injectable exception type.  Returns the exception to inject when the
    armed threshold is crossed. *)
 let maybe_inject state vm id =
+  let injectable = Analyzer.injectable_for state.analyzer id in
+  if state.tracing && injectable <> [] then
+    state.trace_entries <- (id, injectable) :: state.trace_entries;
   let rec try_types = function
     | [] -> None
     | exn_class :: rest ->
       state.point <- state.point + 1;
       if state.point = state.threshold then begin
         state.injected <- Some (id, exn_class);
-        Some (Vm.make_exn vm exn_class "injected")
+        let exn_v = Vm.make_exn vm exn_class "injected" in
+        (match exn_v.Vm.exn_obj with
+         | Value.Ref heap_id -> state.injected_exn_id <- heap_id
+         | _ -> ());
+        Some exn_v
       end
       else try_types rest
   in
-  try_types (Analyzer.injectable_for state.analyzer id)
+  try_types injectable
 
 let exn_identity (exn_v : Vm.exn_value) =
   match exn_v.Vm.exn_obj with Value.Ref id -> id | _ -> 0

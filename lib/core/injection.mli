@@ -33,19 +33,34 @@ type state = {
           revalidated against {!Heap.write_stamp}; before-state
           reconstructions through a shadow are never memoized *)
   threshold : int;  (** this run's InjectionPoint *)
+  tracing : bool;
+      (** record every injection-point visit (the pruning pre-pass) *)
   mutable point : int;  (** the global Point counter *)
   mutable injected : (Method_id.t * string) option;
       (** injection site and exception class, once fired *)
+  mutable injected_exn_id : int;
+      (** heap id of the injected exception object, 0 before injection:
+          distinguishes an escaped injected exception from a natural
+          one by identity rather than class *)
+  mutable trace_entries : (Method_id.t * string list) list;  (** reversed *)
   mutable marks : Marks.mark list;  (** reversed *)
   mutable snap_stack : (Method_id.t * snapshot) list;
   snapshots : (int, snapshot) Hashtbl.t;
   mutable next_token : int;
 }
 
-val make_state : Config.t -> Analyzer.t -> threshold:int -> state
+val make_state : ?trace:bool -> Config.t -> Analyzer.t -> threshold:int -> state
+(** [trace] (default [false]) records each visited injection site and
+    its injectable classes, in visit order — exact with [threshold:0],
+    which never fires. *)
 
 val marks : state -> Marks.mark list
 (** Marks recorded so far, in emission (callee-before-caller) order. *)
+
+val trace_entries : state -> (Method_id.t * string list) list
+(** Wrapped-entry visits recorded by a tracing run, in visit order.
+    The sum of the class-list lengths is the campaign's total point
+    count. *)
 
 val filter : state -> Vm.filter
 (** The injection wrapper as a pre/post filter (binary flavor). *)

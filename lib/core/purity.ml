@@ -134,8 +134,12 @@ let analyze_body (eff : effects) (body : Ast.block) =
   and block b = List.iter stmt b in
   block body
 
-(* The set of methods that can never raise a MiniLang exception. *)
-let never_throws (program : Ast.program) : Method_id.Set.t =
+(* The set of methods that can never raise a MiniLang exception,
+   computed purely syntactically (dispatch approximated by method
+   name).  Kept as the precision baseline: {!Exnflow.never_throws}
+   must compute a superset of this on every program, which
+   test_exnflow.ml checks. *)
+let never_throws_syntactic (program : Ast.program) : Method_id.Set.t =
   (* collect effects per method and per function *)
   let method_effects : (Method_id.t * effects) list =
     List.concat_map
@@ -206,3 +210,13 @@ let never_throws (program : Ast.program) : Method_id.Set.t =
     (fun acc ((id : Method_id.t), _) ->
       if !(Hashtbl.find meth_may id.Method_id.name) then acc else Method_id.Set.add id acc)
     Method_id.Set.empty method_effects
+
+(* The production never-throws set now comes from the exception-flow
+   analysis (Exnflow), which refines this module in two ways: dispatch
+   is resolved per defining class through the image's dispatch tables
+   instead of by bare name, and a try whose catch clauses cover
+   everything its body can raise no longer poisons the method.  The
+   syntactic version above survives as the documented baseline. *)
+let never_throws (program : Ast.program) : Method_id.Set.t =
+  let img = Compile.image program in
+  Exnflow.never_throws (Exnflow.analyze img program)

@@ -17,7 +17,18 @@
 open Failatom_minilang
 
 val never_throws : Ast.program -> Method_id.Set.t
-(** The set of methods that can never raise. *)
+(** The set of methods that can never raise.  Since the
+    exception-flow analysis landed this is a thin wrapper over
+    {!Exnflow.never_throws} (on a freshly compiled image): dispatch is
+    resolved per defining class rather than by bare name, and covering
+    catch clauses subtract what they catch, so the set is a superset
+    of {!never_throws_syntactic}. *)
+
+val never_throws_syntactic : Ast.program -> Method_id.Set.t
+(** The original syntactic analysis, kept as the precision baseline
+    for the comparison test: a method may throw if any same-named
+    method anywhere may, and try/catch never launders a throwing
+    body. *)
 
 val safe_builtins : string list
 (** Builtins that can never raise a MiniLang exception. *)

@@ -1101,6 +1101,59 @@ let instantiate_vm (img : image) : Vm.t =
 let instantiate (img : image) : Vm.t =
   Obs.span "compile.instantiate" (fun () -> instantiate_vm img)
 
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Static analyses (exception flow, pruning) read the image's finished
+   layout instead of re-deriving hierarchy and dispatch from the AST:
+   the flattened dispatch tables already encode inheritance, redeclared
+   classes and the builtin exception hierarchy exactly as execution
+   resolves them. *)
+
+type class_summary = {
+  cs_name : string;
+  cs_super : string option;
+  cs_fields : string list; (* full template layout, inherited first *)
+  cs_is_exception : bool;
+  cs_user : bool; (* declared by the program, not builtin *)
+}
+
+let summarize_class ic =
+  { cs_name = ic.ic_name;
+    cs_super = ic.ic_super;
+    cs_fields = List.map fst ic.ic_template;
+    cs_is_exception = ic.ic_is_exception;
+    cs_user = ic.ic_user }
+
+let image_classes img =
+  let user = Array.to_list (Array.map summarize_class img.img_class_order) in
+  let builtin =
+    Hashtbl.fold
+      (fun _ ic acc -> if ic.ic_user then acc else summarize_class ic :: acc)
+      img.img_classes []
+    |> List.sort (fun a b -> compare a.cs_name b.cs_name)
+  in
+  user @ builtin
+
+let image_is_subclass = img_is_subclass
+
+let dispatch_targets img mname =
+  Hashtbl.fold
+    (fun _ ic acc ->
+      match Hashtbl.find_opt ic.ic_dispatch mname with
+      | Some idx ->
+        let cls = img.img_methods.(idx).im_class in
+        if List.mem cls acc then acc else cls :: acc
+      | None -> acc)
+    img.img_classes []
+  |> List.sort compare
+
+let resolve_dispatch img cls mname =
+  match resolve_method img cls mname with
+  | Some idx -> Some img.img_methods.(idx).im_class
+  | None -> None
+
 let program (prog : Ast.program) : Vm.t = instantiate (image prog)
 
 (* ------------------------------------------------------------------ *)

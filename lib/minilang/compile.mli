@@ -49,6 +49,41 @@ val program : Ast.program -> Vm.t
 (** [instantiate (image prog)].  Each detection run compiles its own
     VM, guaranteeing independent heaps across runs. *)
 
+(** {1 Introspection}
+
+    Read-only views of the finished layout for static analyses
+    (exception flow, injection-point pruning): the flattened dispatch
+    tables and class templates already encode inheritance, redeclared
+    classes and the builtin exception hierarchy exactly as execution
+    resolves them. *)
+
+type class_summary = {
+  cs_name : string;
+  cs_super : string option;
+  cs_fields : string list;  (** full template layout, inherited first *)
+  cs_is_exception : bool;  (** transitively extends [Throwable] *)
+  cs_user : bool;  (** declared by the program, not builtin *)
+}
+
+val image_classes : image -> class_summary list
+(** Every class of the image: user classes in program order, then the
+    builtin (exception) classes sorted by name. *)
+
+val image_is_subclass : image -> string -> string -> bool
+(** Subclass test over the image's class table — the relation [catch]
+    matching uses at run time. *)
+
+val dispatch_targets : image -> string -> string list
+(** The defining classes of every implementation that dynamic dispatch
+    of the given method name can reach, over all classes of the image
+    (sorted; empty for unknown names). *)
+
+val resolve_dispatch : image -> string -> string -> string option
+(** [resolve_dispatch img cls mname] is the defining class of the
+    implementation a call of [mname] on an instance of [cls] dispatches
+    to — i.e. what [new cls(...)] invokes for [mname = "init"] — or
+    [None] if the class or method is unknown. *)
+
 val run_main : Vm.t -> Value.t
 (** Runs the program's [main] function and returns its value.
     @raise Invalid_argument if there is no [main]

@@ -50,6 +50,7 @@ type job_request = {
   flavor : Detect.flavor option;
       (* None: the app's suite default, or source weaving for inline *)
   snapshot : Config.snapshot_mode;
+  prune : Config.prune;  (* campaign pruning; absent on the wire = off *)
   infer : bool;  (* infer_exception_free *)
   wrap_all : bool;  (* Wrap_all_non_atomic instead of Wrap_pure *)
   exception_free : string list;  (* "Class.method" *)
@@ -63,6 +64,7 @@ let default_request mode program =
     program;
     flavor = None;
     snapshot = Config.Snapshot_eager;
+    prune = Config.Prune_off;
     infer = false;
     wrap_all = false;
     exception_free = [];
@@ -85,6 +87,7 @@ type summary = {
   executed : int;
   reused : int;
   discarded : int;
+  synthesized : int;
   wall_s : float;
 }
 
@@ -130,6 +133,7 @@ let request_to_json = function
         ("program", program);
         ("flavor", opt (fun f -> Json.Str (flavor_wire_name f)) r.flavor);
         ("snapshot", Json.Str (Config.snapshot_mode_name r.snapshot));
+        ("prune", Json.Str (Config.prune_name r.prune));
         ("infer", Json.Bool r.infer);
         ("wrap_all", Json.Bool r.wrap_all);
         ("exception_free", Json.List (List.map (fun m -> Json.Str m) r.exception_free));
@@ -154,6 +158,7 @@ let summary_to_json s =
       ("executed", Json.Int s.executed);
       ("reused", Json.Int s.reused);
       ("discarded", Json.Int s.discarded);
+      ("synthesized", Json.Int s.synthesized);
       ("wall_s", Json.Float s.wall_s) ]
 
 let result_to_json r =
@@ -249,6 +254,15 @@ let submit_of_json j =
     | Some "cow" -> Ok Config.Snapshot_cow
     | Some s -> Error ("unknown snapshot mode " ^ s)
   in
+  let* prune =
+    (* Absent on the wire means off: an older client never prunes. *)
+    match Json.str_member "prune" j with
+    | None -> Ok Config.Prune_off
+    | Some s -> (
+      match Config.prune_of_string s with
+      | Some p -> Ok p
+      | None -> Error ("unknown prune mode " ^ s))
+  in
   let* exception_free = str_list "exception_free" j "exception_free" in
   let* do_not_wrap = str_list "do_not_wrap" j "do_not_wrap" in
   let* jobs =
@@ -271,6 +285,7 @@ let submit_of_json j =
          program;
          flavor;
          snapshot;
+         prune;
          infer = Option.value ~default:false (Json.bool_member "infer" j);
          wrap_all = Option.value ~default:false (Json.bool_member "wrap_all" j);
          exception_free;
@@ -304,8 +319,10 @@ let summary_of_json j =
   let* executed = require "summary.executed" (Json.int_member "executed" j) in
   let* reused = require "summary.reused" (Json.int_member "reused" j) in
   let* discarded = require "summary.discarded" (Json.int_member "discarded" j) in
+  (* absent on the wire from an older server: nothing was synthesized *)
+  let synthesized = Option.value ~default:0 (Json.int_member "synthesized" j) in
   let* wall_s = require "summary.wall_s" (Json.float_member "wall_s" j) in
-  Ok { workers; executed; reused; discarded; wall_s }
+  Ok { workers; executed; reused; discarded; synthesized; wall_s }
 
 let result_of_json j =
   let* mode =

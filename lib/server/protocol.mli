@@ -35,6 +35,9 @@ type job_request = {
   flavor : Detect.flavor option;
       (** [None]: the app's suite default, or source weaving for inline *)
   snapshot : Config.snapshot_mode;
+  prune : Config.prune;
+      (** campaign pruning mode; absent on the wire decodes as
+          {!Config.Prune_off}, so older clients keep exact campaigns *)
   infer : bool;  (** infer_exception_free *)
   wrap_all : bool;  (** Wrap_all_non_atomic instead of Wrap_pure *)
   exception_free : string list;  (** ["Class.method"] *)
@@ -61,6 +64,9 @@ type summary = {
   executed : int;
   reused : int;
   discarded : int;
+  synthesized : int;
+      (** coalesced records adopted without execution; absent on the
+          wire from an older server decodes as [0] *)
   wall_s : float;
 }
 

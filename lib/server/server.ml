@@ -252,6 +252,7 @@ let prepare_request t (r : Protocol.job_request) : (prepared, string) result =
   let config =
     { Config.default with
       Config.snapshot_mode = r.Protocol.snapshot;
+      prune = r.Protocol.prune;
       infer_exception_free = r.Protocol.infer;
       wrap_policy =
         (if r.Protocol.wrap_all then Config.Wrap_all_non_atomic else Config.Wrap_pure);
@@ -316,6 +317,7 @@ let build_result ~mode ~flavor ~cfg (res : Detect.result)
           executed = summary.Progress.executed;
           reused = summary.Progress.reused;
           discarded = summary.Progress.discarded;
+          synthesized = summary.Progress.synthesized;
           wall_s = summary.Progress.wall_clock_s } }
 
 let execute t (job : job) =

@@ -214,6 +214,7 @@ let fired = (Method_id.make "C" "m", "NullPointerException")
 let claim_exn s =
   match Scheduler.claim s with
   | Scheduler.Claimed t -> t
+  | Scheduler.Claimed_group _ -> Alcotest.fail "unexpected Claimed_group"
   | Scheduler.Wait -> Alcotest.fail "unexpected Wait"
   | Scheduler.Done -> Alcotest.fail "unexpected Done"
   | Scheduler.Exhausted -> Alcotest.fail "unexpected Exhausted"

@@ -68,6 +68,25 @@ let test_shard_map () =
     hit.(s) <- true
   done;
   Alcotest.(check bool) "uniform enough" true (Array.for_all Fun.id hit);
+  (* the real key population: every bundled app's digest.  This is the
+     small, correlated key set that the old [leading-hex mod shards]
+     placement skewed (one shard owned nothing in the cluster bench);
+     rendezvous hashing must give every shard at least one home app. *)
+  let app_hits = Array.make 4 0 in
+  List.iter
+    (fun (app : Registry.t) ->
+      match Shard_map.digest_of_spec (Protocol.App app.Registry.name) with
+      | None -> Alcotest.failf "no digest for bundled app %s" app.Registry.name
+      | Some digest ->
+        let s = Shard_map.shard_of_digest ~shards:4 digest in
+        app_hits.(s) <- app_hits.(s) + 1)
+    Registry.catalog;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d owns at least one app" i)
+        true (n > 0))
+    app_hits;
   (* job ids *)
   Alcotest.(check string) "global id" "s2-j7" (Shard_map.global_job_id ~shard:2 "j7");
   Alcotest.(check (option (pair int string)))

@@ -21,6 +21,7 @@ let () =
       ("composition", Test_composition.suite);
       ("random-pipeline", Test_random_pipeline.suite);
       ("purity", Test_purity.suite);
+      ("exnflow", Test_exnflow.suite);
       ("run-log", Test_run_log.suite);
       ("trace", Test_trace.suite);
       ("invariants", Test_invariants.suite);

@@ -82,7 +82,11 @@ let test_span_timing () =
    depend on real timings. *)
 let fixture : Obs.snap =
   { Obs.s_counters =
-      [ ("detect.injections_fired", 922);
+      [ ("campaign.seed_order_hits", 57);
+        ("detect.injections_fired", 922);
+        ("detect.points_coalesced", 411);
+        ("detect.points_dropped", 0);
+        ("detect.points_total", 923);
         ("heap.allocations", 189004);
         ("vm.steps", 6066895) ];
     s_gauges = [ ("campaign.workers", 4) ];
