@@ -996,6 +996,158 @@ let section_prune () =
   Fmt.pr "  machine-readable results written to %s@." prune_json_file
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent apps: the schedule axis and schedules-to-first-violation *)
+(* ------------------------------------------------------------------ *)
+
+let concurrent_json_file = "BENCH_concurrent.json"
+
+(* One seeded interleaving violation per concurrent app: a read-only
+   probe whose non-atomicity injection alone cannot expose. *)
+let seeded_probes =
+  [ ("StripedMap", "snapshotTotal");
+    ("BoundedBuffer", "audit");
+    ("WorkQueue", "progress") ]
+
+(* The default sweep measured here and reported in EXPERIMENTS.md: coop
+   plus three slice seeds (the --schedules 4 expansion). *)
+let concurrent_sweep = [ "coop"; "slice:1"; "slice:2"; "slice:3" ]
+
+type concurrent_row = {
+  cr_app : Registry.t;
+  cr_probe : Method_id.t;
+  cr_coop_s : float;
+  cr_coop_injections : int;
+  cr_sweep_s : float;
+  cr_sweep_injections : int;
+  cr_first_violation : int option;
+      (* smallest sweep prefix length whose detection flips the seeded
+         probe non-atomic; None if even the full sweep misses it *)
+  cr_transparent : bool;  (* across both the coop and the sweep run *)
+}
+
+let section_concurrent () =
+  Fmt.pr "@.== Concurrent apps: schedule exploration cost and yield ================@.";
+  Fmt.pr "  (each app carries one seeded violation in a read-only probe method;@.";
+  Fmt.pr "   first-violation is the smallest prefix of the sweep %s@."
+    (String.concat "," concurrent_sweep);
+  Fmt.pr "   whose detection marks the probe non-atomic — 1 would mean the@.";
+  Fmt.pr "   schedule axis was unnecessary)@.";
+  let reps = if bench_short then 1 else 3 in
+  let time_detect specs flavor program =
+    let config = { Config.default with Config.schedules = specs } in
+    let best = ref infinity and result = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = Detect.run ~config ~flavor program in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let non_atomic d meth =
+    match Classify.verdict (Classify.classify d) meth with
+    | Some Classify.Pure_non_atomic | Some Classify.Conditional_non_atomic -> true
+    | Some Classify.Atomic | None -> false
+  in
+  let prefix k = List.filteri (fun i _ -> i < k) concurrent_sweep in
+  Fmt.pr "%-14s %-14s %9s %8s %9s %8s %7s %12s@." "Application" "probe"
+    "coop(s)" "inj" "sweep(s)" "inj" "first" "transparent";
+  let rows =
+    List.map
+      (fun (name, probe_name) ->
+        let app = Option.get (Registry.find name) in
+        let probe = Method_id.make name probe_name in
+        let program = Failatom_minilang.Minilang.parse app.Registry.source in
+        let flavor = Harness.flavor_of_suite app.Registry.suite in
+        let coop_r, coop_s = time_detect [ "coop" ] flavor program in
+        let sweep_r, sweep_s = time_detect concurrent_sweep flavor program in
+        (* the sweep endpoints are already measured; probe the interior
+           prefixes once each for the first-violation count *)
+        let first_violation =
+          if non_atomic coop_r probe then Some 1
+          else if not (non_atomic sweep_r probe) then None
+          else
+            let rec search k =
+              if k >= List.length concurrent_sweep then
+                Some (List.length concurrent_sweep)
+              else if
+                non_atomic (fst (time_detect (prefix k) flavor program)) probe
+              then Some k
+              else search (k + 1)
+            in
+            search 2
+        in
+        let row =
+          { cr_app = app;
+            cr_probe = probe;
+            cr_coop_s = coop_s;
+            cr_coop_injections = coop_r.Detect.injections;
+            cr_sweep_s = sweep_s;
+            cr_sweep_injections = sweep_r.Detect.injections;
+            cr_first_violation = first_violation;
+            cr_transparent =
+              coop_r.Detect.transparent && sweep_r.Detect.transparent }
+        in
+        Fmt.pr "%-14s %-14s %9.3f %8d %9.3f %8d %7s %12b@." name probe_name
+          coop_s coop_r.Detect.injections sweep_s
+          sweep_r.Detect.injections
+          (match first_violation with Some k -> string_of_int k | None -> "-")
+          row.cr_transparent;
+        row)
+      seeded_probes
+  in
+  (* Gates: the schedule axis must be both necessary (no probe flips
+     under coop alone) and sufficient (every probe flips somewhere in
+     the sweep), with transparency holding throughout. *)
+  let pass_needed =
+    List.for_all (fun r -> r.cr_first_violation <> Some 1) rows
+  in
+  let pass_detected =
+    List.for_all (fun r -> r.cr_first_violation <> None) rows
+  in
+  let pass_transparent = List.for_all (fun r -> r.cr_transparent) rows in
+  let pass = pass_needed && pass_detected && pass_transparent in
+  Fmt.pr
+    "  schedule axis necessary: %b; all seeded violations found: %b; \
+     transparent: %b@."
+    pass_needed pass_detected pass_transparent;
+  let oc = open_out concurrent_json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"concurrent_schedules\",\n";
+  out "  \"short\": %b,\n" bench_short;
+  out "  \"reps\": %d,\n" reps;
+  out "  \"sweep\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) concurrent_sweep));
+  out "  \"apps\": [\n";
+  List.iteri
+    (fun i row ->
+      out
+        "    {\"name\": \"%s\", \"probe\": \"%s\", \"coop_s\": %.6f, \
+         \"coop_injections\": %d, \"sweep_s\": %.6f, \"sweep_injections\": %d, \
+         \"first_violation_schedules\": %s, \"transparent\": %b}%s\n"
+        (json_escape row.cr_app.Registry.name)
+        (json_escape (Method_id.to_string row.cr_probe))
+        row.cr_coop_s row.cr_coop_injections row.cr_sweep_s
+        row.cr_sweep_injections
+        (match row.cr_first_violation with
+         | Some k -> string_of_int k
+         | None -> "null")
+        row.cr_transparent
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n";
+  out "  \"pass_schedule_axis_necessary\": %b,\n" pass_needed;
+  out "  \"pass_all_violations_detected\": %b,\n" pass_detected;
+  out "  \"pass_transparent\": %b,\n" pass_transparent;
+  out "  \"pass\": %b\n" pass;
+  out "}\n";
+  close_out oc;
+  Fmt.pr "  machine-readable results written to %s@." concurrent_json_file
+
+(* ------------------------------------------------------------------ *)
 (* Server: cold vs warm submission latency and client throughput       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1480,6 +1632,7 @@ let sections =
     ("fig5", section_fig5);
     ("ablation", section_ablation);
     ("prune", section_prune);
+    ("concurrent", section_concurrent);
     ("server", section_server);
     ("cluster", section_cluster) ]
 

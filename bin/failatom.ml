@@ -203,6 +203,47 @@ let prune_arg =
   in
   Arg.(value & opt prune_conv Config.Prune_coalesce & info [ "prune" ] ~docv:"MODE" ~doc)
 
+let schedules_arg =
+  let doc =
+    "Schedule exploration for concurrent programs (those using $(b,spawn)): \
+     $(docv) is either a count $(b,N) — the cooperative baseline plus \
+     preemptive schedules slice:1 .. slice:N-1 — or $(b,pct-sweep) — the \
+     cooperative baseline plus PCT priority schedules pct:D:S for depths \
+     1-3 and seeds 1-3 — or an explicit comma-separated list of schedule \
+     specs ($(b,coop), $(b,slice:<seed>), $(b,pct:<depth>:<seed>)).  Every \
+     schedule is crossed with the whole injection-point axis.  Ignored for \
+     sequential programs, which always run the single cooperative schedule."
+  in
+  Arg.(value & opt (some string) None & info [ "schedules" ] ~docv:"SPEC" ~doc)
+
+(* Expands the --schedules argument into the Config.schedules spec list.
+   The first spec is always coop: it is the baseline the per-schedule
+   probes of the other schedules are compared around, and it keeps a
+   concurrent campaign's first phase identical to the unexplored run. *)
+let expand_schedules = function
+  | None -> Ok Config.default.Config.schedules
+  | Some "pct-sweep" ->
+    Ok
+      ("coop"
+      :: List.concat_map
+           (fun d -> List.map (fun s -> Printf.sprintf "pct:%d:%d" d s) [ 1; 2; 3 ])
+           [ 1; 2; 3 ])
+  | Some spec -> (
+    match int_of_string_opt spec with
+    | Some n when n >= 1 ->
+      Ok ("coop" :: List.init (n - 1) (fun i -> Printf.sprintf "slice:%d" (i + 1)))
+    | Some _ -> Error "--schedules count must be at least 1"
+    | None ->
+      let specs = String.split_on_char ',' spec in
+      let bad =
+        List.filter
+          (fun s ->
+            Option.is_none (Failatom_runtime.Sched.policy_of_string s))
+          specs
+      in
+      if bad = [] then Ok specs
+      else Error ("unknown schedule spec " ^ String.concat ", " bad))
+
 let metrics_out_arg =
   let doc =
     "Enable the observability layer for this invocation and write the final \
@@ -309,15 +350,21 @@ let write_csv csv classification =
   | None -> ()
 
 let detect_cmd =
-  let action spec engine flavor snapshot_mode prune details exception_free infer
-      log coverage csv metrics_out =
+  let action spec engine flavor snapshot_mode prune schedules details
+      exception_free infer log coverage csv metrics_out =
     set_engine engine;
+    match expand_schedules schedules with
+    | Error msg ->
+      Fmt.epr "failatom: %s@." msg;
+      exit_usage
+    | Ok schedules ->
     with_program spec (fun program ->
         let config =
           { Config.default with
             Config.infer_exception_free = infer;
             snapshot_mode;
-            prune }
+            prune;
+            schedules }
         in
         match
           with_metrics metrics_out (fun () -> Detect.run ~config ~flavor program)
@@ -348,8 +395,8 @@ let detect_cmd =
     (Cmd.info "detect" ~doc ~exits)
     Term.(
       const action $ program_arg $ engine_arg $ flavor_arg $ snapshot_mode_arg
-      $ prune_arg $ details_arg $ exception_free_arg $ infer_arg $ log_arg
-      $ coverage_arg $ csv_arg $ metrics_out_arg)
+      $ prune_arg $ schedules_arg $ details_arg $ exception_free_arg $ infer_arg
+      $ log_arg $ coverage_arg $ csv_arg $ metrics_out_arg)
 
 let campaign_cmd =
   let jobs_arg =
@@ -370,9 +417,14 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let action spec engine flavor snapshot_mode prune jobs journal resume
+  let action spec engine flavor snapshot_mode prune schedules jobs journal resume
       run_timeout_s details exception_free log csv metrics_out =
     set_engine engine;
+    match expand_schedules schedules with
+    | Error msg ->
+      Fmt.epr "failatom: %s@." msg;
+      exit_usage
+    | Ok schedules ->
     with_program spec (fun program ->
         if resume && journal = None then begin
           Fmt.epr "failatom: --resume requires --journal@.";
@@ -383,7 +435,9 @@ let campaign_cmd =
             if jobs <= 0 then Failatom_campaign.Campaign.default_jobs () else jobs
           in
           let report = Failatom_campaign.Progress.reporter Fmt.stderr in
-          let config = { Config.default with Config.snapshot_mode; prune } in
+          let config =
+            { Config.default with Config.snapshot_mode; prune; schedules }
+          in
           match
             with_metrics metrics_out (fun () ->
                 Failatom_campaign.Campaign.run ~config ~flavor ?run_timeout_s ~jobs
@@ -420,8 +474,9 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc ~exits)
     Term.(
       const action $ program_arg $ engine_arg $ flavor_arg $ snapshot_mode_arg
-      $ prune_arg $ jobs_arg $ journal_arg $ resume_arg $ run_timeout_arg
-      $ details_arg $ exception_free_arg $ log_arg $ csv_arg $ metrics_out_arg)
+      $ prune_arg $ schedules_arg $ jobs_arg $ journal_arg $ resume_arg
+      $ run_timeout_arg $ details_arg $ exception_free_arg $ log_arg $ csv_arg
+      $ metrics_out_arg)
 
 let weave_cmd =
   let action spec =
@@ -941,8 +996,19 @@ let submit_cmd =
     Arg.(value & opt (some string) None & info [ "corrected" ] ~docv:"FILE" ~doc)
   in
   let snapshot_wire snapshot_mode = snapshot_mode in
-  let action spec socket retries mode flavor snapshot_mode prune infer wrap_all
-      exception_free do_not_wrap jobs run_timeout_s detach log corrected_out =
+  let action spec socket retries mode flavor snapshot_mode prune schedules infer
+      wrap_all exception_free do_not_wrap jobs run_timeout_s detach log
+      corrected_out =
+    (* Absent stays absent on the wire (an older server ignores the
+       field); a given flag is expanded client-side so the server sees
+       concrete specs. *)
+    match
+      (match schedules with None -> Ok [] | Some _ -> expand_schedules schedules)
+    with
+    | Error msg ->
+      Fmt.epr "failatom: %s@." msg;
+      exit_usage
+    | Ok schedules ->
     let program =
       if String.length spec > 4 && String.sub spec 0 4 = "app:" then
         Ok (Protocol.App (String.sub spec 4 (String.length spec - 4)))
@@ -960,6 +1026,7 @@ let submit_cmd =
           Protocol.flavor;
           snapshot = snapshot_wire snapshot_mode;
           prune;
+          schedules;
           infer;
           wrap_all;
           exception_free = List.map Method_id.to_string exception_free;
@@ -991,9 +1058,9 @@ let submit_cmd =
   Cmd.v (Cmd.info "submit" ~doc ~exits)
     Term.(
       const action $ program_arg $ socket_arg $ connect_retries_arg $ mode_arg
-      $ flavor_opt_arg $ snapshot_mode_arg $ prune_arg $ infer_arg
-      $ wrap_all_arg $ exception_free_arg $ do_not_wrap_arg $ jobs_arg
-      $ run_timeout_arg $ detach_arg $ log_arg $ corrected_arg)
+      $ flavor_opt_arg $ snapshot_mode_arg $ prune_arg $ schedules_arg
+      $ infer_arg $ wrap_all_arg $ exception_free_arg $ do_not_wrap_arg
+      $ jobs_arg $ run_timeout_arg $ detach_arg $ log_arg $ corrected_arg)
 
 let status_cmd =
   let action job socket retries =

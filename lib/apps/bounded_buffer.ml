@@ -1,0 +1,107 @@
+(* BoundedBuffer workload (Concurrent suite): a monitor-protected ring
+   buffer filled by a producer thread and drained by two consumer
+   threads, in the classic bounded-buffer shape — except capacity
+   errors surface as exceptions rather than blocking waits, so every
+   schedule terminates without condition variables.
+
+   The seeded interleaving violation is [audit]: the main thread reads
+   the head index and the element count through two unlocked helper
+   calls.  The method mutates nothing, so under the cooperative
+   schedule it is atomic for every injection; under a preemptive
+   schedule a consumer's take can land between the entry snapshot and
+   an injection inside [count], marking the same method failure
+   non-atomic.
+
+   Output is schedule-invariant: the producer phase is joined before
+   the consumers start, the two consumers take a fixed quota each under
+   the buffer monitor (their drain sums always add to 45), and main
+   prints aggregates only after both joins. *)
+
+let name = "BoundedBuffer"
+
+let source =
+  {|
+class BoundedBuffer {
+  field buf;
+  field head;
+  field tail;
+  field n;
+  field cap;
+  method init(cap) throws NegativeArraySizeException, OutOfMemoryError {
+    this.cap = cap;
+    this.buf = newArray(cap);
+    this.head = 0;
+    this.tail = 0;
+    this.n = 0;
+    return this;
+  }
+  method put(v) throws IllegalStateException {
+    synchronized (this) {
+      if (this.n == this.cap) { throw new IllegalStateException("buffer full"); }
+      this.buf[this.tail] = v;
+      this.tail = (this.tail + 1) % this.cap;
+      this.n = this.n + 1;
+    }
+    return null;
+  }
+  method take() throws NoSuchElementException {
+    var v = null;
+    synchronized (this) {
+      if (this.n == 0) { throw new NoSuchElementException("buffer empty"); }
+      v = this.buf[this.head];
+      this.head = (this.head + 1) % this.cap;
+      this.n = this.n - 1;
+    }
+    return v;
+  }
+  method count() { return this.n; }
+  method headIndex() { return this.head; }
+  // Seeded violation: an unlocked compound read of head and count.
+  method audit() throws IllegalStateException {
+    var h = this.headIndex();
+    var c = this.count();
+    if (c < 0) { throw new IllegalStateException("negative count"); }
+    if (c > this.cap) { throw new IllegalStateException("count above capacity"); }
+    if (h < 0) { throw new IllegalStateException("bad head index"); }
+    return c;
+  }
+  method produce(items) throws IllegalStateException {
+    for (var i = 0; i < items; i = i + 1) {
+      this.put(i);
+    }
+    return items;
+  }
+  method drain(quota) throws NoSuchElementException {
+    var s = 0;
+    for (var i = 0; i < quota; i = i + 1) {
+      s = s + this.take();
+    }
+    return s;
+  }
+}
+
+function main() {
+  var buf = new BoundedBuffer(16);
+  var p = spawn buf.produce(10);
+  check(join(p) == 10, "producer items");
+  check(buf.count() == 10, "buffer filled");
+  var c1 = spawn buf.drain(5);
+  var c2 = spawn buf.drain(5);
+  var audits = 0;
+  for (var i = 0; i < 6; i = i + 1) {
+    check(buf.audit() >= 0, "audit in range");
+    audits = audits + 1;
+  }
+  var s1 = join(c1);
+  var s2 = join(c2);
+  check(s1 + s2 == 45, "drain sums to 0..9");
+  check(buf.count() == 0, "buffer drained");
+  try {
+    buf.take();
+  } catch (NoSuchElementException e) {
+    println("drained dry: " + e.message);
+  }
+  println("drained=" + (s1 + s2) + " left=" + buf.count() + " audits=" + audits);
+  return 0;
+}
+|}

@@ -1,0 +1,10 @@
+(** Monitor-protected ring buffer with producer/consumer threads
+    (Concurrent suite).
+
+    A Table-1 analogue workload whose seeded non-atomicity — an
+    unlocked compound read of head and count — manifests only under a
+    preemptive schedule combined with exception injection. *)
+
+val name : string
+val source : string
+(** The full MiniLang program, including its [main] driver. *)

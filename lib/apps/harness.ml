@@ -14,6 +14,7 @@ type outcome = {
 let flavor_of_suite = function
   | Registry.Cpp -> Detect.Source_weaving (* the paper's C++ path *)
   | Registry.Java -> Detect.Load_time_filters (* the paper's Java path *)
+  | Registry.Conc -> Detect.Load_time_filters (* concurrent analogues *)
 
 let detect_app ?(config = Config.default) ?flavor (app : Registry.t) : outcome =
   let flavor =

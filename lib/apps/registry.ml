@@ -1,10 +1,11 @@
 (* The workload applications of the paper's evaluation (Table 1):
    six C++-suite programs and ten Java-suite programs, plus the
-   repaired LinkedList variant used in the §6.1 case study. *)
+   repaired LinkedList variant used in the §6.1 case study and the
+   concurrent Table-1 analogues that exercise the schedule axis. *)
 
-type suite = Cpp | Java
+type suite = Cpp | Java | Conc
 
-let suite_name = function Cpp -> "C++" | Java -> "Java"
+let suite_name = function Cpp -> "C++" | Java -> "Java" | Conc -> "Concurrent"
 
 type t = {
   name : string;
@@ -83,6 +84,24 @@ let java_apps : t list =
 
 let all = cpp_apps @ java_apps
 
+(* Concurrent Table-1 analogues: multi-threaded MiniLang workloads
+   whose seeded violations need the schedule axis ([--schedules]) on
+   top of exception injection.  Not part of the paper's Table 1, so
+   kept out of [all]. *)
+let concurrent_apps : t list =
+  [ { name = Striped_map.name;
+      suite = Conc;
+      description = "lock-striped hash map loaded by two threads";
+      source = Striped_map.source };
+    { name = Bounded_buffer.name;
+      suite = Conc;
+      description = "monitor-protected ring buffer with producer/consumers";
+      source = Bounded_buffer.source };
+    { name = Work_queue.name;
+      suite = Conc;
+      description = "fixed task list claimed by two workers under a monitor";
+      source = Work_queue.source } ]
+
 (* The repaired LinkedList of the case study; not part of Table 1. *)
 let linked_list_fixed : t =
   { name = "LinkedListFixed";
@@ -101,5 +120,5 @@ let specials = [ linked_list_fixed; synthetic ]
 
 (* Every application resolvable as app:NAME — the single source of truth
    shared by [failatom apps] and program-spec resolution. *)
-let catalog = all @ specials
+let catalog = all @ concurrent_apps @ specials
 let find name = List.find_opt (fun a -> String.equal a.name name) catalog

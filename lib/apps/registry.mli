@@ -2,7 +2,7 @@
     six C++-suite programs and ten Java-suite programs, re-implemented
     in MiniLang, plus the repaired LinkedList of the §6.1 case study. *)
 
-type suite = Cpp | Java
+type suite = Cpp | Java | Conc
 
 val suite_name : suite -> string
 
@@ -19,6 +19,12 @@ val java_apps : t list
 val all : t list
 (** The sixteen Table 1 applications, C++ suite first. *)
 
+val concurrent_apps : t list
+(** The concurrent Table-1 analogues (StripedMap, BoundedBuffer,
+    WorkQueue): multi-threaded workloads whose seeded violations need
+    the schedule axis on top of exception injection.  Bundled in
+    {!catalog} but not part of Table 1. *)
+
 val linked_list_fixed : t
 (** The repaired LinkedList of the case study; not part of Table 1. *)
 
@@ -31,8 +37,8 @@ val specials : t list
 
 val catalog : t list
 (** Every bundled application resolvable as app:NAME: {!all} plus
-    {!specials}.  The single source of truth shared by [failatom apps]
-    and program-spec resolution. *)
+    {!concurrent_apps} plus {!specials}.  The single source of truth
+    shared by [failatom apps] and program-spec resolution. *)
 
 val find : string -> t option
 (** Looks a name up in {!catalog}. *)

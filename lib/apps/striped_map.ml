@@ -1,0 +1,161 @@
+(* StripedMap workload (Concurrent suite): a lock-striped hash map in
+   the java.util.concurrent style — one small open-addressed stripe per
+   hash class, each guarded by its own monitor, loaded by two spawned
+   loader threads while the main thread audits.
+
+   The seeded interleaving violation is [snapshotTotal]: it sums the
+   stripe sizes with one unlocked helper call per stripe.  The method
+   mutates nothing, so under the cooperative schedule every injected
+   exception unwinds it with the receiver graph unchanged — atomic.
+   Under a preemptive schedule a loader can commit a put between the
+   entry snapshot and an injection inside a [size] call, so the very
+   same injection marks [snapshotTotal] failure non-atomic: a defect
+   only interleaving exposes.
+
+   The driver's output is schedule-invariant: loaders insert disjoint
+   keys under per-stripe locks, the op counter is bumped in a call-free
+   method body (method-call boundaries are the only preemption points),
+   and main prints aggregates only after both joins. *)
+
+let name = "StripedMap"
+
+let source =
+  {|
+class Stripe {
+  field keys;
+  field vals;
+  field n;
+  field cap;
+  method init(cap) throws NegativeArraySizeException, OutOfMemoryError {
+    this.cap = cap;
+    this.keys = newArray(cap);
+    this.vals = newArray(cap);
+    this.n = 0;
+    return this;
+  }
+  method indexOf(k) {
+    for (var i = 0; i < this.n; i = i + 1) {
+      if (this.keys[i] == k) { return i; }
+    }
+    return 0 - 1;
+  }
+  // Grows before inserting, so a mid-method failure can strand the
+  // doubled arrays — the classic partial-resize non-atomicity.
+  method put(k, v) throws OutOfMemoryError {
+    var i = this.indexOf(k);
+    if (i >= 0) {
+      this.vals[i] = v;
+      return false;
+    }
+    if (this.n == this.cap) { this.grow(); }
+    this.keys[this.n] = k;
+    this.vals[this.n] = v;
+    this.n = this.n + 1;
+    return true;
+  }
+  method grow() throws OutOfMemoryError {
+    var bigger = this.cap * 2;
+    var ks = newArray(bigger);
+    var vs = newArray(bigger);
+    arraycopy(this.keys, 0, ks, 0, this.n);
+    arraycopy(this.vals, 0, vs, 0, this.n);
+    this.keys = ks;
+    this.vals = vs;
+    this.cap = bigger;
+    return null;
+  }
+  method get(k) throws NoSuchElementException {
+    var i = this.indexOf(k);
+    if (i < 0) { throw new NoSuchElementException("no key " + k); }
+    return this.vals[i];
+  }
+  method size() { return this.n; }
+}
+
+class StripedMap {
+  field stripes;
+  field nstripes;
+  field ops;
+  method init(n) throws NegativeArraySizeException, OutOfMemoryError {
+    this.nstripes = n;
+    this.stripes = newArray(n);
+    for (var i = 0; i < n; i = i + 1) {
+      this.stripes[i] = new Stripe(2);
+    }
+    this.ops = 0;
+    return this;
+  }
+  method stripeFor(k) {
+    return this.stripes[hashCode(k) % this.nstripes];
+  }
+  method put(k, v) throws OutOfMemoryError {
+    var s = this.stripeFor(k);
+    var fresh = false;
+    synchronized (s) {
+      fresh = s.put(k, v);
+    }
+    this.noteOp();
+    return fresh;
+  }
+  method get(k) throws NoSuchElementException {
+    var s = this.stripeFor(k);
+    var v = null;
+    synchronized (s) {
+      v = s.get(k);
+    }
+    return v;
+  }
+  // Call-free body: the increment cannot be preempted, so the op count
+  // is exact under every schedule.
+  method noteOp() {
+    this.ops = this.ops + 1;
+    return null;
+  }
+  method opCount() { return this.ops; }
+  // Seeded violation: an unlocked compound read over all stripes.
+  method snapshotTotal() throws IllegalStateException {
+    var total = 0;
+    for (var i = 0; i < this.nstripes; i = i + 1) {
+      var s = this.stripes[i];
+      total = total + s.size();
+    }
+    if (total < 0) { throw new IllegalStateException("corrupt striped map"); }
+    return total;
+  }
+  method loader(id, rounds) throws OutOfMemoryError {
+    for (var r = 0; r < rounds; r = r + 1) {
+      this.put("k" + id + "x" + r, id * 100 + r);
+    }
+    return rounds;
+  }
+}
+
+function main() {
+  var map = new StripedMap(4);
+  map.put("seed", 1);
+  var t1 = spawn map.loader(1, 6);
+  var t2 = spawn map.loader(2, 6);
+  var audits = 0;
+  for (var i = 0; i < 8; i = i + 1) {
+    var t = map.snapshotTotal();
+    check(t >= 1, "audit sees at least the seed");
+    check(t <= 13, "audit never overcounts");
+    audits = audits + 1;
+  }
+  var a = join(t1);
+  var b = join(t2);
+  check(a == 6, "loader 1 rounds");
+  check(b == 6, "loader 2 rounds");
+  check(map.snapshotTotal() == 13, "final size");
+  check(map.get("k1x3") == 103, "loader 1 value");
+  check(map.get("k2x5") == 205, "loader 2 value");
+  try {
+    map.get("absent");
+  } catch (NoSuchElementException e) {
+    println("lookup miss: " + e.message);
+  }
+  println("total=" + map.snapshotTotal() + " ops=" + map.opCount()
+          + " audits=" + audits);
+  return 0;
+}
+|}

@@ -1,0 +1,9 @@
+(** Lock-striped hash map loaded by two threads (Concurrent suite).
+
+    A Table-1 analogue workload whose seeded non-atomicity — an
+    unlocked compound read over the stripes — manifests only under a
+    preemptive schedule combined with exception injection. *)
+
+val name : string
+val source : string
+(** The full MiniLang program, including its [main] driver. *)

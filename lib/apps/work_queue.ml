@@ -1,0 +1,107 @@
+(* WorkQueue workload (Concurrent suite): a fixed task list claimed and
+   processed by two worker threads; each claim and each result deposit
+   happens under the queue monitor, while the main thread polls an
+   unlocked progress probe.
+
+   The seeded interleaving violation is [progress]: it reads the done
+   counter and the running sum through two unlocked helper calls and
+   validates their relationship.  The method mutates nothing, so under
+   the cooperative schedule it is atomic for every injection; under a
+   preemptive schedule a worker's [record] can commit between the entry
+   snapshot and an injection inside [sumSoFar], marking the same probe
+   failure non-atomic.
+
+   Output is schedule-invariant: the two workers' quotas exactly cover
+   the task list (no claim ever finds it empty), squaring and summing
+   commute, and main prints aggregates only after both joins. *)
+
+let name = "WorkQueue"
+
+let source =
+  {|
+class WorkQueue {
+  field tasks;
+  field next;
+  field ntasks;
+  field done;
+  field sum;
+  method init(n) throws NegativeArraySizeException, OutOfMemoryError {
+    this.tasks = newArray(n);
+    for (var i = 0; i < n; i = i + 1) {
+      this.tasks[i] = i + 1;
+    }
+    this.next = 0;
+    this.ntasks = n;
+    this.done = 0;
+    this.sum = 0;
+    return this;
+  }
+  method claim() throws NoSuchElementException {
+    var t = 0;
+    synchronized (this) {
+      if (this.next == this.ntasks) {
+        throw new NoSuchElementException("no tasks left");
+      }
+      t = this.tasks[this.next];
+      this.next = this.next + 1;
+    }
+    return t;
+  }
+  method compute(t) { return t * t; }
+  method record(v) {
+    synchronized (this) {
+      this.sum = this.sum + v;
+      this.done = this.done + 1;
+    }
+    return null;
+  }
+  method worker(quota) throws NoSuchElementException {
+    var taken = 0;
+    for (var i = 0; i < quota; i = i + 1) {
+      var t = this.claim();
+      var v = this.compute(t);
+      this.record(v);
+      taken = taken + 1;
+    }
+    return taken;
+  }
+  method doneCount() { return this.done; }
+  method sumSoFar() { return this.sum; }
+  // Seeded violation: an unlocked compound read of done and sum.  The
+  // guards hold under every interleaving (done and sum only grow and
+  // stay in range), so an uninjected run never trips them — the
+  // non-atomicity is visible only to the injection wrapper's snapshot
+  // comparison when a record lands inside the probe's window.
+  method progress() throws IllegalStateException {
+    var d = this.doneCount();
+    var s = this.sumSoFar();
+    if (d < 0 || d > this.ntasks) { throw new IllegalStateException("overcounted"); }
+    if (s < 0) { throw new IllegalStateException("negative sum"); }
+    return d;
+  }
+}
+
+function main() {
+  var q = new WorkQueue(12);
+  var w1 = spawn q.worker(6);
+  var w2 = spawn q.worker(6);
+  var polls = 0;
+  for (var i = 0; i < 6; i = i + 1) {
+    check(q.progress() >= 0, "progress in range");
+    polls = polls + 1;
+  }
+  var a = join(w1);
+  var b = join(w2);
+  check(a == 6, "worker 1 quota");
+  check(b == 6, "worker 2 quota");
+  check(q.doneCount() == 12, "all tasks processed");
+  check(q.sumSoFar() == 650, "sum of squares 1..12");
+  try {
+    q.claim();
+  } catch (NoSuchElementException e) {
+    println("queue dry: " + e.message);
+  }
+  println("done=" + q.doneCount() + " sum=" + q.sumSoFar() + " polls=" + polls);
+  return 0;
+}
+|}

@@ -1,0 +1,10 @@
+(** Fixed task list claimed by two worker threads under a monitor
+    (Concurrent suite).
+
+    A Table-1 analogue workload whose seeded non-atomicity — an
+    unlocked compound progress probe — manifests only under a
+    preemptive schedule combined with exception injection. *)
+
+val name : string
+val source : string
+(** The full MiniLang program, including its [main] driver. *)

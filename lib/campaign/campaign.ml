@@ -24,6 +24,15 @@
      change; {!Progress.reporter} turns them into throughput/ETA lines
      and a final summary.
 
+   Concurrent programs add a schedule axis, exactly as in {!Detect.run}:
+   every spec in [config.schedules] gets its own complete campaign phase
+   (own scheduler, own frontier, own per-schedule uninjected baseline),
+   run one after the other — the parallelism lives inside a phase,
+   across thresholds.  The journal holds all phases' runs mixed; on
+   resume they are partitioned by each record's schedule spec
+   ([Marks.sched], [None] meaning coop), so every phase adopts exactly
+   its own prior work.
+
    Shared state during the parallel phase is the scheduler, the journal
    writer, and the busy-time accumulator, all guarded by one mutex;
    workers only hold it to claim and record, never while executing a
@@ -61,10 +70,12 @@ let m_seed_order_hits = Obs.counter "campaign.seed_order_hits"
 
 (* The campaign-side view of the same pruning census {!Detect.run}
    publishes; [Obs.counter] dedups by name, so both paths feed one
-   counter. *)
+   counter.  Likewise [sched.schedules_explored], shared with the
+   sequential driver's schedule axis. *)
 let m_points_total = Obs.counter "detect.points_total"
 let m_points_coalesced = Obs.counter "detect.points_coalesced"
 let m_points_dropped = Obs.counter "detect.points_dropped"
+let m_schedules = Obs.counter "sched.schedules_explored"
 let g_workers = Obs.gauge "campaign.workers"
 let h_queue_depth = Obs.histogram ~unit_:Obs.Items "campaign.queue_depth"
 let h_worker_runs = Obs.histogram ~unit_:Obs.Items "campaign.worker_runs"
@@ -76,6 +87,12 @@ let default_jobs () = min 8 (max 1 (Domain.recommended_domain_count () - 1))
    unrelated runs.  Also the key of the server's content-addressed
    caches, hence the delegation to the single definition. *)
 let program_digest = Minilang.program_digest
+
+(* Which campaign phase a journaled run belongs to: records of non-coop
+   schedules carry their spec; coop records carry none (so sequential
+   journals stay byte-identical to the pre-scheduler format). *)
+let spec_of_run (r : Marks.run_record) =
+  match r.Marks.sched with None -> "coop" | Some s -> s.Marks.sched_spec
 
 let load_journal ~warn ~path ~header:(expected : Journal.header) =
   match Journal.load ~warn ~path () with
@@ -117,6 +134,28 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
      images (the server's content-addressed cache) pass them in and skip
      even that. *)
   let plain = match plain with Some p -> p | None -> Compile.image program in
+  (* The schedule axis mirrors {!Detect.run}: concurrent programs cross
+     every configured schedule with the injection-point axis (pruning
+     forced off — exception-flow pruning reasons about sequential
+     control flow); sequential programs always run the single coop
+     schedule, keeping their campaigns byte-identical to before. *)
+  let concurrent = Minilang.uses_concurrency program in
+  let config =
+    if concurrent then { config with Config.prune = Config.Prune_off } else config
+  in
+  let schedules =
+    if not concurrent then [ "coop" ]
+    else match config.Config.schedules with [] -> [ "coop" ] | l -> l
+  in
+  let policies =
+    List.map
+      (fun spec ->
+        match Sched.policy_of_string spec with
+        | Some p -> (spec, p)
+        | None ->
+          raise (Detect.Detection_error ("unknown schedule spec: " ^ spec)))
+      schedules
+  in
   (* Pruning setup mirrors {!Detect.run}: the exception-flow analysis
      runs over the plain program; only drop filters the injectable
      sets (coalesce must keep the unpruned numbering). *)
@@ -150,7 +189,9 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
   in
   (* The coalesce trace run (threshold 0, never fires) takes the point
      census on the spawning domain; it doubles as the probe record.  A
-     timed-out trace falls back to the exact speculative schedule. *)
+     timed-out trace falls back to the exact speculative schedule.
+     Coalesce implies sequential (concurrent programs force prune off),
+     so the plan only ever feeds the single coop phase. *)
   let plan_and_probe =
     match (config.Config.prune, flow) with
     | Config.Prune_coalesce, Some flow -> (
@@ -185,29 +226,7 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
         load_journal ~warn:(fun msg -> report (Progress.Warning msg)) ~path ~header
       else ([], Some (Journal.create ~path header))
   in
-  let sched =
-    Scheduler.create ~journaled
-      ?plan:(Option.map fst plan_and_probe)
-      ~max_runs:config.Config.max_runs ~jobs ()
-  in
-  (match plan_and_probe with
-   | Some (_, probe) ->
-     (* The trace run is the probe run (neither fires, and a
-        never-firing run's behaviour does not depend on the armed
-        threshold), so no worker ever claims the frontier. *)
-     Scheduler.adopt sched probe;
-     let already =
-       List.exists
-         (fun r -> r.Marks.injection_point = probe.Marks.injection_point)
-         journaled
-     in
-     (match writer with
-      | Some w when not already -> Journal.append w probe
-      | Some _ | None -> ())
-   | None -> ());
   report (Progress.Started { workers = jobs; reused = List.length journaled });
-  let mutex = Mutex.create () in
-  let cond = Condition.create () in
   (* CPU seconds consumed by the whole process; the delta over the
      campaign is the work a single worker would have had to do
      back-to-back, so cpu/wall is the honest effective parallelism even
@@ -217,173 +236,229 @@ let run ?(config = Config.default) ?(flavor = Detect.Source_weaving)
     t.Unix.tms_utime +. t.Unix.tms_stime
   in
   let cpu_start = cpu_now () in
-  let failure : exn option ref = ref None in
-  (* Called with the mutex held, after each recorded run. *)
-  let tick () =
-    let completed, injections, needed = Scheduler.progress sched in
-    let elapsed = Unix.gettimeofday () -. t_start in
-    let executed = (Scheduler.stats sched).Scheduler.executed in
-    let rate = if elapsed > 0. then float_of_int executed /. elapsed else 0. in
-    let eta_s =
-      match needed with
-      | Some n when rate > 0. -> Some (float_of_int (n - completed) /. rate)
-      | Some _ | None -> None
+  let total_executed = ref 0 in
+  let total_reused = ref 0 in
+  let total_discarded = ref 0 in
+  let total_synthesized = ref 0 in
+  (* One complete campaign — own scheduler, own frontier, own worker
+     domains — for one schedule.  Returns the merged frontier-truncated
+     run list and the phase's transparency verdict against its own
+     uninjected baseline. *)
+  let run_phase ((spec, policy) as schedule) =
+    Obs.span "detect.schedule" ~attrs:[ ("schedule", spec) ] @@ fun () ->
+    Obs.incr m_schedules;
+    let journaled_here =
+      List.filter (fun r -> String.equal (spec_of_run r) spec) journaled
     in
-    report (Progress.Tick { completed; needed; injections; elapsed_s = elapsed; rate; eta_s })
-  in
-  (* Claimed-but-unrecorded thresholds, i.e. runs in flight.  Guarded by
-     [mutex], like everything the workers share. *)
-  let in_flight = ref 0 in
-  let worker () =
-    Mutex.lock mutex;
-    let executed_here = ref 0 in
-    let rec loop () =
-      if Option.is_some !failure then ()
-      else if cancel () then begin
-        (* Stop claiming; runs already in flight on other workers drain
-           first (each bounded by [run_timeout_s] if set), so
-           cancellation latency is at most one run. *)
-        failure := Some Cancelled;
-        Condition.broadcast cond
-      end
-      else
-        match Scheduler.claim sched with
-        | Scheduler.Done -> ()
-        | Scheduler.Exhausted ->
-          failure :=
-            Some
-              (Detect.Detection_error
-                 (Printf.sprintf "exceeded max_runs = %d injection runs"
-                    config.Config.max_runs));
+    let sched =
+      Scheduler.create ~journaled:journaled_here
+        ?plan:(Option.map fst plan_and_probe)
+        ~max_runs:config.Config.max_runs ~jobs ()
+    in
+    (match plan_and_probe with
+     | Some (_, probe) ->
+       (* The trace run is the probe run (neither fires, and a
+          never-firing run's behaviour does not depend on the armed
+          threshold), so no worker ever claims the frontier. *)
+       Scheduler.adopt sched probe;
+       let already =
+         List.exists
+           (fun r -> r.Marks.injection_point = probe.Marks.injection_point)
+           journaled_here
+       in
+       (match writer with
+        | Some w when not already -> Journal.append w probe
+        | Some _ | None -> ())
+     | None -> ());
+    let mutex = Mutex.create () in
+    let cond = Condition.create () in
+    let failure : exn option ref = ref None in
+    (* Called with the mutex held, after each recorded run. *)
+    let tick () =
+      let completed, injections, needed = Scheduler.progress sched in
+      let elapsed = Unix.gettimeofday () -. t_start in
+      let executed = (Scheduler.stats sched).Scheduler.executed in
+      let rate = if elapsed > 0. then float_of_int executed /. elapsed else 0. in
+      let eta_s =
+        match needed with
+        | Some n when rate > 0. -> Some (float_of_int (n - completed) /. rate)
+        | Some _ | None -> None
+      in
+      report (Progress.Tick { completed; needed; injections; elapsed_s = elapsed; rate; eta_s })
+    in
+    (* Claimed-but-unrecorded thresholds, i.e. runs in flight.  Guarded by
+       [mutex], like everything the workers share. *)
+    let in_flight = ref 0 in
+    let worker () =
+      Mutex.lock mutex;
+      let executed_here = ref 0 in
+      let rec loop () =
+        if Option.is_some !failure then ()
+        else if cancel () then begin
+          (* Stop claiming; runs already in flight on other workers drain
+             first (each bounded by [run_timeout_s] if set), so
+             cancellation latency is at most one run. *)
+          failure := Some Cancelled;
           Condition.broadcast cond
-        | Scheduler.Wait ->
-          Condition.wait cond mutex;
-          loop ()
-        | Scheduler.Claimed threshold -> (
-          incr in_flight;
-          Obs.observe h_queue_depth !in_flight;
-          Mutex.unlock mutex;
-          let outcome =
-            try Ok (Detect.run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold)
-            with e -> Error e
-          in
-          Mutex.lock mutex;
-          decr in_flight;
-          incr executed_here;
-          match outcome with
-          | Ok record ->
-            ignore (Scheduler.record sched record);
-            (match writer with Some w -> Journal.append w record | None -> ());
-            tick ();
-            Condition.broadcast cond;
+        end
+        else
+          match Scheduler.claim sched with
+          | Scheduler.Done -> ()
+          | Scheduler.Exhausted ->
+            failure :=
+              Some
+                (Detect.Detection_error
+                   (Printf.sprintf "exceeded max_runs = %d injection runs"
+                      config.Config.max_runs));
+            Condition.broadcast cond
+          | Scheduler.Wait ->
+            Condition.wait cond mutex;
             loop ()
-          | Error e ->
-            if Option.is_none !failure then failure := Some e;
-            Condition.broadcast cond)
-        | Scheduler.Claimed_group g -> (
-          incr in_flight;
-          Obs.observe h_queue_depth !in_flight;
-          Mutex.unlock mutex;
-          let outcome =
-            try
-              let rep_t, _ = Prune.rep g in
-              let rep_record, ex =
-                Detect.run_once_ext ?run_timeout_s compiled config analyzer
-                  ~prepare ~threshold:rep_t
-              in
-              let members =
-                if rep_record.Marks.timed_out then
-                  (* Wall-clock aborts are not bisimilar across class
-                     tags: execute the members for real. *)
-                  List.map
-                    (fun (t, _) ->
-                      `Executed
-                        (Detect.run_once ?run_timeout_s compiled config
-                           analyzer ~prepare ~threshold:t))
-                    (List.tl g.Prune.members)
-                else
-                  List.map
-                    (fun r -> `Synthesized r)
-                    (Prune.synthesize g ~rep_record
-                       ~injected_escaped:ex.Detect.injected_escaped)
-              in
-              Ok (rep_record, members)
-            with e -> Error e
-          in
-          Mutex.lock mutex;
-          decr in_flight;
-          incr executed_here;
-          match outcome with
-          | Ok (rep_record, members) ->
-            ignore (Scheduler.record sched rep_record);
-            (match writer with Some w -> Journal.append w rep_record | None -> ());
-            if
-              g.Prune.first_visit
-              && List.exists
-                   (fun (m : Marks.mark) -> not m.Marks.atomic)
-                   rep_record.Marks.marks
-            then Obs.incr m_seed_order_hits;
-            List.iter
-              (fun m ->
-                let r =
-                  match m with
-                  | `Executed r ->
-                    ignore (Scheduler.record sched r);
-                    r
-                  | `Synthesized r ->
-                    Scheduler.adopt sched r;
-                    r
+          | Scheduler.Claimed threshold -> (
+            incr in_flight;
+            Obs.observe h_queue_depth !in_flight;
+            Mutex.unlock mutex;
+            let outcome =
+              try
+                Ok
+                  (Detect.run_once ?run_timeout_s ~schedule compiled config
+                     analyzer ~prepare ~threshold)
+              with e -> Error e
+            in
+            Mutex.lock mutex;
+            decr in_flight;
+            incr executed_here;
+            match outcome with
+            | Ok record ->
+              ignore (Scheduler.record sched record);
+              (match writer with Some w -> Journal.append w record | None -> ());
+              tick ();
+              Condition.broadcast cond;
+              loop ()
+            | Error e ->
+              if Option.is_none !failure then failure := Some e;
+              Condition.broadcast cond)
+          | Scheduler.Claimed_group g -> (
+            incr in_flight;
+            Obs.observe h_queue_depth !in_flight;
+            Mutex.unlock mutex;
+            let outcome =
+              try
+                let rep_t, _ = Prune.rep g in
+                let rep_record, ex =
+                  Detect.run_once_ext ?run_timeout_s compiled config analyzer
+                    ~prepare ~threshold:rep_t
                 in
-                match writer with Some w -> Journal.append w r | None -> ())
-              members;
-            tick ();
-            Condition.broadcast cond;
-            loop ()
-          | Error e ->
-            if Option.is_none !failure then failure := Some e;
-            Condition.broadcast cond)
+                let members =
+                  if rep_record.Marks.timed_out then
+                    (* Wall-clock aborts are not bisimilar across class
+                       tags: execute the members for real. *)
+                    List.map
+                      (fun (t, _) ->
+                        `Executed
+                          (Detect.run_once ?run_timeout_s compiled config
+                             analyzer ~prepare ~threshold:t))
+                      (List.tl g.Prune.members)
+                  else
+                    List.map
+                      (fun r -> `Synthesized r)
+                      (Prune.synthesize g ~rep_record
+                         ~injected_escaped:ex.Detect.injected_escaped)
+                in
+                Ok (rep_record, members)
+              with e -> Error e
+            in
+            Mutex.lock mutex;
+            decr in_flight;
+            incr executed_here;
+            match outcome with
+            | Ok (rep_record, members) ->
+              ignore (Scheduler.record sched rep_record);
+              (match writer with Some w -> Journal.append w rep_record | None -> ());
+              if
+                g.Prune.first_visit
+                && List.exists
+                     (fun (m : Marks.mark) -> not m.Marks.atomic)
+                     rep_record.Marks.marks
+              then Obs.incr m_seed_order_hits;
+              List.iter
+                (fun m ->
+                  let r =
+                    match m with
+                    | `Executed r ->
+                      ignore (Scheduler.record sched r);
+                      r
+                    | `Synthesized r ->
+                      Scheduler.adopt sched r;
+                      r
+                  in
+                  match writer with Some w -> Journal.append w r | None -> ())
+                members;
+              tick ();
+              Condition.broadcast cond;
+              loop ()
+            | Error e ->
+              if Option.is_none !failure then failure := Some e;
+              Condition.broadcast cond)
+      in
+      loop ();
+      Obs.observe h_worker_runs !executed_here;
+      Mutex.unlock mutex
     in
-    loop ();
-    Obs.observe h_worker_runs !executed_here;
-    Mutex.unlock mutex
+    if not (Scheduler.finished sched) then begin
+      let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+      List.iter Domain.join domains
+    end;
+    (match !failure with Some e -> raise e | None -> ());
+    let runs = Scheduler.runs sched in
+    let stats = Scheduler.stats sched in
+    total_executed := !total_executed + stats.Scheduler.executed;
+    total_reused := !total_reused + stats.Scheduler.reused;
+    total_discarded := !total_discarded + stats.Scheduler.discarded;
+    total_synthesized := !total_synthesized + stats.Scheduler.synthesized;
+    (* The frontier run is the no-injection probe; its output against
+       this schedule's own uninjected baseline is the paper's
+       transparency check, exactly as in [Detect.run]. *)
+    let baseline_output =
+      match policy with
+      | Sched.Coop -> profile.Profile.output
+      | Sched.Slice _ | Sched.Pct _ -> Detect.baseline_under plain ~prepare policy
+    in
+    let probe = List.nth runs (List.length runs - 1) in
+    (runs, String.equal probe.Marks.output baseline_output)
   in
-  if not (Scheduler.finished sched) then begin
-    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join domains
-  end;
-  (match writer with Some w -> Journal.close w | None -> ());
-  (match !failure with Some e -> raise e | None -> ());
-  let runs = Scheduler.runs sched in
-  let stats = Scheduler.stats sched in
-  Obs.add m_executed stats.Scheduler.executed;
-  Obs.add m_reused stats.Scheduler.reused;
-  Obs.add m_discarded stats.Scheduler.discarded;
+  let phases =
+    Fun.protect
+      ~finally:(fun () -> match writer with Some w -> Journal.close w | None -> ())
+      (fun () -> List.map run_phase policies)
+  in
+  let runs = List.concat_map fst phases in
+  let transparent = List.for_all snd phases in
+  Obs.add m_executed !total_executed;
+  Obs.add m_reused !total_reused;
+  Obs.add m_discarded !total_discarded;
   (* Without a plan (off, drop, or the timed-out-trace fallback) every
      reached point got its own run; the coalesce path published the
-     plan's census upfront. *)
+     plan's census upfront.  One never-injecting probe per phase. *)
+  let probes = List.length policies in
   if Option.is_none plan_and_probe then
-    Obs.add m_points_total (List.length runs - 1);
-  (* The frontier run is the no-injection probe; its output against the
-     baseline is the paper's transparency check, exactly as in
-     [Detect.run]. *)
-  let probe = List.nth runs (List.length runs - 1) in
-  let transparent = String.equal probe.Marks.output profile.Profile.output in
+    Obs.add m_points_total (List.length runs - probes);
   let result =
     { Detect.flavor;
       config;
       analyzer;
       profile;
       runs;
-      injections = List.length runs - 1;
+      injections = List.length runs - probes;
       transparent }
   in
   let summary =
     { Progress.total_runs = List.length runs;
       injections = result.Detect.injections;
-      executed = stats.Scheduler.executed;
-      reused = stats.Scheduler.reused;
-      discarded = stats.Scheduler.discarded;
-      synthesized = stats.Scheduler.synthesized;
+      executed = !total_executed;
+      reused = !total_reused;
+      discarded = !total_discarded;
+      synthesized = !total_synthesized;
       workers = jobs;
       wall_clock_s = Unix.gettimeofday () -. t_start;
       busy_s = cpu_now () -. cpu_start }

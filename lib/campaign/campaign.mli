@@ -60,6 +60,14 @@ val run :
     polled by every worker before claiming a threshold; once it returns
     [true] the campaign aborts with {!Cancelled}.
 
+    Concurrent programs ({!Minilang.uses_concurrency}) run one complete
+    campaign phase per spec in [config.schedules], exactly as in
+    {!Detect.run} (per-schedule baselines, pruning forced off); the
+    journal holds all phases' runs and a resume partitions them by each
+    record's schedule spec, so every phase adopts only its own prior
+    work.  Sequential programs keep the single coop phase and a journal
+    format byte-identical to before.
+
     @raise Detect.Detection_error as {!Detect.run} would (a genuine
     failure inside a run, or [max_runs] exceeded).
     @raise Campaign_error on journal misuse.

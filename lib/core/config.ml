@@ -74,6 +74,11 @@ type t = {
       (* static exception-flow pruning of the injection campaign
          (Exnflow): off = paper behavior; drop = skip unraisable
          classes; coalesce = drop + one run per handler-blind group *)
+  schedules : string list;
+      (* schedule policy specs (Sched.policy_of_string) crossed with the
+         injection-point axis for concurrent programs; sequential
+         programs always run the ["coop"] schedule only.  Never empty:
+         the first entry is the baseline schedule. *)
 }
 
 let default =
@@ -86,7 +91,8 @@ let default =
     infer_exception_free = false;
     do_not_wrap = [];
     max_runs = 200_000;
-    prune = Prune_off }
+    prune = Prune_off;
+    schedules = [ "coop" ] }
 
 (* All exception classes injectable into a method declaring [throws].
    Declared exceptions come first, mirroring the injection-point order
@@ -114,7 +120,7 @@ let fingerprint (c : t) =
   in
   let canonical =
     String.concat "|"
-      [ "cfg2";
+      [ "cfg3";
         String.concat "," c.runtime_exceptions;
         string_of_bool c.snapshot_args;
         snapshot_mode_name c.snapshot_mode;
@@ -124,6 +130,7 @@ let fingerprint (c : t) =
         string_of_bool c.infer_exception_free;
         methods c.do_not_wrap;
         string_of_int c.max_runs;
-        prune_name c.prune ]
+        prune_name c.prune;
+        String.concat "," c.schedules ]
   in
   Digest.to_hex (Digest.string canonical)

@@ -71,6 +71,12 @@ type t = {
       (** static exception-flow pruning of the injection campaign
           (default [Prune_off], the paper's behavior; the CLI defaults
           to [coalesce], which is observationally identical) *)
+  schedules : string list;
+      (** schedule policy specs ({!Sched.policy_of_string}) crossed with
+          the injection-point axis for concurrent programs (default
+          [["coop"]]).  Sequential programs always run the ["coop"]
+          schedule only, whatever this lists.  Never empty; the first
+          entry is the baseline schedule. *)
 }
 
 val default : t

@@ -95,8 +95,14 @@ type run_extras = {
   entries : (Method_id.t * string list) list;
 }
 
-let run_once_ext ?run_timeout_s ?(trace = false) compiled config analyzer
-    ~prepare ~threshold : Marks.run_record * run_extras =
+(* The default schedule: sequential detection always runs under [Coop],
+   whose records carry no sched info — byte-identical to the
+   pre-scheduler pipeline. *)
+let coop_schedule = ("coop", Sched.Coop)
+
+let run_once_ext ?run_timeout_s ?(trace = false) ?(schedule = coop_schedule)
+    compiled config analyzer ~prepare ~threshold : Marks.run_record * run_extras =
+  let spec, policy = schedule in
   Obs.span "detect.run_once"
     ~attrs:
       [ ("flavor", flavor_name compiled.cflavor);
@@ -110,7 +116,7 @@ let run_once_ext ?run_timeout_s ?(trace = false) compiled config analyzer
        | None -> ());
       let escaped, injected_escaped, timed_out =
         try
-          ignore (Compile.run_main vm);
+          ignore (Compile.run_main ~policy vm);
           (None, false, false)
         with
         | Vm.Mini_raise e ->
@@ -139,18 +145,28 @@ let run_once_ext ?run_timeout_s ?(trace = false) compiled config analyzer
           raise (Detection_error (Fmt.str "run %d exceeded the step limit" threshold))
       in
       if Option.is_some state.Injection.injected then Obs.incr m_injections_fired;
+      let sched =
+        match policy with
+        | Sched.Coop -> None
+        | Sched.Slice _ | Sched.Pct _ ->
+          Some
+            { Marks.sched_spec = spec;
+              sched_switches = vm.Vm.sched_switches;
+              sched_digest = vm.Vm.sched_digest }
+      in
       ( { Marks.injection_point = threshold;
           injected = state.Injection.injected;
           marks = Injection.marks state;
           escaped;
           output = Vm.output vm;
           calls = vm.Vm.calls;
-          timed_out },
+          timed_out;
+          sched },
         { injected_escaped; entries = Injection.trace_entries state } ))
 
-let run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold :
+let run_once ?run_timeout_s ?schedule compiled config analyzer ~prepare ~threshold :
     Marks.run_record =
-  fst (run_once_ext ?run_timeout_s compiled config analyzer ~prepare ~threshold)
+  fst (run_once_ext ?run_timeout_s ?schedule compiled config analyzer ~prepare ~threshold)
 
 (* Runs the complete detection phase on [program].  [plain] and
    [compiled] short-circuit the per-detection compilation when the
@@ -162,12 +178,17 @@ let max_runs_error config =
     (Printf.sprintf "exceeded max_runs = %d injection runs" config.Config.max_runs)
 
 (* The exact (unpruned) detection loop: threshold 1, 2, 3, ... until the
-   first run in which no injection fires. *)
-let unpruned_loop ?run_timeout_s compiled config analyzer ~prepare ~profile =
+   first run in which no injection fires.  [baseline_output] is the
+   uninjected, uninstrumented output under the same schedule — the
+   transparency oracle for this schedule's probe run. *)
+let unpruned_loop ?run_timeout_s ?schedule compiled config analyzer ~prepare
+    ~baseline_output =
   let rec loop threshold acc =
     if threshold > config.Config.max_runs then raise (max_runs_error config)
     else
-      let record = run_once ?run_timeout_s compiled config analyzer ~prepare ~threshold in
+      let record =
+        run_once ?run_timeout_s ?schedule compiled config analyzer ~prepare ~threshold
+      in
       match record.Marks.injected with
       | Some _ -> loop (threshold + 1) (record :: acc)
       | None when record.Marks.timed_out ->
@@ -179,7 +200,7 @@ let unpruned_loop ?run_timeout_s compiled config analyzer ~prepare ~profile =
         (* The no-injection probe run: instrumentation must be
            transparent w.r.t. the baseline, and its marks capture the
            workload's real exception paths. *)
-        let transparent = String.equal record.Marks.output profile.Profile.output in
+        let transparent = String.equal record.Marks.output baseline_output in
         (List.rev (record :: acc), transparent)
   in
   loop 1 []
@@ -198,7 +219,8 @@ let coalesced_loop ?run_timeout_s compiled config analyzer flow ~prepare ~profil
   if trace_rec.Marks.timed_out then
     (* The census is incomplete; fall back to the exact loop rather
        than prune against a truncated point list. *)
-    unpruned_loop ?run_timeout_s compiled config analyzer ~prepare ~profile
+    unpruned_loop ?run_timeout_s compiled config analyzer ~prepare
+      ~baseline_output:profile.Profile.output
   else begin
     let plan = Prune.build flow ~entries:extras.entries in
     (* The unpruned loop would abort at the probe run's threshold. *)
@@ -242,11 +264,49 @@ let coalesced_loop ?run_timeout_s compiled config analyzer flow ~prepare ~profil
     (records @ [ probe ], transparent)
   end
 
+(* Schedule exploration observability: one tick per (schedule, program)
+   detection loop. *)
+let m_schedules = Obs.counter "sched.schedules_explored"
+
+(* Uninjected, uninstrumented output of the plain image under a
+   schedule — the per-schedule transparency oracle.  (The profile's
+   output is exactly this for [Coop].) *)
+let baseline_under plain ~prepare policy =
+  let vm = Compile.instantiate plain in
+  prepare vm;
+  ignore (Compile.run_main ~policy vm);
+  Vm.output vm
+
 (* Runs the complete detection phase (see .mli). *)
 let run ?(config = Config.default) ?(flavor = Source_weaving)
     ?(prepare = fun (_ : Vm.t) -> ()) ?plain ?compiled ?run_timeout_s
     (program : Ast.program) : result =
   Obs.span "detect.run" ~attrs:[ ("flavor", flavor_name flavor) ] @@ fun () ->
+  let concurrent = Minilang.uses_concurrency program in
+  (* Static exception-flow pruning reasons about sequential control
+     flow; with threads present the interleaving can reorder handler
+     activity, so pruning is forced off and every point runs. *)
+  let config =
+    if concurrent && config.Config.prune <> Config.Prune_off then
+      { config with Config.prune = Config.Prune_off }
+    else config
+  in
+  (* The schedule axis: concurrent programs cross every configured
+     schedule with the injection-point axis; sequential programs always
+     run the single coop schedule (their behaviour cannot depend on a
+     scheduler that never has two runnable threads). *)
+  let schedules =
+    if not concurrent then [ "coop" ]
+    else match config.Config.schedules with [] -> [ "coop" ] | l -> l
+  in
+  let policies =
+    List.map
+      (fun spec ->
+        match Sched.policy_of_string spec with
+        | Some p -> (spec, p)
+        | None -> raise (Detection_error ("unknown schedule spec: " ^ spec)))
+      schedules
+  in
   let plain = match plain with Some p -> p | None -> Compile.image program in
   (* The exception-flow analysis always runs over the *plain* program,
      even for source weaving: the woven wrapper clauses are
@@ -289,18 +349,38 @@ let run ?(config = Config.default) ?(flavor = Source_weaving)
     match (config.Config.prune, flow) with
     | Config.Prune_coalesce, Some flow ->
       coalesced_loop ?run_timeout_s compiled config analyzer flow ~prepare ~profile
-    | _ -> unpruned_loop ?run_timeout_s compiled config analyzer ~prepare ~profile
+    | _ ->
+      (* One full injection campaign per schedule; records of non-coop
+         schedules carry their spec and decision digest, and each
+         schedule's probe run checks transparency against that
+         schedule's own uninjected baseline. *)
+      List.fold_left
+        (fun (acc, transp) (spec, policy) ->
+          Obs.span "detect.schedule" ~attrs:[ ("schedule", spec) ] @@ fun () ->
+          Obs.incr m_schedules;
+          let baseline_output =
+            match policy with
+            | Sched.Coop -> profile.Profile.output
+            | Sched.Slice _ | Sched.Pct _ -> baseline_under plain ~prepare policy
+          in
+          let runs, t =
+            unpruned_loop ?run_timeout_s ~schedule:(spec, policy) compiled config
+              analyzer ~prepare ~baseline_output
+          in
+          (acc @ runs, transp && t))
+        ([], true) policies
   in
+  let probes = match config.Config.prune with Config.Prune_coalesce -> 1 | _ -> List.length policies in
   (match config.Config.prune with
    | Config.Prune_off | Config.Prune_drop ->
-     (* Every reached point got its own run; the probe is the odd one
-        out.  Coalesce reports the plan's count instead. *)
-     Obs.add m_points_total (List.length runs - 1)
+     (* Every reached point got its own run; the probes are the odd
+        ones out.  Coalesce reports the plan's count instead. *)
+     Obs.add m_points_total (List.length runs - probes)
    | Config.Prune_coalesce -> ());
   { flavor;
     config;
     analyzer;
     profile;
     runs;
-    injections = List.length runs - 1;
+    injections = List.length runs - probes;
     transparent }

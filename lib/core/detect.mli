@@ -49,14 +49,17 @@ val compile : ?plain:Compile.image -> flavor -> Ast.program -> compiled
 val compiled_flavor : compiled -> flavor
 
 val run_once :
-  ?run_timeout_s:float -> compiled -> Config.t -> Analyzer.t ->
+  ?run_timeout_s:float -> ?schedule:string * Sched.policy -> compiled ->
+  Config.t -> Analyzer.t ->
   prepare:(Vm.t -> unit) -> threshold:int -> Marks.run_record
 (** One detection run with the given threshold armed, on a fresh VM and
     heap instantiated from the compiled image.  Runs are independent of
     each other by construction, which is what lets
     {!Failatom_campaign.Campaign} execute them in parallel.
-    With [run_timeout_s] the run is aborted once it exceeds that
-    wall-clock budget and its record carries
+    [schedule] (default [("coop", Sched.Coop)]) is the (spec, policy)
+    pair the run executes under; non-coop records carry
+    {!Marks.sched_info}.  With [run_timeout_s] the run is aborted once
+    it exceeds that wall-clock budget and its record carries
     [Marks.timed_out = true] (marks observed so far are kept).
     @raise Detection_error on a non-MiniLang failure inside the run. *)
 
@@ -71,8 +74,16 @@ type run_extras = {
 (** Side observations of a run that {!Marks.run_record} does not carry;
     consumed by the coalescing pruner. *)
 
+val baseline_under :
+  Compile.image -> prepare:(Vm.t -> unit) -> Sched.policy -> string
+(** Output of the {e uninjected} program run under [policy] on a fresh
+    VM — the per-schedule transparency baseline.  For {!Sched.Coop} this
+    equals the profile run's output; preemptive policies need their own
+    baseline because a schedule may legitimately reorder output. *)
+
 val run_once_ext :
-  ?run_timeout_s:float -> ?trace:bool -> compiled -> Config.t -> Analyzer.t ->
+  ?run_timeout_s:float -> ?trace:bool -> ?schedule:string * Sched.policy ->
+  compiled -> Config.t -> Analyzer.t ->
   prepare:(Vm.t -> unit) -> threshold:int -> Marks.run_record * run_extras
 (** {!run_once} plus its {!run_extras}.  [trace] (default [false])
     records every injection-point visit; with [threshold:0] — which
@@ -95,4 +106,13 @@ val run :
     injectable sets (changing point numbering); [Prune_coalesce] runs
     one representative per handler-blindness group and synthesizes the
     other members' records, producing a [runs] list bitwise-identical
-    to [Prune_off]'s (see doc/exnflow.md). *)
+    to [Prune_off]'s (see doc/exnflow.md).
+
+    For concurrent programs ({!Minilang.uses_concurrency}) every spec in
+    [config.schedules] is crossed with the injection-point axis: one
+    full campaign per schedule, each probe checked against that
+    schedule's own uninjected baseline, records of non-coop schedules
+    tagged with {!Marks.sched_info} — and pruning is forced off
+    (exception-flow pruning reasons about sequential control flow).
+    Sequential programs always run the single coop schedule, leaving
+    their results byte-identical to the pre-scheduler pipeline. *)

@@ -64,8 +64,11 @@ type state = {
          from "a natural exception escaped" by identity, not class *)
   mutable trace_entries : (Method_id.t * string list) list; (* reversed *)
   mutable marks : Marks.mark list; (* reversed *)
-  mutable snap_stack : (Method_id.t * snapshot) list;
-      (* binary flavor: snapshot pushed by pre, popped by post *)
+  snap_stacks : (int, (Method_id.t * snapshot) list) Hashtbl.t;
+      (* binary flavor: snapshot pushed by pre, popped by post; keyed by
+         MiniLang thread id, because pre/post pairs of different threads
+         interleave under preemption while each thread's own pairs stay
+         LIFO (filters run in the calling fiber) *)
   snapshots : (int, snapshot) Hashtbl.t;
       (* source flavor: snapshots held by wrapper-local tokens *)
   mutable next_token : int;
@@ -82,7 +85,7 @@ let make_state ?(trace = false) config analyzer ~threshold =
     injected_exn_id = 0;
     trace_entries = [];
     marks = [];
-    snap_stack = [];
+    snap_stacks = Hashtbl.create 4;
     snapshots = Hashtbl.create 32;
     next_token = 0 }
 
@@ -220,6 +223,9 @@ let check_and_mark state vm id snapshot roots ~exn_id =
 (* Binary flavor: a pre/post filter                                    *)
 (* ------------------------------------------------------------------ *)
 
+let snap_stack_of state tid =
+  match Hashtbl.find_opt state.snap_stacks tid with Some l -> l | None -> []
+
 let filter state =
   { Vm.filt_name = "injection";
     pre =
@@ -228,17 +234,20 @@ let filter state =
         match maybe_inject state vm id with
         | Some exn_v -> Vm.Pre_raise exn_v
         | None ->
-          state.snap_stack <- (id, take_snapshot state vm recv args) :: state.snap_stack;
+          let tid = vm.Vm.cur_tid in
+          Hashtbl.replace state.snap_stacks tid
+            ((id, take_snapshot state vm recv args) :: snap_stack_of state tid);
           Vm.Proceed);
     post =
       (fun vm _meth recv args result ->
-        match state.snap_stack with
+        let tid = vm.Vm.cur_tid in
+        match snap_stack_of state tid with
         | [] ->
           (* Desynchronized only if a fatal (non-MiniLang) error aborted
              the run; nothing sensible to record. *)
           Vm.Pass
         | (id, snapshot) :: rest ->
-          state.snap_stack <- rest;
+          Hashtbl.replace state.snap_stacks tid rest;
           (match result with
            | Ok _ -> release_snapshot snapshot
            | Error exn_v ->

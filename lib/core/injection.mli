@@ -44,7 +44,9 @@ type state = {
           one by identity rather than class *)
   mutable trace_entries : (Method_id.t * string list) list;  (** reversed *)
   mutable marks : Marks.mark list;  (** reversed *)
-  mutable snap_stack : (Method_id.t * snapshot) list;
+  snap_stacks : (int, (Method_id.t * snapshot) list) Hashtbl.t;
+      (** binary flavor: per-MiniLang-thread snapshot stacks (pre/post
+          pairs of different threads interleave under preemption) *)
   snapshots : (int, snapshot) Hashtbl.t;
   mutable next_token : int;
 }

@@ -19,6 +19,14 @@ type mark = {
          non-atomic" (Definition 3) is evaluated *)
 }
 
+type sched_info = {
+  sched_spec : string; (* the policy spec this run executed under *)
+  sched_switches : int; (* thread switches during the run *)
+  sched_digest : string;
+      (* FNV-1a digest of the scheduler's decision stream; equal digests
+         with equal specs mean bit-identical interleavings *)
+}
+
 type run_record = {
   injection_point : int; (* the armed threshold of this run *)
   injected : (Method_id.t * string) option;
@@ -33,6 +41,10 @@ type run_record = {
          are the (valid) observations made before the abort, but a
          timed-out run never establishes the detection frontier even
          when no injection fired *)
+  sched : sched_info option;
+      (* [Some] only for runs under a non-coop schedule; [None] keeps
+         sequential records (and their log rendering) byte-identical to
+         the pre-scheduler pipeline *)
 }
 
 let pp_mark ppf { meth; atomic; diff_path; _ } =

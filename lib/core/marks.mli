@@ -18,6 +18,14 @@ type mark = {
           (Definition 3) is evaluated *)
 }
 
+type sched_info = {
+  sched_spec : string;  (** the schedule policy spec of this run *)
+  sched_switches : int;  (** thread switches during the run *)
+  sched_digest : string;
+      (** FNV-1a digest of the scheduler's decision stream; equal
+          digests under equal specs mean bit-identical interleavings *)
+}
+
 type run_record = {
   injection_point : int;  (** the armed threshold of this run *)
   injected : (Method_id.t * string) option;
@@ -31,6 +39,9 @@ type run_record = {
       (** the run was aborted by the per-run wall-clock timeout
           ([--run-timeout]); a timed-out run never establishes the
           detection frontier, even when no injection fired *)
+  sched : sched_info option;
+      (** [Some] only for runs under a non-coop schedule, so sequential
+          records stay byte-identical to the pre-scheduler pipeline *)
 }
 
 val pp_mark : mark Fmt.t

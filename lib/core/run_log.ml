@@ -15,6 +15,7 @@
      transparent <bool>
      calls <method> <count>          (* repeated *)
      run <injection_point>
+     sched <spec> <switches> <digest> (* optional; non-coop schedules *)
      inject <method> <exception>     (* absent for the probe run *)
      escaped <exception>             (* optional *)
      ncalls <count>
@@ -22,6 +23,11 @@
      mark <method> atomic|nonatomic <exn-id> [<diff-path>]
      output <escaped-string>         (* optional; campaign journals *)
      endrun
+
+   The [sched] record is emitted only for runs under a non-coop schedule
+   policy — logs of sequential detection stay byte-identical to the
+   pre-scheduler format.  <spec> is the Sched policy spec
+   (e.g. slice:7); <digest> the hex decision-stream digest.
 
    The [output] record carries the run's program output as a single
    space-free token (OCaml string-literal escapes, with spaces encoded
@@ -59,6 +65,12 @@ let decode_output s = Scanf.unescaped s
 
 let save_run ?(with_output = false) buf (r : Marks.run_record) =
   Buffer.add_string buf (Printf.sprintf "run %d\n" r.Marks.injection_point);
+  (match r.Marks.sched with
+   | Some s ->
+     Buffer.add_string buf
+       (Printf.sprintf "sched %s %d %s\n" s.Marks.sched_spec s.Marks.sched_switches
+          s.Marks.sched_digest)
+   | None -> ());
   (match r.Marks.injected with
    | Some (site, exn_class) ->
      Buffer.add_string buf
@@ -116,6 +128,7 @@ type partial_run = {
   mutable marks_rev : Marks.mark list;
   mutable out : string;
   mutable timed : bool;
+  mutable sched : Marks.sched_info option;
 }
 
 (* Generic parser over the run-record grammar.  Lines that are not part
@@ -142,7 +155,8 @@ let parse_runs ?(tolerate_partial_tail = false) ~on_extra (text : string) :
           escaped = pr.escaped;
           output = pr.out;
           calls = pr.ncalls;
-          timed_out = pr.timed }
+          timed_out = pr.timed;
+          sched = pr.sched }
         :: !runs_rev;
       current := None
   in
@@ -168,8 +182,19 @@ let parse_runs ?(tolerate_partial_tail = false) ~on_extra (text : string) :
                 ncalls = 0;
                 marks_rev = [];
                 out = "";
-                timed = false }
+                timed = false;
+                sched = None }
         | None -> bad lineno "bad injection point")
+      | [ "sched"; spec; switches; digest ] ->
+        in_run lineno (fun pr ->
+            match int_of_string_opt switches with
+            | Some n ->
+              pr.sched <-
+                Some
+                  { Marks.sched_spec = spec;
+                    sched_switches = n;
+                    sched_digest = digest }
+            | None -> bad lineno "bad sched switches")
       | [ "inject"; meth; exn_class ] ->
         in_run lineno (fun pr -> pr.injected <- Some (method_of_string meth, exn_class))
       | [ "escaped"; exn_class ] -> in_run lineno (fun pr -> pr.escaped <- Some exn_class)

@@ -211,6 +211,59 @@ let () =
       | [ cond; msg ] ->
         if Value.truthy cond then Value.Null
         else Vm.throw vm "IllegalStateException" ("check failed: " ^ Value.to_display_string msg)
+      | _ -> assert false);
+  (* Concurrency surface.  [spawn recv.m(args)] and [synchronized]
+     blocks desugar (in the parser) to the reserved hooks below; [join]
+     is an ordinary builtin so programs can keep using "join" as a
+     method name.  All four perform scheduler effects handled by
+     {!Failatom_runtime.Sched.run}. *)
+  define "join" 1 (fun vm args ->
+      match args with
+      | [ Value.Int tid ] -> Effect.perform (Vm.Sched_join tid)
+      | [ v ] ->
+        Vm.throw vm "IllegalArgumentException"
+          ("join: expected a thread id, got " ^ Value.type_name v)
+      | _ -> assert false);
+  define "__spawn" 3 (fun vm args ->
+      match args with
+      | [ recv; m; arr ] -> (
+        let m = as_str vm "__spawn" m in
+        let call_args =
+          match arr with
+          | Value.Ref id -> (
+            match Heap.get vm.Vm.heap id with
+            | Heap.Arr a -> Array.to_list a
+            | _ -> assert false)
+          | _ -> assert false
+        in
+        match recv with
+        | Value.Null -> Vm.throw vm "NullPointerException" ("spawn null." ^ m)
+        | Value.Ref _ ->
+          Value.Int
+            (Effect.perform (Vm.Sched_spawn (fun () -> Vm.invoke vm recv m call_args)))
+        | v ->
+          Vm.throw vm "UnsupportedOperationException"
+            (Printf.sprintf "spawn on %s receiver" (Value.type_name v)))
+      | _ -> assert false);
+  define "__monitor_enter" 1 (fun vm args ->
+      match args with
+      | [ Value.Ref id ] ->
+        Effect.perform (Vm.Monitor_enter id);
+        Value.Null
+      | [ Value.Null ] -> Vm.throw vm "NullPointerException" "synchronized(null)"
+      | [ v ] ->
+        Vm.throw vm "IllegalArgumentException"
+          ("synchronized: lock must be an object, got " ^ Value.type_name v)
+      | _ -> assert false);
+  define "__monitor_exit" 1 (fun vm args ->
+      match args with
+      | [ Value.Ref id ] ->
+        Effect.perform (Vm.Monitor_exit id);
+        Value.Null
+      | [ Value.Null ] -> Vm.throw vm "NullPointerException" "synchronized(null)"
+      | [ v ] ->
+        Vm.throw vm "IllegalArgumentException"
+          ("synchronized: lock must be an object, got " ^ Value.type_name v)
       | _ -> assert false)
 
 let find name = Hashtbl.find_opt table name

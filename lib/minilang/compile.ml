@@ -848,22 +848,26 @@ let build_slots params body =
 (* Body entry points                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let pop_frame_roots vm =
+(* Removal is by physical identity, not a blind head pop: under the
+   thread scheduler the root list interleaves frames of several MiniLang
+   threads, so this frame's entry need not be the head when it exits. *)
+let pop_frame_roots vm roots =
   match vm.Vm.frame_roots with
-  | _ :: rest -> vm.Vm.frame_roots <- rest
-  | [] -> ()
+  | r :: rest when r == roots -> vm.Vm.frame_roots <- rest
+  | l -> vm.Vm.frame_roots <- List.filter (fun r -> r != roots) l
 
 let run_frame vm frame (body : ecode) =
-  vm.Vm.frame_roots <- frame_roots frame :: vm.Vm.frame_roots;
+  let roots = frame_roots frame in
+  vm.Vm.frame_roots <- roots :: vm.Vm.frame_roots;
   match body vm frame with
   | v ->
-    pop_frame_roots vm;
+    pop_frame_roots vm roots;
     v
   | exception Return_value v ->
-    pop_frame_roots vm;
+    pop_frame_roots vm roots;
     v
   | exception e ->
-    pop_frame_roots vm;
+    pop_frame_roots vm roots;
     raise e
 
 let compile_method_impl img defining_super cls_name (m : Ast.meth_decl) : Vm.impl =
@@ -1173,6 +1177,9 @@ let m_ic_misses = Obs.counter "vm.inline_cache.misses"
 let m_allocations = Obs.counter "heap.allocations"
 let m_barrier_hits = Obs.counter "heap.barrier_hits"
 let h_live = Obs.histogram ~unit_:Obs.Items "heap.live_at_exit"
+let m_preemptions = Obs.counter "sched.preemptions"
+let m_switches = Obs.counter "sched.switches"
+let m_contention = Obs.counter "sched.lock_contention"
 
 let harvest vm =
   Obs.incr m_runs;
@@ -1182,17 +1189,26 @@ let harvest vm =
   Obs.add m_ic_misses vm.Vm.ic_misses;
   Obs.add m_allocations (Heap.allocations vm.Vm.heap);
   Obs.add m_barrier_hits (Heap.barrier_hits vm.Vm.heap);
+  Obs.add m_preemptions vm.Vm.sched_preemptions;
+  Obs.add m_switches vm.Vm.sched_switches;
+  Obs.add m_contention vm.Vm.sched_contention;
   Obs.observe h_live (Heap.live_count vm.Vm.heap)
 
-(* Runs the program's [main] function; returns its value. *)
-let run_main vm =
+(* Runs the program's [main] function; returns its value.  [main] is
+   always MiniLang thread 0 under the scheduler, so the concurrency
+   effects are handled even in sequential programs (which never perform
+   them under [Coop], keeping the sequential path unchanged). *)
+let run_main ?(policy = Sched.Coop) vm =
   match Hashtbl.find_opt vm.Vm.functions "main" with
   | None -> invalid_arg "program has no main function"
   | Some fn ->
-    if not (Obs.enabled ()) then fn.Vm.fn_impl vm []
+    if not (Obs.enabled ()) then
+      Sched.run vm ~policy (fun () -> fn.Vm.fn_impl vm [])
     else
       (* harvest even when a MiniLang exception escapes main — that is
          how most injection runs end *)
       Fun.protect
         ~finally:(fun () -> harvest vm)
-        (fun () -> Obs.span "vm.run_main" (fun () -> fn.Vm.fn_impl vm []))
+        (fun () ->
+          Obs.span "vm.run_main" (fun () ->
+              Sched.run vm ~policy (fun () -> fn.Vm.fn_impl vm [])))

@@ -84,7 +84,10 @@ val resolve_dispatch : image -> string -> string -> string option
     to — i.e. what [new cls(...)] invokes for [mname = "init"] — or
     [None] if the class or method is unknown. *)
 
-val run_main : Vm.t -> Value.t
-(** Runs the program's [main] function and returns its value.
+val run_main : ?policy:Sched.policy -> Vm.t -> Value.t
+(** Runs the program's [main] function — always as MiniLang thread 0
+    under {!Sched.run} — and returns its value.  [policy] defaults to
+    {!Sched.Coop}, under which sequential programs behave exactly as
+    before (no preemption, no decisions, empty schedule digest).
     @raise Invalid_argument if there is no [main]
     @raise Vm.Mini_raise if an exception escapes [main]. *)

@@ -10,6 +10,7 @@ type token =
   | KW_THROW | KW_THROWS | KW_TRY | KW_CATCH | KW_FINALLY
   | KW_BREAK | KW_CONTINUE | KW_NEW | KW_THIS | KW_SUPER
   | KW_TRUE | KW_FALSE | KW_NULL
+  | KW_SPAWN | KW_SYNCHRONIZED
   (* punctuation / operators *)
   | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
   | SEMI | COMMA | DOT
@@ -28,7 +29,8 @@ let keyword_table =
     ("try", KW_TRY); ("catch", KW_CATCH); ("finally", KW_FINALLY);
     ("break", KW_BREAK); ("continue", KW_CONTINUE); ("new", KW_NEW);
     ("this", KW_THIS); ("super", KW_SUPER); ("true", KW_TRUE);
-    ("false", KW_FALSE); ("null", KW_NULL) ]
+    ("false", KW_FALSE); ("null", KW_NULL); ("spawn", KW_SPAWN);
+    ("synchronized", KW_SYNCHRONIZED) ]
 
 let token_name = function
   | INT _ -> "integer literal"
@@ -43,6 +45,7 @@ let token_name = function
   | KW_CONTINUE -> "'continue'" | KW_NEW -> "'new'" | KW_THIS -> "'this'"
   | KW_SUPER -> "'super'" | KW_TRUE -> "'true'" | KW_FALSE -> "'false'"
   | KW_NULL -> "'null'"
+  | KW_SPAWN -> "'spawn'" | KW_SYNCHRONIZED -> "'synchronized'"
   | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
   | LBRACKET -> "'['" | RBRACKET -> "']'" | SEMI -> "';'" | COMMA -> "','"
   | DOT -> "'.'" | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'"

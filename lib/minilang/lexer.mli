@@ -9,6 +9,7 @@ type token =
   | KW_THROW | KW_THROWS | KW_TRY | KW_CATCH | KW_FINALLY
   | KW_BREAK | KW_CONTINUE | KW_NEW | KW_THIS | KW_SUPER
   | KW_TRUE | KW_FALSE | KW_NULL
+  | KW_SPAWN | KW_SYNCHRONIZED
   | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
   | SEMI | COMMA | DOT
   | PLUS | MINUS | STAR | SLASH | PERCENT

@@ -23,7 +23,71 @@ let load = Compile.program
 let load_string ?allow_reserved src = load (parse ?allow_reserved src)
 
 (* Runs [main]; the program's output is in [output vm] afterwards. *)
-let run vm = Compile.run_main vm
+let run ?policy vm = Compile.run_main ?policy vm
+
+(* Does the program create threads?  Syntactically decidable because
+   [spawn] desugars to the reserved [__spawn] hook, which user code
+   cannot name.  Drives schedule-axis expansion and disables static
+   injection-point pruning (pruning reasons about sequential flow). *)
+let uses_concurrency (prog : Ast.program) =
+  let found = ref false in
+  let rec expr (e : Ast.expr) =
+    match e.Ast.e with
+    | Ast.Fn_call ("__spawn", args) ->
+      found := true;
+      List.iter expr args
+    | Ast.Int_lit _ | Ast.Str_lit _ | Ast.Bool_lit _ | Ast.Null_lit
+    | Ast.This | Ast.Var _ -> ()
+    | Ast.Unary (_, a) -> expr a
+    | Ast.Binary (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+      expr a;
+      expr b
+    | Ast.Field (r, _) -> expr r
+    | Ast.Index (r, i) ->
+      expr r;
+      expr i
+    | Ast.Call (r, _, args) ->
+      expr r;
+      List.iter expr args
+    | Ast.Super_call (_, args) | Ast.Fn_call (_, args) | Ast.New (_, args)
+    | Ast.Array_lit args -> List.iter expr args
+  and stmt (s : Ast.stmt) =
+    match s.Ast.s with
+    | Ast.Var_decl (_, e) | Ast.Expr_stmt e | Ast.Throw e -> expr e
+    | Ast.Assign (l, e) ->
+      (match l with
+       | Ast.Lvar _ -> ()
+       | Ast.Lfield (r, _) -> expr r
+       | Ast.Lindex (r, i) ->
+         expr r;
+         expr i);
+      expr e
+    | Ast.If (c, t, f) ->
+      expr c;
+      List.iter stmt t;
+      List.iter stmt f
+    | Ast.While (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Ast.For (i, c, u, b) ->
+      Option.iter stmt i;
+      Option.iter expr c;
+      Option.iter stmt u;
+      List.iter stmt b
+    | Ast.Return e -> Option.iter expr e
+    | Ast.Try (b, catches, fin) ->
+      List.iter stmt b;
+      List.iter (fun c -> List.iter stmt c.Ast.cc_body) catches;
+      Option.iter (List.iter stmt) fin
+    | Ast.Break | Ast.Continue -> ()
+    | Ast.Block b -> List.iter stmt b
+  in
+  List.iter
+    (function
+      | Ast.Class_decl c -> List.iter (fun m -> List.iter stmt m.Ast.m_body) c.Ast.c_methods
+      | Ast.Func_decl f -> List.iter stmt f.Ast.f_body)
+    prog;
+  !found
 
 let output = Vm.output
 

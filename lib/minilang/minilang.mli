@@ -18,8 +18,15 @@ val load : Ast.program -> Vm.t
 
 val load_string : ?allow_reserved:bool -> string -> Vm.t
 
-val run : Vm.t -> Value.t
-(** Runs [main]; the program's output is in [output vm] afterwards. *)
+val run : ?policy:Sched.policy -> Vm.t -> Value.t
+(** Runs [main] under the scheduler (default {!Sched.Coop}, which keeps
+    sequential programs exactly as before); the program's output is in
+    [output vm] afterwards. *)
+
+val uses_concurrency : Ast.program -> bool
+(** Does the program create threads ([spawn] anywhere in its text)?
+    Syntactically decidable because [spawn] desugars to the reserved
+    [__spawn] hook, which user code cannot name. *)
 
 val output : Vm.t -> string
 

@@ -2,9 +2,15 @@
 
 exception Parse_error of string * Ast.pos
 
-type state = { tokens : (Lexer.token * Ast.pos) array; mutable cursor : int }
+type state = {
+  tokens : (Lexer.token * Ast.pos) array;
+  mutable cursor : int;
+  mutable sync_count : int;
+      (* fresh names for the lock temporaries of desugared
+         [synchronized] blocks, unique per compilation unit *)
+}
 
-let make tokens = { tokens = Array.of_list tokens; cursor = 0 }
+let make tokens = { tokens = Array.of_list tokens; cursor = 0; sync_count = 0 }
 let current st = st.tokens.(st.cursor)
 let peek_tok st = fst (current st)
 let peek_pos st = snd (current st)
@@ -187,6 +193,23 @@ and parse_primary st =
       let args = parse_args st in
       { Ast.e = Ast.Fn_call (name, args); epos = p }
     else { Ast.e = Ast.Var name; epos = p }
+  | Lexer.KW_SPAWN -> (
+    (* [spawn recv.m(args)] evaluates to the new thread's id.  Threads
+       are desugared right here into the reflective __spawn hook, so
+       nothing downstream of the parser (engines, analyses, weavers)
+       knows about concurrency syntax. *)
+    advance st;
+    let call = parse_postfix st in
+    match call.Ast.e with
+    | Ast.Call (recv, m, args) ->
+      { Ast.e =
+          Ast.Fn_call
+            ("__spawn",
+             [ recv;
+               { Ast.e = Ast.Str_lit m; epos = p };
+               { Ast.e = Ast.Array_lit args; epos = p } ]);
+        epos = p }
+    | _ -> raise (Parse_error ("spawn requires a method call: spawn recv.m(...)", p)))
   | tok -> error st (Printf.sprintf "expected expression, found %s" (Lexer.token_name tok))
 
 (* ---------------- statements ---------------- *)
@@ -269,6 +292,33 @@ let rec parse_stmt st =
     if handlers = [] && fin = None then
       error st "try statement requires at least one catch or finally clause"
     else { Ast.s = Ast.Try (body, handlers, fin); spos = p }
+  | Lexer.KW_SYNCHRONIZED ->
+    (* [synchronized (e) { body }] desugars to
+         { var __syncN = e;
+           __monitor_enter(__syncN);
+           try { body } finally { __monitor_exit(__syncN); } }
+       so the lock expression is evaluated once and release is
+       exception-safe.  The temp is unique per compilation unit because
+       MiniLang slots are per-name per body: nested synchronized blocks
+       sharing one name would clobber the outer lock temp. *)
+    advance st;
+    expect st Lexer.LPAREN;
+    let lock = parse_expr st in
+    expect st Lexer.RPAREN;
+    let body = parse_block st in
+    let tmp = "__sync" ^ string_of_int st.sync_count in
+    st.sync_count <- st.sync_count + 1;
+    let tmp_var = { Ast.e = Ast.Var tmp; epos = p } in
+    let hook name =
+      { Ast.s = Ast.Expr_stmt { Ast.e = Ast.Fn_call (name, [ tmp_var ]); epos = p };
+        spos = p }
+    in
+    { Ast.s =
+        Ast.Block
+          [ { Ast.s = Ast.Var_decl (tmp, lock); spos = p };
+            hook "__monitor_enter";
+            { Ast.s = Ast.Try (body, [], Some [ hook "__monitor_exit" ]); spos = p } ];
+      spos = p }
   | Lexer.KW_BREAK ->
     advance st;
     expect st Lexer.SEMI;

@@ -18,6 +18,15 @@ let pp_error ppf { message; pos } = Fmt.pf ppf "%a: %s" Ast.pp_pos pos message
    checking programs that the weaver itself produced. *)
 let reserved name = String.length name >= 2 && String.sub name 0 2 = "__"
 
+(* The parser itself desugars [spawn] and [synchronized] into these
+   reserved forms, so they must pass the check even for user programs
+   (allow_reserved = false): the user never typed the '__' names. *)
+let concurrency_hook name =
+  List.mem name [ "__spawn"; "__monitor_enter"; "__monitor_exit" ]
+
+let sync_temp name =
+  String.length name >= 6 && String.sub name 0 6 = "__sync"
+
 let check ?(allow_reserved = false) (prog : Ast.program) =
   let errors = ref [] in
   let err pos fmt = Fmt.kstr (fun message -> errors := { message; pos } :: !errors) fmt in
@@ -85,7 +94,7 @@ let check ?(allow_reserved = false) (prog : Ast.program) =
   let inherited_fields name = inherited_fields [] name in
 
   let check_name pos name =
-    if reserved name && not (allow_reserved) then
+    if reserved name && not (allow_reserved || sync_temp name) then
       err pos "identifier %s uses the reserved '__' prefix" name
   in
 
@@ -119,7 +128,7 @@ let check ?(allow_reserved = false) (prog : Ast.program) =
       (* Hook calls (__-prefixed) are resolved at runtime; everything
          else must be a declared function or a builtin. *)
       if reserved name then begin
-        if not allow_reserved then check_name pos name
+        if not (allow_reserved || concurrency_hook name) then check_name pos name
       end
       else if not (Hashtbl.mem functions name || Builtins.exists name) then
         err pos "unknown function %s" name

@@ -1251,10 +1251,13 @@ let frame_mark fr (mark : Value.t -> unit) =
     mark (Array.unsafe_get regs i)
   done
 
-let pop_frame_roots vm =
+(* Removal is by physical identity, not a blind head pop: under the
+   thread scheduler the root list interleaves frames of several MiniLang
+   threads, so this frame's entry need not be the head when it exits. *)
+let pop_frame_roots vm roots =
   match vm.Vm.frame_roots with
-  | _ :: rest -> vm.Vm.frame_roots <- rest
-  | [] -> ()
+  | r :: rest when r == roots -> vm.Vm.frame_roots <- rest
+  | l -> vm.Vm.frame_roots <- List.filter (fun r -> r != roots) l
 
 (* Runs a body in a fresh frame.  [param_slots.(i)] is the register of
    the i-th parameter; a length mismatch with [args] fails like the
@@ -1276,11 +1279,12 @@ let run_root code vm this param_slots args =
       fill (i + 1) rest
   in
   fill 0 args;
-  vm.Vm.frame_roots <- frame_mark fr :: vm.Vm.frame_roots;
+  let roots = frame_mark fr in
+  vm.Vm.frame_roots <- roots :: vm.Vm.frame_roots;
   match exec code vm fr fr.regs code.c_main 0 code.c_nslots with
   | st ->
-    pop_frame_roots vm;
+    pop_frame_roots vm roots;
     if st = 0 then Value.Null else fr.ret
   | exception e ->
-    pop_frame_roots vm;
+    pop_frame_roots vm roots;
     raise e

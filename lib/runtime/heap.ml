@@ -26,6 +26,12 @@ type payload =
    allocate.  Lifecycle and queries live in {!Shadow}. *)
 type shadow = {
   mutable shadow_saved : (Value.obj_id, payload) Hashtbl.t option;
+  mutable shadow_tid : (Value.obj_id, int) Hashtbl.t option;
+      (* which MiniLang thread first dirtied each saved object: the
+         per-thread COW dirty sets.  Payloads are shared with
+         [shadow_saved] (the merged view canonicalization reads), so a
+         thread's dirty set is the slice of the merged table it owns;
+         the union over threads is exactly the single-shadow dirty set. *)
   mutable shadow_active : bool; (* stops recording once closed *)
 }
 
@@ -42,6 +48,9 @@ type t = {
   mutable allocations : int; (* total number of allocations ever made *)
   mutable barrier_hits : int; (* total write-barrier firings ever made *)
   mutable shadows : shadow list; (* active shadows, innermost first *)
+  mutable cur_tid : int;
+      (* MiniLang thread currently mutating this heap; kept in step with
+         the VM by the scheduler (0, the main thread, when sequential) *)
   mutable on_write : (Value.obj_id -> unit) option;
   mutable write_gen : int; (* bumped once per payload mutation *)
   mutable wstamp : int array;
@@ -54,7 +63,11 @@ type t = {
 exception Dangling_reference of Value.obj_id
 
 (* Atomic so that heaps may be created concurrently from several
-   domains (the campaign engine runs one detection VM per domain). *)
+   domains (the campaign engine runs one detection VM per domain).
+   This is the only heap state shared across domains: everything else
+   here is per-heap, and MiniLang threads are effect fibers multiplexed
+   on their VM's single domain (see Sched), so plain mutable fields
+   like [next_id] need no synchronisation. *)
 let uid_counter = Atomic.make 0
 
 let create () =
@@ -65,9 +78,12 @@ let create () =
     allocations = 0;
     barrier_hits = 0;
     shadows = [];
+    cur_tid = 0;
     on_write = None;
     write_gen = 0;
     wstamp = Array.make 256 0 }
+
+let set_cur_tid h tid = h.cur_tid <- tid
 
 let live_count h = h.live
 let allocations h = h.allocations
@@ -136,6 +152,20 @@ let copy_payload = function
    path only traverses them — so when several shadows record the same
    write, one detached copy is made and shared by all of them (the
    stack can be deep: one shadow per wrapped call on the stack). *)
+(* Attributes a fresh save to the thread performing the write.  Only
+   called when [id] was just added to [sh]'s saved table, so one
+   replace, no membership probe. *)
+let note_tid h sh id =
+  let tbl =
+    match sh.shadow_tid with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 16 in
+      sh.shadow_tid <- Some tbl;
+      tbl
+  in
+  Hashtbl.replace tbl id h.cur_tid
+
 let shadow_record h sh id copy =
   if sh.shadow_active then begin
     let saved =
@@ -151,10 +181,22 @@ let shadow_record h sh id copy =
        | None -> copy := Option.map copy_payload (payload_opt h id)
        | Some _ -> ());
       match !copy with
-      | Some p -> Hashtbl.replace saved id p
+      | Some p ->
+        Hashtbl.replace saved id p;
+        note_tid h sh id
       | None -> ()
     end
   end
+
+(* Does this shadow already hold a pre-write copy of [id]?  Saves are
+   recorded into every active shadow at once and shadows only leave the
+   list when closed, so an object saved in a {e newer} (more recently
+   opened) shadow is necessarily saved in every older active one: the
+   barrier below walks innermost-first and stops at the first hit,
+   which drops the redundant per-shadow membership probes the old
+   List.iter paid on the sequential path. *)
+let shadow_has sh id =
+  match sh.shadow_saved with Some tbl -> Hashtbl.mem tbl id | None -> false
 
 let barrier h id =
   h.barrier_hits <- h.barrier_hits + 1;
@@ -173,11 +215,22 @@ let barrier h id =
      in
      if not (Hashtbl.mem saved id) then (
        match payload_opt h id with
-       | Some p -> Hashtbl.replace saved id (copy_payload p)
+       | Some p ->
+         Hashtbl.replace saved id (copy_payload p);
+         note_tid h sh id
        | None -> ())
    | shadows ->
      let copy = ref None in
-     List.iter (fun sh -> shadow_record h sh id copy) shadows);
+     let rec save = function
+       | [] -> ()
+       | sh :: older ->
+         if sh.shadow_active && shadow_has sh id then ()
+         else begin
+           shadow_record h sh id copy;
+           save older
+         end
+     in
+     save shadows);
   match h.on_write with None -> () | Some f -> f id
 
 (* A free is the terminal mutation: firing the barrier first lets every

@@ -19,6 +19,12 @@ type shadow = {
           shadow was active; the key set is the shadow's dirty set.
           [None] until the first write — opening a shadow must not
           allocate *)
+  mutable shadow_tid : (Value.obj_id, int) Hashtbl.t option;
+      (** which MiniLang thread first dirtied each saved object: the
+          per-thread COW dirty sets.  Payloads are shared with
+          [shadow_saved] (the merged view read at canonicalization), so
+          the union of the per-thread sets is exactly the single-shadow
+          dirty set *)
   mutable shadow_active : bool;  (** stops recording once closed *)
 }
 (** One copy-on-write shadow record.  Lifecycle and queries live in
@@ -37,6 +43,9 @@ type t = {
   mutable barrier_hits : int;  (** total write-barrier firings ever made *)
   mutable shadows : shadow list;
       (** active shadows, innermost first; maintained by {!Shadow} *)
+  mutable cur_tid : int;
+      (** MiniLang thread currently mutating this heap; kept in step
+          with the VM by the scheduler via {!set_cur_tid} *)
   mutable on_write : (Value.obj_id -> unit) option;
       (** external write-barrier hook, called with the object's id
           before each mutation (or free) of its payload, after the
@@ -54,6 +63,12 @@ exception Dangling_reference of Value.obj_id
 (** Raised when dereferencing an identity that was {!free}d. *)
 
 val create : unit -> t
+
+val set_cur_tid : t -> int -> unit
+(** Tags subsequent write-barrier saves with this MiniLang thread id.
+    Shadows never alias across threads: a saved object belongs to
+    exactly one thread's dirty set — the thread whose write first
+    triggered the save ({!type-shadow}[.shadow_tid]). *)
 
 val live_count : t -> int
 (** Number of objects currently on the heap. *)

@@ -35,7 +35,7 @@ let h_dirty = Failatom_obs.Obs.histogram ~unit_:Failatom_obs.Obs.Items "heap.sha
 let open_ heap =
   (* the saved table is created by the barrier on the first write, so
      opening a shadow on a call that never mutates costs two words *)
-  let s = { Heap.shadow_saved = None; shadow_active = true } in
+  let s = { Heap.shadow_saved = None; shadow_tid = None; shadow_active = true } in
   heap.Heap.shadows <- s :: heap.Heap.shadows;
   { heap; s }
 
@@ -73,6 +73,22 @@ let read_before t id =
 
 let iter_saved t f =
   match t.s.Heap.shadow_saved with None -> () | Some tbl -> Hashtbl.iter f tbl
+
+(* The per-thread COW dirty sets, sorted by thread id.  Their disjoint
+   union is the merged dirty set ([dirty_count]); the QCheck property in
+   the test-suite enforces exactly that. *)
+let dirty_by_thread t =
+  match t.s.Heap.shadow_tid with
+  | None -> []
+  | Some tbl ->
+    let per_tid = Hashtbl.create 4 in
+    Hashtbl.iter
+      (fun id tid ->
+        let ids = try Hashtbl.find per_tid tid with Not_found -> [] in
+        Hashtbl.replace per_tid tid (id :: ids))
+      tbl;
+    Hashtbl.fold (fun tid ids acc -> (tid, List.sort compare ids) :: acc) per_tid []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let with_shadow heap f =
   let t = open_ heap in

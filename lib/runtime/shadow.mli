@@ -43,5 +43,12 @@ val iter_saved : t -> (Value.obj_id -> Heap.payload -> unit) -> unit
 (** Iterates over the dirty set with its saved payloads (rollback is
     [iter_saved t (Heap.restore_payload (heap t))]). *)
 
+val dirty_by_thread : t -> (int * Value.obj_id list) list
+(** The per-thread COW dirty sets, sorted by thread id (each id list
+    sorted too).  The sets partition the merged dirty set: every dirty
+    object belongs to exactly one thread — the one whose write first
+    saved it — so the union over threads equals the single-shadow dirty
+    set. *)
+
 val with_shadow : Heap.t -> (t -> 'a) -> 'a
 (** Scoped form: closes the shadow on exit, even on exceptions. *)

@@ -51,6 +51,16 @@ type t = {
       (* this run's method entries indexed by compile-time slot; filled
          by Compile.instantiate so compiled call sites dispatch without
          a class-table walk.  Empty for hand-built VMs. *)
+  mutable preempt_flag : bool;
+      (* set by the scheduler for preemptive policies only; when false
+         (the whole sequential path) call_filtered performs no effect *)
+  mutable cur_tid : int; (* MiniLang thread running right now; 0 = main *)
+  mutable sched_switches : int; (* context switches this run *)
+  mutable sched_preemptions : int; (* switches forced at a Preempt point *)
+  mutable sched_contention : int; (* monitor acquisitions that blocked *)
+  mutable sched_digest : string;
+      (* hex FNV-1a digest of the scheduler's decision stream, written
+         by Sched.run at the end of the run; "" for coop runs *)
   exn_fields_cache : (string, string list) Hashtbl.t;
       (* memoized [all_fields] per exception class — exceptions are
          allocated on every throw, including the hot injection paths;
@@ -96,6 +106,24 @@ exception Unknown_class of string
 exception Unknown_method of string * string (* class, method *)
 exception Step_limit_exceeded
 exception Deadline_exceeded
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling effects                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The cooperative scheduler (Sched) handles these; they are declared
+   here so the concurrency builtins (__spawn, __join, monitor enter and
+   exit) can perform them without depending on the scheduler module.
+   [Preempt] is performed by {!call_filtered} when [preempt_flag] is
+   set — method-call boundaries are the only preemption opportunities,
+   which keeps both execution engines (closures and bytecode, which
+   batches its ticks) bit-for-bit identical under any schedule. *)
+type _ Effect.t +=
+  | Preempt : unit Effect.t
+  | Sched_spawn : (unit -> Value.t) -> int Effect.t
+  | Sched_join : int -> Value.t Effect.t
+  | Monitor_enter : int -> unit Effect.t
+  | Monitor_exit : int -> unit Effect.t
 
 (* ------------------------------------------------------------------ *)
 (* Built-in exception class hierarchy                                  *)
@@ -159,6 +187,12 @@ let create () =
       globals = Hashtbl.create 16;
       global_roots = [];
       meth_table = [||];
+      preempt_flag = false;
+      cur_tid = 0;
+      sched_switches = 0;
+      sched_preemptions = 0;
+      sched_contention = 0;
+      sched_digest = "";
       exn_fields_cache = Hashtbl.create 16 }
   in
   List.iter
@@ -291,6 +325,7 @@ let rec run_filters vm meth recv args filters =
       | Post_raise e -> raise (Mini_raise e)))
 
 let call_filtered vm meth recv args =
+  if vm.preempt_flag then Effect.perform Preempt;
   vm.calls <- vm.calls + 1;
   vm.call_depth <- vm.call_depth + 1;
   if vm.call_depth > vm.max_call_depth then begin
@@ -353,3 +388,9 @@ let set_global vm name v =
 let get_global vm name = Option.map ( ! ) (Hashtbl.find_opt vm.globals name)
 
 let iter_global_roots vm f = List.iter (fun r -> f !r) vm.global_roots
+
+(* Keeps the heap's thread tag in step with the VM's, so write-barrier
+   shadow saves land in the bucket of the thread that performed them. *)
+let set_cur_tid vm tid =
+  vm.cur_tid <- tid;
+  Heap.set_cur_tid vm.heap tid

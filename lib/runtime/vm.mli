@@ -46,6 +46,16 @@ type t = {
   mutable meth_table : meth array;
       (** this run's method entries indexed by compile-time slot; filled
           by [Compile.instantiate], empty for hand-built VMs *)
+  mutable preempt_flag : bool;
+      (** set by the scheduler for preemptive policies; when false,
+          {!call_filtered} performs no effect (the sequential path) *)
+  mutable cur_tid : int;  (** MiniLang thread running right now; 0 = main *)
+  mutable sched_switches : int;  (** context switches this run *)
+  mutable sched_preemptions : int;  (** switches forced at a Preempt point *)
+  mutable sched_contention : int;  (** monitor acquisitions that blocked *)
+  mutable sched_digest : string;
+      (** hex FNV-1a digest of the scheduler decision stream, written by
+          [Sched.run]; [""] for coop runs *)
   exn_fields_cache : (string, string list) Hashtbl.t;
       (** memoized per-class field lists for exception allocation;
           invalidated by [add_class] *)
@@ -100,6 +110,20 @@ exception Deadline_exceeded
     catchable in-language, so it unwinds through MiniLang handlers and
     detection wrappers without being recorded as an exceptional
     return. *)
+
+(** {1 Scheduling effects}
+
+    Handled by [Sched.run]; performed by the concurrency builtins and,
+    for [Preempt], by {!call_filtered} when [preempt_flag] is set.
+    Method-call boundaries are the only preemption opportunities, which
+    keeps both execution engines identical under any schedule. *)
+
+type _ Effect.t +=
+  | Preempt : unit Effect.t
+  | Sched_spawn : (unit -> Value.t) -> int Effect.t
+  | Sched_join : int -> Value.t Effect.t
+  | Monitor_enter : int -> unit Effect.t
+  | Monitor_exit : int -> unit Effect.t
 
 (** {1 Built-in exception hierarchy} *)
 
@@ -204,3 +228,7 @@ val get_global : t -> string -> Value.t option
 val iter_global_roots : t -> (Value.t -> unit) -> unit
 (** Applies [f] to every global's current value, in deterministic
     (reverse-creation) order — the GC root set. *)
+
+val set_cur_tid : t -> int -> unit
+(** Sets the running MiniLang thread id on the VM and its heap, so
+    write-barrier shadow saves are attributed to the right thread. *)

@@ -51,6 +51,10 @@ type job_request = {
       (* None: the app's suite default, or source weaving for inline *)
   snapshot : Config.snapshot_mode;
   prune : Config.prune;  (* campaign pruning; absent on the wire = off *)
+  schedules : string list;
+      (* schedule specs crossed with the injection axis for concurrent
+         programs; absent on the wire = [] = the config default (coop
+         only), so older clients keep their sequential behaviour *)
   infer : bool;  (* infer_exception_free *)
   wrap_all : bool;  (* Wrap_all_non_atomic instead of Wrap_pure *)
   exception_free : string list;  (* "Class.method" *)
@@ -65,6 +69,7 @@ let default_request mode program =
     flavor = None;
     snapshot = Config.Snapshot_eager;
     prune = Config.Prune_off;
+    schedules = [];
     infer = false;
     wrap_all = false;
     exception_free = [];
@@ -134,6 +139,7 @@ let request_to_json = function
         ("flavor", opt (fun f -> Json.Str (flavor_wire_name f)) r.flavor);
         ("snapshot", Json.Str (Config.snapshot_mode_name r.snapshot));
         ("prune", Json.Str (Config.prune_name r.prune));
+        ("schedules", Json.List (List.map (fun s -> Json.Str s) r.schedules));
         ("infer", Json.Bool r.infer);
         ("wrap_all", Json.Bool r.wrap_all);
         ("exception_free", Json.List (List.map (fun m -> Json.Str m) r.exception_free));
@@ -263,6 +269,7 @@ let submit_of_json j =
       | Some p -> Ok p
       | None -> Error ("unknown prune mode " ^ s))
   in
+  let* schedules = str_list "schedules" j "schedules" in
   let* exception_free = str_list "exception_free" j "exception_free" in
   let* do_not_wrap = str_list "do_not_wrap" j "do_not_wrap" in
   let* jobs =
@@ -286,6 +293,7 @@ let submit_of_json j =
          flavor;
          snapshot;
          prune;
+         schedules;
          infer = Option.value ~default:false (Json.bool_member "infer" j);
          wrap_all = Option.value ~default:false (Json.bool_member "wrap_all" j);
          exception_free;

@@ -38,6 +38,11 @@ type job_request = {
   prune : Config.prune;
       (** campaign pruning mode; absent on the wire decodes as
           {!Config.Prune_off}, so older clients keep exact campaigns *)
+  schedules : string list;
+      (** schedule specs ({!Failatom_runtime.Sched.policy_of_string})
+          crossed with the injection axis for concurrent programs;
+          absent on the wire decodes as [[]], meaning the config default
+          (coop only) — older clients keep sequential behaviour *)
   infer : bool;  (** infer_exception_free *)
   wrap_all : bool;  (** Wrap_all_non_atomic instead of Wrap_pure *)
   exception_free : string list;  (** ["Class.method"] *)

@@ -248,11 +248,28 @@ let prepare_request t (r : Protocol.job_request) : (prepared, string) result =
   in
   let* exception_free = method_ids "exception_free" r.Protocol.exception_free in
   let* do_not_wrap = method_ids "do_not_wrap" r.Protocol.do_not_wrap in
+  (* Reject unknown schedule specs at submit time (clean protocol error)
+     rather than as a job failure inside an executor. *)
+  let* schedules =
+    let rec check = function
+      | [] -> Ok ()
+      | s :: rest -> (
+        match Failatom_runtime.Sched.policy_of_string s with
+        | Some _ -> check rest
+        | None -> Error ("unknown schedule spec " ^ s))
+    in
+    let* () = check r.Protocol.schedules in
+    Ok
+      (match r.Protocol.schedules with
+       | [] -> Config.default.Config.schedules
+       | l -> l)
+  in
   let flavor = Option.value ~default:default_flavor r.Protocol.flavor in
   let config =
     { Config.default with
       Config.snapshot_mode = r.Protocol.snapshot;
       prune = r.Protocol.prune;
+      schedules;
       infer_exception_free = r.Protocol.infer;
       wrap_policy =
         (if r.Protocol.wrap_all then Config.Wrap_all_non_atomic else Config.Wrap_pure);

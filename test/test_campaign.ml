@@ -176,14 +176,16 @@ let test_journal_output_roundtrip () =
         escaped = None;
         output = "line one\nwith spaces  and\ttabs\n\"quotes\" \\backslash\n";
         calls = 12;
-        timed_out = false };
+        timed_out = false;
+        sched = None };
       { Marks.injection_point = 2;
         injected = None;
         marks = [];
         escaped = Some "IOException";
         output = "";
         calls = 9;
-        timed_out = false } ]
+        timed_out = false;
+        sched = None } ]
   in
   with_temp_journal (fun journal ->
       let w = Journal.create ~path:journal { Journal.flavor = "source-weaving"; program_digest = "abc" } in
@@ -207,7 +209,8 @@ let mk_run ?injected ?(timed_out = false) point =
     escaped = None;
     output = "";
     calls = 1;
-    timed_out }
+    timed_out;
+    sched = None }
 
 let fired = (Method_id.make "C" "m", "NullPointerException")
 

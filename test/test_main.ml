@@ -9,6 +9,7 @@ let () =
       ("lexer", Test_lexer.suite);
       ("parser", Test_parser.suite);
       ("interp", Test_interp.suite);
+      ("sched", Test_sched.suite);
       ("compile-image", Test_compile_image.suite);
       ("bytecode", Test_bytecode.suite);
       ("static-check", Test_static_check.suite);
@@ -16,6 +17,7 @@ let () =
       ("weaver", Test_weaver.suite);
       ("injection", Test_injection.suite);
       ("detect", Test_detect.suite);
+      ("concurrent-detect", Test_concurrent_detect.suite);
       ("classify", Test_classify.suite);
       ("mask", Test_mask.suite);
       ("composition", Test_composition.suite);

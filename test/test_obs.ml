@@ -88,6 +88,10 @@ let fixture : Obs.snap =
         ("detect.points_dropped", 0);
         ("detect.points_total", 923);
         ("heap.allocations", 189004);
+        ("sched.lock_contention", 18);
+        ("sched.preemptions", 3121);
+        ("sched.schedules_explored", 4);
+        ("sched.switches", 3344);
         ("vm.steps", 6066895) ];
     s_gauges = [ ("campaign.workers", 4) ];
     s_histograms =
@@ -108,7 +112,16 @@ let fixture : Obs.snap =
             hs_max = 83800000;
             hs_p50 = 786432;
             hs_p99 = 50331648;
-            hs_attrs = [ ("flavor", "source-weaving"); ("snapshot_mode", "eager") ] } ) ]
+            hs_attrs = [ ("flavor", "source-weaving"); ("snapshot_mode", "eager") ] } );
+        ( "detect.schedule",
+          { Obs.hs_unit = "ns";
+            hs_count = 4;
+            hs_sum = 5200000000;
+            hs_min = 1100000000;
+            hs_max = 1500000000;
+            hs_p50 = 1342177280;
+            hs_p99 = 1476395008;
+            hs_attrs = [ ("schedule", "slice:1") ] } ) ]
   }
 
 let test_json_golden () = golden_check "metrics.json" (Obs.to_json fixture)
@@ -164,6 +177,29 @@ let test_campaign_consistency () =
             detection.Detect.transparent));
   Obs.reset ()
 
+(* A swept concurrent detection populates the schedule metrics: one
+   detect.schedule span per explored spec, and the scheduler counters
+   harvested from the per-run VM totals. *)
+let test_schedule_metrics () =
+  let app = Option.get (Failatom_apps.Registry.find "WorkQueue") in
+  let program = Failatom_minilang.Minilang.parse app.Failatom_apps.Registry.source in
+  let sweep = [ "coop"; "slice:1"; "slice:2"; "slice:3" ] in
+  Obs.with_enabled true (fun () ->
+      Obs.reset ();
+      let d =
+        Detect.run ~config:{ Config.default with Config.schedules = sweep } program
+      in
+      Alcotest.(check bool) "detection transparent" true d.Detect.transparent;
+      Alcotest.(check int) "schedules_explored" (List.length sweep)
+        (Obs.counter_value (Obs.counter "sched.schedules_explored"));
+      Alcotest.(check int) "one detect.schedule span per spec" (List.length sweep)
+        (Obs.histogram_count (Obs.histogram "detect.schedule"));
+      Alcotest.(check bool) "preemptions harvested" true
+        (Obs.counter_value (Obs.counter "sched.preemptions") > 0);
+      Alcotest.(check bool) "switches harvested" true
+        (Obs.counter_value (Obs.counter "sched.switches") > 0));
+  Obs.reset ()
+
 (* Marks must not depend on whether metrics are enabled. *)
 let test_marks_unchanged_by_metrics () =
   let app = Option.get (Failatom_apps.Registry.find "Synthetic") in
@@ -184,5 +220,7 @@ let suite =
     Alcotest.test_case "stats table golden" `Quick test_stats_golden;
     Alcotest.test_case "campaign counters match journal" `Quick
       test_campaign_consistency;
+    Alcotest.test_case "schedule metrics populated by a sweep" `Quick
+      test_schedule_metrics;
     Alcotest.test_case "marks unchanged by metrics" `Quick
       test_marks_unchanged_by_metrics ]

@@ -26,7 +26,7 @@ class Pure {
   // field access on a non-this receiver can NPE
   method spy(other) { return other.n; }
   // allocation may fail
-  method spawn() throws OutOfMemoryError { return new Pure(); }
+  method mkobj() throws OutOfMemoryError { return new Pure(); }
   // calls a thrower
   method trigger() throws IllegalStateException { return this.explode(); }
   // try/catch does not launder a throwing body
@@ -45,7 +45,7 @@ function main() {
   var q = new Pure();
   q.poke(1);
   check(p.spy(q) == 1, "spy");
-  p.spawn();
+  p.mkobj();
   try { p.trigger(); } catch (IllegalStateException e) { }
   p.guarded();
   println("done");
@@ -155,7 +155,7 @@ let suite =
     Alcotest.test_case "division poisons" `Quick (check_never "ratio" false);
     Alcotest.test_case "indexing poisons" `Quick (check_never "pick" false);
     Alcotest.test_case "foreign receiver poisons" `Quick (check_never "spy" false);
-    Alcotest.test_case "allocation poisons" `Quick (check_never "spawn" false);
+    Alcotest.test_case "allocation poisons" `Quick (check_never "mkobj" false);
     Alcotest.test_case "transitive poisoning" `Quick (check_never "trigger" false);
     Alcotest.test_case "catch does not launder" `Quick (check_never "guarded" false);
     Alcotest.test_case "set contents" `Quick test_set_contents;

@@ -1,0 +1,270 @@
+(* Tests of the deterministic MiniLang scheduler (lib/runtime/sched.ml):
+   policy-spec round trips, bit-for-bit determinism and replay of the
+   seeded decision stream, FIFO monitor handoff, join semantics on
+   crashed threads, and deadlock detection. *)
+
+open Failatom_runtime
+open Failatom_apps
+module Minilang = Failatom_minilang.Minilang
+
+let run_under spec source =
+  let policy = Option.get (Sched.policy_of_string spec) in
+  let vm = Minilang.load_string source in
+  ignore (Minilang.run ~policy vm);
+  vm
+
+(* ------------------------------------------------------------------ *)
+(* policy specs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_round_trip () =
+  List.iter
+    (fun (spec, policy) ->
+      Alcotest.(check string) ("to_string " ^ spec) spec (Sched.policy_to_string policy);
+      match Sched.policy_of_string spec with
+      | Some p -> Alcotest.(check bool) ("of_string " ^ spec) true (p = policy)
+      | None -> Alcotest.failf "spec %s did not parse" spec)
+    [ ("coop", Sched.Coop);
+      ("slice:7", Sched.Slice 7);
+      ("slice:0", Sched.Slice 0);
+      ("pct:3:42", Sched.Pct (3, 42)) ];
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool)
+        ("rejects " ^ spec) true
+        (Sched.policy_of_string spec = None))
+    [ ""; "slices:1"; "slice:x"; "pct:1"; "pct:-1:2"; "pct:a:b"; "coop:1" ]
+
+(* ------------------------------------------------------------------ *)
+(* determinism and replay                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Same spec, same program: identical output, decision digest and
+   scheduling counters — twice over, on fresh VMs. *)
+let test_determinism () =
+  let app = Option.get (Registry.find "WorkQueue") in
+  List.iter
+    (fun spec ->
+      let a = run_under spec app.Registry.source in
+      let b = run_under spec app.Registry.source in
+      Alcotest.(check string) (spec ^ ": same output") (Vm.output a) (Vm.output b);
+      Alcotest.(check string)
+        (spec ^ ": same decision digest")
+        a.Vm.sched_digest b.Vm.sched_digest;
+      Alcotest.(check int) (spec ^ ": same switches") a.Vm.sched_switches b.Vm.sched_switches;
+      Alcotest.(check int)
+        (spec ^ ": same preemptions")
+        a.Vm.sched_preemptions b.Vm.sched_preemptions;
+      Alcotest.(check int)
+        (spec ^ ": same contention")
+        a.Vm.sched_contention b.Vm.sched_contention;
+      Alcotest.(check int)
+        (spec ^ ": digest is 16 hex digits")
+        16
+        (String.length a.Vm.sched_digest))
+    [ "slice:1"; "slice:7"; "pct:2:5" ]
+
+(* A recorded spec replays bit-for-bit: parsing [policy_to_string] back
+   and re-running reproduces output and digest exactly — the journal
+   replay guarantee. *)
+let test_replay_from_spec () =
+  let app = Option.get (Registry.find "StripedMap") in
+  let policy = Sched.Slice 3 in
+  let vm = Minilang.load_string app.Registry.source in
+  ignore (Minilang.run ~policy vm);
+  let spec = Sched.policy_to_string policy in
+  let replayed = run_under spec app.Registry.source in
+  Alcotest.(check string) "replayed output identical" (Vm.output vm) (Vm.output replayed);
+  Alcotest.(check string)
+    "replayed decision digest identical"
+    vm.Vm.sched_digest replayed.Vm.sched_digest
+
+(* Coop is the no-scheduler baseline: no preemptions, no decisions,
+   empty digest — and different preemptive seeds really do produce
+   different decision streams on a contended program. *)
+let test_coop_is_quiet () =
+  let app = Option.get (Registry.find "BoundedBuffer") in
+  let vm = run_under "coop" app.Registry.source in
+  Alcotest.(check string) "coop digest empty" "" vm.Vm.sched_digest;
+  Alcotest.(check int) "coop never preempts" 0 vm.Vm.sched_preemptions;
+  Alcotest.(check int) "coop never contends" 0 vm.Vm.sched_contention;
+  let d1 = (run_under "slice:1" app.Registry.source).Vm.sched_digest in
+  let d2 = (run_under "slice:2" app.Registry.source).Vm.sched_digest in
+  Alcotest.(check bool) "seeds diverge" false (String.equal d1 d2)
+
+(* ------------------------------------------------------------------ *)
+(* monitors: FIFO handoff                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Main holds the log's monitor while three spawned threads block on it
+   (main blocks on an unrelated join inside the synchronized block, so
+   all three run far enough to queue up in spawn order).  On release
+   the lock must hand off in FIFO arrival order: "123", never "321". *)
+let fifo_source =
+  {|
+class Log {
+  field out;
+  method init() { this.out = ""; return this; }
+  method note(id) {
+    synchronized (this) { this.out = this.out + str(id); }
+    return null;
+  }
+  method runner(id) { this.note(id); return id; }
+  method ping() { return 1; }
+  method text() { return this.out; }
+}
+function main() {
+  var l = new Log();
+  var t1 = 0;
+  var t2 = 0;
+  var t3 = 0;
+  synchronized (l) {
+    t1 = spawn l.runner(1);
+    t2 = spawn l.runner(2);
+    t3 = spawn l.runner(3);
+    var h = spawn l.ping();
+    check(join(h) == 1, "ping");
+  }
+  join(t1);
+  join(t2);
+  join(t3);
+  println(l.text());
+  return 0;
+}
+|}
+
+let test_fifo_handoff () =
+  (* under coop the three threads reach the monitor in spawn order, so
+     FIFO handoff pins the exact acquisition order *)
+  let vm = run_under "coop" fifo_source in
+  Alcotest.(check string) "coop: FIFO handoff in arrival order" "123\n" (Vm.output vm);
+  (* preemptive policies reorder the arrivals, but handoff stays FIFO
+     in arrival order — every waiter gets the lock exactly once, in a
+     deterministic order for a given seed *)
+  List.iter
+    (fun spec ->
+      let a = Vm.output (run_under spec fifo_source) in
+      let b = Vm.output (run_under spec fifo_source) in
+      Alcotest.(check string) (spec ^ ": deterministic handoff order") a b;
+      let sorted =
+        String.to_seq (String.trim a) |> List.of_seq |> List.sort compare
+      in
+      Alcotest.(check bool)
+        (spec ^ ": each waiter acquired exactly once") true
+        (sorted = [ '1'; '2'; '3' ]))
+    [ "slice:1"; "slice:9"; "pct:2:3" ]
+
+(* ------------------------------------------------------------------ *)
+(* join semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A crash in a spawned thread is re-raised into the joiner as the
+   original MiniLang exception, catchable in-language. *)
+let join_crash_source =
+  {|
+class Worker {
+  method boom() throws IllegalStateException {
+    throw new IllegalStateException("worker gave up");
+  }
+}
+function main() {
+  var w = new Worker();
+  var t = spawn w.boom();
+  try {
+    join(t);
+    println("no crash");
+  } catch (IllegalStateException e) {
+    println("caught: " + e.message);
+  }
+  return 0;
+}
+|}
+
+let test_join_crashed () =
+  let vm = run_under "coop" join_crash_source in
+  Alcotest.(check string) "crash delivered to joiner" "caught: worker gave up\n"
+    (Vm.output vm)
+
+(* An unjoined crash still escapes the run after main returns — an
+   injected exception that kills a spawned thread is never lost. *)
+let unjoined_crash_source =
+  {|
+class Worker {
+  method boom() throws IllegalStateException {
+    throw new IllegalStateException("nobody joined me");
+  }
+}
+function main() {
+  var w = new Worker();
+  spawn w.boom();
+  println("main done");
+  return 0;
+}
+|}
+
+let test_unjoined_crash_escapes () =
+  match Minilang.run_string unjoined_crash_source with
+  | _ -> Alcotest.fail "unjoined crash must escape the run"
+  | exception Vm.Mini_raise e ->
+    Alcotest.(check string) "class" "IllegalStateException" e.Vm.exn_class;
+    Alcotest.(check string) "message" "nobody joined me" e.Vm.message
+
+let bad_join_source =
+  {|
+function main() {
+  try {
+    join(42);
+  } catch (IllegalArgumentException e) {
+    println("caught: " + e.message);
+  }
+  return 0;
+}
+|}
+
+let test_join_unknown () =
+  let vm = run_under "coop" bad_join_source in
+  Alcotest.(check string) "unknown tid rejected" "caught: join: unknown thread 42\n"
+    (Vm.output vm)
+
+(* ------------------------------------------------------------------ *)
+(* deadlock detection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Main blocks on join while holding the monitor the joined thread
+   needs: every live thread is blocked, and the scheduler kills the run
+   with IllegalStateException("deadlock"). *)
+let deadlock_source =
+  {|
+class Box {
+  method locked() {
+    synchronized (this) { }
+    return 1;
+  }
+}
+function main() {
+  var b = new Box();
+  synchronized (b) {
+    var t = spawn b.locked();
+    join(t);
+  }
+  return 0;
+}
+|}
+
+let test_deadlock () =
+  match Minilang.run_string deadlock_source with
+  | _ -> Alcotest.fail "deadlocked run must not complete"
+  | exception Vm.Mini_raise e ->
+    Alcotest.(check string) "class" "IllegalStateException" e.Vm.exn_class;
+    Alcotest.(check string) "message" "deadlock" e.Vm.message
+
+let suite =
+  [ Alcotest.test_case "policy spec round-trip" `Quick test_policy_round_trip;
+    Alcotest.test_case "same spec, same run (output+digest)" `Quick test_determinism;
+    Alcotest.test_case "recorded spec replays bit-for-bit" `Quick test_replay_from_spec;
+    Alcotest.test_case "coop: no decisions, empty digest" `Quick test_coop_is_quiet;
+    Alcotest.test_case "monitor handoff is FIFO" `Quick test_fifo_handoff;
+    Alcotest.test_case "join re-raises a crash" `Quick test_join_crashed;
+    Alcotest.test_case "unjoined crash escapes the run" `Quick test_unjoined_crash_escapes;
+    Alcotest.test_case "join of unknown tid" `Quick test_join_unknown;
+    Alcotest.test_case "deadlock detected" `Quick test_deadlock ]
