@@ -35,11 +35,16 @@
    static exception-flow pruner (--prune coalesce) against the unpruned
    campaign per application — run census, wall clock, and a bitwise
    identity check — gating RBTree at >= 30% runs eliminated and the
-   geomean speedup at >= 1.3x, writing BENCH_prune.json.
+   geomean speedup at >= 1.3x, writing BENCH_prune.json.  The mask
+   section measures the production masking runtime (lib/prod): armed
+   runs with a rate-1000 canary compare the eager checkpoint rollback
+   against the copy-on-write shadow rollback per application, gate the
+   outputs bitwise identical and the median rollback speedup on the
+   large-graph apps at >= 2x, and write BENCH_mask.json.
 
    Usage: main.exe [section...] where section is one of
    table1 fig2 fig3 fig4 fig5 case-study campaign snapshot ablation
-   prune interp obs-overhead server cluster (default: all). *)
+   prune mask interp obs-overhead server cluster (default: all). *)
 
 open Bechamel
 open Failatom_runtime
@@ -1266,7 +1271,7 @@ let section_server () =
 module Store = Failatom_cluster.Store
 module Shard_map = Failatom_cluster.Shard_map
 module Supervisor = Failatom_cluster.Supervisor
-module Json = Failatom_server.Json
+module Json = Failatom_core.Json
 
 (* The workload is a mix of apps, not one program: digest affinity
    sends each program to one home shard, so a single-app load would
@@ -1616,6 +1621,203 @@ let section_cluster () =
     Fmt.pr "  machine-readable results merged into %s@." server_json_file
 
 (* ------------------------------------------------------------------ *)
+(* Production masking: checkpoint vs copy-on-write rollback            *)
+(* ------------------------------------------------------------------ *)
+
+let mask_json_file = "BENCH_mask.json"
+
+let mask_apps () =
+  if bench_short then
+    List.filter_map Registry.find [ "stdQ"; "LinkedList"; "RBTree" ]
+  else Registry.all
+
+(* Apps whose wrapped methods touch big receiver graphs: the eager
+   checkpoint copies the whole reachable graph per call while the cow
+   shadow saves only what the call actually dirties, so these are the
+   rows the >= 2x rollback gate runs over. *)
+let mask_large_graph = [ "CircularList"; "Dynarray"; "LinkedList"; "RBMap"; "RBTree" ]
+
+type mask_row = {
+  mr_app : Registry.t;
+  mr_targets : int; (* wrapped methods in the plan *)
+  mr_calls : int; (* wrapped calls entered (cow run) *)
+  mr_hits : int; (* rollbacks exercised (cow run) *)
+  mr_cp_wrap_ns : float; (* per wrapped call, checkpoint rollback *)
+  mr_cow_wrap_ns : float;
+  mr_cp_rb_ns : float; (* per rollback, checkpoint *)
+  mr_cow_rb_ns : float;
+  mr_speedup : float; (* cp rollback / cow rollback *)
+  mr_identical : bool; (* outputs byte-equal across engines *)
+}
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let section_mask () =
+  let module Plan = Failatom_prod.Plan in
+  let module Armed = Failatom_prod.Armed in
+  let module Perturb = Failatom_prod.Perturb in
+  let module Scorecard = Failatom_prod.Scorecard in
+  let module Produce = Failatom_prod.Produce in
+  Fmt.pr "@.== Production masking: checkpoint vs cow rollback ======================@.";
+  Fmt.pr "  (armed production runs with a rate-1000 at-exit canary: every wrapped@.";
+  Fmt.pr "   call is perturbed, rolled back and retried; per-rollback cost comes@.";
+  Fmt.pr "   from the scorecard timings, best of interleaved rounds)@.";
+  let rounds = if bench_short then 2 else 3 in
+  let times = if bench_short then 1 else 2 in
+  let perturb =
+    { Produce.seed = 7;
+      rate_per_mille = 1000;
+      max_fires = None;
+      point = Perturb.At_exit;
+      fallback_exceptions = [] }
+  in
+  let outcome_of (app : Registry.t) =
+    match
+      List.find_opt
+        (fun (o : Harness.outcome) -> o.Harness.app.Registry.name = app.Registry.name)
+        (Lazy.force sweep)
+    with
+    | Some o -> o
+    | None -> Harness.detect_app app
+  in
+  Fmt.pr "%-14s %8s %7s %6s %11s %11s %11s %11s %8s@." "Application" "targets"
+    "calls" "hits" "cp-wrap" "cow-wrap" "cp-rb" "cow-rb" "speedup";
+  let rows =
+    List.filter_map
+      (fun (app : Registry.t) ->
+        let o = outcome_of app in
+        let program = Failatom_minilang.Minilang.parse app.Registry.source in
+        let flavor = Harness.flavor_of_suite app.Registry.suite in
+        let plan =
+          Plan.build ~config:Config.default ~flavor ~program
+            ~detection:o.Harness.detection ~classification:o.Harness.classification
+        in
+        let targets = Method_id.Set.cardinal (Plan.target_set plan) in
+        if targets = 0 then begin
+          Fmt.pr "%-14s %8d   (no wrapped methods; skipped)@." app.Registry.name
+            targets;
+          None
+        end
+        else begin
+          let produce rollback =
+            match Produce.run ~rollback ~perturb ~times ~plan program with
+            | Ok r -> r
+            | Error msg ->
+              Fmt.failwith "mask bench: %s (%s): %s" app.Registry.name
+                (Armed.rollback_name rollback) msg
+          in
+          (* per-call wrap and per-rollback cost of one produce set *)
+          let costs (r : Produce.result) =
+            let sc = r.Produce.scorecard in
+            let wrap, rb =
+              List.fold_left
+                (fun (w, b) (tr : Scorecard.timing_row) ->
+                  (w + tr.Scorecard.t_wrap_ns, b + tr.Scorecard.t_rollback_ns))
+                (0, 0) sc.Scorecard.timings
+            in
+            let per total count =
+              if count = 0 then 0.0 else float_of_int total /. float_of_int count
+            in
+            (per wrap (Scorecard.calls sc), per rb (Scorecard.hits sc))
+          in
+          let outputs (r : Produce.result) =
+            List.map (fun (rr : Produce.run_report) -> rr.Produce.output) r.Produce.runs
+          in
+          (* interleaved rounds; best (lowest) per-event cost on each side *)
+          let cp_wrap = ref infinity and cp_rb = ref infinity in
+          let cow_wrap = ref infinity and cow_rb = ref infinity in
+          let last_cp = ref None and last_cow = ref None in
+          for _ = 1 to rounds do
+            let cp = produce Armed.Rb_checkpoint in
+            let cow = produce Armed.Rb_cow in
+            let w, b = costs cp in
+            if b < !cp_rb then begin cp_wrap := w; cp_rb := b end;
+            let w, b = costs cow in
+            if b < !cow_rb then begin cow_wrap := w; cow_rb := b end;
+            last_cp := Some cp;
+            last_cow := Some cow
+          done;
+          let cp = Option.get !last_cp and cow = Option.get !last_cow in
+          let identical = outputs cp = outputs cow in
+          let sc = cow.Produce.scorecard in
+          let speedup = if !cow_rb > 0.0 then !cp_rb /. !cow_rb else 0.0 in
+          let row =
+            { mr_app = app;
+              mr_targets = targets;
+              mr_calls = Scorecard.calls sc;
+              mr_hits = Scorecard.hits sc;
+              mr_cp_wrap_ns = !cp_wrap;
+              mr_cow_wrap_ns = !cow_wrap;
+              mr_cp_rb_ns = !cp_rb;
+              mr_cow_rb_ns = !cow_rb;
+              mr_speedup = speedup;
+              mr_identical = identical }
+          in
+          Fmt.pr "%-14s %8d %7d %6d %10.0fn %10.0fn %10.0fn %10.0fn %7.2fx%s@."
+            app.Registry.name targets row.mr_calls row.mr_hits row.mr_cp_wrap_ns
+            row.mr_cow_wrap_ns row.mr_cp_rb_ns row.mr_cow_rb_ns speedup
+            (if identical then "" else "  OUTPUT MISMATCH");
+          Some row
+        end)
+      (mask_apps ())
+  in
+  let pass_identity = List.for_all (fun r -> r.mr_identical) rows in
+  let large =
+    List.filter
+      (fun r -> List.mem r.mr_app.Registry.name mask_large_graph && r.mr_hits > 0)
+      rows
+  in
+  let median_speedup = median (List.map (fun r -> r.mr_speedup) large) in
+  let pass_speedup = large = [] || median_speedup >= 2.0 in
+  let pass = pass_identity && pass_speedup in
+  Fmt.pr "  outputs identical across rollback engines on every app: %b@."
+    pass_identity;
+  Fmt.pr "  median cow rollback speedup on large-graph apps (%s): %.2fx \
+          (target >= 2.0x): %b@."
+    (String.concat ", " (List.map (fun r -> r.mr_app.Registry.name) large))
+    median_speedup pass_speedup;
+  let oc = open_out mask_json_file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"mask_rollback\",\n";
+  out "  \"short\": %b,\n" bench_short;
+  out "  \"rounds\": %d,\n" rounds;
+  out "  \"times\": %d,\n" times;
+  out "  \"perturb_seed\": %d,\n" perturb.Produce.seed;
+  out "  \"apps\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"name\": \"%s\", \"targets\": %d, \"calls\": %d, \"hits\": %d, \
+         \"checkpoint_wrap_ns_per_call\": %.1f, \"cow_wrap_ns_per_call\": %.1f, \
+         \"checkpoint_rollback_ns\": %.1f, \"cow_rollback_ns\": %.1f, \
+         \"rollback_speedup\": %.3f, \"outputs_identical\": %b}%s\n"
+        (json_escape r.mr_app.Registry.name)
+        r.mr_targets r.mr_calls r.mr_hits r.mr_cp_wrap_ns r.mr_cow_wrap_ns
+        r.mr_cp_rb_ns r.mr_cow_rb_ns r.mr_speedup r.mr_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n";
+  out "  \"large_graph_apps\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun r -> Printf.sprintf "\"%s\"" (json_escape r.mr_app.Registry.name))
+          large));
+  out "  \"median_large_graph_speedup\": %.3f,\n" median_speedup;
+  out "  \"pass_identity\": %b,\n" pass_identity;
+  out "  \"pass_speedup\": %b,\n" pass_speedup;
+  out "  \"pass\": %b\n" pass;
+  out "}\n";
+  close_out oc;
+  Fmt.pr "  machine-readable results written to %s@." mask_json_file
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1632,6 +1834,7 @@ let sections =
     ("fig5", section_fig5);
     ("ablation", section_ablation);
     ("prune", section_prune);
+    ("mask", section_mask);
     ("concurrent", section_concurrent);
     ("server", section_server);
     ("cluster", section_cluster) ]

@@ -14,6 +14,7 @@ open Cmdliner
 open Failatom_core
 open Failatom_apps
 module ML = Failatom_minilang
+module Prod = Failatom_prod
 module Server = Failatom_server.Server
 module Client = Failatom_server.Client
 module Protocol = Failatom_server.Protocol
@@ -290,32 +291,165 @@ let run_cmd =
     in
     Arg.(value & opt int 1 & info [ "times" ] ~docv:"N" ~doc)
   in
-  let action spec engine times =
+  let mode_arg =
+    let doc =
+      "$(b,normal) just runs the program; $(b,production) arms the atomicity \
+       wrappers recorded in $(b,--plan) before running — always-on masking \
+       without re-running detection — and reports the resilience scorecard."
+    in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("normal", `Normal); ("production", `Production) ]) `Normal
+      & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let plan_arg =
+    let doc =
+      "Detection plan (written by $(b,detect --emit-plan)) to arm wrappers \
+       from.  Refused if its program digest does not match $(i,PROGRAM)."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let rollback_arg =
+    let doc =
+      "Rollback engine of the armed wrappers: $(b,checkpoint) copies the \
+       protected graph at every call entry; $(b,cow) opens a copy-on-write \
+       shadow (O(1) entry) and restores only the dirty objects of the \
+       entry-time graph on the rare exceptional exit.  Both restore \
+       bitwise-identical graphs."
+    in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [ ("checkpoint", Prod.Armed.Rb_checkpoint); ("cow", Prod.Armed.Rb_cow) ])
+          Prod.Armed.Rb_checkpoint
+      & info [ "wrapper-rollback" ] ~docv:"ENGINE" ~doc)
+  in
+  let perturb_rate_arg =
+    let doc =
+      "Canary perturbation: inject a declared exception into $(docv) out of \
+       every 1000 calls to a wrapped method, validate that the rollback \
+       reproduced the pre-call object graph, and transparently retry.  \
+       0 (the default) disables the canary."
+    in
+    Arg.(value & opt int 0 & info [ "perturb-rate" ] ~docv:"PER-MILLE" ~doc)
+  in
+  let perturb_seed_arg =
+    let doc = "Seed of the canary's deterministic draw sequence." in
+    Arg.(value & opt int 1 & info [ "perturb-seed" ] ~docv:"SEED" ~doc)
+  in
+  let perturb_max_arg =
+    let doc = "Stop injecting after $(docv) perturbations (default unlimited)." in
+    Arg.(value & opt (some int) None & info [ "perturb-max" ] ~docv:"N" ~doc)
+  in
+  let perturb_point_arg =
+    let doc =
+      "Where the canary raises: $(b,entry) (before the body runs) or \
+       $(b,exit) (after the body ran and mutated state — exercises a real \
+       rollback; the retry re-executes the body, so output side effects of \
+       perturbed calls occur twice)."
+    in
+    Arg.(
+      value
+      & opt
+          (Arg.enum [ ("entry", Prod.Perturb.At_entry); ("exit", Prod.Perturb.At_exit) ])
+          Prod.Perturb.At_exit
+      & info [ "perturb-point" ] ~docv:"POINT" ~doc)
+  in
+  let resilience_out_arg =
+    let doc =
+      "Write the resilience scorecard (failatom.resilience/1) to $(docv).  \
+       The write is atomic: a crash mid-run never leaves a torn file.  \
+       Render it with $(b,failatom stats --resilience)."
+    in
+    Arg.(value & opt (some string) None & info [ "resilience-out" ] ~docv:"FILE" ~doc)
+  in
+  let run_normal program times =
+    let image = ML.Compile.image program in
+    let last_output = ref "" in
+    for _ = 1 to times do
+      let vm = ML.Compile.instantiate image in
+      (match ML.Compile.run_main vm with
+       | _ -> ()
+       | exception Failatom_runtime.Vm.Mini_raise e ->
+         Fmt.epr "uncaught %s: %s@." e.Failatom_runtime.Vm.exn_class
+           e.Failatom_runtime.Vm.message);
+      last_output := ML.Minilang.output vm
+    done;
+    print_string !last_output;
+    exit_ok
+  in
+  let run_production program times ~plan_path ~rollback ~perturb ~resilience_out =
+    match Prod.Plan.load_file plan_path with
+    | Error msg ->
+      Fmt.epr "failatom: %s: %s@." plan_path msg;
+      exit_usage
+    | Ok plan -> (
+      match Prod.Produce.run ~rollback ?perturb ~times ~plan program with
+      | Error msg ->
+        (* stale plan: the program changed since detection *)
+        Fmt.epr "failatom: %s@." msg;
+        exit_usage
+      | Ok { Prod.Produce.scorecard; runs } ->
+        (match List.rev runs with
+         | last :: _ -> print_string last.Prod.Produce.output
+         | [] -> ());
+        List.iter
+          (fun (r : Prod.Produce.run_report) ->
+            match r.Prod.Produce.escaped with
+            | Some cls -> Fmt.epr "uncaught %s escaped a production run@." cls
+            | None -> ())
+          runs;
+        Fmt.epr "%a" Prod.Scorecard.pp scorecard;
+        (match resilience_out with
+         | Some path ->
+           Prod.Scorecard.save_file scorecard path;
+           Fmt.epr "resilience scorecard written to %s@." path
+         | None -> ());
+        if Prod.Scorecard.failed scorecard > 0 then exit_non_atomic else exit_ok)
+  in
+  let action spec engine times mode plan rollback perturb_rate perturb_seed
+      perturb_max perturb_point resilience_out metrics_out =
     set_engine engine;
     with_program spec (fun program ->
         if times < 1 then begin
           Fmt.epr "failatom: --times must be at least 1@.";
           exit_usage
         end
-        else begin
-          let image = ML.Compile.image program in
-          let last_output = ref "" in
-          for _ = 1 to times do
-            let vm = ML.Compile.instantiate image in
-            (match ML.Compile.run_main vm with
-             | _ -> ()
-             | exception Failatom_runtime.Vm.Mini_raise e ->
-               Fmt.epr "uncaught %s: %s@." e.Failatom_runtime.Vm.exn_class
-                 e.Failatom_runtime.Vm.message);
-            last_output := ML.Minilang.output vm
-          done;
-          print_string !last_output;
-          exit_ok
-        end)
+        else
+          match (mode, plan) with
+          | `Normal, Some _ ->
+            Fmt.epr "failatom: --plan requires --mode production@.";
+            exit_usage
+          | `Normal, None -> run_normal program times
+          | `Production, None ->
+            Fmt.epr "failatom: --mode production requires --plan@.";
+            exit_usage
+          | `Production, Some plan_path ->
+            let perturb =
+              if perturb_rate > 0 then
+                Some
+                  { Prod.Produce.seed = perturb_seed;
+                    rate_per_mille = perturb_rate;
+                    max_fires = perturb_max;
+                    point = perturb_point;
+                    fallback_exceptions = [] }
+              else None
+            in
+            with_metrics metrics_out (fun () ->
+                run_production program times ~plan_path ~rollback ~perturb
+                  ~resilience_out))
   in
-  let doc = "Run a MiniLang program and print its output." in
+  let doc =
+    "Run a MiniLang program and print its output; with $(b,--mode \
+     production) run it behind the armed atomicity wrappers of a detection \
+     plan."
+  in
   Cmd.v (Cmd.info "run" ~doc ~exits)
-    Term.(const action $ program_arg $ engine_arg $ times_arg)
+    Term.(
+      const action $ program_arg $ engine_arg $ times_arg $ mode_arg $ plan_arg
+      $ rollback_arg $ perturb_rate_arg $ perturb_seed_arg $ perturb_max_arg
+      $ perturb_point_arg $ resilience_out_arg $ metrics_out_arg)
 
 let csv_arg =
   let doc = "Write the per-method classification as CSV to $(docv)." in
@@ -349,9 +483,18 @@ let write_csv csv classification =
     Fmt.epr "classification CSV written to %s@." path
   | None -> ()
 
+let emit_plan_arg =
+  let doc =
+    "Write the detection plan (failatom.plan/1: program digest, configuration \
+     fingerprint, wrap targets, per-method verdicts) to $(docv).  \
+     $(b,failatom run --mode production --plan) arms wrappers from it \
+     without re-running detection."
+  in
+  Arg.(value & opt (some string) None & info [ "emit-plan" ] ~docv:"FILE" ~doc)
+
 let detect_cmd =
   let action spec engine flavor snapshot_mode prune schedules details
-      exception_free infer log coverage csv metrics_out =
+      exception_free infer log coverage csv metrics_out emit_plan =
     set_engine engine;
     match expand_schedules schedules with
     | Error msg ->
@@ -385,6 +528,19 @@ let detect_cmd =
           print_classification ~details classification;
           if coverage then Coverage.pp Fmt.stdout (Coverage.of_detection detection);
           write_csv csv classification;
+          (match emit_plan with
+           | Some path ->
+             (* exception_free is folded into the plan's config so the
+                recorded fingerprint describes the classification the
+                targets were chosen under *)
+             let plan_config = { config with Config.exception_free } in
+             let plan =
+               Prod.Plan.build ~config:plan_config ~flavor ~program ~detection
+                 ~classification
+             in
+             Prod.Plan.save_file plan path;
+             Fmt.epr "detection plan written to %s@." path
+           | None -> ());
           classification_code classification)
   in
   let doc =
@@ -396,7 +552,7 @@ let detect_cmd =
     Term.(
       const action $ program_arg $ engine_arg $ flavor_arg $ snapshot_mode_arg
       $ prune_arg $ schedules_arg $ details_arg $ exception_free_arg $ infer_arg
-      $ log_arg $ coverage_arg $ csv_arg $ metrics_out_arg)
+      $ log_arg $ coverage_arg $ csv_arg $ metrics_out_arg $ emit_plan_arg)
 
 let campaign_cmd =
   let jobs_arg =
@@ -862,12 +1018,23 @@ let print_job_result (r : Protocol.job_result) =
   if r.Protocol.r_wrapped <> [] then begin
     Fmt.pr "wrapped:@.";
     List.iter (fun m -> Fmt.pr "  %s@." m) r.Protocol.r_wrapped
-  end
+  end;
+  match r.Protocol.r_resilience with
+  | None -> ()
+  | Some text -> (
+    match Prod.Scorecard.of_string text with
+    | Ok scorecard -> Fmt.pr "%a" Prod.Scorecard.pp scorecard
+    | Error _ -> Fmt.pr "resilience: %s@." text)
 
 let job_result_code (r : Protocol.job_result) =
-  if r.Protocol.r_non_atomic = [] then exit_ok else exit_non_atomic
+  match r.Protocol.r_mode with
+  | Protocol.Produce ->
+    (* production semantics: failure means a canary validation failed *)
+    if r.Protocol.r_transparent then exit_ok else exit_non_atomic
+  | Protocol.Detect | Protocol.Campaign | Protocol.Mask ->
+    if r.Protocol.r_non_atomic = [] then exit_ok else exit_non_atomic
 
-let finish_outcome ~log ~corrected_out outcome =
+let finish_outcome ?(resilience_out = None) ~log ~corrected_out outcome =
   match outcome with
   | Client.Completed (result, cached) ->
     if cached then Fmt.epr "(result served from cache)@.";
@@ -887,6 +1054,18 @@ let finish_outcome ~log ~corrected_out outcome =
        Fmt.epr "corrected program written to %s@." path
      | Some path, None ->
        Fmt.epr "failatom: no corrected program to write to %s (not a mask job)@." path
+     | None, _ -> ());
+    (match (resilience_out, result.Protocol.r_resilience) with
+     | Some path, Some text ->
+       let oc = open_out_bin path in
+       output_string oc text;
+       output_char oc '\n';
+       close_out oc;
+       Fmt.epr "resilience scorecard written to %s@." path
+     | Some path, None ->
+       Fmt.epr
+         "failatom: no resilience scorecard to write to %s (not a produce job)@."
+         path
      | None, _ -> ());
     job_result_code result
   | Client.Job_failed msg ->
@@ -958,8 +1137,10 @@ let submit_cmd =
   let mode_arg =
     let doc =
       "What to run: $(b,detect) (single worker, result identical to the \
-       $(b,detect) command), $(b,campaign) (parallel workers), or $(b,mask) \
-       (detection plus wrap targets and the corrected program)."
+       $(b,detect) command), $(b,campaign) (parallel workers), $(b,mask) \
+       (detection plus wrap targets and the corrected program), or \
+       $(b,produce) (a production run armed from $(b,--plan); never served \
+       from the result cache — timings are fresh every run)."
     in
     Arg.(
       value
@@ -967,9 +1148,56 @@ let submit_cmd =
           (Arg.enum
              [ ("detect", Protocol.Detect);
                ("campaign", Protocol.Campaign);
-               ("mask", Protocol.Mask) ])
+               ("mask", Protocol.Mask);
+               ("produce", Protocol.Produce) ])
           Protocol.Detect
       & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let plan_file_arg =
+    let doc =
+      "Detection plan file for a $(b,produce)-mode job; its text is shipped \
+       in the request and validated against the program digest server-side."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let rollback_arg =
+    let doc = "Rollback engine of the armed wrappers ($(b,produce) mode)." in
+    Arg.(
+      value
+      & opt (some (Arg.enum [ ("checkpoint", "checkpoint"); ("cow", "cow") ])) None
+      & info [ "wrapper-rollback" ] ~docv:"ENGINE" ~doc)
+  in
+  let perturb_rate_arg =
+    let doc =
+      "Canary perturbations per 1000 wrapped calls ($(b,produce) mode); \
+       0 or absent disables the canary."
+    in
+    Arg.(value & opt (some int) None & info [ "perturb-rate" ] ~docv:"PER-MILLE" ~doc)
+  in
+  let perturb_seed_arg =
+    let doc = "Seed of the canary's deterministic draw sequence." in
+    Arg.(value & opt (some int) None & info [ "perturb-seed" ] ~docv:"SEED" ~doc)
+  in
+  let perturb_max_arg =
+    let doc = "Stop injecting after $(docv) perturbations." in
+    Arg.(value & opt (some int) None & info [ "perturb-max" ] ~docv:"N" ~doc)
+  in
+  let perturb_point_arg =
+    let doc = "Where the canary raises: $(b,entry) or $(b,exit)." in
+    Arg.(
+      value
+      & opt (some (Arg.enum [ ("entry", "entry"); ("exit", "exit") ])) None
+      & info [ "perturb-point" ] ~docv:"POINT" ~doc)
+  in
+  let produce_times_arg =
+    let doc = "Production runs per $(b,produce)-mode job (default 1)." in
+    Arg.(value & opt (some int) None & info [ "times" ] ~docv:"N" ~doc)
+  in
+  let resilience_out_arg =
+    let doc =
+      "Write the resilience scorecard of a $(b,produce)-mode job to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "resilience-out" ] ~docv:"FILE" ~doc)
   in
   let flavor_opt_arg =
     Arg.(
@@ -998,7 +1226,8 @@ let submit_cmd =
   let snapshot_wire snapshot_mode = snapshot_mode in
   let action spec socket retries mode flavor snapshot_mode prune schedules infer
       wrap_all exception_free do_not_wrap jobs run_timeout_s detach log
-      corrected_out =
+      corrected_out plan_file rollback perturb_rate perturb_seed perturb_max
+      perturb_point times resilience_out =
     (* Absent stays absent on the wire (an older server ignores the
        field); a given flag is expanded client-side so the server sees
        concrete specs. *)
@@ -1021,6 +1250,26 @@ let submit_cmd =
       Fmt.epr "failatom: %s@." msg;
       exit_usage
     | Ok program ->
+    (* The plan is read client-side and shipped as text: the server may
+       run on another machine (via the cluster) and never sees client
+       paths. *)
+    let plan =
+      match (mode, plan_file) with
+      | Protocol.Produce, None ->
+        Error "--mode produce requires --plan"
+      | (Protocol.Detect | Protocol.Campaign | Protocol.Mask), Some _ ->
+        Error "--plan requires --mode produce"
+      | _, None -> Ok None
+      | Protocol.Produce, Some path -> (
+        match In_channel.with_open_bin path In_channel.input_all with
+        | text -> Ok (Some text)
+        | exception Sys_error msg -> Error msg)
+    in
+    match plan with
+    | Error msg ->
+      Fmt.epr "failatom: %s@." msg;
+      exit_usage
+    | Ok plan ->
       let req =
         { (Protocol.default_request mode program) with
           Protocol.flavor;
@@ -1032,7 +1281,14 @@ let submit_cmd =
           exception_free = List.map Method_id.to_string exception_free;
           do_not_wrap = List.map Method_id.to_string do_not_wrap;
           jobs;
-          run_timeout_s }
+          run_timeout_s;
+          plan;
+          rollback;
+          perturb_rate;
+          perturb_seed;
+          perturb_max;
+          perturb_point;
+          times }
       in
       with_client socket (fun () ->
           with_cluster_fallback ~retries ~socket
@@ -1045,7 +1301,7 @@ let submit_cmd =
               end
               else begin
                 Fmt.epr "job %s submitted%s@." id (if cached then " (cached)" else "");
-                finish_outcome ~log ~corrected_out
+                finish_outcome ~resilience_out ~log ~corrected_out
                   (Client.watch ~on_event:print_event conn id)
               end))
   in
@@ -1060,7 +1316,10 @@ let submit_cmd =
       const action $ program_arg $ socket_arg $ connect_retries_arg $ mode_arg
       $ flavor_opt_arg $ snapshot_mode_arg $ prune_arg $ schedules_arg
       $ infer_arg $ wrap_all_arg $ exception_free_arg $ do_not_wrap_arg
-      $ jobs_arg $ run_timeout_arg $ detach_arg $ log_arg $ corrected_arg)
+      $ jobs_arg $ run_timeout_arg $ detach_arg $ log_arg $ corrected_arg
+      $ plan_file_arg $ rollback_arg $ perturb_rate_arg $ perturb_seed_arg
+      $ perturb_max_arg $ perturb_point_arg $ produce_times_arg
+      $ resilience_out_arg)
 
 let status_cmd =
   let action job socket retries =
@@ -1166,21 +1425,43 @@ let stats_cmd =
       Fmt.epr "failatom: %s: %s@." origin msg;
       exit_usage
   in
-  let action path socket retries =
-    match (path, socket) with
-    | None, None ->
+  let resilience_arg =
+    let doc =
+      "Treat the positional file as a resilience scorecard \
+       (failatom.resilience/1, written by $(b,run --resilience-out)) and \
+       render the per-method mask/canary table instead of a metrics snapshot."
+    in
+    Arg.(value & flag & info [ "resilience" ] ~doc)
+  in
+  let action path socket retries resilience =
+    match (path, socket, resilience) with
+    | _, Some _, true ->
+      Fmt.epr "failatom: --resilience renders a file, not a live daemon@.";
+      exit_usage
+    | None, _, true ->
+      Fmt.epr "failatom: stats --resilience needs a scorecard file@.";
+      exit_usage
+    | Some path, None, true -> (
+      match Prod.Scorecard.load_file path with
+      | Ok scorecard ->
+        Fmt.pr "%a" Prod.Scorecard.pp scorecard;
+        exit_ok
+      | Error msg ->
+        Fmt.epr "failatom: %s: %s@." path msg;
+        exit_usage)
+    | None, None, false ->
       Fmt.epr "failatom: stats needs a METRICS file or --socket@.";
       exit_usage
-    | Some _, Some _ ->
+    | Some _, Some _, false ->
       Fmt.epr "failatom: stats takes either a METRICS file or --socket, not both@.";
       exit_usage
-    | Some path, None ->
+    | Some path, None, false ->
       let ic = open_in_bin path in
       let n = in_channel_length ic in
       let s = really_input_string ic n in
       close_in ic;
       render s ~origin:path
-    | None, Some socket ->
+    | None, Some socket, false ->
       with_client socket (fun () ->
           try
             Client.with_conn ~retries ~socket_path:socket (fun conn ->
@@ -1218,7 +1499,9 @@ let stats_cmd =
      with its shards' metrics merged)."
   in
   Cmd.v (Cmd.info "stats" ~doc ~exits)
-    Term.(const action $ metrics_file_arg $ socket_opt_arg $ connect_retries_arg)
+    Term.(
+      const action $ metrics_file_arg $ socket_opt_arg $ connect_retries_arg
+      $ resilience_arg)
 
 let apps_cmd =
   let action () =

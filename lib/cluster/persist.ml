@@ -17,7 +17,7 @@
 
 open Failatom_minilang
 module Cache = Failatom_server.Cache
-module Json = Failatom_server.Json
+module Json = Failatom_core.Json
 module Protocol = Failatom_server.Protocol
 module Obs = Failatom_obs.Obs
 

@@ -40,7 +40,7 @@
    links, so connections never share a shard socket and the protocol's
    strict request/response interleaving is preserved without locks. *)
 
-module Json = Failatom_server.Json
+module Json = Failatom_core.Json
 module Protocol = Failatom_server.Protocol
 module Net = Failatom_server.Net
 module Obs = Failatom_obs.Obs

@@ -15,7 +15,7 @@
    CI smoke test uses to find a victim to [kill -9]. *)
 
 open Failatom_apps
-module Json = Failatom_server.Json
+module Json = Failatom_core.Json
 module Protocol = Failatom_server.Protocol
 module Minilang = Failatom_minilang.Minilang
 

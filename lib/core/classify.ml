@@ -20,6 +20,19 @@ let verdict_name = function
   | Conditional_non_atomic -> "conditional non-atomic"
   | Pure_non_atomic -> "pure non-atomic"
 
+(* Stable single-token spellings for serialized artifacts (detection
+   plans, scorecards); [verdict_name] stays the human-facing form. *)
+let verdict_wire_name = function
+  | Atomic -> "atomic"
+  | Conditional_non_atomic -> "conditional"
+  | Pure_non_atomic -> "pure"
+
+let verdict_of_wire_name = function
+  | "atomic" -> Some Atomic
+  | "conditional" -> Some Conditional_non_atomic
+  | "pure" -> Some Pure_non_atomic
+  | _ -> None
+
 type method_report = {
   id : Method_id.t;
   verdict : verdict;

@@ -12,6 +12,13 @@ type verdict = Atomic | Conditional_non_atomic | Pure_non_atomic
 
 val verdict_name : verdict -> string
 
+val verdict_wire_name : verdict -> string
+(** Stable single-token spelling ("atomic" / "conditional" / "pure")
+    used by serialized artifacts such as [failatom.plan/1]. *)
+
+val verdict_of_wire_name : string -> verdict option
+(** Inverse of {!verdict_wire_name}. *)
+
 type method_report = {
   id : Method_id.t;
   verdict : verdict;

@@ -11,6 +11,15 @@ type wrap_policy =
   | Wrap_pure (* wrap only pure failure non-atomic methods (§4.3) *)
   | Wrap_all_non_atomic (* wrap every failure non-atomic method *)
 
+let wrap_policy_name = function
+  | Wrap_pure -> "pure"
+  | Wrap_all_non_atomic -> "all"
+
+let wrap_policy_of_name = function
+  | "pure" -> Some Wrap_pure
+  | "all" -> Some Wrap_all_non_atomic
+  | _ -> None
+
 type snapshot_mode =
   | Snapshot_eager
       (* canonicalize the receiver's full object graph at every wrapped
@@ -112,9 +121,7 @@ let fingerprint (c : t) =
     | Checkpoint.Eager -> "eager"
     | Checkpoint.Lazy -> "lazy"
   in
-  let policy =
-    match c.wrap_policy with Wrap_pure -> "pure" | Wrap_all_non_atomic -> "all"
-  in
+  let policy = wrap_policy_name c.wrap_policy in
   let methods ms =
     String.concat "," (List.sort compare (List.map Method_id.to_string ms))
   in

@@ -13,6 +13,12 @@ type wrap_policy =
           become atomic through their callees (paper Definition 3) *)
   | Wrap_all_non_atomic  (** wrap every failure non-atomic method *)
 
+val wrap_policy_name : wrap_policy -> string
+(** ["pure"] / ["all"] — the spelling used by {!fingerprint} and the
+    serialized detection plan. *)
+
+val wrap_policy_of_name : string -> wrap_policy option
+
 type snapshot_mode =
   | Snapshot_eager
       (** canonicalize the receiver's full object graph at every wrapped

@@ -254,7 +254,18 @@ let filter state =
              check_and_mark state vm id snapshot
                (snapshot_roots state recv args)
                ~exn_id:(exn_identity exn_v));
-          Vm.Pass) }
+          Vm.Pass);
+    unwind =
+      (fun vm _meth ->
+        (* OCaml-level abort (deadline, step limit): no verdict for the
+           call in flight, but its snapshot must not stay attached to
+           the write barrier. *)
+        let tid = vm.Vm.cur_tid in
+        match snap_stack_of state tid with
+        | [] -> ()
+        | (_, snapshot) :: rest ->
+          Hashtbl.replace state.snap_stacks tid rest;
+          release_snapshot snapshot) }
 
 let attach state vm = Vm.attach_filter_everywhere vm (filter state)
 

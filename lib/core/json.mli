@@ -1,4 +1,7 @@
-(** A minimal JSON tree, printer and parser for the wire protocol.
+(** A minimal JSON tree, printer and parser, shared by every JSON
+    artifact the system persists or ships: the daemon wire protocol
+    ([failatom.rpc/1]), detection plans ([failatom.plan/1]) and
+    resilience scorecards ([failatom.resilience/1]).
 
     Strings are byte sequences: control bytes are escaped as \u00XX,
     bytes >= 0x80 pass through raw, and every OCaml string round-trips

@@ -51,25 +51,43 @@ let take_checkpoint config vm recv args =
 (* ------------------------------------------------------------------ *)
 
 let masking_filter config =
-  (* Nested wrapped calls push and pop in LIFO order, mirroring the
-     call stack. *)
-  let stack : Checkpoint.t list ref = ref [] in
+  (* Nested wrapped calls push and pop in LIFO order, mirroring each
+     thread's call stack.  The stacks are per-thread: under a preemptive
+     schedule two threads' wrapped calls interleave arbitrarily, and a
+     shared stack would let one thread's [post] pop — and roll back —
+     another thread's checkpoint. *)
+  let stacks : (int, Checkpoint.t list) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of vm =
+    Option.value ~default:[] (Hashtbl.find_opt stacks vm.Vm.cur_tid)
+  in
+  let pop vm ~rollback =
+    match stack_of vm with
+    | [] -> None
+    | cp :: rest ->
+      Hashtbl.replace stacks vm.Vm.cur_tid rest;
+      if rollback then Checkpoint.rollback cp;
+      Checkpoint.dispose cp;
+      Some ()
+  in
   { Vm.filt_name = "masking";
     pre =
       (fun vm _meth recv args ->
-        stack := take_checkpoint config vm recv args :: !stack;
+        Hashtbl.replace stacks vm.Vm.cur_tid
+          (take_checkpoint config vm recv args :: stack_of vm);
         Vm.Proceed);
     post =
-      (fun _vm _meth _recv _args result ->
-        match !stack with
-        | [] -> Vm.Pass (* desynchronized by a fatal abort; nothing to do *)
-        | cp :: rest ->
-          stack := rest;
-          (match result with
-           | Ok _ -> ()
-           | Error _ -> Checkpoint.rollback cp);
-          Checkpoint.dispose cp;
-          Vm.Pass) }
+      (fun vm _meth _recv _args result ->
+        let rollback = Result.is_error result in
+        ignore (pop vm ~rollback : unit option);
+        Vm.Pass);
+    unwind =
+      (fun vm _meth ->
+        (* An OCaml-level abort (deadline, scheduler unwind) ends the
+           call exceptionally without running [post]: roll the entry
+           back and dispose it, exactly as an exceptional return would —
+           leaving it would leak the checkpoint (and keep a lazy
+           shadow attached to the write barrier forever). *)
+        ignore (pop vm ~rollback:true : unit option)) }
 
 (* Attaches atomicity wrappers to the target methods of a compiled
    program (load-time masking, no source access). *)

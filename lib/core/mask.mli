@@ -15,6 +15,11 @@ val targets : Config.t -> Classify.t -> Method_id.Set.t
 (** The methods to wrap: chosen by the configured policy, minus the
     user's do-not-wrap list. *)
 
+val checkpoint_roots : Config.t -> Value.t -> Value.t list -> Value.t list
+(** The roots a wrapped call protects: the receiver, plus the reference
+    arguments when [snapshot_args] is set.  Shared with the production
+    armed wrappers so both rollback engines cover the same graph. *)
+
 val masking_filter : Config.t -> Vm.filter
 (** A fresh atomicity filter (Listing 2 as a pre/post filter).  One
     filter instance keeps its own checkpoint stack; share a single

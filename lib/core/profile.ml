@@ -37,7 +37,8 @@ let of_image ?(prepare = fun (_ : Vm.t) -> ()) (image : Compile.image) : t =
           let id = Method_id.make meth.Vm.meth_class meth.Vm.meth_name in
           Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id));
           Vm.Proceed);
-      post = (fun _vm _meth _recv _args _result -> Vm.Pass) }
+      post = (fun _vm _meth _recv _args _result -> Vm.Pass);
+      unwind = Vm.no_unwind }
   in
   Vm.attach_filter_everywhere vm filter;
   let exit_value = Compile.run_main vm in

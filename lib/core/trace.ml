@@ -70,7 +70,15 @@ let filter t =
                     | Ok v -> Returned (render vm v)
                     | Error e -> Raised e.Vm.exn_class) }
                :: t.events_rev);
-        Vm.Pass) }
+        Vm.Pass);
+    unwind =
+      (fun _vm _meth ->
+        (* keep the depth bookkeeping honest across an abort *)
+        match t.pending with
+        | [] -> ()
+        | (depth, _, _, _) :: rest ->
+          t.pending <- rest;
+          t.depth <- depth) }
 
 let attach t vm = Vm.attach_filter_everywhere vm (filter t)
 

@@ -1,0 +1,68 @@
+(** Production atomicity wrappers (the always-on masking runtime).
+
+    Where detection's {!Failatom_core.Mask.masking_filter} exists to
+    find non-atomic methods, the armed wrapper exists to run forever in
+    front of already-classified ones: it must make the common path — a
+    call that returns normally — as close to free as possible, and keep
+    per-method evidence that the masking is earning its keep.
+
+    Two rollback engines are available behind one interface:
+
+    - {!Rb_checkpoint} delegates to {!Failatom_runtime.Checkpoint} under
+      the configured strategy — the detection-phase machinery, used as
+      the reference semantics.
+    - {!Rb_cow} opens a copy-on-write {!Failatom_runtime.Shadow} at
+      entry (O(1), nothing copied) and, only on an exceptional exit,
+      restores the saved payloads of the dirty objects that lie inside
+      the entry-time reachable graph of the protected roots.  The
+      restored graph is bitwise-identical to what a checkpoint rollback
+      of the same call would produce; the entry cost no longer scales
+      with graph size.
+
+    One {!t} accumulates statistics across every VM it arms, so a
+    multi-run production campaign reports totals, not per-run
+    fragments. *)
+
+open Failatom_core
+open Failatom_runtime
+
+type rollback = Rb_checkpoint | Rb_cow
+
+val rollback_name : rollback -> string
+(** ["checkpoint"] / ["cow"]. *)
+
+val rollback_of_name : string -> rollback option
+
+type method_stats = private {
+  mutable ms_calls : int;  (** wrapped calls entered *)
+  mutable ms_hits : int;  (** exceptional exits rolled back *)
+  mutable ms_wrap_ns : int;
+      (** total entry + normal-exit bookkeeping time *)
+  mutable ms_rollback_ns : int;  (** total rollback time *)
+}
+
+type t
+
+val create :
+  ?rollback:rollback -> config:Config.t -> targets:Method_id.Set.t ->
+  unit -> t
+(** A stats-accumulating wrapper set for the given target methods.
+    [config] supplies the checkpoint strategy and the root policy
+    (receiver only vs receiver plus reference arguments), exactly as in
+    detection-phase masking.  Default rollback: {!Rb_checkpoint}. *)
+
+val rollback_mode : t -> rollback
+val targets : t -> Method_id.Set.t
+
+val arm : t -> Vm.t -> unit
+(** Attaches an armed wrapper to every target method defined by the VM.
+    May be called on any number of VMs; they all feed the same
+    statistics.  Observability: increments [mask.calls] / [mask.hits]
+    and feeds the [mask.wrap_ns] / [mask.rollback_ns] histograms. *)
+
+val per_method : t -> (Method_id.t * method_stats) list
+(** Statistics of every method that was actually armed, sorted by
+    method id. *)
+
+val calls : t -> int
+val hits : t -> int

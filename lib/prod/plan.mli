@@ -1,0 +1,61 @@
+(** The detection plan: a versioned, self-describing artifact
+    ([failatom.plan/1]) carrying everything a production runtime needs
+    to arm atomicity wrappers without re-running detection.
+
+    Detection is the expensive produce-once phase; the plan is its
+    output contract.  It records the digest of the program it was
+    computed for and the fingerprint of the detection configuration, so
+    a runtime can refuse to arm against a program (or config) the plan
+    does not describe — serving stale wrappers would silently protect
+    the wrong methods. *)
+
+open Failatom_core
+
+val schema_id : string
+(** ["failatom.plan/1"]. *)
+
+type meth = {
+  pm_id : Method_id.t;
+  pm_verdict : Classify.verdict;
+  pm_calls : int;  (** dynamic calls in the detection baseline run *)
+}
+
+type t = {
+  program_digest : string;  (** {!Failatom_minilang.Minilang.program_digest} *)
+  config_fingerprint : string;  (** {!Config.fingerprint} of the detection config *)
+  flavor : string;  (** wire flavor name of the detection run ("source"/"binary") *)
+  wrap_policy : Config.wrap_policy;
+  injections : int;  (** provenance: injection runs behind the classification *)
+  targets : Method_id.t list;  (** methods to wrap, sorted *)
+  methods : meth list;  (** per-method verdicts, sorted by id *)
+}
+
+val build :
+  config:Config.t -> flavor:Detect.flavor ->
+  program:Failatom_minilang.Ast.program ->
+  detection:Detect.result -> classification:Classify.t -> t
+(** Assembles the plan of a finished detection: targets are
+    {!Mask.targets}[ config classification], the digest and fingerprint
+    are computed from [program] and [config]. *)
+
+val target_set : t -> Method_id.Set.t
+
+val validate : ?config:Config.t -> t -> program_digest:string -> (unit, string) result
+(** Refuses a stale plan: [Error] when the plan was computed for a
+    different program digest, or (when [config] is given) under a
+    detection configuration with a different fingerprint. *)
+
+val to_json : t -> string
+(** Deterministic [failatom.plan/1] rendering: same plan, same bytes. *)
+
+val of_string : string -> (t, string) result
+(** Strict inverse of {!to_json}: rejects a wrong or missing schema id
+    and any absent required field (a plan from a future producer that
+    dropped a field must not arm silently); unknown extra fields are
+    ignored, so [failatom.plan/1] readers accept additive extensions. *)
+
+val save_file : t -> string -> unit
+(** Atomic write (temp file + rename): a crash mid-write never leaves a
+    torn plan behind. *)
+
+val load_file : string -> (t, string) result

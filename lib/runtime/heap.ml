@@ -58,6 +58,11 @@ type t = {
          identity like [store]; the incremental-canonicalization memo
          ([Object_graph.Memo]) compares these stamps against the
          generation a cached form was validated at *)
+  mutable wcount : int array;
+      (* payload mutations per MiniLang thread, indexed by thread id.
+         [write_gen] minus a thread's own count dates writes by *other*
+         threads, which lets the production rollback and the canary
+         validator detect scheduler interference in O(1) *)
 }
 
 exception Dangling_reference of Value.obj_id
@@ -81,7 +86,8 @@ let create () =
     cur_tid = 0;
     on_write = None;
     write_gen = 0;
-    wstamp = Array.make 256 0 }
+    wstamp = Array.make 256 0;
+    wcount = Array.make 8 0 }
 
 let set_cur_tid h tid = h.cur_tid <- tid
 
@@ -102,7 +108,17 @@ let write_stamp h id =
 let stamp h id =
   let g = h.write_gen + 1 in
   h.write_gen <- g;
-  if id > 0 && id < Array.length h.wstamp then Array.unsafe_set h.wstamp id g
+  if id > 0 && id < Array.length h.wstamp then Array.unsafe_set h.wstamp id g;
+  let tid = h.cur_tid in
+  if tid >= Array.length h.wcount then begin
+    let wider = Array.make (2 * (tid + 1)) 0 in
+    Array.blit h.wcount 0 wider 0 (Array.length h.wcount);
+    h.wcount <- wider
+  end;
+  if tid >= 0 then h.wcount.(tid) <- h.wcount.(tid) + 1
+
+let writes_by_tid h tid =
+  if tid >= 0 && tid < Array.length h.wcount then h.wcount.(tid) else 0
 
 (* The current payload slot of [id], or None when never allocated or
    already freed.  [id < next_id] implies [id] is within the array. *)

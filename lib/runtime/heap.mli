@@ -57,6 +57,11 @@ type t = {
           {!write_stamp} by the incremental-canonicalization memo
           ({!Object_graph.Memo}) to revalidate cached canonical forms
           without traversing payloads *)
+  mutable wcount : int array;
+      (** payload mutations per MiniLang thread, indexed by thread id.
+          Read through {!writes_by_tid}: comparing the deltas of
+          [write_gen] and one thread's own count over a window counts
+          writes made by {e other} threads during that window in O(1) *)
 }
 
 exception Dangling_reference of Value.obj_id
@@ -90,6 +95,15 @@ val write_stamp : t -> Value.obj_id -> int
 (** Generation of [id]'s latest mutation; [0] if never mutated since
     allocation.  [write_stamp h id <= g] for every object in a graph
     means the graph is unchanged since generation [g]. *)
+
+val writes_by_tid : t -> int -> int
+(** Total payload mutations (including rollback restores) made so far
+    by the given MiniLang thread.  With [g0 = write_gen h] and
+    [o0 = writes_by_tid h tid] captured at the start of a window,
+    [(write_gen h - g0) - (writes_by_tid h tid - o0) > 0] detects — in
+    O(1) and exactly — that some {e other} thread wrote during the
+    window.  The production rollback and the canary validator use this
+    to tell scheduler interference from a failed restoration. *)
 
 val get : t -> Value.obj_id -> payload
 (** @raise Dangling_reference if the object does not exist. *)

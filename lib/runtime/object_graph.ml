@@ -233,6 +233,28 @@ let reaches_dirty read ~dirty roots =
     false
   with Found -> true
 
+(* The ids reachable from [roots] through [read].  With a shadow's
+   [read_before] this is the entry-time reachable set of a wrapped
+   call — the objects a checkpoint of the same roots would have covered.
+   The COW fast-rollback wrapper intersects it with the shadow's dirty
+   set so it restores exactly what an eager checkpoint would restore,
+   and nothing outside the protected graph. *)
+let reachable_via read roots =
+  let visited = Hashtbl.create 64 in
+  let rec visit v =
+    match (v : Value.t) with
+    | Value.Int _ | Value.Bool _ | Value.Str _ | Value.Null -> ()
+    | Value.Ref id ->
+      if not (Hashtbl.mem visited id) then begin
+        Hashtbl.replace visited id ();
+        match read id with
+        | Heap.Obj { fields; _ } -> Hashtbl.iter (fun _ v -> visit v) fields
+        | Heap.Arr a -> Array.iter visit a
+      end
+  in
+  List.iter visit roots;
+  visited
+
 let equal (a : node) (b : node) = a == b || a = b
 let to_string n = Fmt.str "%a" pp_node n
 

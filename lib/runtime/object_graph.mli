@@ -82,6 +82,16 @@ val reaches_dirty :
     intersect a shadow's dirty set with the snapshot's reachable ids
     without building a canonical form; early-exits on the first hit. *)
 
+val reachable_via :
+  (Value.obj_id -> Heap.payload) -> Value.t list ->
+  (Value.obj_id, unit) Hashtbl.t
+(** The set of ids reachable from the roots through the given payload
+    lookup.  With {!Shadow.read_before} this is the entry-time reachable
+    set of a wrapped call: exactly the ids an eager checkpoint of the
+    same roots would have covered.  Used by the production COW rollback
+    to restore dirty payloads inside the protected graph and no
+    others. *)
+
 val equal : node -> node -> bool
 (** Object-graph identity per Definition 1.  The precomputed structural
     hashes make mismatches cheap: differing subtrees are rejected

@@ -97,10 +97,18 @@ and filter = {
   post :
     t -> meth -> Value.t -> Value.t list -> (Value.t, exn_value) result ->
     post_action;
+  unwind : t -> meth -> unit;
+      (* called when a non-MiniLang (OCaml-level) exception — deadline,
+         step limit, scheduler abort — unwinds through the call after
+         [pre] ran: [post] will never run, so per-call state acquired in
+         [pre] (checkpoints, shadows, snapshot stacks) must be released
+         here.  [no_unwind] for filters that keep no such state. *)
 }
 
 and pre_action = Proceed | Pre_return of Value.t | Pre_raise of exn_value
 and post_action = Pass | Post_return of Value.t | Post_raise of exn_value
+
+let no_unwind (_ : t) (_ : meth) = ()
 
 exception Unknown_class of string
 exception Unknown_method of string * string (* class, method *)
@@ -317,7 +325,13 @@ let rec run_filters vm meth recv args filters =
     | Pre_raise e -> raise (Mini_raise e)
     | Proceed -> (
       let result =
-        try Ok (run_filters vm meth recv args rest) with Mini_raise e -> Error e
+        try Ok (run_filters vm meth recv args rest) with
+        | Mini_raise e -> Error e
+        | e ->
+          (* OCaml-level aborts bypass [post]; let the filter release
+             whatever its [pre] acquired for this call. *)
+          f.unwind vm meth;
+          raise e
       in
       match f.post vm meth recv args result with
       | Pass -> (match result with Ok v -> v | Error e -> raise (Mini_raise e))

@@ -92,6 +92,13 @@ and filter = {
   post :
     t -> meth -> Value.t -> Value.t list -> (Value.t, exn_value) result ->
     post_action;
+  unwind : t -> meth -> unit;
+      (** called when a non-MiniLang (OCaml-level) exception —
+          {!Deadline_exceeded}, {!Step_limit_exceeded}, a scheduler
+          abort — unwinds through the call after [pre] ran.  [post]
+          will never run for that call, so per-call state acquired in
+          [pre] (checkpoints, shadows, snapshot stacks) must be
+          released here.  Use {!no_unwind} when [pre] keeps none. *)
 }
 (** A JWG-style pre/post filter: [pre] may short-circuit the call or
     inject an exception; [post] observes the outcome (normal or
@@ -99,6 +106,9 @@ and filter = {
 
 and pre_action = Proceed | Pre_return of Value.t | Pre_raise of exn_value
 and post_action = Pass | Post_return of Value.t | Post_raise of exn_value
+
+val no_unwind : t -> meth -> unit
+(** The no-op [unwind] for filters without per-call state. *)
 
 exception Unknown_class of string
 exception Unknown_method of string * string

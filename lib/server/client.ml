@@ -3,6 +3,8 @@
    ([failatom submit|status|watch|cancel|shutdown]) and the tests and
    benches are all built on this. *)
 
+module Json = Failatom_core.Json
+
 exception Error of string
 (* Any failure talking to the daemon: connection refused, protocol
    garbage, or a server-side {"ok":false} reply. *)

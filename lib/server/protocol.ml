@@ -19,14 +19,19 @@ let version = "failatom.rpc/1"
 
 let greeting = Json.Obj [ ("server", Json.Str "failatom"); ("rpc", Json.Str version) ]
 
-type mode = Detect | Campaign | Mask
+type mode = Detect | Campaign | Mask | Produce
 
-let mode_name = function Detect -> "detect" | Campaign -> "campaign" | Mask -> "mask"
+let mode_name = function
+  | Detect -> "detect"
+  | Campaign -> "campaign"
+  | Mask -> "mask"
+  | Produce -> "produce"
 
 let mode_of_name = function
   | "detect" -> Some Detect
   | "campaign" -> Some Campaign
   | "mask" -> Some Mask
+  | "produce" -> Some Produce
   | _ -> None
 
 (* CLI convention: "source" is the paper's C++ source-weaving flavor,
@@ -61,6 +66,15 @@ type job_request = {
   do_not_wrap : string list;
   jobs : int option;  (* campaign worker domains; server clamps *)
   run_timeout_s : float option;
+  (* production (produce-mode) parameters; all absent on the wire for
+     the other modes, so older peers interoperate unchanged *)
+  plan : string option;  (* failatom.plan/1 JSON text *)
+  rollback : string option;  (* "checkpoint" | "cow"; None = checkpoint *)
+  perturb_rate : int option;  (* canary rate per mille; None/0 = off *)
+  perturb_seed : int option;
+  perturb_max : int option;
+  perturb_point : string option;  (* "entry" | "exit" *)
+  times : int option;  (* production runs per job *)
 }
 
 let default_request mode program =
@@ -75,7 +89,14 @@ let default_request mode program =
     exception_free = [];
     do_not_wrap = [];
     jobs = None;
-    run_timeout_s = None }
+    run_timeout_s = None;
+    plan = None;
+    rollback = None;
+    perturb_rate = None;
+    perturb_seed = None;
+    perturb_max = None;
+    perturb_point = None;
+    times = None }
 
 type request =
   | Submit of job_request
@@ -107,6 +128,8 @@ type job_result = {
   r_wrapped : string list;  (* mask mode: wrapped method ids *)
   r_corrected : string option;  (* mask mode: corrected program source *)
   r_summary : summary option;  (* campaign execution statistics *)
+  r_resilience : string option;
+      (* produce mode: failatom.resilience/1 scorecard JSON *)
 }
 
 type event =
@@ -145,7 +168,14 @@ let request_to_json = function
         ("exception_free", Json.List (List.map (fun m -> Json.Str m) r.exception_free));
         ("do_not_wrap", Json.List (List.map (fun m -> Json.Str m) r.do_not_wrap));
         ("jobs", opt (fun n -> Json.Int n) r.jobs);
-        ("run_timeout_s", opt (fun s -> Json.Float s) r.run_timeout_s) ]
+        ("run_timeout_s", opt (fun s -> Json.Float s) r.run_timeout_s);
+        ("plan", opt (fun s -> Json.Str s) r.plan);
+        ("rollback", opt (fun s -> Json.Str s) r.rollback);
+        ("perturb_rate", opt (fun n -> Json.Int n) r.perturb_rate);
+        ("perturb_seed", opt (fun n -> Json.Int n) r.perturb_seed);
+        ("perturb_max", opt (fun n -> Json.Int n) r.perturb_max);
+        ("perturb_point", opt (fun s -> Json.Str s) r.perturb_point);
+        ("times", opt (fun n -> Json.Int n) r.times) ]
   | Status job -> Json.Obj [ ("cmd", Json.Str "status"); ("job", Json.Str job) ]
   | Watch job -> Json.Obj [ ("cmd", Json.Str "watch"); ("job", Json.Str job) ]
   | Cancel job -> Json.Obj [ ("cmd", Json.Str "cancel"); ("job", Json.Str job) ]
@@ -182,7 +212,8 @@ let result_to_json r =
       ("log", Json.Str r.r_log);
       ("wrapped", Json.List (List.map (fun m -> Json.Str m) r.r_wrapped));
       ("corrected", opt (fun s -> Json.Str s) r.r_corrected);
-      ("summary", opt summary_to_json r.r_summary) ]
+      ("summary", opt summary_to_json r.r_summary);
+      ("resilience", opt (fun s -> Json.Str s) r.r_resilience) ]
 
 let event_to_json = function
   | Ev_state s -> Json.Obj [ ("event", Json.Str "state"); ("state", Json.Str s) ]
@@ -286,6 +317,19 @@ let submit_of_json j =
       | Some s when s > 0. -> Ok (Some s)
       | _ -> Error "run_timeout_s must be a positive number")
   in
+  (* All produce-mode fields are additive: absent (an older client)
+     decodes as None, and the server only consults them for produce
+     jobs, so older peers interoperate unchanged. *)
+  let opt_int what key =
+    match Json.member key j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Int n) -> Ok (Some n)
+    | Some _ -> Error (what ^ " must be an integer")
+  in
+  let* perturb_rate = opt_int "perturb_rate" "perturb_rate" in
+  let* perturb_seed = opt_int "perturb_seed" "perturb_seed" in
+  let* perturb_max = opt_int "perturb_max" "perturb_max" in
+  let* times = opt_int "times" "times" in
   Ok
     (Submit
        { mode;
@@ -299,7 +343,14 @@ let submit_of_json j =
          exception_free;
          do_not_wrap;
          jobs;
-         run_timeout_s })
+         run_timeout_s;
+         plan = Json.str_member "plan" j;
+         rollback = Json.str_member "rollback" j;
+         perturb_rate;
+         perturb_seed;
+         perturb_max;
+         perturb_point = Json.str_member "perturb_point" j;
+         times })
 
 let request_of_json j =
   let* cmd = require "cmd" (Json.str_member "cmd" j) in
@@ -376,7 +427,9 @@ let result_of_json j =
       r_log = log;
       r_wrapped = wrapped;
       r_corrected = corrected;
-      r_summary = summary }
+      r_summary = summary;
+      (* absent from an older server: not a produce job *)
+      r_resilience = Json.str_member "resilience" j }
 
 let event_of_json j =
   let* name = require "event" (Json.str_member "event" j) in

@@ -15,7 +15,7 @@ val version : string
 val greeting : Json.t
 (** The line the server sends on every fresh connection. *)
 
-type mode = Detect | Campaign | Mask
+type mode = Detect | Campaign | Mask | Produce
 
 val mode_name : mode -> string
 val mode_of_name : string -> mode option
@@ -49,6 +49,15 @@ type job_request = {
   do_not_wrap : string list;
   jobs : int option;  (** campaign worker domains; the server clamps *)
   run_timeout_s : float option;
+  plan : string option;
+      (** produce mode: [failatom.plan/1] JSON text; required there,
+          absent on the wire for every other mode *)
+  rollback : string option;  (** ["checkpoint"] / ["cow"]; [None] = checkpoint *)
+  perturb_rate : int option;  (** canary rate per mille; [None]/[0] = off *)
+  perturb_seed : int option;
+  perturb_max : int option;  (** cap on total canary fires *)
+  perturb_point : string option;  (** ["entry"] / ["exit"] *)
+  times : int option;  (** production runs per job (default 1) *)
 }
 
 val default_request : mode -> program_spec -> job_request
@@ -86,6 +95,9 @@ type job_result = {
   r_wrapped : string list;  (** mask mode: wrapped method ids *)
   r_corrected : string option;  (** mask mode: corrected program source *)
   r_summary : summary option;  (** campaign execution statistics *)
+  r_resilience : string option;
+      (** produce mode: [failatom.resilience/1] scorecard JSON; absent
+          on the wire from an older server decodes as [None] *)
 }
 
 type event =

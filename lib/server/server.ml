@@ -55,6 +55,7 @@ open Failatom_apps
 module Campaign = Failatom_campaign.Campaign
 module Progress = Failatom_campaign.Progress
 module Obs = Failatom_obs.Obs
+module Prod = Failatom_prod
 
 let m_accepted = Obs.counter "server.jobs_accepted"
 let m_rejected = Obs.counter "server.jobs_rejected"
@@ -86,6 +87,16 @@ let default_config ~socket_path =
    submit time.  [p_program] is a memoized thunk — when the digest came
    from the cache's source memo the parse is deferred to the executor,
    so a warm cache hit never parses at all. *)
+(* Validated produce-mode parameters: the plan parsed and matched
+   against the program digest at submit time, so a stale plan is a
+   clean protocol error rather than a job failure. *)
+type produce = {
+  pr_plan : Prod.Plan.t;
+  pr_rollback : Prod.Armed.rollback;
+  pr_perturb : Prod.Produce.perturb_spec option;
+  pr_times : int;
+}
+
 type prepared = {
   p_mode : Protocol.mode;
   p_program : unit -> Ast.program;
@@ -94,6 +105,7 @@ type prepared = {
   p_config : Config.t;
   p_jobs : int;
   p_run_timeout_s : float option;
+  p_produce : produce option;  (* Some iff p_mode = Produce *)
   p_key : string;  (* result-cache fingerprint *)
 }
 
@@ -278,7 +290,7 @@ let prepare_request t (r : Protocol.job_request) : (prepared, string) result =
   in
   let jobs =
     match r.Protocol.mode with
-    | Protocol.Detect | Protocol.Mask -> 1
+    | Protocol.Detect | Protocol.Mask | Protocol.Produce -> 1
     | Protocol.Campaign ->
       let requested = Option.value ~default:t.config.jobs_per_job r.Protocol.jobs in
       max 1 (min requested t.config.jobs_per_job)
@@ -288,6 +300,56 @@ let prepare_request t (r : Protocol.job_request) : (prepared, string) result =
     | Some _ as s -> s
     | None -> t.config.run_timeout_s
   in
+  let* p_produce =
+    match r.Protocol.mode with
+    | Protocol.Detect | Protocol.Campaign | Protocol.Mask -> Ok None
+    | Protocol.Produce ->
+      let* plan_text =
+        match r.Protocol.plan with
+        | Some text -> Ok text
+        | None -> Error "produce mode requires a plan"
+      in
+      let* pr_plan = Prod.Plan.of_string plan_text in
+      (* Stale plans are refused at submit time: a plan computed for a
+         different program must not arm wrappers. *)
+      let* () = Prod.Plan.validate pr_plan ~program_digest:digest in
+      let* pr_rollback =
+        match r.Protocol.rollback with
+        | None -> Ok Prod.Armed.Rb_checkpoint
+        | Some name -> (
+          match Prod.Armed.rollback_of_name name with
+          | Some rb -> Ok rb
+          | None -> Error (Printf.sprintf "unknown rollback engine %S" name))
+      in
+      let* pr_perturb =
+        match Option.value ~default:0 r.Protocol.perturb_rate with
+        | 0 -> Ok None
+        | rate when rate < 0 || rate > 1000 ->
+          Error "perturb_rate must be in 0..1000"
+        | rate ->
+          let* point =
+            match r.Protocol.perturb_point with
+            | None -> Ok Prod.Perturb.At_exit
+            | Some name -> (
+              match Prod.Perturb.point_of_name name with
+              | Some p -> Ok p
+              | None -> Error (Printf.sprintf "unknown perturbation point %S" name))
+          in
+          Ok
+            (Some
+               { Prod.Produce.seed = Option.value ~default:1 r.Protocol.perturb_seed;
+                 rate_per_mille = rate;
+                 max_fires = r.Protocol.perturb_max;
+                 point;
+                 fallback_exceptions = [] })
+      in
+      Ok
+        (Some
+           { pr_plan;
+             pr_rollback;
+             pr_perturb;
+             pr_times = max 1 (Option.value ~default:1 r.Protocol.times) })
+  in
   Ok
     { p_mode = r.Protocol.mode;
       p_program = parse_now;
@@ -296,6 +358,7 @@ let prepare_request t (r : Protocol.job_request) : (prepared, string) result =
       p_config = config;
       p_jobs = jobs;
       p_run_timeout_s = run_timeout_s;
+      p_produce;
       p_key =
         Cache.result_key ~program_digest:digest ~mode:r.Protocol.mode ~flavor
           ~config ~run_timeout_s }
@@ -335,7 +398,46 @@ let build_result ~mode ~flavor ~cfg (res : Detect.result)
           reused = summary.Progress.reused;
           discarded = summary.Progress.discarded;
           synthesized = summary.Progress.synthesized;
-          wall_s = summary.Progress.wall_clock_s } }
+          wall_s = summary.Progress.wall_clock_s };
+    r_resilience = None }
+
+(* A produce job's result is built from the plan (the verdicts are the
+   detection's, carried over) plus the fresh scorecard.  [transparent]
+   reports whether every canary validation passed. *)
+let build_produce_result (pr : produce) (scorecard : Prod.Scorecard.t) :
+    Protocol.job_result =
+  let plan = pr.pr_plan in
+  let counts =
+    List.fold_left
+      (fun (c : Protocol.counts) (m : Prod.Plan.meth) ->
+        match m.Prod.Plan.pm_verdict with
+        | Classify.Atomic -> { c with Protocol.atomic = c.Protocol.atomic + 1 }
+        | Classify.Conditional_non_atomic ->
+          { c with Protocol.conditional = c.Protocol.conditional + 1 }
+        | Classify.Pure_non_atomic -> { c with Protocol.pure = c.Protocol.pure + 1 })
+      { Protocol.atomic = 0; conditional = 0; pure = 0 }
+      plan.Prod.Plan.methods
+  in
+  let non_atomic =
+    List.filter_map
+      (fun (m : Prod.Plan.meth) ->
+        match m.Prod.Plan.pm_verdict with
+        | Classify.Atomic -> None
+        | v ->
+          Some (Method_id.to_string m.Prod.Plan.pm_id, Classify.verdict_name v))
+      plan.Prod.Plan.methods
+  in
+  { Protocol.r_mode = Protocol.Produce;
+    r_flavor = plan.Prod.Plan.flavor;
+    r_injections = plan.Prod.Plan.injections;
+    r_transparent = Prod.Scorecard.failed scorecard = 0;
+    r_non_atomic = non_atomic;
+    r_counts = counts;
+    r_log = "";
+    r_wrapped = List.map Method_id.to_string plan.Prod.Plan.targets;
+    r_corrected = None;
+    r_summary = None;
+    r_resilience = Some (Prod.Scorecard.to_json scorecard) }
 
 let execute t (job : job) =
   let p = job.prepared in
@@ -361,35 +463,60 @@ let execute t (job : job) =
     try
       if cancel () then raise Campaign.Cancelled;
       let program = p.p_program () in
-      let images =
-        Cache.images t.cache ~program_digest:p.p_digest ~flavor:p.p_flavor
-          program
-      in
-      let res, summary =
-        Campaign.run ~config:p.p_config ~flavor:p.p_flavor
-          ~plain:images.Cache.plain ~compiled:images.Cache.compiled
-          ?run_timeout_s:p.p_run_timeout_s ~cancel ~jobs:p.p_jobs ~report
-          program
-      in
-      let base = build_result ~mode:p.p_mode ~flavor:p.p_flavor ~cfg:p.p_config res summary in
-      let result =
-        match p.p_mode with
-        | Protocol.Mask ->
-          (* Same detection result, extended with the masking step:
-             wrap targets by the configured policy, and the corrected
-             program P_C. *)
-          let cls =
-            Classify.classify ~exception_free:p.p_config.Config.exception_free res
-          in
-          let targets = Mask.targets p.p_config cls in
-          let corrected = Mask.corrected_program ~targets program in
-          { base with
-            Protocol.r_wrapped =
-              List.map Method_id.to_string (Method_id.Set.elements targets);
-            r_corrected = Some (Pretty.program_to_string corrected) }
-        | Protocol.Detect | Protocol.Campaign -> base
-      in
-      Ok result
+      match (p.p_mode, p.p_produce) with
+      | Protocol.Produce, Some pr -> (
+        (* No detection: arm straight from the (already-validated)
+           plan and run the workload under the armed wrappers. *)
+        match
+          Prod.Produce.run ~rollback:pr.pr_rollback ?perturb:pr.pr_perturb
+            ~times:pr.pr_times ~plan:pr.pr_plan program
+        with
+        | Error msg -> Error (`Failed msg)
+        | Ok { Prod.Produce.scorecard; runs } ->
+          List.iteri
+            (fun i (r : Prod.Produce.run_report) ->
+              match r.Prod.Produce.escaped with
+              | None -> ()
+              | Some cls ->
+                locked t (fun () ->
+                    append_event_locked t job
+                      (Protocol.Ev_warning
+                         (Printf.sprintf "run %d: %s escaped main" (i + 1) cls))))
+            runs;
+          Ok (build_produce_result pr scorecard))
+      | Protocol.Produce, None ->
+        (* prepare_request always pairs Produce with parameters *)
+        Error (`Failed "produce job without production parameters")
+      | (Protocol.Detect | Protocol.Campaign | Protocol.Mask), _ ->
+        let images =
+          Cache.images t.cache ~program_digest:p.p_digest ~flavor:p.p_flavor
+            program
+        in
+        let res, summary =
+          Campaign.run ~config:p.p_config ~flavor:p.p_flavor
+            ~plain:images.Cache.plain ~compiled:images.Cache.compiled
+            ?run_timeout_s:p.p_run_timeout_s ~cancel ~jobs:p.p_jobs ~report
+            program
+        in
+        let base = build_result ~mode:p.p_mode ~flavor:p.p_flavor ~cfg:p.p_config res summary in
+        let result =
+          match p.p_mode with
+          | Protocol.Mask ->
+            (* Same detection result, extended with the masking step:
+               wrap targets by the configured policy, and the corrected
+               program P_C. *)
+            let cls =
+              Classify.classify ~exception_free:p.p_config.Config.exception_free res
+            in
+            let targets = Mask.targets p.p_config cls in
+            let corrected = Mask.corrected_program ~targets program in
+            { base with
+              Protocol.r_wrapped =
+                List.map Method_id.to_string (Method_id.Set.elements targets);
+              r_corrected = Some (Pretty.program_to_string corrected) }
+          | Protocol.Detect | Protocol.Campaign | Protocol.Produce -> base
+        in
+        Ok result
     with
     | Campaign.Cancelled ->
       if job.deadline_ns > 0 && Obs.now_ns () > job.deadline_ns then Error `Timeout
@@ -403,7 +530,16 @@ let execute t (job : job) =
   | Ok result ->
     (* Render + spill outside the server mutex; only the table insert
        and the event append happen under it. *)
-    let entry = Cache.store_result t.cache p.p_key result in
+    let entry =
+      match p.p_mode with
+      | Protocol.Produce ->
+        (* Produce results carry wall-clock timing histograms — never
+           cached, so every resubmission re-runs the workload fresh. *)
+        { Cache.e_result = result;
+          e_rendered = Json.to_string (Protocol.result_to_json result) }
+      | Protocol.Detect | Protocol.Campaign | Protocol.Mask ->
+        Cache.store_result t.cache p.p_key result
+    in
     locked t (fun () ->
         job.state <- Done (entry, false);
         Obs.incr m_completed;
@@ -496,8 +632,15 @@ let handle_submit t req =
     render (Protocol.error msg)
   | Ok p -> (
     (* The result lookup may deserialize from the durable tier — never
-       under the server mutex. *)
-    match Cache.find_result t.cache p.p_key with
+       under the server mutex.  Produce jobs never consult it: their
+       results embed fresh timing data, so a warm hit would replay a
+       stale scorecard. *)
+    match
+      (match p.p_mode with
+       | Protocol.Produce -> None
+       | Protocol.Detect | Protocol.Campaign | Protocol.Mask ->
+         Cache.find_result t.cache p.p_key)
+    with
     | Some entry ->
       locked t (fun () ->
           if t.draining then begin

@@ -66,7 +66,8 @@ let test_filters_per_instantiation () =
   let filter =
     { Vm.filt_name = "test";
       pre = (fun _ _ _ _ -> Vm.Pre_return (Value.Int 99));
-      post = (fun _ _ _ _ _ -> Vm.Pass) }
+      post = (fun _ _ _ _ _ -> Vm.Pass);
+      unwind = Vm.no_unwind }
   in
   Vm.attach_filter (Vm.find_method vm1 "Box" "get") filter;
   ignore (Compile.run_main vm1);

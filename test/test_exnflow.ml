@@ -304,7 +304,8 @@ let prop_drop_soundness =
                      e.Failatom_runtime.Vm.exn_class )
                    :: !observed
                | _ -> ());
-              Failatom_runtime.Vm.Pass) }
+              Failatom_runtime.Vm.Pass);
+          unwind = Failatom_runtime.Vm.no_unwind }
       in
       let _ =
         Detect.run

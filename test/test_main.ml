@@ -20,6 +20,7 @@ let () =
       ("concurrent-detect", Test_concurrent_detect.suite);
       ("classify", Test_classify.suite);
       ("mask", Test_mask.suite);
+      ("prod", Test_prod.suite);
       ("composition", Test_composition.suite);
       ("random-pipeline", Test_random_pipeline.suite);
       ("purity", Test_purity.suite);

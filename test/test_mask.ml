@@ -175,6 +175,122 @@ let test_masking_closes_apps () =
         (List.map Method_id.to_string residual))
     [ "LinkedList"; "stdQ" ]
 
+(* Regression: an OCaml-level abort (deadline, scheduler unwind)
+   unwinding through a masked call never runs the filter's [post] — the
+   wrapper's [unwind] hook must pop the entry, roll it back, and
+   dispose it.  Before the hook existed the entry leaked: under the
+   lazy strategy its shadow stayed attached to the write barrier
+   forever, and the aborted call's mutations survived. *)
+let unwind_leak_src =
+  {|
+class Spin {
+  field x;
+  method init() { this.x = 0; return this; }
+  method spin() throws IllegalStateException {
+    this.x = 1;
+    while (0 < 1) { this.x = this.x + 1; }
+    return this.x;
+  }
+}
+function main() {
+  var s = new Spin();
+  return s.spin();
+}
+|}
+
+let check_unwind_releases_checkpoint strategy () =
+  let module Vm = Failatom_runtime.Vm in
+  let module Heap = Failatom_runtime.Heap in
+  let module Value = Failatom_runtime.Value in
+  let config = { Config.default with Config.checkpoint_strategy = strategy } in
+  let vm = Failatom_minilang.Compile.program (parse unwind_leak_src) in
+  Mask.attach_masking config
+    ~targets:(Method_id.Set.singleton (Method_id.make "Spin" "spin"))
+    vm;
+  Vm.arm_deadline vm ~timeout_s:0.05;
+  (match Failatom_minilang.Compile.run_main vm with
+   | _ -> Alcotest.fail "divergent masked call returned"
+   | exception Vm.Deadline_exceeded -> ());
+  Alcotest.(check int) "no shadow leaked on the write barrier" 0
+    (List.length vm.Vm.heap.Heap.shadows);
+  (* the aborted call's mutation was rolled back *)
+  let x = ref None in
+  Array.iter
+    (fun payload ->
+      match payload with
+      | Some (Heap.Obj { cls = "Spin"; fields }) -> x := Hashtbl.find_opt fields "x"
+      | _ -> ())
+    vm.Vm.heap.Heap.store;
+  match !x with
+  | Some (Value.Int 0) -> ()
+  | Some v ->
+    Alcotest.failf "aborted mutation leaked: Spin.x = %s" (Value.to_string v)
+  | _ -> Alcotest.fail "Spin instance not found on the heap"
+
+(* Production wrappers on the concurrent apps: per-thread entry stacks
+   and per-thread COW dirty sets must keep interleaved wrapped calls
+   independent.  Under each preemptive schedule, a canaried production
+   run must be byte-identical between the two rollback engines, roll
+   back at least once, and validate every perturbation. *)
+let check_concurrent_production name flavor engine () =
+  let module Compile = Failatom_minilang.Compile in
+  let module Sched = Failatom_runtime.Sched in
+  let module Plan = Failatom_prod.Plan in
+  let module Armed = Failatom_prod.Armed in
+  let module Perturb = Failatom_prod.Perturb in
+  let module Scorecard = Failatom_prod.Scorecard in
+  let module Produce = Failatom_prod.Produce in
+  let saved = !Compile.default_engine in
+  Compile.default_engine := engine;
+  Fun.protect ~finally:(fun () -> Compile.default_engine := saved) @@ fun () ->
+  let program = parse (Option.get (Registry.find name)).Registry.source in
+  (* sweep detection so the seeded schedule-only violations are
+     classified — and therefore wrapped — like any pure non-atomic
+     method *)
+  let config =
+    { Config.default with Config.schedules = [ "coop"; "slice:1"; "slice:2"; "slice:3" ] }
+  in
+  let detection = Detect.run ~config ~flavor program in
+  let classification = Classify.classify detection in
+  let plan = Plan.build ~config ~flavor ~program ~detection ~classification in
+  let perturb =
+    { Produce.seed = 11;
+      rate_per_mille = 500;
+      max_fires = None;
+      point = Perturb.At_exit;
+      fallback_exceptions = [] }
+  in
+  List.iter
+    (fun spec ->
+      let policy = Option.get (Sched.policy_of_string spec) in
+      let run rollback =
+        match Produce.run ~config ~rollback ~perturb ~policy ~times:2 ~plan program with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "%s under %s: %s" name spec msg
+      in
+      let cp = run Armed.Rb_checkpoint in
+      let cow = run Armed.Rb_cow in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s under %s: outputs bitwise identical" name spec)
+        (List.map (fun (r : Produce.run_report) -> r.Produce.output) cp.Produce.runs)
+        (List.map (fun (r : Produce.run_report) -> r.Produce.output) cow.Produce.runs);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s under %s: rollbacks exercised" name spec)
+        true
+        (Scorecard.hits cow.Produce.scorecard > 0);
+      Alcotest.(check int)
+        (Printf.sprintf "%s under %s: zero validation failures" name spec)
+        0
+        (Scorecard.failed cow.Produce.scorecard);
+      (* every perturbation is accounted for: validated outright, or
+         inconclusive because a concurrent thread wrote during the call *)
+      Alcotest.(check int)
+        (Printf.sprintf "%s under %s: every perturbation accounted" name spec)
+        (Scorecard.fired cow.Produce.scorecard)
+        (Scorecard.validated cow.Produce.scorecard
+        + Scorecard.interfered cow.Produce.scorecard))
+    [ "slice:1"; "slice:4"; "pct:3:7" ]
+
 let suite =
   [ Alcotest.test_case "masking closes (source)" `Quick
       (check_masking_closes Detect.Source_weaving);
@@ -191,4 +307,20 @@ let suite =
     Alcotest.test_case "lazy strategy" `Quick
       (masking_strategy_works Failatom_runtime.Checkpoint.Lazy);
     Alcotest.test_case "binary masking" `Quick test_binary_masking;
-    Alcotest.test_case "masking closes apps" `Quick test_masking_closes_apps ]
+    Alcotest.test_case "masking closes apps" `Quick test_masking_closes_apps;
+    Alcotest.test_case "unwind releases checkpoint (eager)" `Quick
+      (check_unwind_releases_checkpoint Failatom_runtime.Checkpoint.Eager);
+    Alcotest.test_case "unwind releases checkpoint (lazy)" `Quick
+      (check_unwind_releases_checkpoint Failatom_runtime.Checkpoint.Lazy);
+    Alcotest.test_case "concurrent production: StripedMap (closures)" `Quick
+      (check_concurrent_production "StripedMap" Detect.Load_time_filters
+         Failatom_minilang.Compile.Closures);
+    Alcotest.test_case "concurrent production: StripedMap (bytecode)" `Quick
+      (check_concurrent_production "StripedMap" Detect.Load_time_filters
+         Failatom_minilang.Compile.Bytecode);
+    Alcotest.test_case "concurrent production: BoundedBuffer (closures)" `Quick
+      (check_concurrent_production "BoundedBuffer" Detect.Load_time_filters
+         Failatom_minilang.Compile.Closures);
+    Alcotest.test_case "concurrent production: BoundedBuffer (bytecode)" `Quick
+      (check_concurrent_production "BoundedBuffer" Detect.Load_time_filters
+         Failatom_minilang.Compile.Bytecode) ]

@@ -9,7 +9,7 @@ open Failatom_apps
 module Server = Failatom_server.Server
 module Client = Failatom_server.Client
 module Protocol = Failatom_server.Protocol
-module Json = Failatom_server.Json
+module Json = Failatom_core.Json
 
 let parse = Failatom_minilang.Minilang.parse
 

@@ -90,7 +90,8 @@ let trace_filter log name =
     post =
       (fun _ _ _ _ _ ->
         log := (name ^ ":post") :: !log;
-        Vm.Pass) }
+        Vm.Pass);
+    unwind = Vm.no_unwind }
 
 let test_filter_order () =
   let vm, a, _ = fixture () in
@@ -110,7 +111,8 @@ let test_filter_pre_return_short_circuits () =
   Vm.attach_filter meth
     { Vm.filt_name = "stub";
       pre = (fun _ _ _ _ -> Vm.Pre_return (Value.Int 99));
-      post = (fun _ _ _ _ _ -> Vm.Pass) };
+      post = (fun _ _ _ _ _ -> Vm.Pass);
+      unwind = Vm.no_unwind };
   check Alcotest.int "stubbed result" 99 (invoke_int vm a "m")
 
 let test_filter_pre_raise () =
@@ -119,7 +121,8 @@ let test_filter_pre_raise () =
   Vm.attach_filter meth
     { Vm.filt_name = "bomb";
       pre = (fun vm _ _ _ -> Vm.Pre_raise (Vm.make_exn vm "OutOfMemoryError" "inj"));
-      post = (fun _ _ _ _ _ -> Vm.Pass) };
+      post = (fun _ _ _ _ _ -> Vm.Pass);
+      unwind = Vm.no_unwind };
   try
     ignore (Vm.invoke vm a "m" []);
     Alcotest.fail "expected injection"
@@ -132,7 +135,8 @@ let test_filter_post_observes_exception_and_swallows () =
   Vm.attach_filter meth
     { Vm.filt_name = "thrower";
       pre = (fun _ _ _ _ -> Vm.Proceed);
-      post = (fun vm _ _ _ _ -> Vm.Post_raise (Vm.make_exn vm "IllegalStateException" "x")) };
+      post = (fun vm _ _ _ _ -> Vm.Post_raise (Vm.make_exn vm "IllegalStateException" "x"));
+      unwind = Vm.no_unwind };
   let observed = ref None in
   Vm.attach_filter meth
     { Vm.filt_name = "swallower";
@@ -142,7 +146,8 @@ let test_filter_post_observes_exception_and_swallows () =
           (match result with
            | Error e -> observed := Some e.Vm.exn_class
            | Ok _ -> ());
-          Vm.Post_return (Value.Int 0)) };
+          Vm.Post_return (Value.Int 0));
+      unwind = Vm.no_unwind };
   check Alcotest.int "swallowed to 0" 0 (invoke_int vm a "m");
   check Alcotest.(option string) "outer saw the exception" (Some "IllegalStateException")
     !observed
@@ -165,7 +170,8 @@ let test_attach_everywhere () =
         (fun _ _ _ _ ->
           incr count;
           Vm.Proceed);
-      post = (fun _ _ _ _ _ -> Vm.Pass) };
+      post = (fun _ _ _ _ _ -> Vm.Pass);
+      unwind = Vm.no_unwind };
   ignore (Vm.invoke vm a "m" []);
   ignore (Vm.invoke vm b "m" []);
   ignore (Vm.invoke vm b "n" []);
